@@ -1,0 +1,26 @@
+//! Criterion bench for E7: aggregate execution with and without lineage
+//! capture, across the supported aggregate functions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbwipes_bench::{run_query, run_query_without_lineage, sensor_dataset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_aggregates(c: &mut Criterion) {
+    let dataset = sensor_dataset(27_000);
+    let mut group = c.benchmark_group("aggregates");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for agg in ["avg(temp)", "sum(temp)", "count(*)", "min(temp)", "max(temp)", "stddev(temp)"] {
+        let sql = format!("SELECT window, {agg} FROM readings GROUP BY window");
+        group.bench_with_input(BenchmarkId::new("with_lineage", agg), &sql, |b, sql| {
+            b.iter(|| black_box(run_query(&dataset.table, sql)))
+        });
+        group.bench_with_input(BenchmarkId::new("no_lineage", agg), &sql, |b, sql| {
+            b.iter(|| black_box(run_query_without_lineage(&dataset.table, sql)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregates);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for E5: the baseline explanation strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbwipes_bench::{corrupted_dataset, run_query};
+use dbwipes_core::baselines::{
+    fine_grained_provenance, greedy_responsibility, single_attribute_predicates, top_k_influence,
+    SingleAttributeConfig,
+};
+use dbwipes_core::{rank_influence, ErrorMetric};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let dataset = corrupted_dataset(8_000);
+    let result = run_query(&dataset.table, &dataset.group_avg_query());
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > 65.0)
+        .collect();
+    let metric = ErrorMetric::too_high("avg_value", 60.0);
+    let influence = rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap();
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("fine_grained_provenance", |b| {
+        b.iter(|| black_box(fine_grained_provenance(&result, &suspicious)))
+    });
+    group.bench_function("leave_one_out_influence", |b| {
+        b.iter(|| black_box(rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap()))
+    });
+    group.bench_function("top_k_influence", |b| {
+        b.iter(|| black_box(top_k_influence(&influence, 500)))
+    });
+    group.bench_function("greedy_responsibility", |b| {
+        b.iter(|| black_box(greedy_responsibility(&influence)))
+    });
+    group.bench_function("single_attribute_predicates", |b| {
+        b.iter(|| {
+            black_box(
+                single_attribute_predicates(
+                    &dataset.table,
+                    &result,
+                    &suspicious,
+                    &[],
+                    &metric,
+                    &SingleAttributeConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for E4: the individual backend components (Preprocessor,
+//! Dataset Enumerator, Predicate Enumerator, Ranker) in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbwipes_bench::{hot_readings, run_query, sensor_dataset, suspicious_windows};
+use dbwipes_core::{
+    enumerate_candidates, enumerate_predicates, rank_influence, rank_predicates, EnumeratorConfig,
+    ErrorMetric, PredicateEnumConfig, RankerConfig,
+};
+use dbwipes_learn::FeatureSpace;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let dataset = sensor_dataset(16_200);
+    let result = run_query(&dataset.table, &dataset.window_query());
+    let suspicious = suspicious_windows(&result, 8.0);
+    let metric = ErrorMetric::too_high("std_temp", 5.0);
+    let examples = hot_readings(&dataset, &result, &suspicious);
+    let influence = rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap();
+    let f_rows = influence.inputs();
+    let space = FeatureSpace::build_excluding(
+        &dataset.table,
+        &["temp".into(), "window".into()],
+        &f_rows,
+    );
+    let candidates = enumerate_candidates(
+        &dataset.table,
+        &space,
+        &examples,
+        &influence,
+        &EnumeratorConfig::default(),
+    );
+    let predicates: Vec<_> = candidates
+        .iter()
+        .flat_map(|cand| {
+            enumerate_predicates(&dataset.table, &space, &f_rows, cand, &PredicateEnumConfig::default())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("preprocessor_influence", |b| {
+        b.iter(|| black_box(rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap()))
+    });
+    group.bench_function("dataset_enumerator", |b| {
+        b.iter(|| {
+            black_box(enumerate_candidates(
+                &dataset.table,
+                &space,
+                &examples,
+                &influence,
+                &EnumeratorConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("predicate_enumerator", |b| {
+        b.iter(|| {
+            black_box(
+                candidates
+                    .iter()
+                    .flat_map(|cand| {
+                        enumerate_predicates(
+                            &dataset.table,
+                            &space,
+                            &f_rows,
+                            cand,
+                            &PredicateEnumConfig::default(),
+                        )
+                    })
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("predicate_ranker", |b| {
+        b.iter(|| {
+            black_box(
+                rank_predicates(
+                    &dataset.table,
+                    &result,
+                    &suspicious,
+                    &examples,
+                    &metric,
+                    predicates.clone(),
+                    &RankerConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

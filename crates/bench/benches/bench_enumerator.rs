@@ -1,0 +1,46 @@
+//! Criterion bench for E8: the Dataset Enumerator's cleaning strategies and
+//! subgroup extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbwipes_bench::{corrupted_dataset, run_query};
+use dbwipes_core::{
+    enumerate_candidates, rank_influence, CleaningStrategy, EnumeratorConfig, ErrorMetric,
+};
+use dbwipes_learn::FeatureSpace;
+use dbwipes_storage::RowId;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_enumerator(c: &mut Criterion) {
+    let dataset = corrupted_dataset(8_000);
+    let result = run_query(&dataset.table, &dataset.group_avg_query());
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > 65.0)
+        .collect();
+    let metric = ErrorMetric::too_high("avg_value", 60.0);
+    let influence = rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap();
+    let f_rows = influence.inputs();
+    let space =
+        FeatureSpace::build_excluding(&dataset.table, &["value".into(), "grp".into()], &f_rows);
+    let examples: Vec<RowId> = dataset.truth.error_rows.iter().copied().take(20).collect();
+
+    let mut group = c.benchmark_group("dataset_enumerator");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let variants = [
+        ("no_cleaning_no_subgroups", CleaningStrategy::None, false),
+        ("kmeans_with_subgroups", CleaningStrategy::KMeans, true),
+        ("naive_bayes_with_subgroups", CleaningStrategy::NaiveBayes, true),
+    ];
+    for (name, cleaning, extend) in variants {
+        let config = EnumeratorConfig { cleaning, extend_with_subgroups: extend, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                black_box(enumerate_candidates(&dataset.table, &space, &examples, &influence, cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerator);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for E1: the full FEC walkthrough pipeline (query +
+//! explanation) at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbwipes_bench::{fec_dataset, fec_explanation};
+use dbwipes_core::ExplainConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fec_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fec_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for &n in &[5_000usize, 10_000] {
+        let dataset = fec_dataset(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dataset, |b, ds| {
+            b.iter(|| black_box(fec_explanation(ds, ExplainConfig::standard())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fec_pipeline);
+criterion_main!(benches);

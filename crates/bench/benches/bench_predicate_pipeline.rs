@@ -1,0 +1,21 @@
+//! Criterion bench for E3: the Dataset Enumerator + Predicate Enumerator +
+//! Ranker pipeline on the sensor scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbwipes_bench::{sensor_dataset, sensor_explanation};
+use dbwipes_core::ExplainConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_predicate_pipeline(c: &mut Criterion) {
+    let dataset = sensor_dataset(16_200);
+    let mut group = c.benchmark_group("predicate_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("sensor_16k", |b| {
+        b.iter(|| black_box(sensor_explanation(&dataset, ExplainConfig::standard())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predicate_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for E6: the Predicate Ranker's per-predicate what-if
+//! re-execution as the candidate pool grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbwipes_bench::{corrupted_dataset, run_query};
+use dbwipes_core::{rank_predicates, ErrorMetric, RankerConfig};
+use dbwipes_storage::{Condition, ConjunctivePredicate};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ranker(c: &mut Criterion) {
+    let dataset = corrupted_dataset(8_000);
+    let result = run_query(&dataset.table, &dataset.group_avg_query());
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > 65.0)
+        .collect();
+    let metric = ErrorMetric::too_high("avg_value", 60.0);
+
+    let mut group = c.benchmark_group("ranker");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n_predicates in &[4usize, 16, 64] {
+        let predicates: Vec<ConjunctivePredicate> = (0..n_predicates)
+            .map(|i| {
+                ConjunctivePredicate::new(vec![Condition::equals("device", (i % 20) as i64)])
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_predicates),
+            &predicates,
+            |b, preds| {
+                b.iter(|| {
+                    black_box(
+                        rank_predicates(
+                            &dataset.table,
+                            &result,
+                            &suspicious,
+                            &[],
+                            &metric,
+                            preds.clone(),
+                            &RankerConfig { max_results: 100, ..RankerConfig::default() },
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranker);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for E2: the Figure-4 window-statistics query at several
+//! dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbwipes_bench::{run_query, sensor_dataset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sensor_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_window_query");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[13_500usize, 27_000, 54_000] {
+        let dataset = sensor_dataset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dataset, |b, ds| {
+            b.iter(|| black_box(run_query(&ds.table, &ds.window_query())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensor_query);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Experiment E5: precision of ranked provenance vs. the traditional
+//! provenance and tuple-ranking baselines (paper §1 / §4 claims).
+
+use dbwipes_bench::{corrupted_dataset, corrupted_explanation, fmt, print_table, run_query};
+use dbwipes_core::baselines::{
+    coarse_grained_provenance, fine_grained_provenance, greedy_responsibility,
+    single_attribute_predicates, top_k_influence, SingleAttributeConfig,
+};
+use dbwipes_core::{rank_influence, ErrorMetric, ExplainConfig};
+use dbwipes_storage::RowId;
+
+fn main() {
+    let dataset = corrupted_dataset(20_000);
+    let result = run_query(&dataset.table, &dataset.group_avg_query());
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > 65.0)
+        .collect();
+    let metric = ErrorMetric::too_high("avg_value", 60.0);
+    let truth_size = dataset.truth.error_count();
+
+    let mut rows = Vec::new();
+    let mut add = |name: &str, returned: Vec<RowId>, description: String| {
+        let score = dataset.truth.score_rows(&returned);
+        rows.push(vec![
+            name.to_string(),
+            returned.len().to_string(),
+            fmt(score.precision),
+            fmt(score.recall),
+            fmt(score.f1),
+            description,
+        ]);
+    };
+
+    add(
+        "coarse-grained provenance",
+        coarse_grained_provenance(&dataset.table).rows().collect(),
+        "operator graph -> whole table".into(),
+    );
+    add(
+        "fine-grained provenance (Trio-style)",
+        fine_grained_provenance(&result, &suspicious).rows().collect(),
+        "all inputs of the selected outputs".into(),
+    );
+
+    let influence = rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap();
+    add(
+        "top-k leave-one-out influence",
+        top_k_influence(&influence, truth_size).rows().collect(),
+        format!("k = |ground truth| = {truth_size}"),
+    );
+    let responsibility: Vec<RowId> = greedy_responsibility(&influence)
+        .into_iter()
+        .filter(|(_, r)| *r > 0.0)
+        .map(|(row, _)| row)
+        .collect();
+    add(
+        "greedy responsibility (causality-style)",
+        responsibility,
+        "tuples needed to drive eps to zero".into(),
+    );
+
+    let single = single_attribute_predicates(
+        &dataset.table,
+        &result,
+        &suspicious,
+        &[],
+        &metric,
+        &SingleAttributeConfig::default(),
+    )
+    .unwrap();
+    if let Some(best) = single.first() {
+        add(
+            "exhaustive single-attribute predicate",
+            best.predicate.matching_rows(&dataset.table),
+            best.predicate.to_string(),
+        );
+    }
+
+    let (_, explanation) = corrupted_explanation(&dataset, vec![], ExplainConfig::standard());
+    let best = explanation.best().unwrap();
+    add(
+        "DBWipes ranked predicate (this paper)",
+        best.predicate.matching_rows(&dataset.table),
+        best.predicate.to_string(),
+    );
+
+    print_table(
+        "E5: who explains the error? precision/recall vs. injected ground truth (20k rows)",
+        &["strategy", "returned_rows", "precision", "recall", "f1", "answer"],
+        &rows,
+    );
+    println!("\nPaper expectation: traditional provenance returns thousands of tuples with very low");
+    println!("precision; DBWipes returns a one/two-condition predicate whose matched tuples are");
+    println!("dominated by the true errors, at equal or better recall.");
+}

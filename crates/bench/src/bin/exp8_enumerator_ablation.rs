@@ -1,0 +1,78 @@
+//! Experiment E8: ablation of the Dataset Enumerator (paper §2.2.2) — how
+//! much do D′ cleaning (k-means / naive Bayes) and subgroup-discovery
+//! extension matter when the user's example selection is noisy or tiny?
+
+use dbwipes_bench::{config_with_enumerator, corrupted_dataset, corrupted_explanation, fmt, print_table};
+use dbwipes_core::CleaningStrategy;
+use dbwipes_storage::RowId;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn main() {
+    let dataset = corrupted_dataset(12_000);
+    let mut rng = StdRng::seed_from_u64(11);
+    let error_rows: Vec<RowId> = dataset.truth.error_rows.iter().copied().collect();
+    let clean_rows: Vec<RowId> = dataset
+        .table
+        .visible_row_ids()
+        .filter(|r| !dataset.truth.is_error(*r))
+        .collect();
+
+    // D' with a controlled noise rate: `1 - noise` of the examples are true
+    // errors, `noise` are accidental selections of clean rows.
+    let make_examples = |rng: &mut StdRng, size: usize, noise: f64| -> Vec<RowId> {
+        (0..size)
+            .map(|_| {
+                if rng.gen_bool(noise) {
+                    *clean_rows.choose(rng).expect("clean rows")
+                } else {
+                    *error_rows.choose(rng).expect("error rows")
+                }
+            })
+            .collect()
+    };
+
+    let strategies = [
+        ("no cleaning, no extension", CleaningStrategy::None, false),
+        ("no cleaning, + subgroups", CleaningStrategy::None, true),
+        ("k-means cleaning, + subgroups", CleaningStrategy::KMeans, true),
+        ("naive Bayes cleaning, + subgroups", CleaningStrategy::NaiveBayes, true),
+    ];
+    let noise_rates = [0.0, 0.2, 0.4];
+
+    let mut rows = Vec::new();
+    for &noise in &noise_rates {
+        for (name, cleaning, extend) in strategies {
+            let examples = make_examples(&mut rng, 20, noise);
+            let config = config_with_enumerator(cleaning, extend);
+            let (_, explanation) = corrupted_explanation(&dataset, examples, config);
+            let best = explanation.best();
+            let (predicate, improvement, gt_f1) = match best {
+                Some(b) => (
+                    b.predicate.to_string(),
+                    b.improvement,
+                    dataset.truth.score_predicate(&dataset.table, &b.predicate).f1,
+                ),
+                None => ("(none)".to_string(), 0.0, 0.0),
+            };
+            rows.push(vec![
+                format!("{:.0}%", noise * 100.0),
+                name.to_string(),
+                explanation.candidates.len().to_string(),
+                explanation.predicates.len().to_string(),
+                predicate,
+                fmt(improvement),
+                fmt(gt_f1),
+            ]);
+        }
+    }
+    print_table(
+        "E8: Dataset Enumerator ablation — D' noise vs. cleaning/extension strategy (12k rows, |D'| = 20)",
+        &["D'_noise", "enumerator", "candidates", "predicates", "top predicate", "improvement", "gt_f1"],
+        &rows,
+    );
+    println!("\nPaper expectation: with a clean D' every variant finds the right predicate; as the");
+    println!("selection gets noisier, the cleaning step (k-means / classifier) keeps the candidate");
+    println!("datasets coherent and the subgroup extension recovers error tuples the user missed,");
+    println!("so the variants with cleaning + extension degrade the least.");
+}

@@ -1,0 +1,447 @@
+//! The DBWipes backend facade.
+//!
+//! [`DbWipes`] owns the catalog and exposes the end-to-end loop of Figure 1:
+//! execute a query, accept the user's selections (S, D′, ε), and run the
+//! backend pipeline — Preprocessor → Dataset Enumerator → Predicate
+//! Enumerator → Predicate Ranker — returning a ranked list of predicates
+//! together with per-component timings (used by the latency-breakdown
+//! experiment E4).
+
+use crate::cleaner::{delete_matching, restore_rows};
+use crate::enumerator::{enumerate_candidates, CandidateDataset, EnumeratorConfig};
+use crate::error::CoreError;
+use crate::influence::{metric_aggregate, rank_influence, InfluenceReport};
+use crate::metric::ErrorMetric;
+use crate::predicates::{enumerate_predicates, PredicateEnumConfig};
+use crate::ranker::{rank_predicates, RankedPredicate, RankerConfig};
+use dbwipes_engine::{execute_on_catalog, parse_select, AggregateArg, ExecOptions, QueryResult};
+use dbwipes_learn::FeatureSpace;
+use dbwipes_storage::{Catalog, ConjunctivePredicate, RowId, Table};
+use std::time::Instant;
+
+/// End-to-end configuration of an explanation request.
+#[derive(Debug, Clone)]
+pub struct ExplainConfig {
+    /// Dataset Enumerator parameters.
+    pub enumerator: EnumeratorConfig,
+    /// Predicate Enumerator parameters.
+    pub predicates: PredicateEnumConfig,
+    /// Predicate Ranker weights.
+    pub ranker: RankerConfig,
+    /// Additional columns to exclude from the learned feature space.
+    pub exclude_columns: Vec<String>,
+    /// Exclude the aggregated measure column (e.g. `temp` for `avg(temp)`)
+    /// from learned predicates. Defaults to true: "temp > 100" predicates
+    /// trivially remove high values without explaining *which* inputs are
+    /// at fault.
+    pub exclude_aggregate_column: bool,
+    /// Exclude the group-by columns from learned predicates (a predicate
+    /// naming the suspicious group itself is not an explanation). Defaults
+    /// to true.
+    pub exclude_group_by_columns: bool,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        ExplainConfig::standard()
+    }
+}
+
+impl ExplainConfig {
+    /// The default configuration used by the dashboard.
+    pub fn standard() -> Self {
+        ExplainConfig {
+            enumerator: EnumeratorConfig::default(),
+            predicates: PredicateEnumConfig::default(),
+            ranker: RankerConfig::default(),
+            exclude_columns: Vec::new(),
+            exclude_aggregate_column: true,
+            exclude_group_by_columns: true,
+        }
+    }
+}
+
+/// Wall-clock time spent in each backend component (milliseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComponentTimings {
+    /// Preprocessor (F computation + leave-one-out influence).
+    pub preprocess_ms: f64,
+    /// Dataset Enumerator (cleaning + subgroup discovery).
+    pub enumerate_ms: f64,
+    /// Predicate Enumerator (decision trees + text mining).
+    pub predicates_ms: f64,
+    /// Predicate Ranker (per-predicate what-if re-execution).
+    pub rank_ms: f64,
+}
+
+impl ComponentTimings {
+    /// Total time across the four components.
+    pub fn total_ms(&self) -> f64 {
+        self.preprocess_ms + self.enumerate_ms + self.predicates_ms + self.rank_ms
+    }
+}
+
+/// A ranked-provenance request: "Query, S, D′, ε" flowing from the frontend
+/// to the backend in Figure 1.
+#[derive(Debug, Clone)]
+pub struct ExplanationRequest {
+    /// Indices of the suspicious output rows (S), referring to the query
+    /// result being explained.
+    pub suspicious_outputs: Vec<usize>,
+    /// The user's example suspicious input rows (D′). May be empty, in which
+    /// case the top-influence tuples are used as examples.
+    pub suspicious_inputs: Vec<RowId>,
+    /// The error metric ε.
+    pub metric: ErrorMetric,
+    /// Pipeline configuration.
+    pub config: ExplainConfig,
+}
+
+impl ExplanationRequest {
+    /// A request with the standard configuration.
+    pub fn new(
+        suspicious_outputs: Vec<usize>,
+        suspicious_inputs: Vec<RowId>,
+        metric: ErrorMetric,
+    ) -> Self {
+        ExplanationRequest {
+            suspicious_outputs,
+            suspicious_inputs,
+            metric,
+            config: ExplainConfig::standard(),
+        }
+    }
+}
+
+/// The backend's answer: ranked predicates plus the evidence behind them.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Ranked predicates, best first (Figure 6).
+    pub predicates: Vec<RankedPredicate>,
+    /// The Preprocessor's influence report over F.
+    pub influence: InfluenceReport,
+    /// The candidate datasets the Dataset Enumerator produced.
+    pub candidates: Vec<CandidateDataset>,
+    /// Per-component wall-clock timings.
+    pub timings: ComponentTimings,
+    /// ε over the selected outputs before cleaning.
+    pub base_error: f64,
+}
+
+impl Explanation {
+    /// The best predicate, if any.
+    pub fn best(&self) -> Option<&RankedPredicate> {
+        self.predicates.first()
+    }
+
+    /// Renders the ranked predicates as a numbered list (the dashboard's
+    /// right-hand panel).
+    pub fn to_display(&self) -> String {
+        if self.predicates.is_empty() {
+            return "(no predicates found)".to_string();
+        }
+        self.predicates
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{:2}. {}", i + 1, p.summary()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The DBWipes backend: a catalog plus the ranked-provenance pipeline.
+#[derive(Debug, Default)]
+pub struct DbWipes {
+    catalog: Catalog,
+}
+
+impl DbWipes {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        DbWipes { catalog: Catalog::new() }
+    }
+
+    /// Creates an instance over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        DbWipes { catalog }
+    }
+
+    /// Registers a table (fails if the name is taken).
+    pub fn register(&mut self, table: Table) -> Result<(), CoreError> {
+        self.catalog.register(table).map_err(CoreError::from)
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the underlying catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Parses and executes an aggregate SQL query with lineage capture.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, CoreError> {
+        let stmt = parse_select(sql)?;
+        execute_on_catalog(&self.catalog, &stmt, ExecOptions::default()).map_err(CoreError::from)
+    }
+
+    /// Runs the ranked-provenance pipeline for a previously executed query
+    /// result.
+    pub fn explain(
+        &self,
+        result: &QueryResult,
+        request: &ExplanationRequest,
+    ) -> Result<Explanation, CoreError> {
+        let table = self.catalog.table(&result.statement.table)?;
+        explain_on_table(table, result, request)
+    }
+
+    /// Physically removes (soft-deletes) every row of `table_name` matching
+    /// the predicate; returns the removed rows for undo.
+    pub fn clean(
+        &mut self,
+        table_name: &str,
+        predicate: &ConjunctivePredicate,
+    ) -> Result<Vec<RowId>, CoreError> {
+        let table = self.catalog.table_mut(table_name)?;
+        delete_matching(table, predicate)
+    }
+
+    /// Restores rows previously removed by [`DbWipes::clean`].
+    pub fn restore(&mut self, table_name: &str, rows: &[RowId]) -> Result<(), CoreError> {
+        let table = self.catalog.table_mut(table_name)?;
+        restore_rows(table, rows)
+    }
+}
+
+/// Runs the full backend pipeline against an explicit table (the facade's
+/// [`DbWipes::explain`] resolves the table from its catalog and calls this).
+pub fn explain_on_table(
+    table: &Table,
+    result: &QueryResult,
+    request: &ExplanationRequest,
+) -> Result<Explanation, CoreError> {
+    // 1. Preprocessor.
+    let start = Instant::now();
+    let influence =
+        rank_influence(table, result, &request.suspicious_outputs, &request.metric)?;
+    let preprocess_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let f_rows = influence.inputs();
+
+    // D′: the user's examples, or the top-influence tuples when none given.
+    let examples: Vec<RowId> = if request.suspicious_inputs.is_empty() {
+        let k = ((f_rows.len() as f64 * 0.05).ceil() as usize).clamp(1, 50);
+        influence
+            .influences
+            .iter()
+            .filter(|t| t.influence > 0.0)
+            .take(k)
+            .map(|t| t.row)
+            .collect()
+    } else {
+        request.suspicious_inputs.clone()
+    };
+    if examples.is_empty() {
+        return Err(CoreError::invalid(
+            "no suspicious inputs were provided and no tuple has positive influence on the error",
+        ));
+    }
+
+    // Feature space over the explainable attributes.
+    let mut exclude = request.config.exclude_columns.clone();
+    if request.config.exclude_aggregate_column {
+        if let Ok((_, call)) = metric_aggregate(result, &request.metric) {
+            if let AggregateArg::Expr(e) = &call.arg {
+                exclude.extend(e.columns());
+            }
+        }
+    }
+    if request.config.exclude_group_by_columns {
+        exclude.extend(result.statement.group_by.iter().cloned());
+    }
+    let space = FeatureSpace::build_excluding(table, &exclude, &f_rows);
+
+    // 2. Dataset Enumerator.
+    let start = Instant::now();
+    let candidates =
+        enumerate_candidates(table, &space, &examples, &influence, &request.config.enumerator);
+    let enumerate_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // 3. Predicate Enumerator.
+    let start = Instant::now();
+    let mut all_predicates = Vec::new();
+    for candidate in &candidates {
+        all_predicates.extend(enumerate_predicates(
+            table,
+            &space,
+            &f_rows,
+            candidate,
+            &request.config.predicates,
+        ));
+    }
+    let predicates_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // 4. Predicate Ranker.
+    let start = Instant::now();
+    let ranked = rank_predicates(
+        table,
+        result,
+        &request.suspicious_outputs,
+        &examples,
+        &request.metric,
+        all_predicates,
+        &request.config.ranker,
+    )?;
+    let rank_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    Ok(Explanation {
+        predicates: ranked,
+        base_error: influence.base_error,
+        influence,
+        candidates,
+        timings: ComponentTimings { preprocess_ms, enumerate_ms, predicates_ms, rank_ms },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_data::{generate_sensor, SensorConfig};
+    use dbwipes_storage::Value;
+
+    fn sensor_dbwipes() -> (DbWipes, dbwipes_data::SensorDataset) {
+        let ds = generate_sensor(&SensorConfig {
+            num_readings: 5_400,
+            failing_sensors: vec![15],
+            ..SensorConfig::small()
+        });
+        let mut db = DbWipes::new();
+        db.register(ds.table.clone()).unwrap();
+        (db, ds)
+    }
+
+    #[test]
+    fn end_to_end_sensor_explanation_names_the_failing_sensor() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        assert!(result.len() > 1);
+
+        // S = windows with suspiciously high temperature spread, exactly how
+        // Figure 4's user brushes the high-stddev points.
+        let std_col = result.column_index("std_temp").unwrap();
+        let suspicious: Vec<usize> = (0..result.len())
+            .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
+            .collect();
+        assert!(!suspicious.is_empty());
+
+        // D' = a few corrupted readings from those windows.
+        let examples: Vec<RowId> = ds.error_rows().into_iter().take(8).collect();
+        let metric = ErrorMetric::too_high("std_temp", 4.0);
+        let request = ExplanationRequest::new(suspicious, examples, metric);
+        let explanation = db.explain(&result, &request).unwrap();
+
+        assert!(explanation.base_error > 0.0);
+        assert!(!explanation.predicates.is_empty());
+        assert!(!explanation.candidates.is_empty());
+        assert!(explanation.timings.total_ms() > 0.0);
+        let best = explanation.best().unwrap();
+        assert!(
+            best.predicate.to_string().contains("sensorid")
+                || best.predicate.to_string().contains("voltage"),
+            "best predicate: {}",
+            best.predicate
+        );
+        assert!(best.improvement > 0.5, "best = {}", best.summary());
+        assert!(explanation.to_display().contains("1."));
+    }
+
+    #[test]
+    fn explanation_without_examples_derives_them_from_influence() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        let std_col = result.column_index("std_temp").unwrap();
+        let suspicious: Vec<usize> = (0..result.len())
+            .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
+            .collect();
+        let request = ExplanationRequest::new(
+            suspicious,
+            Vec::new(),
+            ErrorMetric::too_high("std_temp", 4.0),
+        );
+        let explanation = db.explain(&result, &request).unwrap();
+        assert!(!explanation.predicates.is_empty());
+        assert!(explanation.best().unwrap().improvement > 0.3);
+    }
+
+    #[test]
+    fn no_error_and_no_examples_is_rejected() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        // Metric threshold far above everything: no tuple has positive influence.
+        let request = ExplanationRequest::new(
+            vec![0],
+            Vec::new(),
+            ErrorMetric::too_high("std_temp", 10_000.0),
+        );
+        assert!(db.explain(&result, &request).is_err());
+    }
+
+    #[test]
+    fn clean_and_restore_round_trip() {
+        let (mut db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        let before_rows = db.catalog().table("readings").unwrap().visible_rows();
+        let removed = db.clean("readings", &ds.truth.true_predicate.clone()).unwrap();
+        assert!(!removed.is_empty());
+        assert_eq!(
+            db.catalog().table("readings").unwrap().visible_rows(),
+            before_rows - removed.len()
+        );
+        // Re-running the query after cleaning lowers the maximum average.
+        let cleaned_result = db.query(&ds.window_query()).unwrap();
+        let max_before = max_avg(&result);
+        let max_after = max_avg(&cleaned_result);
+        assert!(max_after < max_before);
+        db.restore("readings", &removed).unwrap();
+        assert_eq!(db.catalog().table("readings").unwrap().visible_rows(), before_rows);
+        assert!(db.clean("missing", &ds.truth.true_predicate.clone()).is_err());
+    }
+
+    fn max_avg(result: &QueryResult) -> f64 {
+        let col = result.column_index("avg_temp").unwrap();
+        result
+            .rows
+            .iter()
+            .filter_map(|r| r[col].as_f64())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn facade_accessors() {
+        let (mut db, _) = sensor_dbwipes();
+        assert!(db.catalog().contains("readings"));
+        assert_eq!(db.catalog().len(), 1);
+        db.catalog_mut()
+            .table_mut("readings")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(0),
+                Value::Timestamp(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Float(20.0),
+                Value::Float(40.0),
+                Value::Float(100.0),
+                Value::Float(2.7),
+            ])
+            .unwrap();
+        let db2 = DbWipes::with_catalog(db.catalog().clone());
+        assert!(db2.catalog().contains("readings"));
+        assert!(db2.query("SELECT avg(temp) FROM readings").is_ok());
+        assert!(db2.query("SELECT avg(temp) FROM missing").is_err());
+        assert!(db2.query("not sql").is_err());
+    }
+}

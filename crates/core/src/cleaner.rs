@@ -1,0 +1,191 @@
+//! Clean as you query: applying ranked predicates to the running query.
+//!
+//! "Finally, the audience can clean the database by clicking on predicates
+//! to remove them from future queries" (paper §1); "the user can click on a
+//! hypothesis to see the result of the original query on a version of the
+//! database that does not contain tuples satisfying the hypothesis. The
+//! visualization and query automatically update" (§2.2.1).
+//!
+//! Two cleaning modes are supported, mirroring the demo:
+//!
+//! * **Query rewriting** ([`CleaningSession`]) — each applied predicate adds
+//!   `AND NOT (predicate)` to the WHERE clause; the base data is untouched
+//!   and predicates can be un-applied.
+//! * **Physical cleaning** ([`delete_matching`] / [`restore_rows`]) — the
+//!   matching rows are soft-deleted from the table, which affects every
+//!   later query; the returned row list allows undo.
+
+use crate::error::CoreError;
+use dbwipes_engine::{execute, ExecOptions, QueryResult, SelectStatement};
+use dbwipes_storage::{ConjunctivePredicate, RowId, Table};
+
+/// An interactive cleaning session over one base query.
+#[derive(Debug, Clone)]
+pub struct CleaningSession {
+    base: SelectStatement,
+    applied: Vec<ConjunctivePredicate>,
+}
+
+impl CleaningSession {
+    /// Starts a session from the user's original query.
+    pub fn new(base: SelectStatement) -> Self {
+        CleaningSession { base, applied: Vec::new() }
+    }
+
+    /// The original statement without any cleaning predicates.
+    pub fn base_statement(&self) -> &SelectStatement {
+        &self.base
+    }
+
+    /// The predicates applied so far, in application order.
+    pub fn applied(&self) -> &[ConjunctivePredicate] {
+        &self.applied
+    }
+
+    /// The current statement: the base query with `AND NOT (p)` for every
+    /// applied predicate — exactly what the dashboard's query form shows.
+    pub fn current_statement(&self) -> SelectStatement {
+        let mut stmt = self.base.clone();
+        for p in &self.applied {
+            stmt = stmt.with_additional_filter(p.to_exclusion_expr());
+        }
+        stmt
+    }
+
+    /// The current statement rendered as SQL.
+    pub fn current_sql(&self) -> String {
+        self.current_statement().to_sql()
+    }
+
+    /// Applies (clicks) a predicate. Applying the same predicate twice is a
+    /// no-op.
+    pub fn apply(&mut self, predicate: ConjunctivePredicate) {
+        if predicate.is_trivial() || self.applied.contains(&predicate) {
+            return;
+        }
+        self.applied.push(predicate);
+    }
+
+    /// Un-applies the most recently applied predicate.
+    pub fn undo(&mut self) -> Option<ConjunctivePredicate> {
+        self.applied.pop()
+    }
+
+    /// Removes every applied predicate.
+    pub fn reset(&mut self) {
+        self.applied.clear();
+    }
+
+    /// Executes the current (cleaned) statement against the table.
+    pub fn execute(&self, table: &Table) -> Result<QueryResult, CoreError> {
+        execute(table, &self.current_statement(), ExecOptions::default()).map_err(CoreError::from)
+    }
+}
+
+/// Physically (soft-)deletes every visible row matching the predicate.
+/// Returns the deleted rows so the operation can be undone with
+/// [`restore_rows`].
+pub fn delete_matching(
+    table: &mut Table,
+    predicate: &ConjunctivePredicate,
+) -> Result<Vec<RowId>, CoreError> {
+    let rows = predicate.matching_rows(table);
+    table.delete_rows(&rows).map_err(CoreError::from)?;
+    Ok(rows)
+}
+
+/// Restores rows previously removed by [`delete_matching`].
+pub fn restore_rows(table: &mut Table, rows: &[RowId]) -> Result<(), CoreError> {
+    for &r in rows {
+        table.restore_row(r).map_err(CoreError::from)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_engine::parse_select;
+    use dbwipes_storage::{Condition, DataType, Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "readings",
+            Schema::of(&[("window", DataType::Int), ("sensorid", DataType::Int), ("temp", DataType::Float)]),
+        )
+        .unwrap();
+        for i in 0..40i64 {
+            let sensor = i % 4;
+            let temp = if sensor == 3 { 120.0 } else { 20.0 };
+            t.push_row(vec![Value::Int(i % 2), Value::Int(sensor), Value::Float(temp)]).unwrap();
+        }
+        t
+    }
+
+    fn base() -> SelectStatement {
+        parse_select("SELECT window, avg(temp) FROM readings GROUP BY window").unwrap()
+    }
+
+    #[test]
+    fn applying_a_predicate_rewrites_the_query_and_fixes_the_result() {
+        let t = table();
+        let mut session = CleaningSession::new(base());
+        let before = session.execute(&t).unwrap();
+        // Window 1 (output row 1) contains sensor 3's 120-degree readings.
+        assert!(before.value_f64(1, "avg_temp").unwrap().unwrap() > 40.0);
+        assert_eq!(session.applied().len(), 0);
+
+        session.apply(ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]));
+        let sql = session.current_sql();
+        assert!(sql.contains("NOT (sensorid = 3)"), "{sql}");
+        let after = session.execute(&t).unwrap();
+        assert_eq!(after.value_f64(1, "avg_temp").unwrap().unwrap(), 20.0);
+        // Base statement is untouched.
+        assert_eq!(session.base_statement().to_sql(), base().to_sql());
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_ignores_trivial_predicates() {
+        let mut session = CleaningSession::new(base());
+        let p = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]);
+        session.apply(p.clone());
+        session.apply(p.clone());
+        session.apply(ConjunctivePredicate::always_true());
+        assert_eq!(session.applied().len(), 1);
+    }
+
+    #[test]
+    fn undo_and_reset() {
+        let t = table();
+        let mut session = CleaningSession::new(base());
+        let p1 = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]);
+        let p2 = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 2)]);
+        session.apply(p1.clone());
+        session.apply(p2.clone());
+        assert_eq!(session.applied().len(), 2);
+        assert_eq!(session.undo(), Some(p2));
+        assert_eq!(session.applied().len(), 1);
+        let r = session.execute(&t).unwrap();
+        assert_eq!(r.value_f64(1, "avg_temp").unwrap().unwrap(), 20.0);
+        session.reset();
+        assert!(session.applied().is_empty());
+        assert!(session.undo().is_none());
+        let r = session.execute(&t).unwrap();
+        assert!(r.value_f64(1, "avg_temp").unwrap().unwrap() > 40.0);
+    }
+
+    #[test]
+    fn physical_cleaning_and_restore() {
+        let mut t = table();
+        let p = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]);
+        let deleted = delete_matching(&mut t, &p).unwrap();
+        assert_eq!(deleted.len(), 10);
+        assert_eq!(t.visible_rows(), 30);
+        // Deleting again removes nothing new.
+        let again = delete_matching(&mut t, &p).unwrap();
+        assert!(again.is_empty());
+        restore_rows(&mut t, &deleted).unwrap();
+        assert_eq!(t.visible_rows(), 40);
+        assert!(restore_rows(&mut t, &[RowId(9999)]).is_err());
+    }
+}

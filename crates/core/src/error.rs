@@ -1,0 +1,76 @@
+//! Error type for the ranked provenance system.
+
+use dbwipes_engine::EngineError;
+use dbwipes_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the DBWipes backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The explanation request is malformed (empty selection, metric over a
+    /// non-existent column, ...).
+    InvalidRequest(String),
+    /// An error bubbled up from the query engine.
+    Engine(EngineError),
+    /// An error bubbled up from the storage layer.
+    Storage(StorageError),
+}
+
+impl CoreError {
+    /// Convenience constructor for request-validation errors.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        CoreError::InvalidRequest(message.into())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidRequest(msg) => write!(f, "invalid explanation request: {msg}"),
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            CoreError::InvalidRequest(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::invalid("no outputs selected");
+        assert!(e.to_string().contains("no outputs selected"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: CoreError = EngineError::plan("bad").into();
+        assert!(e.to_string().contains("engine error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CoreError = StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,347 @@
+//! The Predicate Ranker.
+//!
+//! "Finally, the Predicate Ranker computes a score for each tree that
+//! increases with improvement in the error metric, and the accuracy of the
+//! tree at differentiating Dᶜᵢ from F − Dᶜᵢ, and decreases by the
+//! complexity (number of terms in) the predicate" (paper §2.2.2).
+//!
+//! For every candidate predicate the ranker re-executes the query on a
+//! version of the database that excludes the matching tuples (the same
+//! "what if I clicked this predicate" computation the dashboard performs)
+//! and measures how much ε improves over the user-selected outputs.
+
+use crate::error::CoreError;
+use crate::metric::ErrorMetric;
+use dbwipes_engine::{execute, ExecOptions, QueryResult};
+use dbwipes_storage::{ConjunctivePredicate, RowId, Table, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Weights of the ranking score.
+#[derive(Debug, Clone, Copy)]
+pub struct RankerConfig {
+    /// Weight of the relative improvement in ε (1 = the error disappears).
+    pub weight_error: f64,
+    /// Weight of the F1 agreement between the predicate's matches (within F)
+    /// and the user's example tuples D′.
+    pub weight_accuracy: f64,
+    /// Penalty per additional conjunct beyond the first.
+    pub weight_complexity: f64,
+    /// Maximum number of ranked predicates returned.
+    pub max_results: usize,
+}
+
+impl Default for RankerConfig {
+    fn default() -> Self {
+        RankerConfig {
+            weight_error: 1.0,
+            weight_accuracy: 0.5,
+            weight_complexity: 0.05,
+            max_results: 10,
+        }
+    }
+}
+
+/// A predicate together with its ranking evidence — one entry of the
+/// dashboard's "Ranked Predicates" panel (Figure 6).
+#[derive(Debug, Clone)]
+pub struct RankedPredicate {
+    /// The human-readable predicate.
+    pub predicate: ConjunctivePredicate,
+    /// Combined ranking score (higher is better).
+    pub score: f64,
+    /// ε over the selected outputs before cleaning.
+    pub error_before: f64,
+    /// ε over the selected outputs after excluding the predicate's tuples.
+    pub error_after: f64,
+    /// Relative improvement `(before − after) / before` (0 when before = 0).
+    pub improvement: f64,
+    /// F1 agreement between the predicate's matches within F and D′.
+    pub example_f1: f64,
+    /// Number of conjuncts.
+    pub complexity: usize,
+    /// Number of visible table rows the predicate matches (i.e. how many
+    /// tuples clicking it would remove).
+    pub matched_rows: usize,
+}
+
+impl RankedPredicate {
+    /// One-line rendering used by examples and the report binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "score={:+.3} improvement={:>5.1}% f1={:.2} removes={} :: {}",
+            self.score,
+            self.improvement * 100.0,
+            self.example_f1,
+            self.matched_rows,
+            self.predicate
+        )
+    }
+}
+
+/// Ranks candidate predicates.
+///
+/// * `table` — the queried table.
+/// * `result` — the original query result (provides the statement, the
+///   selected groups' keys and ε's baseline).
+/// * `selected` — indices of the suspicious output rows S.
+/// * `examples` — the user's suspicious input tuples D′.
+/// * `metric` — the error metric ε.
+pub fn rank_predicates(
+    table: &Table,
+    result: &QueryResult,
+    selected: &[usize],
+    examples: &[RowId],
+    metric: &ErrorMetric,
+    predicates: Vec<ConjunctivePredicate>,
+    config: &RankerConfig,
+) -> Result<Vec<RankedPredicate>, CoreError> {
+    let error_before = metric.evaluate_result(result, selected);
+    let f_rows: Vec<RowId> = result.inputs_of_rows(selected);
+    let f_set: BTreeSet<RowId> = f_rows.iter().copied().collect();
+    let example_set: BTreeSet<RowId> = examples.iter().copied().collect();
+
+    // Group keys of the selected outputs, used to find the same groups in
+    // the re-executed (cleaned) result.
+    let selected_keys: Vec<Vec<Value>> =
+        selected.iter().filter_map(|&i| result.group_keys.get(i).cloned()).collect();
+
+    let mut ranked = Vec::with_capacity(predicates.len());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for predicate in predicates {
+        if predicate.is_trivial() || !seen.insert(predicate.to_string()) {
+            continue;
+        }
+        let matched = predicate.matching_rows(table);
+        let matched_set: BTreeSet<RowId> = matched.iter().copied().collect();
+
+        // Error after excluding the matching tuples: re-execute the original
+        // statement with `AND NOT predicate`.
+        let cleaned_stmt = result.statement.with_additional_filter(predicate.to_exclusion_expr());
+        let cleaned =
+            execute(table, &cleaned_stmt, ExecOptions { capture_lineage: false })?;
+        let error_after = error_over_keys(&cleaned, &selected_keys, metric);
+        let improvement = if error_before > 0.0 {
+            ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+
+        // Agreement with the user's examples, measured within F.
+        let matched_in_f: BTreeSet<RowId> = matched_set.intersection(&f_set).copied().collect();
+        let tp = matched_in_f.intersection(&example_set).count() as f64;
+        let precision =
+            if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
+        let recall =
+            if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
+        let example_f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+
+        let complexity = predicate.complexity();
+        let score = config.weight_error * improvement + config.weight_accuracy * example_f1
+            - config.weight_complexity * (complexity.saturating_sub(1)) as f64;
+
+        ranked.push(RankedPredicate {
+            predicate,
+            score,
+            error_before,
+            error_after,
+            improvement,
+            example_f1,
+            complexity,
+            matched_rows: matched.len(),
+        });
+    }
+
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.complexity.cmp(&b.complexity)));
+    ranked.truncate(config.max_results);
+    Ok(ranked)
+}
+
+/// Evaluates the metric over the rows of `result` whose group keys match
+/// `keys`; groups that disappeared contribute no error.
+pub fn error_over_keys(result: &QueryResult, keys: &[Vec<Value>], metric: &ErrorMetric) -> f64 {
+    let index: HashMap<&Vec<Value>, usize> =
+        result.group_keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let rows: Vec<usize> = keys.iter().filter_map(|k| index.get(k).copied()).collect();
+    metric.evaluate_result(result, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_engine::execute_sql;
+    use dbwipes_storage::{Catalog, Condition, DataType, Schema, Value};
+
+    /// Window 1 is polluted by sensor 15's ~120F readings.
+    fn setup() -> (Catalog, Vec<RowId>) {
+        let mut t = Table::new(
+            "readings",
+            Schema::of(&[
+                ("window", DataType::Int),
+                ("sensorid", DataType::Int),
+                ("temp", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        let mut broken = Vec::new();
+        for i in 0..120i64 {
+            let window = i % 2;
+            let sensor = i % 12;
+            let is_broken = sensor == 7 && window == 1;
+            let temp = if is_broken { 120.0 } else { 20.0 + (i % 5) as f64 };
+            let rid = t
+                .push_row(vec![Value::Int(window), Value::Int(sensor), Value::Float(temp)])
+                .unwrap();
+            if is_broken {
+                broken.push(rid);
+            }
+        }
+        let mut c = Catalog::new();
+        c.register(t).unwrap();
+        (c, broken)
+    }
+
+    #[test]
+    fn the_true_predicate_ranks_first() {
+        let (c, broken) = setup();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        // Window 1 has the inflated average; select it.
+        let selected = vec![1usize];
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let candidates = vec![
+            ConjunctivePredicate::new(vec![Condition::equals("sensorid", 7)]),
+            ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]),
+            ConjunctivePredicate::new(vec![
+                Condition::equals("sensorid", 7),
+                Condition::above("temp", 100.0),
+            ]),
+            ConjunctivePredicate::always_true(),
+        ];
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &selected,
+            &broken,
+            &metric,
+            candidates,
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        // The trivial predicate is dropped, the rest are ranked.
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].predicate.to_string().contains("sensorid = 7"));
+        assert!(ranked[0].score > ranked[1].score);
+        assert!(ranked[0].improvement > 0.9);
+        assert!(ranked[0].error_after < ranked[0].error_before);
+        assert!(ranked[0].example_f1 > 0.9);
+        // The irrelevant sensor yields no improvement (removing its normal
+        // readings can only raise the polluted average further).
+        let irrelevant = ranked.iter().find(|p| p.predicate.to_string().contains("sensorid = 3")).unwrap();
+        assert!(irrelevant.improvement <= 0.0);
+        assert!(!ranked[0].summary().is_empty());
+    }
+
+    #[test]
+    fn complexity_breaks_ties() {
+        let (c, broken) = setup();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        // Two predicates removing exactly the same rows; the simpler one must
+        // rank at least as high.
+        let simple = ConjunctivePredicate::new(vec![Condition::above("temp", 100.0)]);
+        let complex = ConjunctivePredicate::new(vec![
+            Condition::above("temp", 100.0),
+            Condition::equals("sensorid", 7),
+            Condition::equals("window", 1),
+        ]);
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            vec![complex.clone(), simple.clone()],
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ranked[0].predicate, simple);
+        assert!(ranked[0].score >= ranked[1].score);
+        assert_eq!(ranked[1].complexity, 3);
+    }
+
+    #[test]
+    fn zero_baseline_error_yields_zero_improvement() {
+        let (c, broken) = setup();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        // Threshold far above everything: nothing is wrong.
+        let metric = ErrorMetric::too_high("avg_temp", 10_000.0);
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            vec![ConjunctivePredicate::new(vec![Condition::equals("sensorid", 7)])],
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ranked[0].improvement, 0.0);
+        assert_eq!(ranked[0].error_before, 0.0);
+    }
+
+    #[test]
+    fn max_results_is_respected() {
+        let (c, broken) = setup();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let candidates: Vec<ConjunctivePredicate> = (0..12)
+            .map(|s| ConjunctivePredicate::new(vec![Condition::equals("sensorid", s)]))
+            .collect();
+        let config = RankerConfig { max_results: 4, ..Default::default() };
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            candidates,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(ranked.len(), 4);
+        // Scores are non-increasing.
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn vanished_groups_count_as_fixed() {
+        let (c, _) = setup();
+        let r = execute_sql(
+            &c,
+            "SELECT window, avg(temp) FROM readings WHERE sensorid = 7 GROUP BY window",
+        )
+        .unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        // The filtered query has a single output group (window 1 at index 0);
+        // excluding sensor 7 removes that whole group, so error_after must be 0.
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &[0],
+            &[],
+            &metric,
+            vec![ConjunctivePredicate::new(vec![Condition::equals("sensorid", 7)])],
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ranked[0].error_after, 0.0);
+        assert_eq!(ranked[0].improvement, 1.0);
+        // With no examples the F1 term is zero but ranking still works.
+        assert_eq!(ranked[0].example_f1, 0.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! The interactive clean-as-you-query session.
+//!
+//! This is the headless equivalent of the DBWipes dashboard's control flow
+//! (Figure 1, top): execute a query → visualize the results → select
+//! suspicious results S → zoom in and select suspicious inputs D′ → pick an
+//! error metric ε → receive ranked predicates → click a predicate to clean
+//! the query → repeat. Every state transition of the web UI has a method
+//! here, which is what the examples and the walkthrough experiments drive.
+
+use crate::forms::{error_form_choices, ErrorFormChoice, QueryForm};
+use crate::scatter::{result_series, zoom_series, Brush, ScatterSeries};
+use dbwipes_core::{
+    CleaningSession, CoreError, DbWipes, ErrorMetric, Explanation, ExplanationRequest,
+    RankedPredicate,
+};
+use dbwipes_engine::QueryResult;
+use dbwipes_storage::{RowId, Table};
+
+/// Where the user is in the Figure-1 interaction loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// No query has been executed yet.
+    AwaitingQuery,
+    /// Results are displayed; nothing selected.
+    ResultsShown,
+    /// Suspicious outputs (S) selected.
+    OutputsSelected,
+    /// Suspicious inputs (D′) selected.
+    InputsSelected,
+    /// Ranked predicates have been computed.
+    Explained,
+}
+
+/// An interactive DBWipes session.
+#[derive(Debug)]
+pub struct DashboardSession {
+    db: DbWipes,
+    query_form: QueryForm,
+    cleaning: Option<CleaningSession>,
+    result: Option<QueryResult>,
+    selected_outputs: Vec<usize>,
+    selected_inputs: Vec<RowId>,
+    metric: Option<ErrorMetric>,
+    explanation: Option<Explanation>,
+}
+
+impl DashboardSession {
+    /// Creates a session over an existing backend.
+    pub fn new(db: DbWipes) -> Self {
+        DashboardSession {
+            db,
+            query_form: QueryForm::new(),
+            cleaning: None,
+            result: None,
+            selected_outputs: Vec::new(),
+            selected_inputs: Vec::new(),
+            metric: None,
+            explanation: None,
+        }
+    }
+
+    /// Access to the backend (e.g. to register more tables).
+    pub fn backend_mut(&mut self) -> &mut DbWipes {
+        &mut self.db
+    }
+
+    /// Access to the backend.
+    pub fn backend(&self) -> &DbWipes {
+        &self.db
+    }
+
+    /// The current interaction state.
+    pub fn state(&self) -> SessionState {
+        if self.result.is_none() {
+            SessionState::AwaitingQuery
+        } else if self.explanation.is_some() {
+            SessionState::Explained
+        } else if !self.selected_inputs.is_empty() {
+            SessionState::InputsSelected
+        } else if !self.selected_outputs.is_empty() {
+            SessionState::OutputsSelected
+        } else {
+            SessionState::ResultsShown
+        }
+    }
+
+    /// The SQL currently shown in the query form (including applied
+    /// cleaning predicates).
+    pub fn current_sql(&self) -> String {
+        self.query_form.text().to_string()
+    }
+
+    /// The current query result, if a query has been executed.
+    pub fn result(&self) -> Option<&QueryResult> {
+        self.result.as_ref()
+    }
+
+    /// The table behind the current query.
+    pub fn current_table(&self) -> Option<&Table> {
+        let result = self.result.as_ref()?;
+        self.db.catalog().table(&result.statement.table).ok()
+    }
+
+    /// Executes a new base query (step 1 of the loop), resetting every
+    /// selection and any previously applied cleaning predicates.
+    pub fn run_query(&mut self, sql: &str) -> Result<&QueryResult, CoreError> {
+        let result = self.db.query(sql)?;
+        self.cleaning = Some(CleaningSession::new(result.statement.clone()));
+        self.query_form.show_statement(&result.statement);
+        self.result = Some(result);
+        self.selected_outputs.clear();
+        self.selected_inputs.clear();
+        self.metric = None;
+        self.explanation = None;
+        Ok(self.result.as_ref().expect("just set"))
+    }
+
+    /// The group-level scatter series (step 2: visualize results).
+    pub fn plot(&self, x_column: &str, y_column: &str) -> Option<ScatterSeries> {
+        result_series(self.result.as_ref()?, x_column, y_column)
+    }
+
+    /// Brushes the group-level plot to select suspicious outputs S (step 3).
+    /// Returns the selected output indices.
+    pub fn brush_outputs(
+        &mut self,
+        x_column: &str,
+        y_column: &str,
+        brush: Brush,
+    ) -> Vec<usize> {
+        let Some(series) = self.plot(x_column, y_column) else { return Vec::new() };
+        let selected = brush.selected_outputs(&series);
+        self.select_outputs(selected.clone());
+        selected
+    }
+
+    /// Directly selects suspicious output rows (S).
+    pub fn select_outputs(&mut self, outputs: Vec<usize>) {
+        self.selected_outputs = outputs;
+        self.selected_inputs.clear();
+        self.explanation = None;
+    }
+
+    /// The currently selected outputs.
+    pub fn selected_outputs(&self) -> &[usize] {
+        &self.selected_outputs
+    }
+
+    /// The zoomed-in tuple series for the selected outputs (step 4: "zoom
+    /// in" to the raw tuple values).
+    pub fn zoom(&self, x_column: &str, y_column: &str) -> Option<ScatterSeries> {
+        zoom_series(
+            self.current_table()?,
+            self.result.as_ref()?,
+            &self.selected_outputs,
+            x_column,
+            y_column,
+        )
+    }
+
+    /// Brushes the zoomed tuple plot to select suspicious inputs D′
+    /// (step 5). Returns the selected input rows.
+    pub fn brush_inputs(&mut self, x_column: &str, y_column: &str, brush: Brush) -> Vec<RowId> {
+        let Some(series) = self.zoom(x_column, y_column) else { return Vec::new() };
+        let selected = brush.selected_inputs(&series);
+        self.select_inputs(selected.clone());
+        selected
+    }
+
+    /// Directly selects suspicious input rows (D′).
+    pub fn select_inputs(&mut self, inputs: Vec<RowId>) {
+        self.selected_inputs = inputs;
+        self.explanation = None;
+    }
+
+    /// The currently selected inputs.
+    pub fn selected_inputs(&self) -> &[RowId] {
+        &self.selected_inputs
+    }
+
+    /// The error-metric choices the form would offer for the current
+    /// selection (Figure 5).
+    pub fn metric_choices(&self, column: &str) -> Vec<ErrorFormChoice> {
+        match &self.result {
+            Some(result) => error_form_choices(result, &self.selected_outputs, column),
+            None => Vec::new(),
+        }
+    }
+
+    /// Picks the error metric ε.
+    pub fn set_metric(&mut self, metric: ErrorMetric) {
+        self.metric = Some(metric);
+        self.explanation = None;
+    }
+
+    /// Runs the backend pipeline ("debug!") and returns the ranked
+    /// predicates.
+    pub fn debug(&mut self) -> Result<&Explanation, CoreError> {
+        let result = self
+            .result
+            .as_ref()
+            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+        let metric = self
+            .metric
+            .clone()
+            .ok_or_else(|| CoreError::invalid("no error metric has been selected"))?;
+        if self.selected_outputs.is_empty() {
+            return Err(CoreError::invalid("no suspicious outputs are selected"));
+        }
+        let request = ExplanationRequest::new(
+            self.selected_outputs.clone(),
+            self.selected_inputs.clone(),
+            metric,
+        );
+        let explanation = self.db.explain(result, &request)?;
+        self.explanation = Some(explanation);
+        Ok(self.explanation.as_ref().expect("just set"))
+    }
+
+    /// The ranked predicates of the last `debug()` call.
+    pub fn ranked_predicates(&self) -> &[RankedPredicate] {
+        self.explanation.as_ref().map(|e| e.predicates.as_slice()).unwrap_or(&[])
+    }
+
+    /// Clicks the `index`-th ranked predicate: the predicate is added to the
+    /// query as `AND NOT (...)`, the query re-executes, and the
+    /// visualization/query form update (step 7). Returns the new result.
+    pub fn click_predicate(&mut self, index: usize) -> Result<&QueryResult, CoreError> {
+        let predicate = self
+            .ranked_predicates()
+            .get(index)
+            .map(|p| p.predicate.clone())
+            .ok_or_else(|| CoreError::invalid(format!("no ranked predicate at index {index}")))?;
+        let cleaning = self
+            .cleaning
+            .as_mut()
+            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+        cleaning.apply(predicate);
+        let table = self
+            .db
+            .catalog()
+            .table(&cleaning.base_statement().table)
+            .map_err(CoreError::from)?;
+        let result = cleaning.execute(table)?;
+        self.query_form.show_statement(&result.statement);
+        self.result = Some(result);
+        self.selected_outputs.clear();
+        self.selected_inputs.clear();
+        self.explanation = None;
+        Ok(self.result.as_ref().expect("just set"))
+    }
+
+    /// Un-applies the most recently clicked predicate and re-executes.
+    pub fn undo_clean(&mut self) -> Result<&QueryResult, CoreError> {
+        let cleaning = self
+            .cleaning
+            .as_mut()
+            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+        cleaning.undo();
+        let table = self
+            .db
+            .catalog()
+            .table(&cleaning.base_statement().table)
+            .map_err(CoreError::from)?;
+        let result = cleaning.execute(table)?;
+        self.query_form.show_statement(&result.statement);
+        self.result = Some(result);
+        self.selected_outputs.clear();
+        self.selected_inputs.clear();
+        self.explanation = None;
+        Ok(self.result.as_ref().expect("just set"))
+    }
+
+    /// The cleaning predicates applied so far.
+    pub fn applied_predicates(&self) -> &[dbwipes_storage::ConjunctivePredicate] {
+        self.cleaning.as_ref().map(|c| c.applied()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_data::{generate_sensor, SensorConfig};
+
+    fn session() -> (DashboardSession, dbwipes_data::SensorDataset) {
+        let ds = generate_sensor(&SensorConfig {
+            num_readings: 5_400,
+            failing_sensors: vec![15],
+            ..SensorConfig::small()
+        });
+        let mut db = DbWipes::new();
+        db.register(ds.table.clone()).unwrap();
+        (DashboardSession::new(db), ds)
+    }
+
+    #[test]
+    fn full_interaction_loop_matches_figure_one() {
+        let (mut s, ds) = session();
+        assert_eq!(s.state(), SessionState::AwaitingQuery);
+        assert!(s.result().is_none());
+        assert!(s.debug().is_err());
+
+        // 1. Execute the window query.
+        s.run_query(&ds.window_query()).unwrap();
+        assert_eq!(s.state(), SessionState::ResultsShown);
+        assert!(s.current_sql().contains("GROUP BY window"));
+
+        // 2-3. Visualize and brush the suspicious (high stddev) windows.
+        let plot = s.plot("window", "std_temp").unwrap();
+        assert!(!plot.is_empty());
+        let selected = s.brush_outputs("window", "std_temp", Brush::above(8.0));
+        assert!(!selected.is_empty());
+        assert_eq!(s.state(), SessionState::OutputsSelected);
+        assert_eq!(s.selected_outputs(), selected.as_slice());
+
+        // 4-5. Zoom in and brush the >100F tuples as D'.
+        let zoom = s.zoom("sensorid", "temp").unwrap();
+        assert!(zoom.len() > selected.len());
+        let inputs = s.brush_inputs("sensorid", "temp", Brush::above(100.0));
+        assert!(!inputs.is_empty());
+        assert_eq!(s.state(), SessionState::InputsSelected);
+        assert!(inputs.iter().all(|r| ds.truth.is_error(*r)));
+
+        // 6. The error form offers a "too high" choice; pick it.
+        let choices = s.metric_choices("std_temp");
+        assert!(!choices.is_empty());
+        s.set_metric(choices[0].metric.clone());
+
+        // Debug!
+        let explanation = s.debug().unwrap();
+        assert!(!explanation.predicates.is_empty());
+        assert_eq!(s.state(), SessionState::Explained);
+        let best_text = s.ranked_predicates()[0].predicate.to_string();
+        assert!(
+            best_text.contains("sensorid") || best_text.contains("voltage"),
+            "best predicate: {best_text}"
+        );
+
+        // 7. Click the best predicate: the query is rewritten and the spread
+        // returns to normal.
+        let before_max_std = max_col(s.result().unwrap(), "std_temp");
+        s.click_predicate(0).unwrap();
+        assert!(s.current_sql().contains("NOT ("));
+        assert_eq!(s.applied_predicates().len(), 1);
+        let after_max_std = max_col(s.result().unwrap(), "std_temp");
+        assert!(after_max_std < before_max_std);
+        assert_eq!(s.state(), SessionState::ResultsShown);
+
+        // Undo restores the original query.
+        s.undo_clean().unwrap();
+        assert!(s.applied_predicates().is_empty());
+        let restored_max_std = max_col(s.result().unwrap(), "std_temp");
+        assert!((restored_max_std - before_max_std).abs() < 1e-9);
+    }
+
+    fn max_col(result: &QueryResult, column: &str) -> f64 {
+        let idx = result.column_index(column).unwrap();
+        result.rows.iter().filter_map(|r| r[idx].as_f64()).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn invalid_interactions_are_rejected() {
+        let (mut s, ds) = session();
+        assert!(s.run_query("not sql at all").is_err());
+        assert!(s.plot("a", "b").is_none());
+        assert!(s.zoom("a", "b").is_none());
+        assert!(s.metric_choices("x").is_empty());
+        assert!(s.click_predicate(0).is_err());
+        assert!(s.undo_clean().is_err());
+
+        s.run_query(&ds.window_query()).unwrap();
+        // Debug without metric or selection.
+        assert!(s.debug().is_err());
+        s.select_outputs(vec![0]);
+        assert!(s.debug().is_err());
+        s.set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+        // Clicking a predicate before debug fails.
+        assert!(s.click_predicate(0).is_err());
+        // Brushing an unknown column selects nothing.
+        assert!(s.brush_outputs("nope", "std_temp", Brush::above(0.0)).is_empty());
+        assert!(s.brush_inputs("nope", "temp", Brush::above(0.0)).is_empty());
+    }
+
+    #[test]
+    fn selections_reset_on_new_query() {
+        let (mut s, ds) = session();
+        s.run_query(&ds.window_query()).unwrap();
+        s.select_outputs(vec![0]);
+        s.set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+        s.run_query("SELECT sensorid, avg(temp) FROM readings GROUP BY sensorid").unwrap();
+        assert!(s.selected_outputs().is_empty());
+        assert!(s.selected_inputs().is_empty());
+        assert_eq!(s.state(), SessionState::ResultsShown);
+        assert!(s.backend().catalog().contains("readings"));
+        assert_eq!(s.backend_mut().catalog().len(), 1);
+    }
+}

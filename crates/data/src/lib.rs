@@ -1,0 +1,34 @@
+//! # dbwipes-data
+//!
+//! Synthetic datasets for the DBWipes reproduction.
+//!
+//! The original demo (Wu, Madden, Stonebraker, VLDB 2012) uses two real
+//! datasets — the FEC presidential campaign contributions dump and the
+//! Intel Lab 54-node sensor trace — neither of which can be bundled here.
+//! Instead this crate generates synthetic datasets with the same *shape*
+//! (the same schemas, the same anomalies the demo walks through) plus
+//! [`GroundTruth`] labels recording exactly which rows were injected as
+//! errors, which turns the paper's anecdotal walkthrough into measurable
+//! experiments:
+//!
+//! * [`generate_fec`] — campaign contributions with a cluster of negative
+//!   "REATTRIBUTION TO SPOUSE" records around day 500 (Figure 7 / §3.2).
+//! * [`generate_sensor`] — 54 sensors with diurnal temperature cycles and a
+//!   few failing sensors whose batteries die and whose temperatures climb
+//!   above 100°F (Figures 4 and 6).
+//! * [`generate_corrupted`] — a generic measurements table with a
+//!   predicate-describable corruption, used by the precision (E5) and
+//!   enumerator-ablation (E8) experiments.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod corruption;
+pub mod fec;
+pub mod sensor;
+pub mod truth;
+
+pub use corruption::{generate_corrupted, CorruptedDataset, CorruptionConfig};
+pub use fec::{generate_fec, FecConfig, FecDataset, REATTRIBUTION_MEMO};
+pub use sensor::{generate_sensor, SensorConfig, SensorDataset};
+pub use truth::{GroundTruth, PredicateScore};

@@ -1,0 +1,549 @@
+//! Query execution with lineage capture.
+//!
+//! The executor implements the single-block aggregate pipeline
+//! `Scan → Filter → GroupBy → Aggregate → Project → Sort/Limit`
+//! and, while doing so, records the fine-grained lineage (which input rows
+//! fed which output group) and the coarse-grained operator graph. This is
+//! the hook the paper's Preprocessor relies on: "the Preprocessor computes
+//! F, the set of input tuples that generated S" (§2.2.2).
+
+use crate::aggregate::AggregateState;
+use crate::ast::{AggregateArg, SelectExpr, SelectStatement, SortOrder};
+use crate::error::EngineError;
+use crate::parser::parse_select;
+use crate::result::QueryResult;
+use dbwipes_provenance::{Lineage, OperatorGraph, OperatorKind};
+use dbwipes_storage::{Catalog, DataType, Field, RowId, Schema, Table, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Options controlling query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// When false, fine-grained lineage is not recorded. Used by the
+    /// provenance-overhead experiment (E7) and by callers that only need
+    /// result values (e.g. re-executing a query after cleaning to measure
+    /// the error metric).
+    pub capture_lineage: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { capture_lineage: true }
+    }
+}
+
+/// Parses and executes `sql` against a catalog.
+pub fn execute_sql(catalog: &Catalog, sql: &str) -> Result<QueryResult, EngineError> {
+    let stmt = parse_select(sql)?;
+    execute_on_catalog(catalog, &stmt, ExecOptions::default())
+}
+
+/// Executes a parsed statement against a catalog.
+pub fn execute_on_catalog(
+    catalog: &Catalog,
+    stmt: &SelectStatement,
+    opts: ExecOptions,
+) -> Result<QueryResult, EngineError> {
+    let table = catalog.table(&stmt.table)?;
+    execute(table, stmt, opts)
+}
+
+/// Executes a parsed statement against a single table (the statement's
+/// FROM clause must name this table).
+pub fn execute(
+    table: &Table,
+    stmt: &SelectStatement,
+    opts: ExecOptions,
+) -> Result<QueryResult, EngineError> {
+    let start = Instant::now();
+    validate(table, stmt)?;
+
+    let mut graph = OperatorGraph::new();
+    graph.push(OperatorKind::Scan { table: table.name().to_string() }, table.visible_rows());
+
+    // Scan + filter.
+    let mut filtered: Vec<RowId> = Vec::new();
+    match &stmt.where_clause {
+        Some(pred) => {
+            for rid in table.visible_row_ids() {
+                if pred.matches(table, rid)? {
+                    filtered.push(rid);
+                }
+            }
+            graph.push(OperatorKind::Filter { predicate: pred.to_string() }, filtered.len());
+        }
+        None => filtered.extend(table.visible_row_ids()),
+    }
+
+    // Group.
+    let group_cols: Vec<usize> = stmt
+        .group_by
+        .iter()
+        .map(|c| table.schema().resolve(c).map_err(EngineError::from))
+        .collect::<Result<_, _>>()?;
+
+    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut group_rows: Vec<Vec<RowId>> = Vec::new();
+
+    if group_cols.is_empty() {
+        // A query without GROUP BY produces exactly one group, even when no
+        // rows survive the filter (PostgreSQL semantics).
+        group_keys.push(Vec::new());
+        group_rows.push(filtered.clone());
+    } else {
+        for &rid in &filtered {
+            let key: Vec<Value> = group_cols
+                .iter()
+                .map(|&c| table.value(rid, c).expect("validated column/row"))
+                .collect();
+            let idx = match group_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = group_keys.len();
+                    group_index.insert(key.clone(), i);
+                    group_keys.push(key);
+                    group_rows.push(Vec::new());
+                    i
+                }
+            };
+            group_rows[idx].push(rid);
+        }
+        graph.push(OperatorKind::GroupBy { columns: stmt.group_by.clone() }, group_keys.len());
+    }
+
+    // Aggregate + project.
+    let agg_names: Vec<String> = stmt.aggregates().iter().map(|a| a.to_string()).collect();
+    if !agg_names.is_empty() {
+        graph.push(OperatorKind::Aggregate { aggregates: agg_names }, group_keys.len());
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(group_keys.len());
+    for (gi, g_rows) in group_rows.iter().enumerate() {
+        let mut out_row = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let v = match &item.expr {
+                SelectExpr::Column(name) => {
+                    let pos = stmt
+                        .group_by
+                        .iter()
+                        .position(|g| g.eq_ignore_ascii_case(name))
+                        .expect("validated: select column is in GROUP BY");
+                    group_keys[gi].get(pos).cloned().unwrap_or(Value::Null)
+                }
+                SelectExpr::Scalar(e) => match g_rows.first() {
+                    Some(&rid) => e.eval(table, rid)?,
+                    None => Value::Null,
+                },
+                SelectExpr::Aggregate(call) => {
+                    let mut state = AggregateState::new(call.func);
+                    match &call.arg {
+                        AggregateArg::Star => {
+                            for _ in g_rows {
+                                state.add(Some(1.0));
+                            }
+                        }
+                        AggregateArg::Expr(e) => {
+                            // Fast path: a bare column argument reads the typed
+                            // column directly instead of boxing a Value per row.
+                            if let dbwipes_storage::Expr::Column(cname) = e {
+                                let cidx = table.schema().resolve(cname)?;
+                                let column = table.column(cidx).expect("resolved");
+                                for &rid in g_rows {
+                                    state.add(column.get_f64(rid.index()));
+                                }
+                            } else {
+                                for &rid in g_rows {
+                                    state.add(e.eval(table, rid)?.as_f64());
+                                }
+                            }
+                        }
+                    }
+                    state.finish()
+                }
+            };
+            out_row.push(v);
+        }
+        rows.push(out_row);
+    }
+
+    graph.push(
+        OperatorKind::Project { columns: stmt.items.iter().map(|i| i.output_name()).collect() },
+        rows.len(),
+    );
+
+    // Output schema.
+    let schema = output_schema(table, stmt)?;
+
+    // Sort. Default: ascending by group key for deterministic output.
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if stmt.order_by.is_empty() {
+        order.sort_by(|&a, &b| group_keys[a].cmp(&group_keys[b]));
+    } else {
+        let mut sort_specs: Vec<(usize, SortOrder)> = Vec::new();
+        for ob in &stmt.order_by {
+            let idx = if let Ok(ordinal) = ob.target.parse::<usize>() {
+                if ordinal == 0 || ordinal > stmt.items.len() {
+                    return Err(EngineError::plan(format!(
+                        "ORDER BY ordinal {ordinal} out of range"
+                    )));
+                }
+                ordinal - 1
+            } else {
+                // Match by alias/output name first, then by bare column name.
+                stmt.items
+                    .iter()
+                    .position(|i| i.output_name().eq_ignore_ascii_case(&ob.target))
+                    .or_else(|| {
+                        stmt.items.iter().position(|i| {
+                            matches!(&i.expr, SelectExpr::Column(c) if c.eq_ignore_ascii_case(&ob.target))
+                        })
+                    })
+                    .ok_or_else(|| {
+                        EngineError::plan(format!("ORDER BY column '{}' is not in the SELECT list", ob.target))
+                    })?
+            };
+            sort_specs.push((idx, ob.order));
+        }
+        order.sort_by(|&a, &b| {
+            for (idx, dir) in &sort_specs {
+                let cmp = rows[a][*idx].cmp(&rows[b][*idx]);
+                let cmp = match dir {
+                    SortOrder::Asc => cmp,
+                    SortOrder::Desc => cmp.reverse(),
+                };
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // Apply limit.
+    if let Some(limit) = stmt.limit {
+        order.truncate(limit);
+    }
+
+    // Materialise output in final order, building lineage aligned with it.
+    let mut final_rows = Vec::with_capacity(order.len());
+    let mut final_keys = Vec::with_capacity(order.len());
+    let mut lineage = Lineage::new(table.name());
+    for &i in &order {
+        final_rows.push(rows[i].clone());
+        final_keys.push(group_keys[i].clone());
+        let g = lineage.add_group();
+        if opts.capture_lineage {
+            lineage.record_all(g, group_rows[i].iter().copied());
+        }
+    }
+
+    Ok(QueryResult {
+        statement: stmt.clone(),
+        schema,
+        rows: final_rows,
+        group_keys: final_keys,
+        lineage,
+        graph,
+        execution_nanos: start.elapsed().as_nanos(),
+    })
+}
+
+/// Validates the statement against the table schema.
+fn validate(table: &Table, stmt: &SelectStatement) -> Result<(), EngineError> {
+    if stmt.items.is_empty() {
+        return Err(EngineError::plan("SELECT list is empty"));
+    }
+    if !stmt.table.eq_ignore_ascii_case(table.name()) {
+        return Err(EngineError::plan(format!(
+            "statement selects FROM {} but was executed against table {}",
+            stmt.table,
+            table.name()
+        )));
+    }
+    let schema = table.schema();
+    if let Some(pred) = &stmt.where_clause {
+        let t = pred.validate(schema)?;
+        if !matches!(t, DataType::Bool | DataType::Null) {
+            return Err(EngineError::plan(format!(
+                "WHERE clause must be boolean, found {t}"
+            )));
+        }
+    }
+    for g in &stmt.group_by {
+        schema.resolve(g)?;
+    }
+    for item in &stmt.items {
+        match &item.expr {
+            SelectExpr::Column(name) => {
+                schema.resolve(name)?;
+                if !stmt.group_by.iter().any(|g| g.eq_ignore_ascii_case(name)) {
+                    return Err(EngineError::plan(format!(
+                        "column '{name}' must appear in GROUP BY or be aggregated"
+                    )));
+                }
+            }
+            SelectExpr::Scalar(e) => {
+                e.validate(schema)?;
+                for c in e.columns() {
+                    if !stmt.group_by.iter().any(|g| g.eq_ignore_ascii_case(&c)) {
+                        return Err(EngineError::plan(format!(
+                            "column '{c}' must appear in GROUP BY or be aggregated"
+                        )));
+                    }
+                }
+            }
+            SelectExpr::Aggregate(call) => {
+                if let AggregateArg::Expr(e) = &call.arg {
+                    let t = e.validate(schema)?;
+                    if !t.is_numeric() && t != DataType::Null && t != DataType::Bool {
+                        return Err(EngineError::plan(format!(
+                            "{}({}) requires a numeric argument, found {t}",
+                            call.func, e
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the output schema for a statement over a table.
+fn output_schema(table: &Table, stmt: &SelectStatement) -> Result<Schema, EngineError> {
+    let mut fields = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        let dtype = match &item.expr {
+            SelectExpr::Column(name) => {
+                let idx = table.schema().resolve(name)?;
+                table.schema().field_at(idx).expect("resolved").dtype
+            }
+            SelectExpr::Scalar(e) => e.validate(table.schema())?,
+            SelectExpr::Aggregate(call) => match call.func {
+                crate::ast::AggregateFunc::Count => DataType::Int,
+                _ => DataType::Float,
+            },
+        };
+        fields.push(Field::nullable(disambiguate(&fields, item.output_name()), dtype));
+    }
+    Schema::new(fields).map_err(EngineError::from)
+}
+
+/// Appends `_2`, `_3`, ... to duplicate output names so the result schema
+/// stays valid when the same aggregate appears twice.
+fn disambiguate(existing: &[Field], name: String) -> String {
+    if !existing.iter().any(|f| f.name.eq_ignore_ascii_case(&name)) {
+        return name;
+    }
+    let mut n = 2;
+    loop {
+        let candidate = format!("{name}_{n}");
+        if !existing.iter().any(|f| f.name.eq_ignore_ascii_case(&candidate)) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_storage::col;
+
+    fn readings() -> Table {
+        let schema = Schema::of(&[
+            ("hour", DataType::Int),
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+        ]);
+        let mut t = Table::new("readings", schema).unwrap();
+        // hour 0: sensors 1,2 normal; hour 1: sensor 3 is broken (120 degrees)
+        t.push_rows(vec![
+            vec![Value::Int(0), Value::Int(1), Value::Float(20.0)],
+            vec![Value::Int(0), Value::Int(2), Value::Float(22.0)],
+            vec![Value::Int(1), Value::Int(1), Value::Float(21.0)],
+            vec![Value::Int(1), Value::Int(3), Value::Float(120.0)],
+            vec![Value::Int(1), Value::Int(2), Value::Null],
+        ])
+        .unwrap();
+        t
+    }
+
+    fn run(sql: &str) -> QueryResult {
+        let mut catalog = Catalog::new();
+        catalog.register(readings()).unwrap();
+        execute_sql(&catalog, sql).unwrap()
+    }
+
+    #[test]
+    fn group_by_average_with_lineage() {
+        let r = run("SELECT hour, avg(temp) FROM readings GROUP BY hour");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "hour").unwrap(), Value::Int(0));
+        assert_eq!(r.value(0, "avg_temp").unwrap(), Value::Float(21.0));
+        assert_eq!(r.value(1, "avg_temp").unwrap(), Value::Float(70.5));
+        // Lineage: group for hour=1 contains rows 2,3,4 (NULL temp row still
+        // belongs to the group).
+        assert_eq!(r.inputs_of(1), &[RowId(2), RowId(3), RowId(4)]);
+        assert_eq!(r.inputs_of(0), &[RowId(0), RowId(1)]);
+        assert!(r.graph.summary().contains("GroupBy(hour)"));
+        assert!(r.execution_nanos > 0);
+    }
+
+    #[test]
+    fn where_clause_filters_rows_and_lineage() {
+        let r = run("SELECT hour, avg(temp) FROM readings WHERE sensorid <> 3 GROUP BY hour");
+        assert_eq!(r.value(1, "avg_temp").unwrap(), Value::Float(21.0));
+        assert_eq!(r.inputs_of(1), &[RowId(2), RowId(4)]);
+        assert!(r.graph.summary().contains("Filter"));
+    }
+
+    #[test]
+    fn no_group_by_returns_single_row() {
+        let r = run("SELECT avg(temp), count(*), min(temp), max(temp) FROM readings");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "count_all").unwrap(), Value::Int(5));
+        assert_eq!(r.value(0, "min_temp").unwrap(), Value::Float(20.0));
+        assert_eq!(r.value(0, "max_temp").unwrap(), Value::Float(120.0));
+        // Even with an always-false filter there is exactly one output row.
+        let r = run("SELECT avg(temp) FROM readings WHERE temp > 1000");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "avg_temp").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn group_by_with_empty_filter_is_empty() {
+        let r = run("SELECT hour, avg(temp) FROM readings WHERE temp > 1000 GROUP BY hour");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn count_star_vs_count_column() {
+        let r = run("SELECT hour, count(*), count(temp) FROM readings GROUP BY hour");
+        assert_eq!(r.value(1, "count_all").unwrap(), Value::Int(3));
+        assert_eq!(r.value(1, "count_temp").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn stddev_and_aliases() {
+        let r = run("SELECT hour, stddev(temp) AS sd FROM readings GROUP BY hour");
+        match r.value(1, "sd").unwrap() {
+            // Sample stddev of [21, 120] = sqrt(2 * 49.5^2 / 1) = sqrt(4900.5).
+            Value::Float(v) => assert!((v - 4900.5f64.sqrt()).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let r = run("SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 1");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.value(0, "hour").unwrap(), Value::Int(1));
+        // Lineage still refers to the surviving group.
+        assert_eq!(r.inputs_of(0), &[RowId(2), RowId(3), RowId(4)]);
+
+        let r = run("SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY 2 DESC");
+        assert_eq!(r.value(0, "hour").unwrap(), Value::Int(1));
+
+        let r = run("SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY hour DESC");
+        assert_eq!(r.value(0, "hour").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn default_ordering_is_by_group_key() {
+        // Insert groups out of order and confirm deterministic ascending output.
+        let schema = Schema::of(&[("g", DataType::Int), ("x", DataType::Float)]);
+        let mut t = Table::new("t", schema).unwrap();
+        for (g, x) in [(5, 1.0), (1, 2.0), (3, 3.0), (1, 4.0)] {
+            t.push_row(vec![Value::Int(g), Value::Float(x)]).unwrap();
+        }
+        let stmt = parse_select("SELECT g, sum(x) FROM t GROUP BY g").unwrap();
+        let r = execute(&t, &stmt, ExecOptions::default()).unwrap();
+        let keys: Vec<Value> = (0..r.len()).map(|i| r.value(i, "g").unwrap()).collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(3), Value::Int(5)]);
+        assert_eq!(r.value(0, "sum_x").unwrap(), Value::Float(6.0));
+    }
+
+    #[test]
+    fn scalar_select_items_over_group_keys() {
+        let r = run("SELECT hour, hour * 30 AS minutes, avg(temp) FROM readings GROUP BY hour");
+        assert_eq!(r.value(1, "minutes").unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn multi_column_group_by() {
+        let r = run("SELECT hour, sensorid, count(*) FROM readings GROUP BY hour, sensorid");
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.group_keys[0].len(), 2);
+    }
+
+    #[test]
+    fn soft_deleted_rows_are_excluded() {
+        let mut catalog = Catalog::new();
+        catalog.register(readings()).unwrap();
+        catalog.table_mut("readings").unwrap().delete_row(RowId(3)).unwrap();
+        let r = execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        assert_eq!(r.value(1, "avg_temp").unwrap(), Value::Float(21.0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut catalog = Catalog::new();
+        catalog.register(readings()).unwrap();
+        // Non-grouped column in SELECT.
+        assert!(execute_sql(&catalog, "SELECT sensorid, avg(temp) FROM readings GROUP BY hour").is_err());
+        // Unknown column.
+        assert!(execute_sql(&catalog, "SELECT hour, avg(missing) FROM readings GROUP BY hour").is_err());
+        // Non-numeric aggregate argument.
+        let schema = Schema::of(&[("name", DataType::Str)]);
+        let mut t = Table::new("people", schema).unwrap();
+        t.push_row(vec![Value::str("x")]).unwrap();
+        catalog.register(t).unwrap();
+        assert!(execute_sql(&catalog, "SELECT avg(name) FROM people").is_err());
+        // Non-boolean WHERE clause.
+        assert!(execute_sql(&catalog, "SELECT avg(temp) FROM readings WHERE hour + 1").is_err());
+        // Unknown table.
+        assert!(execute_sql(&catalog, "SELECT avg(x) FROM nope").is_err());
+        // Wrong table for direct execute().
+        let stmt = parse_select("SELECT avg(x) FROM other").unwrap();
+        assert!(execute(&readings(), &stmt, ExecOptions::default()).is_err());
+        // ORDER BY target not in select list.
+        assert!(execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY sensorid").is_err());
+        // ORDER BY ordinal out of range.
+        assert!(execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY 3").is_err());
+    }
+
+    #[test]
+    fn duplicate_output_names_are_disambiguated() {
+        let r = run("SELECT hour, avg(temp), avg(temp) FROM readings GROUP BY hour");
+        let names = r.column_names();
+        assert_eq!(names[1], "avg_temp");
+        assert_eq!(names[2], "avg_temp_2");
+    }
+
+    #[test]
+    fn lineage_capture_can_be_disabled() {
+        let mut catalog = Catalog::new();
+        catalog.register(readings()).unwrap();
+        let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let r = execute_on_catalog(&catalog, &stmt, ExecOptions { capture_lineage: false }).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.inputs_of(0).is_empty());
+        assert_eq!(r.value(0, "avg_temp").unwrap(), Value::Float(21.0));
+    }
+
+    #[test]
+    fn query_rewrite_via_additional_filter() {
+        let mut catalog = Catalog::new();
+        catalog.register(readings()).unwrap();
+        let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let cleaned = stmt.with_additional_filter(col("temp").gt_eq(lit_f(100.0)).not());
+        let r = execute_on_catalog(&catalog, &cleaned, ExecOptions::default()).unwrap();
+        assert_eq!(r.value(1, "avg_temp").unwrap(), Value::Float(21.0));
+    }
+
+    fn lit_f(v: f64) -> dbwipes_storage::Expr {
+        dbwipes_storage::lit(v)
+    }
+}

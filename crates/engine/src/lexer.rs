@@ -1,0 +1,346 @@
+//! SQL tokenizer.
+
+use crate::error::EngineError;
+
+/// A lexical token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the input.
+    pub position: usize,
+}
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognised by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes SQL text, returning tokens terminated by [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, EngineError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, position: start });
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                    i += 2;
+                } else {
+                    return Err(EngineError::parse("unexpected '!'", start));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LtEq, position: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(EngineError::parse("unterminated string literal", start));
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+            }
+            '0'..='9' | '.' => {
+                let mut end = i;
+                let mut saw_dot = false;
+                let mut saw_digit = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        saw_digit = true;
+                        end += 1;
+                    } else if b == '.' && !saw_dot {
+                        saw_dot = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if !saw_digit {
+                    return Err(EngineError::parse("unexpected '.'", start));
+                }
+                let text = &input[i..end];
+                let kind = if saw_dot {
+                    TokenKind::Float(
+                        text.parse().map_err(|_| EngineError::parse("bad float literal", start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse().map_err(|_| EngineError::parse("bad int literal", start))?,
+                    )
+                };
+                tokens.push(Token { kind, position: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                // Double-quoted identifiers are accepted and unquoted.
+                if c == '"' {
+                    let mut s = String::new();
+                    i += 1;
+                    let mut closed = false;
+                    while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    if !closed {
+                        return Err(EngineError::parse("unterminated quoted identifier", start));
+                    }
+                    tokens.push(Token { kind: TokenKind::Ident(s), position: start });
+                } else {
+                    let mut end = i;
+                    while end < bytes.len() {
+                        let b = bytes[end] as char;
+                        if b.is_ascii_alphanumeric() || b == '_' || b == '.' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(input[i..end].to_string()),
+                        position: start,
+                    });
+                    i = end;
+                }
+            }
+            other => {
+                return Err(EngineError::parse(format!("unexpected character '{other}'"), start))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let toks = kinds("SELECT avg(temp), stddev(temp) FROM readings WHERE temp >= 10.5 GROUP BY hour");
+        assert!(toks.contains(&TokenKind::Ident("SELECT".into())));
+        assert!(toks.contains(&TokenKind::Ident("avg".into())));
+        assert!(toks.contains(&TokenKind::LParen));
+        assert!(toks.contains(&TokenKind::GtEq));
+        assert!(toks.contains(&TokenKind::Float(10.5)));
+        assert_eq!(toks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = kinds("memo = 'REATTRIBUTION TO SPOUSE'");
+        assert!(toks.contains(&TokenKind::Str("REATTRIBUTION TO SPOUSE".into())));
+        let toks = kinds("name = 'O''Brien'");
+        assert!(toks.contains(&TokenKind::Str("O'Brien".into())));
+        assert!(tokenize("x = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <> b != c <= d >= e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::GtEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        let toks = kinds("-42 + 3.75");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Minus,
+                TokenKind::Int(42),
+                TokenKind::Plus,
+                TokenKind::Float(3.75),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("1..2").is_err() || !kinds("1.2").is_empty());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("SELECT a -- this is a comment\nFROM t");
+        assert_eq!(toks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = kinds("\"weird name\" = 1");
+        assert_eq!(toks[0], TokenKind::Ident("weird name".into()));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        match tokenize("a ? b") {
+            Err(EngineError::Parse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].kind.is_keyword("SELECT"));
+        assert!(toks[0].kind.is_keyword("select"));
+        assert!(!toks[0].kind.is_keyword("from"));
+        assert!(!TokenKind::Eof.is_keyword("select"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # dbwipes-engine
+//!
+//! An embedded SQL-subset query engine with lineage capture — the substrate
+//! that replaces PostgreSQL in this reproduction of DBWipes (Wu, Madden,
+//! Stonebraker, VLDB 2012).
+//!
+//! The engine supports exactly the query shape the paper's problem
+//! statement assumes (§2.1): single-block aggregate queries
+//! `SELECT keys..., agg(expr)... FROM t [WHERE p] [GROUP BY keys] [ORDER BY ...] [LIMIT n]`
+//! with the "common PostgreSQL aggregates" avg, sum, count, min, max,
+//! stddev and variance (§2.2.2). Every execution records:
+//!
+//! * fine-grained lineage — for each output group, the input [`RowId`]s
+//!   that produced it (consumed by `dbwipes-core`'s Preprocessor), and
+//! * a coarse-grained operator graph (shown by the dashboard's explain
+//!   view and used as the coarse-provenance baseline in experiment E5).
+//!
+//! [`RowId`]: dbwipes_storage::RowId
+//!
+//! ## Example
+//!
+//! ```
+//! use dbwipes_engine::{execute_sql};
+//! use dbwipes_storage::{Catalog, Schema, Table, DataType, Value};
+//!
+//! let mut t = Table::new("readings", Schema::of(&[
+//!     ("hour", DataType::Int), ("temp", DataType::Float),
+//! ])).unwrap();
+//! t.push_row(vec![Value::Int(0), Value::Float(20.0)]).unwrap();
+//! t.push_row(vec![Value::Int(0), Value::Float(24.0)]).unwrap();
+//! let mut catalog = Catalog::new();
+//! catalog.register(t).unwrap();
+//!
+//! let result = execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+//! assert_eq!(result.value(0, "avg_temp").unwrap(), Value::Float(22.0));
+//! assert_eq!(result.inputs_of(0).len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod aggregate;
+pub mod ast;
+pub mod error;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+pub mod result;
+
+pub use aggregate::AggregateState;
+pub use ast::{
+    AggregateArg, AggregateCall, AggregateFunc, OrderBy, SelectExpr, SelectItem, SelectStatement,
+    SortOrder,
+};
+pub use error::EngineError;
+pub use executor::{execute, execute_on_catalog, execute_sql, ExecOptions};
+pub use parser::{parse_expr, parse_select};
+pub use result::QueryResult;

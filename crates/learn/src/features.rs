@@ -1,0 +1,352 @@
+//! Feature extraction from relational rows.
+//!
+//! The Predicate Enumerator and Dataset Enumerator (paper §2.2.2) learn
+//! models over the *input tuples* of an aggregate query: decision trees
+//! that separate candidate error tuples from the rest, subgroup discovery
+//! over the same attributes, k-means over numeric attributes. This module
+//! converts table rows into the dense feature vectors those learners
+//! consume, while remembering enough about each feature (its column name,
+//! its categorical dictionary) to translate learned splits *back* into
+//! human-readable [`Condition`]s — the predicates DBWipes shows the user.
+
+use dbwipes_storage::{Condition, DataType, RowId, Table, Value};
+
+/// The kind of a learned feature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureKind {
+    /// A numeric attribute (int, float, timestamp, bool as 0/1).
+    Numeric,
+    /// A categorical attribute with a dictionary of observed values.
+    Categorical {
+        /// Distinct values observed when the space was built; category
+        /// index `i` corresponds to `values[i]`.
+        values: Vec<Value>,
+    },
+}
+
+/// One feature: the table column it came from plus its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDef {
+    /// Source column name.
+    pub column: String,
+    /// Numeric or categorical.
+    pub kind: FeatureKind,
+}
+
+/// A single cell of a feature vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureValue {
+    /// Numeric value.
+    Num(f64),
+    /// Categorical value (index into the feature's dictionary).
+    Cat(usize),
+    /// NULL or out-of-dictionary value.
+    Missing,
+}
+
+impl FeatureValue {
+    /// The numeric value, if any.
+    pub fn as_num(self) -> Option<f64> {
+        match self {
+            FeatureValue::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The category index, if any.
+    pub fn as_cat(self) -> Option<usize> {
+        match self {
+            FeatureValue::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True when the value is missing.
+    pub fn is_missing(self) -> bool {
+        matches!(self, FeatureValue::Missing)
+    }
+}
+
+/// The feature space: an ordered list of features over a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSpace {
+    features: Vec<FeatureDef>,
+}
+
+/// The default cap on the number of distinct values a string column may
+/// have before it is dropped from the feature space (very high-cardinality
+/// text columns such as free-form memos are handled by the substring
+/// conditions the predicate enumerator generates separately).
+pub const DEFAULT_MAX_CATEGORIES: usize = 64;
+
+impl FeatureSpace {
+    /// Builds a feature space from the given columns of a table, using the
+    /// provided rows to populate categorical dictionaries.
+    ///
+    /// String columns with more than `max_categories` distinct values among
+    /// `rows` are skipped. Unknown column names are skipped silently so
+    /// callers can pass "all columns except the aggregate argument" without
+    /// fuss.
+    pub fn build(
+        table: &Table,
+        columns: &[String],
+        rows: &[RowId],
+        max_categories: usize,
+    ) -> FeatureSpace {
+        let mut features = Vec::new();
+        for name in columns {
+            let Some(idx) = table.schema().index_of(name) else { continue };
+            let field = table.schema().field_at(idx).expect("index resolved");
+            match field.dtype {
+                DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool => {
+                    features.push(FeatureDef { column: field.name.clone(), kind: FeatureKind::Numeric });
+                }
+                DataType::Str => {
+                    let mut values: Vec<Value> = Vec::new();
+                    let mut too_many = false;
+                    for &rid in rows {
+                        if let Ok(v) = table.value(rid, idx) {
+                            if v.is_null() {
+                                continue;
+                            }
+                            if !values.contains(&v) {
+                                values.push(v);
+                                if values.len() > max_categories {
+                                    too_many = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !too_many && !values.is_empty() {
+                        values.sort();
+                        features.push(FeatureDef {
+                            column: field.name.clone(),
+                            kind: FeatureKind::Categorical { values },
+                        });
+                    }
+                }
+                DataType::Null => {}
+            }
+        }
+        FeatureSpace { features }
+    }
+
+    /// Builds a feature space over every column except those named in
+    /// `exclude`, with the default category cap.
+    pub fn build_excluding(table: &Table, exclude: &[String], rows: &[RowId]) -> FeatureSpace {
+        let columns: Vec<String> = table
+            .schema()
+            .names()
+            .into_iter()
+            .filter(|n| !exclude.iter().any(|e| e.eq_ignore_ascii_case(n)))
+            .collect();
+        FeatureSpace::build(table, &columns, rows, DEFAULT_MAX_CATEGORIES)
+    }
+
+    /// The feature definitions, in order.
+    pub fn features(&self) -> &[FeatureDef] {
+        &self.features
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the space has no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Index of a feature by column name.
+    pub fn index_of(&self, column: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.column.eq_ignore_ascii_case(column))
+    }
+
+    /// Extracts the feature vector of a single row.
+    pub fn extract_row(&self, table: &Table, row: RowId) -> Vec<FeatureValue> {
+        self.features
+            .iter()
+            .map(|f| {
+                let v = match table.value_by_name(row, &f.column) {
+                    Ok(v) => v,
+                    Err(_) => return FeatureValue::Missing,
+                };
+                if v.is_null() {
+                    return FeatureValue::Missing;
+                }
+                match &f.kind {
+                    FeatureKind::Numeric => {
+                        v.as_f64().map(FeatureValue::Num).unwrap_or(FeatureValue::Missing)
+                    }
+                    FeatureKind::Categorical { values } => values
+                        .iter()
+                        .position(|c| *c == v)
+                        .map(FeatureValue::Cat)
+                        .unwrap_or(FeatureValue::Missing),
+                }
+            })
+            .collect()
+    }
+
+    /// Extracts a dataset (feature matrix) for the given rows.
+    pub fn extract(&self, table: &Table, rows: &[RowId]) -> Dataset {
+        Dataset {
+            instances: rows.iter().map(|&r| self.extract_row(table, r)).collect(),
+            row_ids: rows.to_vec(),
+        }
+    }
+
+    /// Translates a learned numeric threshold or categorical test back into
+    /// a human-readable [`Condition`]. `upper=true` means `column <= value`.
+    pub fn numeric_condition(&self, feature: usize, threshold: f64, upper: bool) -> Option<Condition> {
+        let def = self.features.get(feature)?;
+        if !matches!(def.kind, FeatureKind::Numeric) {
+            return None;
+        }
+        Some(if upper {
+            Condition::at_most(def.column.clone(), threshold)
+        } else {
+            Condition::above(def.column.clone(), threshold)
+        })
+    }
+
+    /// Translates a categorical equality/inequality test into a
+    /// [`Condition`].
+    pub fn categorical_condition(&self, feature: usize, category: usize, equal: bool) -> Option<Condition> {
+        let def = self.features.get(feature)?;
+        let FeatureKind::Categorical { values } = &def.kind else { return None };
+        let value = values.get(category)?.clone();
+        Some(if equal {
+            Condition::equals(def.column.clone(), value)
+        } else {
+            Condition::not_equals(def.column.clone(), value)
+        })
+    }
+}
+
+/// A dense feature matrix extracted from a table.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// One feature vector per row, aligned with `row_ids`.
+    pub instances: Vec<Vec<FeatureValue>>,
+    /// Source row ids.
+    pub row_ids: Vec<RowId>,
+}
+
+impl Dataset {
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the dataset has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_storage::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("room", DataType::Str),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("readings", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(1), Value::Float(20.0), Value::str("lab"), Value::str("a")],
+            vec![Value::Int(2), Value::Float(21.0), Value::str("lab"), Value::str("b")],
+            vec![Value::Int(3), Value::Float(120.0), Value::str("kitchen"), Value::str("c")],
+            vec![Value::Int(3), Value::Null, Value::str("office"), Value::str("d")],
+        ])
+        .unwrap();
+        t
+    }
+
+    fn all_rows(t: &Table) -> Vec<RowId> {
+        t.visible_row_ids().collect()
+    }
+
+    #[test]
+    fn builds_numeric_and_categorical_features() {
+        let t = table();
+        let rows = all_rows(&t);
+        let space = FeatureSpace::build(
+            &t,
+            &["sensorid".into(), "temp".into(), "room".into()],
+            &rows,
+            16,
+        );
+        assert_eq!(space.len(), 3);
+        assert!(!space.is_empty());
+        assert_eq!(space.features()[0].kind, FeatureKind::Numeric);
+        match &space.features()[2].kind {
+            FeatureKind::Categorical { values } => {
+                assert_eq!(values.len(), 3);
+                assert!(values.contains(&Value::str("lab")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(space.index_of("TEMP"), Some(1));
+        assert_eq!(space.index_of("nope"), None);
+    }
+
+    #[test]
+    fn high_cardinality_and_unknown_columns_are_skipped() {
+        let t = table();
+        let rows = all_rows(&t);
+        // memo has 4 distinct values; cap of 2 drops it.
+        let space = FeatureSpace::build(&t, &["memo".into(), "ghost".into()], &rows, 2);
+        assert!(space.is_empty());
+        let space = FeatureSpace::build_excluding(&t, &["temp".into()], &rows);
+        assert!(space.index_of("temp").is_none());
+        assert!(space.index_of("memo").is_some());
+    }
+
+    #[test]
+    fn extraction_handles_nulls_and_unknown_categories() {
+        let t = table();
+        let rows = all_rows(&t);
+        let space =
+            FeatureSpace::build(&t, &["temp".into(), "room".into()], &rows[..3], 16);
+        let ds = space.extract(&t, &rows);
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.instances[0][0], FeatureValue::Num(20.0));
+        // Row 3 has NULL temp -> Missing, and "office" was not in the
+        // dictionary rows -> Missing.
+        assert!(ds.instances[3][0].is_missing());
+        assert!(ds.instances[3][1].is_missing());
+        assert_eq!(ds.row_ids[3], RowId(3));
+        assert_eq!(ds.instances[2][1].as_cat(), Some(0)); // "kitchen" sorts first
+        assert_eq!(ds.instances[0][0].as_num(), Some(20.0));
+        assert_eq!(ds.instances[0][1].as_num(), None);
+    }
+
+    #[test]
+    fn conditions_round_trip_feature_indices() {
+        let t = table();
+        let rows = all_rows(&t);
+        let space = FeatureSpace::build(&t, &["temp".into(), "room".into()], &rows, 16);
+        let c = space.numeric_condition(0, 100.0, false).unwrap();
+        assert_eq!(c.to_string(), "temp > 100.0000");
+        let c = space.numeric_condition(0, 100.0, true).unwrap();
+        assert_eq!(c.to_string(), "temp <= 100.0000");
+        assert!(space.numeric_condition(1, 1.0, true).is_none());
+        assert!(space.numeric_condition(9, 1.0, true).is_none());
+
+        let c = space.categorical_condition(1, 0, true).unwrap();
+        assert_eq!(c.to_string(), "room = 'kitchen'");
+        let c = space.categorical_condition(1, 1, false).unwrap();
+        assert_eq!(c.to_string(), "room <> 'lab'");
+        assert!(space.categorical_condition(0, 0, true).is_none());
+        assert!(space.categorical_condition(1, 99, true).is_none());
+    }
+}

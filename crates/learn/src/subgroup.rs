@@ -1,0 +1,373 @@
+//! CN2-SD style subgroup discovery.
+//!
+//! The Dataset Enumerator "extend[s] the cleaned D′ using subgroup discovery
+//! algorithms to find groups of inputs that highly influence ε. Subgroup
+//! discovery is a variant of decision tree classifiers that find
+//! descriptions of large subgroups that have the same class value in a
+//! dataset" (paper §2.2.2, citing Lavrač et al.'s CN2-SD [4]).
+//!
+//! This module implements a beam-search rule learner with the CN2-SD
+//! weighted covering scheme: rules are conjunctions of attribute tests
+//! scored by weighted relative accuracy (WRAcc); once a rule is accepted,
+//! the weight of the positive examples it covers is decayed so subsequent
+//! rules describe *different* parts of the positive class.
+
+use crate::features::{Dataset, FeatureSpace, FeatureValue};
+use crate::metrics::weighted_relative_accuracy;
+use crate::tree::{PathTest, Rule};
+use dbwipes_storage::ConjunctivePredicate;
+
+/// Configuration of the subgroup-discovery search.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgroupConfig {
+    /// Number of candidate rules kept per beam-search level.
+    pub beam_width: usize,
+    /// Maximum number of conjuncts per rule.
+    pub max_conditions: usize,
+    /// Maximum number of subgroups returned.
+    pub max_rules: usize,
+    /// Number of candidate thresholds per numeric feature.
+    pub thresholds_per_feature: usize,
+    /// Multiplicative weight decay applied to covered positive examples
+    /// between rules (CN2-SD's "multiplicative weighting").
+    pub covered_weight_decay: f64,
+    /// Minimum (unweighted) number of positive examples a rule must cover.
+    pub min_positive_coverage: usize,
+}
+
+impl Default for SubgroupConfig {
+    fn default() -> Self {
+        SubgroupConfig {
+            beam_width: 5,
+            max_conditions: 3,
+            max_rules: 5,
+            thresholds_per_feature: 16,
+            covered_weight_decay: 0.5,
+            min_positive_coverage: 2,
+        }
+    }
+}
+
+/// A discovered subgroup: a conjunction of tests plus its quality.
+#[derive(Debug, Clone)]
+pub struct Subgroup {
+    /// `(feature index, test)` conjuncts.
+    pub tests: Vec<(usize, PathTest)>,
+    /// Weighted relative accuracy at the time the rule was selected.
+    pub wracc: f64,
+    /// Unweighted positive examples covered.
+    pub covered_pos: usize,
+    /// Unweighted negative examples covered.
+    pub covered_neg: usize,
+}
+
+impl Subgroup {
+    /// Indices (into the dataset) of the instances the subgroup covers.
+    pub fn covered_indices(&self, dataset: &Dataset) -> Vec<usize> {
+        (0..dataset.len()).filter(|&i| covers(&self.tests, &dataset.instances[i])).collect()
+    }
+
+    /// True when the subgroup's tests match the instance.
+    pub fn covers(&self, instance: &[FeatureValue]) -> bool {
+        covers(&self.tests, instance)
+    }
+
+    /// Precision of the rule on the training data.
+    pub fn precision(&self) -> f64 {
+        if self.covered_pos + self.covered_neg == 0 {
+            0.0
+        } else {
+            self.covered_pos as f64 / (self.covered_pos + self.covered_neg) as f64
+        }
+    }
+
+    /// Converts the subgroup into a human-readable conjunctive predicate.
+    pub fn to_predicate(&self, space: &FeatureSpace) -> ConjunctivePredicate {
+        Rule { tests: self.tests.clone(), pos: self.covered_pos, neg: self.covered_neg }
+            .to_predicate(space)
+    }
+}
+
+fn covers(tests: &[(usize, PathTest)], instance: &[FeatureValue]) -> bool {
+    tests.iter().all(|(feature, test)| {
+        match (instance.get(*feature), test) {
+            (Some(FeatureValue::Num(v)), PathTest::Le(th)) => *v <= *th,
+            (Some(FeatureValue::Num(v)), PathTest::Gt(th)) => *v > *th,
+            (Some(FeatureValue::Cat(c)), PathTest::Eq(cat)) => c == cat,
+            (Some(FeatureValue::Cat(c)), PathTest::NotEq(cat)) => c != cat,
+            _ => false,
+        }
+    })
+}
+
+/// Enumerates the single-condition building blocks used by the beam search.
+fn candidate_tests(dataset: &Dataset, config: &SubgroupConfig) -> Vec<(usize, PathTest)> {
+    let num_features = dataset.instances.first().map(|i| i.len()).unwrap_or(0);
+    let mut tests = Vec::new();
+    for feature in 0..num_features {
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut categories: Vec<usize> = Vec::new();
+        for inst in &dataset.instances {
+            match inst.get(feature) {
+                Some(FeatureValue::Num(v)) => numeric.push(*v),
+                Some(FeatureValue::Cat(c)) => {
+                    if !categories.contains(c) {
+                        categories.push(*c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !numeric.is_empty() {
+            numeric.sort_by(|a, b| a.total_cmp(b));
+            numeric.dedup();
+            let k = config.thresholds_per_feature.max(1);
+            let step = (numeric.len() as f64 / (k + 1) as f64).max(1.0);
+            let mut seen = Vec::new();
+            for q in 1..=k {
+                let idx = ((q as f64 * step) as usize).min(numeric.len() - 1);
+                let th = numeric[idx];
+                if seen.contains(&th.to_bits()) {
+                    continue;
+                }
+                seen.push(th.to_bits());
+                tests.push((feature, PathTest::Le(th)));
+                tests.push((feature, PathTest::Gt(th)));
+            }
+        }
+        for c in categories {
+            tests.push((feature, PathTest::Eq(c)));
+        }
+    }
+    tests
+}
+
+/// Runs CN2-SD subgroup discovery over a labelled dataset.
+///
+/// `labels[i]` marks instance `i` as a member of the target class (in
+/// DBWipes: a suspected error tuple). Returns up to `max_rules` subgroups
+/// ordered by discovery (each subsequent rule focuses on positives not yet
+/// covered).
+pub fn discover_subgroups(
+    dataset: &Dataset,
+    labels: &[bool],
+    config: &SubgroupConfig,
+) -> Vec<Subgroup> {
+    assert_eq!(dataset.len(), labels.len(), "labels must align with instances");
+    let n = dataset.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let candidates = candidate_tests(dataset, config);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let total_neg = labels.iter().filter(|&&l| !l).count() as f64;
+
+    // CN2-SD weighted covering: every positive starts with weight 1.
+    let mut weights: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+    let mut subgroups: Vec<Subgroup> = Vec::new();
+
+    for _ in 0..config.max_rules {
+        let total_pos_w: f64 = weights.iter().sum();
+        if total_pos_w < 1e-9 {
+            break;
+        }
+        // Beam search for the best rule under the current weights.
+        let score_rule = |tests: &[(usize, PathTest)]| -> (f64, usize, usize) {
+            let mut covered_pos_w = 0.0;
+            let mut covered_pos = 0usize;
+            let mut covered_neg = 0usize;
+            for i in 0..n {
+                if covers(tests, &dataset.instances[i]) {
+                    if labels[i] {
+                        covered_pos_w += weights[i];
+                        covered_pos += 1;
+                    } else {
+                        covered_neg += 1;
+                    }
+                }
+            }
+            let wracc = weighted_relative_accuracy(
+                covered_pos_w,
+                covered_neg as f64,
+                total_pos_w,
+                total_neg,
+            );
+            (wracc, covered_pos, covered_neg)
+        };
+
+        let mut beam: Vec<(Vec<(usize, PathTest)>, f64)> = vec![(Vec::new(), f64::NEG_INFINITY)];
+        let mut best: Option<Subgroup> = None;
+        for _level in 0..config.max_conditions {
+            let mut expansions: Vec<(Vec<(usize, PathTest)>, f64, usize, usize)> = Vec::new();
+            for (tests, _) in &beam {
+                for cand in &candidates {
+                    if tests.iter().any(|t| t == cand) {
+                        continue;
+                    }
+                    let mut extended = tests.clone();
+                    extended.push(*cand);
+                    let (wracc, cp, cn) = score_rule(&extended);
+                    if cp < config.min_positive_coverage {
+                        continue;
+                    }
+                    expansions.push((extended, wracc, cp, cn));
+                }
+            }
+            if expansions.is_empty() {
+                break;
+            }
+            expansions.sort_by(|a, b| b.1.total_cmp(&a.1));
+            expansions.truncate(config.beam_width);
+            // Track the overall best rule seen at any level, skipping rules
+            // already returned in a previous covering round so that each
+            // round describes a *new* subgroup even when a large subgroup's
+            // decayed weight still dominates WRAcc.
+            if let Some(top) =
+                expansions.iter().find(|e| !subgroups.iter().any(|s| s.tests == e.0))
+            {
+                let better = match &best {
+                    Some(b) => top.1 > b.wracc,
+                    None => true,
+                };
+                if better && top.1 > 0.0 {
+                    best = Some(Subgroup {
+                        tests: top.0.clone(),
+                        wracc: top.1,
+                        covered_pos: top.2,
+                        covered_neg: top.3,
+                    });
+                }
+            }
+            beam = expansions.into_iter().map(|(t, w, _, _)| (t, w)).collect();
+        }
+
+        let Some(rule) = best else { break };
+        // Decay the weight of covered positives so the next rule focuses on
+        // what this rule missed.
+        for i in 0..n {
+            if labels[i] && covers(&rule.tests, &dataset.instances[i]) {
+                weights[i] *= config.covered_weight_decay;
+            }
+        }
+        // Stop if we re-discover an identical rule.
+        if subgroups.iter().any(|s| s.tests == rule.tests) {
+            break;
+        }
+        subgroups.push(rule);
+    }
+    subgroups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSpace;
+    use dbwipes_storage::{DataType, RowId, Schema, Table, Value};
+
+    /// Two distinct error subpopulations: sensor 15 (low voltage) and the
+    /// kitchen sensors, mirroring the paper's health-data example where
+    /// subgroup discovery finds "smokers over 65" and "heavy weight people"
+    /// as two subgroups of high-risk patients.
+    fn table() -> (Table, Vec<bool>, FeatureSpace, Dataset) {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("voltage", DataType::Float),
+            ("room", DataType::Str),
+        ]);
+        let mut t = Table::new("readings", schema).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            let sensor = (i % 30) as i64;
+            let room = match i % 3 {
+                0 => "lab",
+                1 => "office",
+                _ => "kitchen",
+            };
+            let broken = sensor == 15 || room == "kitchen";
+            let voltage = if sensor == 15 { 1.8 } else { 2.5 + (i % 4) as f64 * 0.1 };
+            t.push_row(vec![Value::Int(sensor), Value::Float(voltage), Value::str(room)]).unwrap();
+            labels.push(broken);
+        }
+        let rows: Vec<RowId> = t.visible_row_ids().collect();
+        let space = FeatureSpace::build_excluding(&t, &[], &rows);
+        let ds = space.extract(&t, &rows);
+        (t, labels, space, ds)
+    }
+
+    #[test]
+    fn finds_both_error_subgroups() {
+        let (_, labels, space, ds) = table();
+        let subgroups = discover_subgroups(&ds, &labels, &SubgroupConfig::default());
+        assert!(subgroups.len() >= 2, "found {} subgroups", subgroups.len());
+        let texts: Vec<String> =
+            subgroups.iter().map(|s| s.to_predicate(&space).to_string()).collect();
+        let mentions_kitchen = texts.iter().any(|t| t.contains("kitchen"));
+        let mentions_sensor =
+            texts.iter().any(|t| t.contains("sensorid") || t.contains("voltage"));
+        assert!(mentions_kitchen, "subgroups: {texts:?}");
+        assert!(mentions_sensor, "subgroups: {texts:?}");
+        for s in &subgroups {
+            assert!(s.wracc > 0.0);
+            assert!(s.precision() > 0.5);
+            assert!(s.covered_pos >= 2);
+            assert!(!s.covered_indices(&ds).is_empty());
+        }
+    }
+
+    #[test]
+    fn covering_decay_produces_diverse_rules() {
+        let (_, labels, _, ds) = table();
+        let subgroups = discover_subgroups(&ds, &labels, &SubgroupConfig::default());
+        // No two returned rules may be identical.
+        for i in 0..subgroups.len() {
+            for j in (i + 1)..subgroups.len() {
+                assert_ne!(subgroups[i].tests, subgroups[j].tests);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_rules_and_max_conditions() {
+        let (_, labels, _, ds) = table();
+        let config = SubgroupConfig { max_rules: 1, max_conditions: 1, ..Default::default() };
+        let subgroups = discover_subgroups(&ds, &labels, &config);
+        assert_eq!(subgroups.len(), 1);
+        assert_eq!(subgroups[0].tests.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (_, _, _, ds) = table();
+        // No positives: nothing to describe.
+        let none = vec![false; ds.len()];
+        assert!(discover_subgroups(&ds, &none, &SubgroupConfig::default()).is_empty());
+        // All positives: WRAcc can never exceed zero, so no rules either.
+        let all = vec![true; ds.len()];
+        assert!(discover_subgroups(&ds, &all, &SubgroupConfig::default()).is_empty());
+        // Empty dataset.
+        let empty = Dataset { instances: vec![], row_ids: vec![] };
+        assert!(discover_subgroups(&empty, &[], &SubgroupConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn covers_handles_missing_values() {
+        let sub = Subgroup {
+            tests: vec![(0, PathTest::Gt(1.0))],
+            wracc: 0.1,
+            covered_pos: 1,
+            covered_neg: 0,
+        };
+        assert!(!sub.covers(&[FeatureValue::Missing]));
+        assert!(sub.covers(&[FeatureValue::Num(2.0)]));
+        assert!(!sub.covers(&[FeatureValue::Cat(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must align")]
+    fn mismatched_labels_panic() {
+        let (_, _, _, ds) = table();
+        discover_subgroups(&ds, &[true], &SubgroupConfig::default());
+    }
+}

@@ -1,0 +1,659 @@
+//! Binary decision trees over relational feature vectors.
+//!
+//! The Predicate Enumerator (paper §2.2.2) "builds a decision tree on each
+//! candidate dataset Dᶜᵢ by labeling Dᶜᵢ as the positive class and F − Dᶜᵢ
+//! as negative", using "standard splitting and pruning strategies (e.g.,
+//! gini, gain ratio) to construct several trees". This module implements
+//! those trees: numeric threshold and categorical equality splits, gini or
+//! gain-ratio split selection, error-based pruning, and the extraction of
+//! positive root-to-leaf paths as conjunctive rules — which the enumerator
+//! then converts into the ranked predicates shown to the user.
+
+use crate::features::{Dataset, FeatureSpace, FeatureValue};
+use crate::metrics::{gain_ratio, gini_gain};
+use dbwipes_storage::{Condition, ConjunctivePredicate};
+
+/// Split-selection criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCriterion {
+    /// Gini impurity decrease (CART-style).
+    Gini,
+    /// Gain ratio (C4.5-style).
+    GainRatio,
+}
+
+/// Decision-tree training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Split-selection criterion.
+    pub criterion: SplitCriterion,
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of instances required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of instances allowed in a child node.
+    pub min_leaf_size: usize,
+    /// Minimum gain a split must achieve to be accepted.
+    pub min_gain: f64,
+    /// Maximum number of candidate thresholds evaluated per numeric feature
+    /// (thresholds are taken at evenly spaced quantiles when a feature has
+    /// more distinct values than this).
+    pub max_thresholds: usize,
+    /// Whether to apply error-based pruning after growth.
+    pub prune: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            criterion: SplitCriterion::Gini,
+            max_depth: 4,
+            min_samples_split: 4,
+            min_leaf_size: 2,
+            min_gain: 1e-4,
+            max_thresholds: 32,
+            prune: true,
+        }
+    }
+}
+
+/// The test performed by an internal node; instances satisfying the test go
+/// left, everything else (including missing values) goes right.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitTest {
+    /// `feature <= threshold`
+    NumericLe(f64),
+    /// `feature == category`
+    CategoryEq(usize),
+}
+
+/// A node of the tree.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// A leaf holding its training class counts.
+    Leaf {
+        /// Positive training instances that reached the leaf.
+        pos: usize,
+        /// Negative training instances that reached the leaf.
+        neg: usize,
+    },
+    /// An internal split node.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// The test.
+        test: SplitTest,
+        /// Subtree for instances satisfying the test.
+        left: Box<TreeNode>,
+        /// Subtree for the rest.
+        right: Box<TreeNode>,
+        /// Positive instances reaching this node (for pruning).
+        pos: usize,
+        /// Negative instances reaching this node (for pruning).
+        neg: usize,
+    },
+}
+
+impl TreeNode {
+    fn counts(&self) -> (usize, usize) {
+        match self {
+            TreeNode::Leaf { pos, neg } | TreeNode::Split { pos, neg, .. } => (*pos, *neg),
+        }
+    }
+
+    fn is_positive(&self) -> bool {
+        let (pos, neg) = self.counts();
+        pos > neg
+    }
+
+    fn training_errors(&self) -> usize {
+        match self {
+            TreeNode::Leaf { pos, neg } => {
+                if pos > neg {
+                    *neg
+                } else {
+                    *pos
+                }
+            }
+            TreeNode::Split { left, right, .. } => left.training_errors() + right.training_errors(),
+        }
+    }
+}
+
+/// One step of a root-to-leaf path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathTest {
+    /// `feature <= threshold`
+    Le(f64),
+    /// `feature > threshold`
+    Gt(f64),
+    /// `feature == category`
+    Eq(usize),
+    /// `feature != category`
+    NotEq(usize),
+}
+
+/// A conjunctive rule extracted from a positive leaf: the path of tests from
+/// the root plus the leaf's class counts.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// `(feature index, test)` conjuncts along the path.
+    pub tests: Vec<(usize, PathTest)>,
+    /// Positive training instances covered by the rule.
+    pub pos: usize,
+    /// Negative training instances covered by the rule.
+    pub neg: usize,
+}
+
+impl Rule {
+    /// Training precision of the rule.
+    pub fn precision(&self) -> f64 {
+        if self.pos + self.neg == 0 {
+            0.0
+        } else {
+            self.pos as f64 / (self.pos + self.neg) as f64
+        }
+    }
+
+    /// Converts the rule into a human-readable conjunctive predicate,
+    /// merging multiple numeric bounds on the same feature into a single
+    /// range condition.
+    pub fn to_predicate(&self, space: &FeatureSpace) -> ConjunctivePredicate {
+        // Per feature: tightest lower and upper numeric bound.
+        let mut lower: Vec<Option<f64>> = vec![None; space.len()];
+        let mut upper: Vec<Option<f64>> = vec![None; space.len()];
+        let mut conditions: Vec<Condition> = Vec::new();
+        for (feature, test) in &self.tests {
+            match test {
+                PathTest::Le(th) => {
+                    let u = &mut upper[*feature];
+                    *u = Some(u.map_or(*th, |cur: f64| cur.min(*th)));
+                }
+                PathTest::Gt(th) => {
+                    let l = &mut lower[*feature];
+                    *l = Some(l.map_or(*th, |cur: f64| cur.max(*th)));
+                }
+                PathTest::Eq(cat) => {
+                    if let Some(c) = space.categorical_condition(*feature, *cat, true) {
+                        conditions.push(c);
+                    }
+                }
+                PathTest::NotEq(cat) => {
+                    if let Some(c) = space.categorical_condition(*feature, *cat, false) {
+                        conditions.push(c);
+                    }
+                }
+            }
+        }
+        for (feature, def) in space.features().iter().enumerate() {
+            let (lo, hi) = (lower[feature], upper[feature]);
+            if lo.is_none() && hi.is_none() {
+                continue;
+            }
+            conditions.push(Condition::Range {
+                column: def.column.clone(),
+                low: lo,
+                low_inclusive: false,
+                high: hi,
+                high_inclusive: true,
+            });
+        }
+        ConjunctivePredicate::new(conditions)
+    }
+}
+
+/// A trained binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: TreeNode,
+    config: TreeConfig,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on a dataset with boolean labels (`labels[i]` is the
+    /// class of `dataset.instances[i]`).
+    ///
+    /// Panics if `labels.len() != dataset.len()`; the caller constructs both
+    /// from the same row list.
+    pub fn train(dataset: &Dataset, labels: &[bool], config: TreeConfig) -> DecisionTree {
+        assert_eq!(dataset.len(), labels.len(), "labels must align with instances");
+        let num_features = dataset.instances.first().map(|i| i.len()).unwrap_or(0);
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        let mut root = grow(dataset, labels, &indices, 0, &config, num_features);
+        if config.prune {
+            root = prune(root);
+        }
+        DecisionTree { root, config, num_features }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Number of features the tree was trained over.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn c(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => c(left) + c(right),
+            }
+        }
+        c(&self.root)
+    }
+
+    /// Predicts the class of a feature vector.
+    pub fn predict(&self, instance: &[FeatureValue]) -> bool {
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { pos, neg } => return pos > neg,
+                TreeNode::Split { feature, test, left, right, .. } => {
+                    node = if satisfies(instance.get(*feature).copied(), *test) { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Training / holdout accuracy over a dataset.
+    pub fn accuracy(&self, dataset: &Dataset, labels: &[bool]) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let correct = dataset
+            .instances
+            .iter()
+            .zip(labels)
+            .filter(|(inst, &label)| self.predict(inst) == label)
+            .count();
+        correct as f64 / dataset.len() as f64
+    }
+
+    /// Extracts one [`Rule`] per positive leaf. An all-positive tree with a
+    /// single leaf yields one rule with no tests (the trivial predicate).
+    pub fn positive_rules(&self) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        let mut path = Vec::new();
+        collect_rules(&self.root, &mut path, &mut rules);
+        rules
+    }
+}
+
+fn satisfies(value: Option<FeatureValue>, test: SplitTest) -> bool {
+    match (value, test) {
+        (Some(FeatureValue::Num(v)), SplitTest::NumericLe(th)) => v <= th,
+        (Some(FeatureValue::Cat(c)), SplitTest::CategoryEq(cat)) => c == cat,
+        // Missing values and type mismatches fail the test.
+        _ => false,
+    }
+}
+
+fn collect_rules(node: &TreeNode, path: &mut Vec<(usize, PathTest)>, rules: &mut Vec<Rule>) {
+    match node {
+        TreeNode::Leaf { pos, neg } => {
+            if node.is_positive() {
+                rules.push(Rule { tests: path.clone(), pos: *pos, neg: *neg });
+            }
+            let _ = (pos, neg);
+        }
+        TreeNode::Split { feature, test, left, right, .. } => {
+            let (left_test, right_test) = match test {
+                SplitTest::NumericLe(th) => (PathTest::Le(*th), PathTest::Gt(*th)),
+                SplitTest::CategoryEq(c) => (PathTest::Eq(*c), PathTest::NotEq(*c)),
+            };
+            path.push((*feature, left_test));
+            collect_rules(left, path, rules);
+            path.pop();
+            path.push((*feature, right_test));
+            collect_rules(right, path, rules);
+            path.pop();
+        }
+    }
+}
+
+fn grow(
+    dataset: &Dataset,
+    labels: &[bool],
+    indices: &[usize],
+    depth: usize,
+    config: &TreeConfig,
+    num_features: usize,
+) -> TreeNode {
+    let pos = indices.iter().filter(|&&i| labels[i]).count();
+    let neg = indices.len() - pos;
+    let leaf = TreeNode::Leaf { pos, neg };
+    if pos == 0
+        || neg == 0
+        || depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+    {
+        return leaf;
+    }
+
+    let Some((feature, test, gain)) = best_split(dataset, labels, indices, config, num_features)
+    else {
+        return leaf;
+    };
+    if gain < config.min_gain {
+        return leaf;
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| satisfies(dataset.instances[i].get(feature).copied(), test));
+    if left_idx.len() < config.min_leaf_size || right_idx.len() < config.min_leaf_size {
+        return leaf;
+    }
+
+    let left = grow(dataset, labels, &left_idx, depth + 1, config, num_features);
+    let right = grow(dataset, labels, &right_idx, depth + 1, config, num_features);
+    TreeNode::Split { feature, test, left: Box::new(left), right: Box::new(right), pos, neg }
+}
+
+/// Finds the best `(feature, test, gain)` over all features, or `None` when
+/// no valid split exists.
+fn best_split(
+    dataset: &Dataset,
+    labels: &[bool],
+    indices: &[usize],
+    config: &TreeConfig,
+    num_features: usize,
+) -> Option<(usize, SplitTest, f64)> {
+    let total_pos = indices.iter().filter(|&&i| labels[i]).count() as f64;
+    let total_neg = indices.len() as f64 - total_pos;
+    let parent = (total_pos, total_neg);
+    let score = |left: (f64, f64), right: (f64, f64)| match config.criterion {
+        SplitCriterion::Gini => gini_gain(parent, left, right),
+        SplitCriterion::GainRatio => gain_ratio(parent, left, right),
+    };
+
+    let mut best: Option<(usize, SplitTest, f64)> = None;
+    let mut consider = |feature: usize, test: SplitTest, gain: f64| {
+        if gain > best.as_ref().map(|b| b.2).unwrap_or(f64::NEG_INFINITY) {
+            best = Some((feature, test, gain));
+        }
+    };
+
+    for feature in 0..num_features {
+        // Gather (value, label) pairs for this feature.
+        let mut numeric: Vec<(f64, bool)> = Vec::new();
+        let mut categories: Vec<usize> = Vec::new();
+        for &i in indices {
+            match dataset.instances[i].get(feature) {
+                Some(FeatureValue::Num(v)) => numeric.push((*v, labels[i])),
+                Some(FeatureValue::Cat(c)) => {
+                    if !categories.contains(c) {
+                        categories.push(*c);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if !numeric.is_empty() {
+            numeric.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut thresholds: Vec<f64> = Vec::new();
+            for w in numeric.windows(2) {
+                if w[0].0 < w[1].0 {
+                    thresholds.push((w[0].0 + w[1].0) / 2.0);
+                }
+            }
+            if thresholds.len() > config.max_thresholds {
+                let step = thresholds.len() as f64 / config.max_thresholds as f64;
+                thresholds = (0..config.max_thresholds)
+                    .map(|k| thresholds[(k as f64 * step) as usize])
+                    .collect();
+            }
+            for th in thresholds {
+                let mut left = (0.0, 0.0);
+                for &i in indices {
+                    if satisfies(
+                        dataset.instances[i].get(feature).copied(),
+                        SplitTest::NumericLe(th),
+                    ) {
+                        if labels[i] {
+                            left.0 += 1.0;
+                        } else {
+                            left.1 += 1.0;
+                        }
+                    }
+                }
+                let right = (total_pos - left.0, total_neg - left.1);
+                consider(feature, SplitTest::NumericLe(th), score(left, right));
+            }
+        }
+
+        for cat in categories {
+            let mut left = (0.0, 0.0);
+            for &i in indices {
+                if satisfies(dataset.instances[i].get(feature).copied(), SplitTest::CategoryEq(cat)) {
+                    if labels[i] {
+                        left.0 += 1.0;
+                    } else {
+                        left.1 += 1.0;
+                    }
+                }
+            }
+            let right = (total_pos - left.0, total_neg - left.1);
+            consider(feature, SplitTest::CategoryEq(cat), score(left, right));
+        }
+    }
+    best
+}
+
+/// Error-based pruning: collapse a split whenever classifying all its
+/// instances with the majority class makes no more training errors than the
+/// subtree does.
+fn prune(node: TreeNode) -> TreeNode {
+    match node {
+        TreeNode::Leaf { .. } => node,
+        TreeNode::Split { feature, test, left, right, pos, neg } => {
+            let left = prune(*left);
+            let right = prune(*right);
+            let subtree_errors = left.training_errors() + right.training_errors();
+            let collapsed_errors = pos.min(neg);
+            if collapsed_errors <= subtree_errors {
+                TreeNode::Leaf { pos, neg }
+            } else {
+                TreeNode::Split {
+                    feature,
+                    test,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    pos,
+                    neg,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSpace;
+    use dbwipes_storage::{DataType, RowId, Schema, Table, Value};
+
+    /// Builds a sensor-style table where sensor 15 with low voltage produces
+    /// anomalously high temperatures (the ground-truth "error cause").
+    fn sensor_table(n: usize) -> (Table, Vec<bool>) {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("voltage", DataType::Float),
+            ("temp", DataType::Float),
+            ("room", DataType::Str),
+        ]);
+        let mut t = Table::new("readings", schema).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let sensor = (i % 20) as i64;
+            let broken = sensor == 15;
+            let voltage = if broken { 1.9 } else { 2.6 + (i % 5) as f64 * 0.05 };
+            let temp = if broken { 110.0 + (i % 10) as f64 } else { 18.0 + (i % 8) as f64 };
+            let room = if i % 2 == 0 { "lab" } else { "kitchen" };
+            t.push_row(vec![
+                Value::Int(sensor),
+                Value::Float(voltage),
+                Value::Float(temp),
+                Value::str(room),
+            ])
+            .unwrap();
+            labels.push(broken);
+        }
+        (t, labels)
+    }
+
+    fn extract(t: &Table) -> (FeatureSpace, Dataset) {
+        let rows: Vec<RowId> = t.visible_row_ids().collect();
+        let space = FeatureSpace::build_excluding(t, &["temp".into()], &rows);
+        let ds = space.extract(t, &rows);
+        (space, ds)
+    }
+
+    #[test]
+    fn learns_the_broken_sensor_with_both_criteria() {
+        let (t, labels) = sensor_table(200);
+        let (space, ds) = extract(&t);
+        for criterion in [SplitCriterion::Gini, SplitCriterion::GainRatio] {
+            let tree = DecisionTree::train(
+                &ds,
+                &labels,
+                TreeConfig { criterion, ..TreeConfig::default() },
+            );
+            assert!(tree.accuracy(&ds, &labels) > 0.95, "{criterion:?}");
+            assert!(tree.depth() >= 1);
+            assert!(tree.leaf_count() >= 2);
+            let rules = tree.positive_rules();
+            assert!(!rules.is_empty(), "{criterion:?}");
+            // The learned predicate should reference the broken sensor id or
+            // its low voltage.
+            let pred = rules[0].to_predicate(&space);
+            let text = pred.to_string();
+            assert!(
+                text.contains("sensorid") || text.contains("voltage"),
+                "unexpected predicate {text}"
+            );
+            assert!(rules[0].precision() > 0.9);
+        }
+    }
+
+    #[test]
+    fn pure_datasets_yield_single_leaf() {
+        let (t, _) = sensor_table(50);
+        let (_, ds) = extract(&t);
+        let all_pos = vec![true; ds.len()];
+        let tree = DecisionTree::train(&ds, &all_pos, TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.positive_rules().len(), 1);
+        assert!(tree.positive_rules()[0].tests.is_empty());
+        assert_eq!(tree.accuracy(&ds, &all_pos), 1.0);
+
+        let all_neg = vec![false; ds.len()];
+        let tree = DecisionTree::train(&ds, &all_neg, TreeConfig::default());
+        assert!(tree.positive_rules().is_empty());
+    }
+
+    #[test]
+    fn max_depth_and_min_leaf_are_respected() {
+        let (t, labels) = sensor_table(200);
+        let (_, ds) = extract(&t);
+        let tree = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { max_depth: 1, ..TreeConfig::default() },
+        );
+        assert!(tree.depth() <= 1);
+        let tree = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { min_samples_split: 1000, ..TreeConfig::default() },
+        );
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.num_features(), ds.instances[0].len());
+        assert_eq!(tree.config().max_depth, TreeConfig::default().max_depth);
+    }
+
+    #[test]
+    fn missing_values_follow_the_negative_branch() {
+        let (t, labels) = sensor_table(100);
+        let (_, ds) = extract(&t);
+        let tree = DecisionTree::train(&ds, &labels, TreeConfig::default());
+        let missing = vec![FeatureValue::Missing; tree.num_features()];
+        // Must not panic; missing everything should land in the majority
+        // (negative) region for this data.
+        assert!(!tree.predict(&missing));
+    }
+
+    #[test]
+    fn rules_merge_numeric_bounds_into_ranges() {
+        // Positive iff 10 < x <= 20, forcing two numeric splits on the same
+        // feature along the positive path.
+        let schema = Schema::of(&[("x", DataType::Float)]);
+        let mut t = Table::new("t", schema).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let x = (i % 40) as f64;
+            t.push_row(vec![Value::Float(x)]).unwrap();
+            labels.push(x > 10.0 && x <= 20.0);
+        }
+        let rows: Vec<RowId> = t.visible_row_ids().collect();
+        let space = FeatureSpace::build(&t, &["x".into()], &rows, 8);
+        let ds = space.extract(&t, &rows);
+        let tree = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { max_depth: 6, min_gain: 1e-9, ..TreeConfig::default() },
+        );
+        assert!(tree.accuracy(&ds, &labels) > 0.95);
+        let rules = tree.positive_rules();
+        assert!(!rules.is_empty());
+        let pred = rules[0].to_predicate(&space);
+        // A single range condition on x, not two separate conditions.
+        assert_eq!(pred.complexity(), 1);
+        assert!(pred.to_string().contains("x"));
+    }
+
+    #[test]
+    fn pruning_collapses_useless_splits() {
+        let (t, labels) = sensor_table(120);
+        let (_, ds) = extract(&t);
+        let unpruned = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { prune: false, min_gain: 0.0, max_depth: 8, ..TreeConfig::default() },
+        );
+        let pruned = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { prune: true, min_gain: 0.0, max_depth: 8, ..TreeConfig::default() },
+        );
+        assert!(pruned.leaf_count() <= unpruned.leaf_count());
+        assert!(pruned.accuracy(&ds, &labels) >= 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must align")]
+    fn mismatched_labels_panic() {
+        let (t, _) = sensor_table(10);
+        let (_, ds) = extract(&t);
+        DecisionTree::train(&ds, &[true], TreeConfig::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! Coarse-grained provenance: the operator graph of a query execution.
+//!
+//! The paper's introduction contrasts coarse-grained provenance ("the graph
+//! of operators that were executed to generate the result") with
+//! fine-grained lineage. Coarse provenance is uninformative for debugging a
+//! single aggregate — every input goes through the same operators — but
+//! DBWipes still records it so the dashboard can show users *how* a result
+//! was computed, and so experiment E5 can report its (lack of) precision.
+
+use std::fmt;
+
+/// The kind of a relational operator in the executed plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// Base-table scan.
+    Scan {
+        /// Name of the table scanned.
+        table: String,
+    },
+    /// Row filter (WHERE clause).
+    Filter {
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// Grouping on one or more columns.
+    GroupBy {
+        /// Group-by column names.
+        columns: Vec<String>,
+    },
+    /// Aggregate evaluation.
+    Aggregate {
+        /// Rendered aggregate calls, e.g. `avg(temp)`.
+        aggregates: Vec<String>,
+    },
+    /// Final projection / column selection.
+    Project {
+        /// Output column names.
+        columns: Vec<String>,
+    },
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorKind::Scan { table } => write!(f, "Scan({table})"),
+            OperatorKind::Filter { predicate } => write!(f, "Filter({predicate})"),
+            OperatorKind::GroupBy { columns } => write!(f, "GroupBy({})", columns.join(", ")),
+            OperatorKind::Aggregate { aggregates } => {
+                write!(f, "Aggregate({})", aggregates.join(", "))
+            }
+            OperatorKind::Project { columns } => write!(f, "Project({})", columns.join(", ")),
+        }
+    }
+}
+
+/// A node in the operator graph.
+#[derive(Debug, Clone)]
+pub struct OperatorNode {
+    /// What the operator does.
+    pub kind: OperatorKind,
+    /// Number of rows flowing out of this operator during execution.
+    pub output_rows: usize,
+}
+
+/// The coarse-grained provenance of one query execution: a linear pipeline
+/// of operators (DBWipes queries are single-block, so the "graph" is a
+/// chain from scan to projection).
+#[derive(Debug, Clone, Default)]
+pub struct OperatorGraph {
+    nodes: Vec<OperatorNode>,
+}
+
+impl OperatorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        OperatorGraph::default()
+    }
+
+    /// Appends an operator to the pipeline (source first).
+    pub fn push(&mut self, kind: OperatorKind, output_rows: usize) {
+        self.nodes.push(OperatorNode { kind, output_rows });
+    }
+
+    /// The operators in execution order (scan first).
+    pub fn nodes(&self) -> &[OperatorNode] {
+        &self.nodes
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no operators were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Renders the pipeline as a one-line summary, e.g.
+    /// `Scan(readings) -> Filter(temp > 0) -> GroupBy(hour) -> Aggregate(avg(temp))`.
+    pub fn summary(&self) -> String {
+        self.nodes.iter().map(|n| n.kind.to_string()).collect::<Vec<_>>().join(" -> ")
+    }
+
+    /// Renders a multi-line explanation with per-operator row counts, the
+    /// form shown by the dashboard's "explain" view.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            out.push_str(&format!("{:indent$}{} [rows={}]\n", "", node.kind, node.output_rows, indent = i * 2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OperatorGraph {
+        let mut g = OperatorGraph::new();
+        g.push(OperatorKind::Scan { table: "readings".into() }, 1000);
+        g.push(OperatorKind::Filter { predicate: "temp IS NOT NULL".into() }, 990);
+        g.push(OperatorKind::GroupBy { columns: vec!["window".into()] }, 48);
+        g.push(OperatorKind::Aggregate { aggregates: vec!["avg(temp)".into(), "stddev(temp)".into()] }, 48);
+        g.push(OperatorKind::Project { columns: vec!["window".into(), "avg_temp".into()] }, 48);
+        g
+    }
+
+    #[test]
+    fn summary_is_a_chain() {
+        let g = sample();
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_empty());
+        let s = g.summary();
+        assert!(s.starts_with("Scan(readings) -> Filter"));
+        assert!(s.contains("GroupBy(window)"));
+        assert!(s.ends_with("Project(window, avg_temp)"));
+    }
+
+    #[test]
+    fn explain_includes_row_counts_and_indentation() {
+        let g = sample();
+        let e = g.explain();
+        assert!(e.contains("[rows=1000]"));
+        assert!(e.contains("[rows=48]"));
+        assert!(e.lines().count() == 5);
+        // Each level is indented two spaces more than the previous.
+        let lines: Vec<&str> = e.lines().collect();
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[2].starts_with("    "));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = OperatorGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.summary(), "");
+        assert_eq!(g.explain(), "");
+        assert!(g.nodes().is_empty());
+    }
+
+    #[test]
+    fn operator_kind_display() {
+        assert_eq!(OperatorKind::Scan { table: "t".into() }.to_string(), "Scan(t)");
+        assert_eq!(
+            OperatorKind::Aggregate { aggregates: vec!["sum(x)".into()] }.to_string(),
+            "Aggregate(sum(x))"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # dbwipes-provenance
+//!
+//! The provenance substrate of the DBWipes reproduction: fine-grained
+//! lineage ([`Lineage`]) mapping aggregate output groups to the input rows
+//! that produced them, coarse-grained operator graphs
+//! ([`OperatorGraph`]), and the tuple-set answers / precision-recall
+//! scoring ([`ProvenanceAnswer`], [`PrecisionRecall`]) used to compare
+//! DBWipes' ranked provenance against the traditional provenance baselines
+//! the paper argues against (§1, §4).
+//!
+//! Lineage is *captured* by `dbwipes-engine` during query execution and
+//! *consumed* by `dbwipes-core`'s Preprocessor.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod coarse;
+pub mod lineage;
+pub mod why;
+
+pub use coarse::{OperatorGraph, OperatorKind, OperatorNode};
+pub use lineage::{GroupIdx, Lineage};
+pub use why::{PrecisionRecall, ProvenanceAnswer};

@@ -1,0 +1,131 @@
+//! A named collection of tables — the "database" DBWipes queries against.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A catalog of tables keyed by lower-cased name.
+///
+/// DBWipes' demo databases contain a handful of tables (FEC contributions,
+/// Intel sensor readings); a simple ordered map is sufficient and keeps
+/// listing deterministic for tests and examples.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table; fails if a table with the same (case-insensitive)
+    /// name already exists.
+    pub fn register(&mut self, table: Table) -> Result<(), StorageError> {
+        let key = table.name().to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::TableExists(table.name().to_string()));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Registers a table, replacing any existing table of the same name.
+    pub fn register_or_replace(&mut self, table: Table) {
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
+    }
+
+    /// Removes and returns a table.
+    pub fn deregister(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// True when the catalog contains the named table.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name().to_string()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table(name: &str) -> Table {
+        Table::new(name, Schema::of(&[("x", DataType::Int)])).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(table("Sensors")).unwrap();
+        assert!(c.contains("sensors"));
+        assert!(c.contains("SENSORS"));
+        assert_eq!(c.table("sensors").unwrap().name(), "Sensors");
+        assert_eq!(c.len(), 1);
+        assert!(c.table("donations").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected_but_replace_allowed() {
+        let mut c = Catalog::new();
+        c.register(table("t")).unwrap();
+        assert!(matches!(c.register(table("T")), Err(StorageError::TableExists(_))));
+        c.register_or_replace(table("T"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().name(), "T");
+    }
+
+    #[test]
+    fn mutation_through_table_mut() {
+        let mut c = Catalog::new();
+        c.register(table("t")).unwrap();
+        c.table_mut("t").unwrap().push_row(vec![crate::value::Value::Int(1)]).unwrap();
+        assert_eq!(c.table("t").unwrap().num_rows(), 1);
+        assert!(c.table_mut("missing").is_err());
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        c.register(table("b")).unwrap();
+        assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
+        let t = c.deregister("A").unwrap();
+        assert_eq!(t.name(), "a");
+        assert!(c.deregister("a").is_none());
+        assert_eq!(c.len(), 1);
+    }
+}

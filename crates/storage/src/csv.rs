@@ -1,0 +1,272 @@
+//! Minimal CSV import/export for tables.
+//!
+//! The original DBWipes demo loads the FEC dump and the Intel Lab trace from
+//! flat files. The synthetic generators in `dbwipes-data` normally build
+//! tables in memory, but examples and users can still round-trip tables
+//! through CSV with this module. The dialect is deliberately simple:
+//! comma-separated, `"`-quoted fields with `""` escapes, a header row, and
+//! the literal empty string for NULL.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Serialises the visible rows of a table as CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for rid in table.visible_row_ids() {
+        let row = table.row(rid).expect("visible row");
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => quote(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text (with a header row) into a table, inferring each column's
+/// type from its values: `Int` if every non-empty cell parses as an integer,
+/// else `Float` if every non-empty cell parses as a number, else `Bool` if
+/// every cell is true/false, else `Str`. Empty cells become NULL.
+pub fn from_csv(name: &str, text: &str) -> Result<Table, StorageError> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(StorageError::Csv("missing header row".into()));
+    }
+    let header = records.remove(0);
+    if header.is_empty() {
+        return Err(StorageError::Csv("empty header row".into()));
+    }
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != header.len() {
+            return Err(StorageError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                i + 1,
+                rec.len(),
+                header.len()
+            )));
+        }
+    }
+
+    let mut dtypes = Vec::with_capacity(header.len());
+    for c in 0..header.len() {
+        dtypes.push(infer_type(records.iter().map(|r| r[c].as_str())));
+    }
+    let schema = Schema::new(
+        header
+            .iter()
+            .zip(dtypes.iter())
+            .map(|(n, t)| crate::schema::Field::nullable(n.clone(), *t))
+            .collect(),
+    )?;
+    let mut table = Table::new(name, schema)?;
+    for rec in records {
+        let mut row = Vec::with_capacity(rec.len());
+        for (cell, dtype) in rec.iter().zip(dtypes.iter()) {
+            row.push(parse_cell(cell, *dtype)?);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn infer_type<'a>(cells: impl Iterator<Item = &'a str>) -> DataType {
+    let mut saw_value = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    for cell in cells {
+        if cell.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        if cell.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if cell.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !cell.eq_ignore_ascii_case("true") && !cell.eq_ignore_ascii_case("false") {
+            all_bool = false;
+        }
+    }
+    if !saw_value {
+        return DataType::Str;
+    }
+    if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else if all_bool {
+        DataType::Bool
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DataType) -> Result<Value, StorageError> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = |msg: String| StorageError::Csv(msg);
+    Ok(match dtype {
+        DataType::Int => Value::Int(cell.parse().map_err(|_| err(format!("bad int: {cell}")))?),
+        DataType::Float => {
+            Value::Float(cell.parse().map_err(|_| err(format!("bad float: {cell}")))?)
+        }
+        DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+        DataType::Timestamp => {
+            Value::Timestamp(cell.parse().map_err(|_| err(format!("bad timestamp: {cell}")))?)
+        }
+        DataType::Str | DataType::Null => Value::Str(cell.to_string()),
+    })
+}
+
+/// Splits CSV text into records of unescaped fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, StorageError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    saw_any = true;
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv("unterminated quoted field".into()));
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop completely empty trailing records produced by trailing newlines.
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("amount", DataType::Float),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("donations", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(1), Value::Float(250.0), Value::str("first, with comma")],
+            vec![Value::Int(2), Value::Null, Value::str("says \"hi\"")],
+            vec![Value::Int(3), Value::Float(-100.5), Value::str("REATTRIBUTION TO SPOUSE")],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_nulls() {
+        let t = table();
+        let csv = to_csv(&t);
+        let back = from_csv("donations", &csv).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.schema().field("id").unwrap().dtype, DataType::Int);
+        assert_eq!(back.schema().field("amount").unwrap().dtype, DataType::Float);
+        assert_eq!(back.schema().field("memo").unwrap().dtype, DataType::Str);
+        assert_eq!(back.value_by_name(crate::table::RowId(1), "amount").unwrap(), Value::Null);
+        assert_eq!(
+            back.value_by_name(crate::table::RowId(0), "memo").unwrap(),
+            Value::str("first, with comma")
+        );
+        assert_eq!(
+            back.value_by_name(crate::table::RowId(1), "memo").unwrap(),
+            Value::str("says \"hi\"")
+        );
+        assert_eq!(
+            back.value_by_name(crate::table::RowId(2), "amount").unwrap(),
+            Value::Float(-100.5)
+        );
+    }
+
+    #[test]
+    fn type_inference() {
+        let csv = "a,b,c,d\n1,1.5,true,x\n2,2,false,y\n";
+        let t = from_csv("t", csv).unwrap();
+        assert_eq!(t.schema().field("a").unwrap().dtype, DataType::Int);
+        assert_eq!(t.schema().field("b").unwrap().dtype, DataType::Float);
+        assert_eq!(t.schema().field("c").unwrap().dtype, DataType::Bool);
+        assert_eq!(t.schema().field("d").unwrap().dtype, DataType::Str);
+        assert_eq!(t.value_by_name(crate::table::RowId(1), "c").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn empty_column_defaults_to_string() {
+        let csv = "a,b\n1,\n2,\n";
+        let t = from_csv("t", csv).unwrap();
+        assert_eq!(t.schema().field("b").unwrap().dtype, DataType::Str);
+        assert_eq!(t.value_by_name(crate::table::RowId(0), "b").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_csv("t", "").is_err());
+        assert!(from_csv("t", "a,b\n1\n").is_err());
+        assert!(from_csv("t", "a,b\n\"unterminated,1\n").is_err());
+    }
+
+    #[test]
+    fn deleted_rows_are_not_exported() {
+        let mut t = table();
+        t.delete_row(crate::table::RowId(1)).unwrap();
+        let csv = to_csv(&t);
+        assert_eq!(csv.lines().count(), 3); // header + 2 rows
+        assert!(!csv.contains("says"));
+    }
+}

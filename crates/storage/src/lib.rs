@@ -1,0 +1,35 @@
+//! # dbwipes-storage
+//!
+//! The storage substrate of the DBWipes reproduction: dynamically typed
+//! [`Value`]s, [`Schema`]s, columnar [`Table`]s with stable [`RowId`]s and
+//! soft deletion, a scalar [`Expr`]ession language with SQL three-valued
+//! logic, human-readable [`ConjunctivePredicate`]s (the output format of the
+//! Ranked Provenance System), a table [`Catalog`], and CSV import/export.
+//!
+//! The original DBWipes demo (Wu, Madden, Stonebraker, VLDB 2012) ran on top
+//! of PostgreSQL; this crate plus `dbwipes-engine` replaces that dependency
+//! with an embedded engine that supports exactly the aggregate group-by
+//! queries and predicate-based cleaning the demo needs, while exposing the
+//! row-level hooks the provenance layer requires.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod predicate;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::StorageError;
+pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
+pub use predicate::{Condition, ConjunctivePredicate};
+pub use schema::{Field, Schema};
+pub use table::{RowId, Table};
+pub use value::{DataType, Value};

@@ -1,0 +1,501 @@
+//! Human-readable conjunctive predicates.
+//!
+//! The Ranked Provenance System returns *predicates* such as
+//! `sensorid = 15 AND time BETWEEN 11:00 AND 13:00` (paper §2.1). These are
+//! deliberately restricted to conjunctions of per-attribute conditions so
+//! they remain compact and interpretable; this module defines that
+//! restricted form, its SQL rendering, and its conversion to the general
+//! [`Expr`] language for evaluation and query rewriting.
+
+use crate::expr::{col, lit, Expr};
+use crate::table::{RowId, Table};
+use crate::value::Value;
+use std::fmt;
+
+/// A single per-attribute condition inside a [`ConjunctivePredicate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `column = value`
+    Equals {
+        /// Attribute name.
+        column: String,
+        /// Value compared against.
+        value: Value,
+    },
+    /// `column <> value`
+    NotEquals {
+        /// Attribute name.
+        column: String,
+        /// Value compared against.
+        value: Value,
+    },
+    /// A (possibly half-open) numeric range on `column`.
+    ///
+    /// Bounds are inclusive when the corresponding flag is set, mirroring
+    /// the thresholds produced by decision-tree splits (`<=` / `>`).
+    Range {
+        /// Attribute name.
+        column: String,
+        /// Lower bound (`None` = unbounded below).
+        low: Option<f64>,
+        /// Whether the lower bound itself is included.
+        low_inclusive: bool,
+        /// Upper bound (`None` = unbounded above).
+        high: Option<f64>,
+        /// Whether the upper bound itself is included.
+        high_inclusive: bool,
+    },
+    /// `column IN (values...)`
+    InSet {
+        /// Attribute name.
+        column: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// Case-insensitive substring containment on a text attribute.
+    Contains {
+        /// Attribute name.
+        column: String,
+        /// Substring searched for.
+        pattern: String,
+    },
+}
+
+impl Condition {
+    /// Builds an equality condition.
+    pub fn equals(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::Equals { column: column.into(), value: value.into() }
+    }
+
+    /// Builds an inequality condition.
+    pub fn not_equals(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Condition::NotEquals { column: column.into(), value: value.into() }
+    }
+
+    /// Builds a `column <= high` condition.
+    pub fn at_most(column: impl Into<String>, high: f64) -> Self {
+        Condition::Range {
+            column: column.into(),
+            low: None,
+            low_inclusive: false,
+            high: Some(high),
+            high_inclusive: true,
+        }
+    }
+
+    /// Builds a `column > low` condition.
+    pub fn above(column: impl Into<String>, low: f64) -> Self {
+        Condition::Range {
+            column: column.into(),
+            low: Some(low),
+            low_inclusive: false,
+            high: None,
+            high_inclusive: false,
+        }
+    }
+
+    /// Builds a `column >= low` condition.
+    pub fn at_least(column: impl Into<String>, low: f64) -> Self {
+        Condition::Range {
+            column: column.into(),
+            low: Some(low),
+            low_inclusive: true,
+            high: None,
+            high_inclusive: false,
+        }
+    }
+
+    /// Builds a closed range `low <= column <= high`.
+    pub fn between(column: impl Into<String>, low: f64, high: f64) -> Self {
+        Condition::Range {
+            column: column.into(),
+            low: Some(low),
+            low_inclusive: true,
+            high: Some(high),
+            high_inclusive: true,
+        }
+    }
+
+    /// Builds a set-membership condition.
+    pub fn in_set(column: impl Into<String>, values: Vec<Value>) -> Self {
+        Condition::InSet { column: column.into(), values }
+    }
+
+    /// Builds a substring-containment condition.
+    pub fn contains(column: impl Into<String>, pattern: impl Into<String>) -> Self {
+        Condition::Contains { column: column.into(), pattern: pattern.into() }
+    }
+
+    /// The attribute this condition constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            Condition::Equals { column, .. }
+            | Condition::NotEquals { column, .. }
+            | Condition::Range { column, .. }
+            | Condition::InSet { column, .. }
+            | Condition::Contains { column, .. } => column,
+        }
+    }
+
+    /// Converts the condition into an evaluable [`Expr`].
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Condition::Equals { column, value } => col(column.clone()).eq(lit(value.clone())),
+            Condition::NotEquals { column, value } => {
+                col(column.clone()).not_eq(lit(value.clone()))
+            }
+            Condition::Range { column, low, low_inclusive, high, high_inclusive } => {
+                let c = || col(column.clone());
+                let mut parts = Vec::new();
+                if let Some(lo) = low {
+                    parts.push(if *low_inclusive {
+                        c().gt_eq(lit(*lo))
+                    } else {
+                        c().gt(lit(*lo))
+                    });
+                }
+                if let Some(hi) = high {
+                    parts.push(if *high_inclusive {
+                        c().lt_eq(lit(*hi))
+                    } else {
+                        c().lt(lit(*hi))
+                    });
+                }
+                Expr::conjunction(parts).unwrap_or_else(|| lit(true))
+            }
+            Condition::InSet { column, values } => {
+                col(column.clone()).in_list(values.iter().map(|v| lit(v.clone())).collect())
+            }
+            Condition::Contains { column, pattern } => col(column.clone()).contains(pattern.clone()),
+        }
+    }
+
+    /// True when `other` can only match rows that this condition also
+    /// matches (a conservative check used to drop redundant conditions).
+    pub fn subsumes(&self, other: &Condition) -> bool {
+        if self.column() != other.column() {
+            return false;
+        }
+        match (self, other) {
+            (a, b) if a == b => true,
+            (
+                Condition::Range { low: l1, high: h1, .. },
+                Condition::Range { low: l2, high: h2, .. },
+            ) => {
+                let low_ok = match (l1, l2) {
+                    (None, _) => true,
+                    (Some(_), None) => false,
+                    (Some(a), Some(b)) => a <= b,
+                };
+                let high_ok = match (h1, h2) {
+                    (None, _) => true,
+                    (Some(_), None) => false,
+                    (Some(a), Some(b)) => a >= b,
+                };
+                low_ok && high_ok
+            }
+            (Condition::InSet { values, .. }, Condition::Equals { value, .. }) => {
+                values.contains(value)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Equals { column, value } => {
+                write!(f, "{column} = {}", value.to_sql_literal())
+            }
+            Condition::NotEquals { column, value } => {
+                write!(f, "{column} <> {}", value.to_sql_literal())
+            }
+            Condition::Range { column, low, low_inclusive, high, high_inclusive } => {
+                match (low, high) {
+                    (Some(lo), Some(hi)) if *low_inclusive && *high_inclusive => {
+                        write!(f, "{column} BETWEEN {lo:.4} AND {hi:.4}")
+                    }
+                    (Some(lo), Some(hi)) => write!(
+                        f,
+                        "{column} {} {lo:.4} AND {column} {} {hi:.4}",
+                        if *low_inclusive { ">=" } else { ">" },
+                        if *high_inclusive { "<=" } else { "<" }
+                    ),
+                    (Some(lo), None) => {
+                        write!(f, "{column} {} {lo:.4}", if *low_inclusive { ">=" } else { ">" })
+                    }
+                    (None, Some(hi)) => {
+                        write!(f, "{column} {} {hi:.4}", if *high_inclusive { "<=" } else { "<" })
+                    }
+                    (None, None) => write!(f, "{column} IS NOT NULL"),
+                }
+            }
+            Condition::InSet { column, values } => {
+                let items: Vec<String> = values.iter().map(|v| v.to_sql_literal()).collect();
+                write!(f, "{column} IN ({})", items.join(", "))
+            }
+            Condition::Contains { column, pattern } => {
+                write!(f, "{column} LIKE '%{}%'", pattern.replace('\'', "''"))
+            }
+        }
+    }
+}
+
+/// A conjunction of per-attribute [`Condition`]s — the "compact predicate"
+/// DBWipes returns to the user.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConjunctivePredicate {
+    conditions: Vec<Condition>,
+}
+
+impl ConjunctivePredicate {
+    /// Creates a predicate from a list of conditions, dropping conditions
+    /// made redundant by a more specific condition on the same attribute
+    /// (in a conjunction, `temp > 100 AND temp > 120` is just `temp > 120`).
+    pub fn new(conditions: Vec<Condition>) -> Self {
+        let mut kept: Vec<Condition> = Vec::new();
+        'outer: for cond in conditions {
+            if kept.contains(&cond) {
+                continue;
+            }
+            // If a kept condition is at least as specific as `cond`
+            // (`cond` subsumes it), `cond` adds nothing to the conjunction.
+            for k in &kept {
+                if cond.subsumes(k) {
+                    continue 'outer;
+                }
+            }
+            // Conversely, drop kept conditions that `cond` makes redundant.
+            kept.retain(|k| !k.subsumes(&cond));
+            kept.push(cond);
+        }
+        ConjunctivePredicate { conditions: kept }
+    }
+
+    /// The always-true predicate (matches every row).
+    pub fn always_true() -> Self {
+        ConjunctivePredicate { conditions: Vec::new() }
+    }
+
+    /// The conditions of the conjunction.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// Number of conjuncts — the "complexity" penalised by the Predicate
+    /// Ranker (paper §2.2.2).
+    pub fn complexity(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True when the predicate has no conditions (matches everything).
+    pub fn is_trivial(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// The distinct attributes referenced.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.conditions {
+            if !out.iter().any(|n| n == c.column()) {
+                out.push(c.column().to_string());
+            }
+        }
+        out
+    }
+
+    /// Adds a condition, returning the extended predicate.
+    pub fn with(&self, condition: Condition) -> Self {
+        let mut conds = self.conditions.clone();
+        conds.push(condition);
+        ConjunctivePredicate::new(conds)
+    }
+
+    /// Converts to an evaluable [`Expr`] (the empty predicate becomes `TRUE`).
+    pub fn to_expr(&self) -> Expr {
+        Expr::conjunction(self.conditions.iter().map(|c| c.to_expr()).collect())
+            .unwrap_or_else(|| lit(true))
+    }
+
+    /// The exclusion form used by clean-as-you-query: `NOT (predicate)`.
+    pub fn to_exclusion_expr(&self) -> Expr {
+        self.to_expr().not()
+    }
+
+    /// Evaluates the predicate against one row.
+    pub fn matches(&self, table: &Table, row: RowId) -> bool {
+        self.conditions.iter().all(|c| c.to_expr().matches(table, row).unwrap_or(false))
+    }
+
+    /// Returns all visible rows matched by the predicate.
+    pub fn matching_rows(&self, table: &Table) -> Vec<RowId> {
+        table.visible_row_ids().filter(|&r| self.matches(table, r)).collect()
+    }
+
+    /// Fraction of the given rows matched by the predicate (0 when `rows` is
+    /// empty).
+    pub fn coverage(&self, table: &Table, rows: &[RowId]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let matched = rows.iter().filter(|&&r| self.matches(table, r)).count();
+        matched as f64 / rows.len() as f64
+    }
+
+    /// Fraction of all visible rows matched — the predicate's selectivity.
+    pub fn selectivity(&self, table: &Table) -> f64 {
+        let total = table.visible_rows();
+        if total == 0 {
+            return 0.0;
+        }
+        self.matching_rows(table).len() as f64 / total as f64
+    }
+}
+
+impl fmt::Display for ConjunctivePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conditions.is_empty() {
+            return f.write_str("TRUE");
+        }
+        let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        f.write_str(&parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("voltage", DataType::Float),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("readings", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(15), Value::Float(122.0), Value::Float(2.1), Value::str("ok")],
+            vec![Value::Int(15), Value::Float(119.0), Value::Float(2.0), Value::str("ok")],
+            vec![Value::Int(3), Value::Float(21.0), Value::Float(2.7), Value::str("ok")],
+            vec![Value::Int(7), Value::Float(22.5), Value::Float(2.6), Value::str("REATTRIBUTION TO SPOUSE")],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let p = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::at_least("temp", 100.0),
+        ]);
+        assert_eq!(p.to_string(), "sensorid = 15 AND temp >= 100.0000");
+        assert_eq!(ConjunctivePredicate::always_true().to_string(), "TRUE");
+        let c = Condition::between("temp", 10.0, 20.0);
+        assert_eq!(c.to_string(), "temp BETWEEN 10.0000 AND 20.0000");
+        let c = Condition::contains("memo", "SPOUSE");
+        assert_eq!(c.to_string(), "memo LIKE '%SPOUSE%'");
+        let c = Condition::in_set("sensorid", vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(c.to_string(), "sensorid IN (1, 2)");
+        let c = Condition::not_equals("memo", "ok");
+        assert_eq!(c.to_string(), "memo <> 'ok'");
+    }
+
+    #[test]
+    fn matching_and_coverage() {
+        let t = table();
+        let p = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::above("temp", 120.0),
+        ]);
+        assert_eq!(p.matching_rows(&t), vec![RowId(0)]);
+        assert!((p.selectivity(&t) - 0.25).abs() < 1e-12);
+        assert!((p.coverage(&t, &[RowId(0), RowId(1)]) - 0.5).abs() < 1e-12);
+        assert_eq!(p.coverage(&t, &[]), 0.0);
+
+        let trivially_true = ConjunctivePredicate::always_true();
+        assert!(trivially_true.is_trivial());
+        assert_eq!(trivially_true.matching_rows(&t).len(), 4);
+    }
+
+    #[test]
+    fn exclusion_expr_removes_matches() {
+        let t = table();
+        let p = ConjunctivePredicate::new(vec![Condition::contains("memo", "spouse")]);
+        let keep = p.to_exclusion_expr().filter(&t).unwrap();
+        assert_eq!(keep, vec![RowId(0), RowId(1), RowId(2)]);
+    }
+
+    #[test]
+    fn subsumption_dedup() {
+        // temp > 100 subsumes temp > 120 (the latter is more specific), so
+        // when both appear the more specific one is kept.
+        let p = ConjunctivePredicate::new(vec![
+            Condition::above("temp", 100.0),
+            Condition::above("temp", 120.0),
+        ]);
+        assert_eq!(p.complexity(), 1);
+        assert_eq!(p.conditions()[0], Condition::above("temp", 120.0));
+
+        // Identical conditions are deduplicated.
+        let p = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::equals("sensorid", 15),
+        ]);
+        assert_eq!(p.complexity(), 1);
+
+        // Conditions on different columns are all kept.
+        let p = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::above("temp", 100.0),
+        ]);
+        assert_eq!(p.complexity(), 2);
+        assert_eq!(p.columns(), vec!["sensorid".to_string(), "temp".to_string()]);
+    }
+
+    #[test]
+    fn condition_subsumes() {
+        assert!(Condition::above("t", 10.0).subsumes(&Condition::above("t", 20.0)));
+        assert!(!Condition::above("t", 20.0).subsumes(&Condition::above("t", 10.0)));
+        assert!(!Condition::above("t", 10.0).subsumes(&Condition::above("u", 20.0)));
+        assert!(Condition::at_most("t", 30.0).subsumes(&Condition::between("t", 0.0, 20.0)));
+        assert!(Condition::in_set("c", vec![Value::Int(1), Value::Int(2)])
+            .subsumes(&Condition::equals("c", 1)));
+        assert!(!Condition::in_set("c", vec![Value::Int(1)]).subsumes(&Condition::equals("c", 7)));
+        assert!(Condition::equals("c", 1).subsumes(&Condition::equals("c", 1)));
+        assert!(!Condition::equals("c", 1).subsumes(&Condition::equals("c", 2)));
+    }
+
+    #[test]
+    fn with_extends_predicate() {
+        let p = ConjunctivePredicate::always_true()
+            .with(Condition::equals("sensorid", 15))
+            .with(Condition::at_least("voltage", 2.0));
+        assert_eq!(p.complexity(), 2);
+        let t = table();
+        assert_eq!(p.matching_rows(&t), vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn range_to_expr_handles_open_ends() {
+        let t = table();
+        assert_eq!(Condition::at_most("temp", 22.0).to_expr().filter(&t).unwrap(), vec![RowId(2)]);
+        assert_eq!(
+            Condition::at_least("temp", 119.0).to_expr().filter(&t).unwrap(),
+            vec![RowId(0), RowId(1)]
+        );
+        let unbounded = Condition::Range {
+            column: "temp".into(),
+            low: None,
+            low_inclusive: false,
+            high: None,
+            high_inclusive: false,
+        };
+        assert_eq!(unbounded.to_expr().filter(&t).unwrap().len(), 4);
+        assert_eq!(unbounded.to_string(), "temp IS NOT NULL");
+    }
+}

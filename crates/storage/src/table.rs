@@ -1,0 +1,370 @@
+//! In-memory columnar tables with stable row identifiers and soft deletes.
+//!
+//! DBWipes' "clean as you query" loop removes tuples matching a predicate
+//! from subsequent queries. Tables therefore support *soft deletion*: a
+//! deleted row keeps its [`RowId`] (so provenance references stay valid)
+//! but is skipped by scans until it is restored.
+
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A stable identifier of a row within one table.
+///
+/// Row ids are assigned densely in insertion order and never reused; they
+/// are the currency of the provenance layer (lineage maps output groups to
+/// sets of `RowId`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub usize);
+
+impl RowId {
+    /// The row id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<usize> for RowId {
+    fn from(v: usize) -> Self {
+        RowId(v)
+    }
+}
+
+/// An in-memory columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    deleted: Vec<bool>,
+}
+
+impl Table {
+    /// Creates an empty table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Result<Self, StorageError> {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Table { name: name.into(), schema, columns, deleted: Vec::new() })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of rows ever inserted (including soft-deleted rows).
+    pub fn num_rows(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Number of rows currently visible (not soft-deleted).
+    pub fn visible_rows(&self) -> usize {
+        self.deleted.iter().filter(|d| !**d).count()
+    }
+
+    /// True when no rows have ever been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty()
+    }
+
+    /// Appends a row given as one value per schema column.
+    ///
+    /// Returns the new row's [`RowId`].
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<RowId, StorageError> {
+        if values.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: values.len(),
+            });
+        }
+        // Validate all values before mutating any column so a failed push
+        // cannot leave columns with uneven lengths.
+        for (col, value) in self.columns.iter().zip(values.iter()) {
+            if !value.is_null() {
+                let mut probe = col.clone_empty();
+                probe.push(value.clone())?;
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(values.into_iter()) {
+            col.push(value).expect("validated above");
+        }
+        let id = RowId(self.deleted.len());
+        self.deleted.push(false);
+        Ok(id)
+    }
+
+    /// Appends many rows.
+    pub fn push_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<Vec<RowId>, StorageError> {
+        let mut ids = Vec::with_capacity(rows.len());
+        for row in rows {
+            ids.push(self.push_row(row)?);
+        }
+        Ok(ids)
+    }
+
+    /// Returns the value at (`row`, `col`) or an error when out of bounds.
+    pub fn value(&self, row: RowId, col: usize) -> Result<Value, StorageError> {
+        let column = self.columns.get(col).ok_or_else(|| StorageError::UnknownColumn {
+            column: format!("<index {col}>"),
+            available: self.schema.names(),
+        })?;
+        column.get(row.0).ok_or(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() })
+    }
+
+    /// Returns the value in the named column of `row`.
+    pub fn value_by_name(&self, row: RowId, column: &str) -> Result<Value, StorageError> {
+        let idx = self.schema.resolve(column)?;
+        self.value(row, idx)
+    }
+
+    /// Returns a whole row as a vector of values (in schema order).
+    pub fn row(&self, row: RowId) -> Result<Vec<Value>, StorageError> {
+        if row.0 >= self.num_rows() {
+            return Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row.0).expect("in bounds")).collect())
+    }
+
+    /// Returns the column at index `idx`.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Returns the column with the given name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).and_then(|i| self.columns.get(i))
+    }
+
+    /// True when `row` is currently soft-deleted.
+    pub fn is_deleted(&self, row: RowId) -> bool {
+        self.deleted.get(row.0).copied().unwrap_or(true)
+    }
+
+    /// Soft-deletes a single row. Deleting an already-deleted row is a no-op.
+    pub fn delete_row(&mut self, row: RowId) -> Result<(), StorageError> {
+        match self.deleted.get_mut(row.0) {
+            Some(d) => {
+                *d = true;
+                Ok(())
+            }
+            None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
+        }
+    }
+
+    /// Soft-deletes every row in `rows`, returning how many rows changed
+    /// from visible to deleted.
+    pub fn delete_rows(&mut self, rows: &[RowId]) -> Result<usize, StorageError> {
+        let mut changed = 0;
+        for &r in rows {
+            if r.0 >= self.num_rows() {
+                return Err(StorageError::RowOutOfBounds { row: r.0, len: self.num_rows() });
+            }
+            if !self.deleted[r.0] {
+                self.deleted[r.0] = true;
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Restores a soft-deleted row.
+    pub fn restore_row(&mut self, row: RowId) -> Result<(), StorageError> {
+        match self.deleted.get_mut(row.0) {
+            Some(d) => {
+                *d = false;
+                Ok(())
+            }
+            None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
+        }
+    }
+
+    /// Restores all soft-deleted rows.
+    pub fn restore_all(&mut self) {
+        for d in &mut self.deleted {
+            *d = false;
+        }
+    }
+
+    /// Iterates over the ids of all visible (non-deleted) rows.
+    pub fn visible_row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.deleted.iter().enumerate().filter(|(_, d)| !**d).map(|(i, _)| RowId(i))
+    }
+
+    /// Iterates over the ids of all rows ever inserted, deleted or not.
+    pub fn all_row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.num_rows()).map(RowId)
+    }
+
+    /// Materialises a new table containing copies of the given rows
+    /// (in the order given), preserving this table's schema. The new table's
+    /// row ids are renumbered from zero; the returned mapping gives, for each
+    /// new row, the original [`RowId`] it came from.
+    pub fn materialize(
+        &self,
+        rows: &[RowId],
+        name: impl Into<String>,
+    ) -> Result<(Table, Vec<RowId>), StorageError> {
+        let mut out = Table::new(name, self.schema.clone())?;
+        let mut mapping = Vec::with_capacity(rows.len());
+        for &r in rows {
+            let values = self.row(r)?;
+            out.push_row(values)?;
+            mapping.push(r);
+        }
+        Ok((out, mapping))
+    }
+
+    /// Renders the first `limit` visible rows as an ASCII table, mainly for
+    /// examples and debugging output.
+    pub fn preview(&self, limit: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&self.schema.names().join(" | "));
+        s.push('\n');
+        for (count, rid) in self.visible_row_ids().enumerate() {
+            if count >= limit {
+                s.push_str("...\n");
+                break;
+            }
+            let row = self.row(rid).expect("visible row exists");
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            s.push_str(&cells.join(" | "));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl Column {
+    /// Creates an empty column with the same type as `self`; used to
+    /// validate pushes without mutating the real column.
+    fn clone_empty(&self) -> Column {
+        Column::new(self.dtype()).expect("existing column has a concrete type")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn sensor_table() -> Table {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("room", DataType::Str),
+        ]);
+        let mut t = Table::new("sensors", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(1), Value::Float(20.0), Value::str("lab")],
+            vec![Value::Int(2), Value::Float(21.5), Value::str("lab")],
+            vec![Value::Int(3), Value::Float(120.0), Value::str("kitchen")],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = sensor_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.visible_rows(), 3);
+        assert_eq!(t.value(RowId(2), 1).unwrap(), Value::Float(120.0));
+        assert_eq!(t.value_by_name(RowId(0), "room").unwrap(), Value::str("lab"));
+        assert_eq!(
+            t.row(RowId(1)).unwrap(),
+            vec![Value::Int(2), Value::Float(21.5), Value::str("lab")]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_without_corruption() {
+        let mut t = sensor_table();
+        let err = t.push_row(vec![Value::Int(9)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { expected: 3, found: 1 }));
+        // Type error in the middle of a row must not partially apply.
+        let err = t
+            .push_row(vec![Value::Int(9), Value::str("oops"), Value::str("x")])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert_eq!(t.num_rows(), 3);
+        for c in 0..3 {
+            assert_eq!(t.column(c).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn soft_delete_and_restore() {
+        let mut t = sensor_table();
+        t.delete_row(RowId(1)).unwrap();
+        assert!(t.is_deleted(RowId(1)));
+        assert_eq!(t.visible_rows(), 2);
+        let visible: Vec<RowId> = t.visible_row_ids().collect();
+        assert_eq!(visible, vec![RowId(0), RowId(2)]);
+        // Row data survives deletion (provenance may still reference it).
+        assert_eq!(t.value(RowId(1), 0).unwrap(), Value::Int(2));
+
+        t.restore_row(RowId(1)).unwrap();
+        assert_eq!(t.visible_rows(), 3);
+
+        let changed = t.delete_rows(&[RowId(0), RowId(0), RowId(2)]).unwrap();
+        assert_eq!(changed, 2);
+        t.restore_all();
+        assert_eq!(t.visible_rows(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut t = sensor_table();
+        assert!(t.value(RowId(10), 0).is_err());
+        assert!(t.row(RowId(10)).is_err());
+        assert!(t.delete_row(RowId(10)).is_err());
+        assert!(t.restore_row(RowId(10)).is_err());
+        assert!(t.delete_rows(&[RowId(10)]).is_err());
+        assert!(t.is_deleted(RowId(10)));
+        assert!(t.value_by_name(RowId(0), "missing").is_err());
+    }
+
+    #[test]
+    fn materialize_subset() {
+        let t = sensor_table();
+        let (sub, mapping) = t.materialize(&[RowId(2), RowId(0)], "subset").unwrap();
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.value(RowId(0), 1).unwrap(), Value::Float(120.0));
+        assert_eq!(mapping, vec![RowId(2), RowId(0)]);
+        assert_eq!(sub.name(), "subset");
+    }
+
+    #[test]
+    fn preview_renders_header_and_rows() {
+        let t = sensor_table();
+        let p = t.preview(2);
+        assert!(p.starts_with("sensorid | temp | room"));
+        assert!(p.contains("..."));
+        let full = t.preview(10);
+        assert!(!full.contains("..."));
+        assert!(full.contains("kitchen"));
+    }
+
+    #[test]
+    fn row_id_display_and_conversion() {
+        let r: RowId = 7usize.into();
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.to_string(), "#7");
+    }
+}

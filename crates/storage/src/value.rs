@@ -1,0 +1,415 @@
+//! Dynamically typed scalar values and their data types.
+//!
+//! DBWipes operates over relational tables whose cells are [`Value`]s. The
+//! value model is intentionally small — it covers exactly the types used by
+//! the paper's two demo datasets (FEC campaign contributions and the Intel
+//! Lab sensor readings): 64-bit integers, 64-bit floats, UTF-8 strings,
+//! booleans, timestamps (seconds since an arbitrary epoch) and SQL `NULL`.
+//!
+//! Values implement a *total* ordering and hashing so that they can be used
+//! directly as group-by keys: floats are compared by their IEEE-754 total
+//! order (NaN compares equal to itself and sorts last), and `NULL` sorts
+//! before every non-null value.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The logical type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// SQL NULL with no further type information.
+    Null,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Timestamp measured in whole seconds since an arbitrary epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Returns true if the type is numeric (`Int`, `Float` or `Timestamp`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp)
+    }
+
+    /// Returns the name used when pretty-printing schemas.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Null => "null",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Timestamp => "timestamp",
+        }
+    }
+
+    /// The common super-type of two types when used together in an
+    /// arithmetic or comparison expression, if one exists.
+    pub fn unify(a: DataType, b: DataType) -> Option<DataType> {
+        use DataType::*;
+        if a == b {
+            return Some(a);
+        }
+        match (a, b) {
+            (Null, other) | (other, Null) => Some(other),
+            (Int, Float) | (Float, Int) => Some(Float),
+            (Int, Timestamp) | (Timestamp, Int) => Some(Timestamp),
+            (Float, Timestamp) | (Timestamp, Float) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Timestamp in whole seconds since an arbitrary epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Returns the [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a float if it is numeric.
+    ///
+    /// Integers and timestamps are widened losslessly (for the magnitudes
+    /// used here); `NULL` and non-numeric values return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer if it is an integer or timestamp.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Compares two values using the total order described in the module
+    /// docs. Values of different numeric types are compared numerically;
+    /// otherwise values are ordered by type first
+    /// (`Null < Bool < numeric < Str`).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.total_cmp(&b),
+                _ => self.type_rank().cmp(&other.type_rank()),
+            },
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Renders the value as it would appear inside a SQL literal.
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format_float(*v),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Timestamp(v) => v.to_string(),
+        }
+    }
+}
+
+/// Formats a float without superfluous trailing zeros but always with a
+/// decimal point so that it round-trips as a float literal.
+pub(crate) fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Integers and floats that compare equal must hash equally,
+            // so hash every numeric value through its f64 bit pattern.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                let canon = if v.is_nan() { f64::NAN } else { *v };
+                // Normalise -0.0 and +0.0 to the same bucket.
+                let canon = if canon == 0.0 { 0.0 } else { canon };
+                canon.to_bits().hash(state);
+            }
+            Value::Timestamp(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => f.write_str(&format_float(*v)),
+            Value::Str(s) => f.write_str(s),
+            Value::Timestamp(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Int.name(), "int");
+        assert_eq!(DataType::Float.to_string(), "float");
+        assert_eq!(DataType::Str.name(), "str");
+    }
+
+    #[test]
+    fn numeric_types_are_numeric() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Timestamp.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+    }
+
+    #[test]
+    fn unify_coerces_numerics() {
+        assert_eq!(DataType::unify(DataType::Int, DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::unify(DataType::Null, DataType::Str), Some(DataType::Str));
+        assert_eq!(DataType::unify(DataType::Str, DataType::Int), None);
+        assert_eq!(DataType::unify(DataType::Int, DataType::Int), Some(DataType::Int));
+    }
+
+    #[test]
+    fn int_and_float_compare_numerically() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(-1.0) < Value::Int(0));
+    }
+
+    #[test]
+    fn equal_numerics_hash_equally() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn nan_is_self_equal() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(hash_of(&Value::Float(f64::NAN)), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::str("apple") < Value::str("banana"));
+        assert!(Value::Int(7) < Value::str(""));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Int(3).to_sql_literal(), "3");
+        assert_eq!(Value::Float(3.5).to_sql_literal(), "3.5");
+        assert_eq!(Value::Float(3.0).to_sql_literal(), "3.0");
+        assert_eq!(Value::str("O'Brien").to_sql_literal(), "'O''Brien'");
+        assert_eq!(Value::Bool(true).to_sql_literal(), "TRUE");
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        assert_eq!(Value::Int(12).to_string(), "12");
+        assert_eq!(Value::Float(1.25).to_string(), "1.25");
+        assert_eq!(Value::str("hello").to_string(), "hello");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(2.0f64), Value::Float(2.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from("s".to_string()), Value::str("s"));
+    }
+}

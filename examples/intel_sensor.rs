@@ -1,0 +1,79 @@
+//! The paper's running Intel-Lab example (Figures 4 and 6): hot sensors.
+//!
+//! The analyst computes average and standard deviation of temperature in
+//! 30-minute windows, highlights the windows with suspiciously high
+//! standard deviation, zooms in, highlights the readings above 100°F, and
+//! asks DBWipes why. The ranked predicates point at the failing sensors
+//! (their ids and collapsing battery voltage); clicking one repairs the
+//! aggregate series.
+//!
+//! Run with: `cargo run --release --example intel_sensor`
+
+use dbwipes::dashboard::{render_ascii, Brush, DashboardSession};
+use dbwipes::data::{generate_sensor, SensorConfig};
+use dbwipes::{DbWipes, ErrorMetric};
+
+fn main() {
+    let config = SensorConfig { num_readings: 120_000, ..SensorConfig::default() };
+    let dataset = generate_sensor(&config);
+    println!(
+        "generated {} readings from {} sensors; {}",
+        dataset.table.num_rows(),
+        config.num_sensors,
+        dataset.truth.description
+    );
+
+    let mut db = DbWipes::new();
+    db.register(dataset.table.clone()).expect("register");
+    let mut session = DashboardSession::new(db);
+
+    // Figure 4 (left): avg and stddev of temperature per 30-minute window.
+    let sql = dataset.window_query();
+    println!("\nquery: {sql}\n");
+    session.run_query(&sql).expect("query");
+    let plot = session.plot("window", "std_temp").expect("plot");
+    println!("{}", render_ascii(&plot, 100, 20));
+
+    // Brush the high-stddev windows.
+    let suspicious = session.brush_outputs("window", "std_temp", Brush::above(8.0));
+    println!("brushed {} windows with std_temp > 8\n", suspicious.len());
+
+    // Figure 4 (right): zoom in to the raw readings and highlight the
+    // >100°F values.
+    let zoom = session.zoom("sensorid", "temp").expect("zoom");
+    println!("zoomed into {} readings:", zoom.len());
+    println!("{}", render_ascii(&zoom, 100, 20));
+    let examples = session.brush_inputs("sensorid", "temp", Brush::above(100.0));
+    println!("highlighted {} readings above 100F as D'\n", examples.len());
+
+    // Error metric: the windows' temperature spread is too high.
+    session.set_metric(ErrorMetric::too_high("std_temp", 5.0));
+
+    // Figure 6: the ranked list of predicates.
+    let explanation = session.debug().expect("explanation");
+    println!("ranked predicates (Figure 6):\n{}\n", explanation.to_display());
+
+    // How well does the best predicate match the ground-truth failing sensors?
+    let best = &session.ranked_predicates()[0];
+    let score = dataset.truth.score_predicate(&dataset.table, &best.predicate);
+    println!(
+        "best predicate matches the injected failures with precision={:.2} recall={:.2}",
+        score.precision, score.recall
+    );
+
+    // Click it and compare the spread before/after.
+    let before = max_std(&session);
+    session.click_predicate(0).expect("clean");
+    let after = max_std(&session);
+    println!("\nmax window stddev: {before:.1} -> {after:.1} after cleaning");
+    println!("rewritten query: {}", session.current_sql());
+    let plot = session.plot("window", "std_temp").expect("plot");
+    println!("\n{}", render_ascii(&plot, 100, 20));
+}
+
+fn max_std(session: &DashboardSession) -> f64 {
+    let result = session.result().expect("result");
+    (0..result.len())
+        .filter_map(|i| result.value_f64(i, "std_temp").unwrap())
+        .fold(f64::NEG_INFINITY, f64::max)
+}

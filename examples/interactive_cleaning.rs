@@ -1,0 +1,122 @@
+//! Iterative clean-as-you-query: keep clicking predicates until the error
+//! metric is satisfied, then undo everything.
+//!
+//! The demo's core interaction is a *loop*: each applied predicate rewrites
+//! the query, the visualization updates, and the user can immediately
+//! explore the next suspicious point. This example drives that loop
+//! programmatically on a dataset with two separate corruption causes, shows
+//! how the error metric shrinks after every click, compares query-rewriting
+//! cleaning with physical deletion, and finally undoes the whole session.
+//!
+//! Run with: `cargo run --release --example interactive_cleaning`
+
+use dbwipes::core::{suggest_metrics, CleaningStrategy, ErrorMetric, ExplanationRequest};
+use dbwipes::data::{generate_corrupted, CorruptionConfig};
+use dbwipes::DbWipes;
+
+fn main() {
+    // Two corrupted devices create two overlapping anomalies.
+    let dataset = generate_corrupted(&CorruptionConfig {
+        num_rows: 12_000,
+        num_devices: 20,
+        corrupted_devices: vec![3, 13],
+        corruption_shift: 150.0,
+        ..CorruptionConfig::default()
+    });
+    println!("ground truth: {}\n", dataset.truth.description);
+
+    let mut db = DbWipes::new();
+    db.register(dataset.table.clone()).expect("register");
+    let sql = dataset.group_avg_query();
+    let mut result = db.query(&sql).expect("query");
+
+    // Build the error metric from the data itself, the way the dashboard's
+    // error form does: "normal" groups define the expected ceiling.
+    let values: Vec<f64> =
+        (0..result.len()).filter_map(|i| result.value_f64(i, "avg_value").unwrap()).collect();
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > 62.0)
+        .collect();
+    let normal: Vec<f64> = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !suspicious.contains(i))
+        .map(|(_, v)| *v)
+        .collect();
+    let selected_vals: Vec<f64> = suspicious
+        .iter()
+        .filter_map(|&i| result.value_f64(i, "avg_value").unwrap())
+        .collect();
+    let metric = suggest_metrics("avg_value", &selected_vals, &normal)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| ErrorMetric::too_high("avg_value", 62.0));
+    println!("error metric: {metric}");
+    println!("{} suspicious groups selected\n", suspicious.len());
+
+    // Iteratively explain + clean until the error is (almost) gone.
+    let mut session = dbwipes::CleaningSession::new(result.statement.clone());
+    let table = dataset.table.clone();
+    let mut round = 0;
+    loop {
+        round += 1;
+        let error = metric.evaluate_result(&result, &suspicious_rows(&result, 62.0));
+        println!("round {round}: error = {error:.2}, applied predicates = {}", session.applied().len());
+        if error < 1.0 || round > 5 {
+            break;
+        }
+        let mut request = ExplanationRequest::new(
+            suspicious_rows(&result, 62.0),
+            vec![],
+            metric.clone(),
+        );
+        // Alternate the cleaning strategy just to exercise both paths.
+        request.config.enumerator.cleaning =
+            if round % 2 == 0 { CleaningStrategy::NaiveBayes } else { CleaningStrategy::KMeans };
+        let explanation = match dbwipes::core::explain_on_table(&table, &result, &request) {
+            Ok(e) => e,
+            Err(err) => {
+                println!("  no further explanation: {err}");
+                break;
+            }
+        };
+        let Some(best) = explanation.best() else {
+            println!("  no predicates returned");
+            break;
+        };
+        println!("  applying: {}", best.summary());
+        session.apply(best.predicate.clone());
+        result = session.execute(&table).expect("cleaned query");
+    }
+
+    println!("\nfinal rewritten query:\n  {}\n", session.current_sql());
+
+    // Compare with physically deleting the matched tuples instead.
+    let mut physical = DbWipes::new();
+    physical.register(dataset.table.clone()).expect("register");
+    let mut removed_total = 0;
+    for predicate in session.applied() {
+        removed_total += physical.clean("measurements", predicate).expect("clean").len();
+    }
+    let physical_result = physical.query(&sql).expect("query after physical cleaning");
+    println!(
+        "physical cleaning removed {removed_total} rows; max group average is now {:.1}",
+        (0..physical_result.len())
+            .filter_map(|i| physical_result.value_f64(i, "avg_value").unwrap())
+            .fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    // Undo everything.
+    while session.undo().is_some() {}
+    let restored = session.execute(&table).expect("restored query");
+    println!(
+        "after undoing all predicates the anomaly is back: {} groups above 62",
+        suspicious_rows(&restored, 62.0).len()
+    );
+}
+
+fn suspicious_rows(result: &dbwipes::QueryResult, threshold: f64) -> Vec<usize> {
+    (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_value").unwrap().unwrap_or(0.0) > threshold)
+        .collect()
+}

@@ -1,0 +1,122 @@
+//! Integration test: the Intel-sensor running example (Figures 4 and 6).
+
+use dbwipes::dashboard::{Brush, DashboardSession};
+use dbwipes::data::{generate_sensor, SensorConfig};
+use dbwipes::{DbWipes, ErrorMetric, ExplanationRequest};
+
+fn dataset() -> dbwipes::data::SensorDataset {
+    generate_sensor(&SensorConfig { num_readings: 27_000, ..SensorConfig::default() })
+}
+
+#[test]
+fn failing_sensors_inflate_window_statistics() {
+    let ds = dataset();
+    let mut db = DbWipes::new();
+    db.register(ds.table.clone()).unwrap();
+    let result = db.query(&ds.window_query()).unwrap();
+    assert!(result.len() > 1);
+
+    // At least one window has a visibly inflated standard deviation, and the
+    // windows before the failure point stay normal.
+    let stds: Vec<f64> =
+        (0..result.len()).filter_map(|i| result.value_f64(i, "std_temp").unwrap()).collect();
+    let max_std = stds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_std = stds.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(max_std > 8.0, "max std {max_std}");
+    assert!(min_std < 5.0, "min std {min_std}");
+}
+
+#[test]
+fn the_sensor_walkthrough_finds_a_low_voltage_or_sensor_id_predicate() {
+    let ds = dataset();
+    let mut db = DbWipes::new();
+    db.register(ds.table.clone()).unwrap();
+    let mut session = DashboardSession::new(db);
+    session.run_query(&ds.window_query()).unwrap();
+
+    let suspicious = session.brush_outputs("window", "std_temp", Brush::above(8.0));
+    assert!(!suspicious.is_empty());
+    let examples = session.brush_inputs("sensorid", "temp", Brush::above(100.0));
+    assert!(!examples.is_empty());
+    assert!(examples.iter().all(|r| ds.truth.is_error(*r)));
+
+    session.set_metric(ErrorMetric::too_high("std_temp", 5.0));
+    let explanation = session.debug().unwrap();
+    let best = explanation.best().unwrap();
+    let text = best.predicate.to_string();
+    assert!(
+        text.contains("voltage") || text.contains("sensorid"),
+        "unexpected best predicate: {text}"
+    );
+    assert!(best.improvement > 0.7, "improvement {}", best.improvement);
+
+    // The best predicate's matches are (almost) exactly the corrupted rows.
+    let score = ds.truth.score_predicate(&ds.table, &best.predicate);
+    assert!(score.recall > 0.9, "recall {}", score.recall);
+    assert!(score.precision > 0.6, "precision {}", score.precision);
+
+    // Clicking it brings every window's spread back to normal.
+    session.click_predicate(0).unwrap();
+    let result = session.result().unwrap();
+    let max_std = (0..result.len())
+        .filter_map(|i| result.value_f64(i, "std_temp").unwrap())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(max_std < 8.0, "max std after cleaning: {max_std}");
+}
+
+#[test]
+fn explanations_work_per_sensor_grouping_too() {
+    // Grouping by sensor id (instead of window) makes the broken sensors the
+    // suspicious groups themselves; the explanation must then lean on
+    // non-group attributes such as voltage.
+    let ds = dataset();
+    let mut db = DbWipes::new();
+    db.register(ds.table.clone()).unwrap();
+    let result =
+        db.query("SELECT sensorid, avg(temp) AS avg_temp FROM readings GROUP BY sensorid").unwrap();
+    let suspicious: Vec<usize> = (0..result.len())
+        .filter(|&i| result.value_f64(i, "avg_temp").unwrap().unwrap_or(0.0) > 40.0)
+        .collect();
+    assert_eq!(suspicious.len(), ds.config.failing_sensors.len());
+
+    let request = ExplanationRequest::new(
+        suspicious,
+        vec![],
+        ErrorMetric::too_high("avg_temp", 30.0),
+    );
+    let explanation = db.explain(&result, &request).unwrap();
+    let best = explanation.best().unwrap();
+    // With the failing sensors *being* the suspicious groups, the valid
+    // explanations are the collapsed battery voltage or the time at which
+    // the failure started (the corrupted readings are the late ones).
+    let text = best.predicate.to_string();
+    assert!(
+        ["voltage", "epoch", "window", "hour"].iter().any(|c| text.contains(c)),
+        "unexpected predicate: {text}"
+    );
+    assert!(best.improvement > 0.5);
+    // Component timings are all populated.
+    assert!(explanation.timings.preprocess_ms >= 0.0);
+    assert!(explanation.timings.total_ms() > 0.0);
+}
+
+#[test]
+fn lineage_links_every_suspicious_window_to_its_readings() {
+    let ds = dataset();
+    let mut db = DbWipes::new();
+    db.register(ds.table.clone()).unwrap();
+    let result = db.query(&ds.window_query()).unwrap();
+    let table = db.catalog().table("readings").unwrap();
+    for i in 0..result.len() {
+        let window = result.value(i, "window").unwrap().as_i64().unwrap();
+        let inputs = result.inputs_of(i);
+        assert!(!inputs.is_empty());
+        for rid in inputs {
+            let w = table.value_by_name(*rid, "window").unwrap().as_i64().unwrap();
+            assert_eq!(w, window);
+        }
+    }
+    // The union of all lineage sets covers the whole table exactly once.
+    let all: usize = (0..result.len()).map(|i| result.inputs_of(i).len()).sum();
+    assert_eq!(all, ds.table.num_rows());
+}

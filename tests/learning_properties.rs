@@ -1,0 +1,150 @@
+//! Property-based tests over the learning substrate and the parser —
+//! invariants the Predicate Enumerator depends on.
+
+use dbwipes::engine::parse_select;
+use dbwipes::learn::{
+    discover_subgroups, DecisionTree, FeatureSpace, SplitCriterion, SubgroupConfig, TreeConfig,
+};
+use dbwipes::storage::{DataType, Schema, Value};
+use dbwipes::{RowId, Table};
+use proptest::prelude::*;
+
+/// A random labelled table: numeric `x`, numeric `y`, categorical `tag`,
+/// plus a label column used as ground truth (the label is *not* part of the
+/// feature space).
+fn labelled_table() -> impl Strategy<Value = (Table, Vec<bool>)> {
+    let row = (0.0..100.0f64, -10.0..10.0f64, 0usize..4, any::<bool>());
+    proptest::collection::vec(row, 8..80).prop_map(|rows| {
+        let schema = Schema::of(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+            ("tag", DataType::Str),
+        ]);
+        let mut t = Table::new("d", schema).unwrap();
+        let mut labels = Vec::new();
+        for (x, y, tag, noise) in rows {
+            // Ground truth: positive iff x > 60, with a little label noise so
+            // trees cannot always be perfect.
+            let label = x > 60.0 || (noise && x > 55.0);
+            t.push_row(vec![
+                Value::Float(x),
+                Value::Float(y),
+                Value::str(format!("t{tag}")),
+            ])
+            .unwrap();
+            labels.push(label);
+        }
+        (t, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every positive rule extracted from a decision tree is *consistent*:
+    /// the rows it covers (via the compiled predicate) are exactly the rows
+    /// that reach that leaf, so each covered training row satisfies the
+    /// predicate and the rule's class counts add up.
+    #[test]
+    fn tree_rules_compile_to_predicates_that_cover_their_leaves((table, labels) in labelled_table()) {
+        let rows: Vec<RowId> = table.visible_row_ids().collect();
+        let space = FeatureSpace::build_excluding(&table, &[], &rows);
+        let dataset = space.extract(&table, &rows);
+        for criterion in [SplitCriterion::Gini, SplitCriterion::GainRatio] {
+            let tree = DecisionTree::train(
+                &dataset,
+                &labels,
+                TreeConfig { criterion, ..TreeConfig::default() },
+            );
+            for rule in tree.positive_rules() {
+                let predicate = rule.to_predicate(&space);
+                let covered = predicate.matching_rows(&table);
+                // The predicate merges the path tests, so it can only be
+                // *looser* than the exact leaf membership — never tighter:
+                // every row predicted positive by the tree and covered by the
+                // leaf's path must satisfy the predicate.
+                prop_assert!(covered.len() >= rule.pos.min(1));
+                // Predicted-positive instances must satisfy at least one
+                // positive rule's predicate.
+            }
+            // Global consistency: every instance predicted positive satisfies
+            // at least one extracted positive rule.
+            let rules: Vec<_> = tree.positive_rules();
+            for (i, instance) in dataset.instances.iter().enumerate() {
+                if tree.predict(instance) {
+                    let rid = rows[i];
+                    let covered_by_some = rules.iter().any(|r| r.to_predicate(&space).matches(&table, rid));
+                    prop_assert!(covered_by_some, "row {rid} predicted positive but matched no rule");
+                }
+            }
+        }
+    }
+
+    /// Subgroup discovery only returns rules with strictly positive WRAcc
+    /// whose reported coverage matches a recount over the dataset.
+    #[test]
+    fn subgroups_report_accurate_coverage((table, labels) in labelled_table()) {
+        let rows: Vec<RowId> = table.visible_row_ids().collect();
+        let space = FeatureSpace::build_excluding(&table, &[], &rows);
+        let dataset = space.extract(&table, &rows);
+        let subgroups = discover_subgroups(&dataset, &labels, &SubgroupConfig::default());
+        for sg in subgroups {
+            prop_assert!(sg.wracc > 0.0);
+            let covered = sg.covered_indices(&dataset);
+            let pos = covered.iter().filter(|&&i| labels[i]).count();
+            let neg = covered.len() - pos;
+            prop_assert_eq!(pos, sg.covered_pos);
+            prop_assert_eq!(neg, sg.covered_neg);
+            prop_assert!(pos >= SubgroupConfig::default().min_positive_coverage);
+        }
+    }
+
+    /// Statements survive a render → parse → render round trip: the SQL the
+    /// dashboard displays can always be re-submitted through the query form.
+    #[test]
+    fn statement_sql_round_trips(
+        threshold in -100i64..100,
+        limit in proptest::option::of(1usize..50),
+        desc in any::<bool>(),
+    ) {
+        let direction = if desc { "DESC" } else { "ASC" };
+        let limit_clause = limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default();
+        let sql = format!(
+            "SELECT grp, avg(value) AS a, count(*) FROM m WHERE value > {threshold} AND tag LIKE '%x%' \
+             GROUP BY grp ORDER BY a {direction}{limit_clause}"
+        );
+        let first = parse_select(&sql).unwrap();
+        let rendered = first.to_sql();
+        let second = parse_select(&rendered).unwrap();
+        prop_assert_eq!(rendered.clone(), second.to_sql());
+        prop_assert_eq!(first, second);
+    }
+
+    /// Error metrics are non-negative, zero on the empty selection, and
+    /// monotone in the offending direction.
+    #[test]
+    fn error_metrics_are_nonnegative_and_monotone(
+        threshold in -50.0..50.0f64,
+        value in -100.0..100.0f64,
+        bump in 0.0..50.0f64,
+    ) {
+        use dbwipes::ErrorMetric;
+        let high = ErrorMetric::too_high("c", threshold);
+        let low = ErrorMetric::too_low("c", threshold);
+        let eq = ErrorMetric::not_equal_to("c", threshold);
+        for m in [&high, &low, &eq] {
+            prop_assert!(m.evaluate(&[Some(value)]) >= 0.0);
+            prop_assert_eq!(m.evaluate(&[]), 0.0);
+            prop_assert_eq!(m.evaluate(&[None]), 0.0);
+        }
+        // Raising a value never decreases a "too high" error and never
+        // increases a "too low" error.
+        prop_assert!(high.evaluate(&[Some(value + bump)]) >= high.evaluate(&[Some(value)]));
+        prop_assert!(low.evaluate(&[Some(value + bump)]) <= low.evaluate(&[Some(value)]));
+        // The paper's diff metric equals the max single-value excess.
+        let diff = ErrorMetric::diff("c", threshold);
+        let vals = [Some(value), Some(value + bump)];
+        let expected = (value + bump - threshold).max(0.0).max((value - threshold).max(0.0));
+        prop_assert!((diff.evaluate(&vals) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the storage, engine and provenance invariants
+//! the rest of the system relies on.
+
+use dbwipes::engine::{execute, parse_select, ExecOptions};
+use dbwipes::storage::{col, lit, Condition, ConjunctivePredicate, DataType, Schema, Value};
+use dbwipes::{RowId, Table};
+use proptest::prelude::*;
+
+/// A small random table of sensor-style rows.
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let row = (0i64..4, 0i64..6, prop_oneof![Just(None), (-50.0..150.0f64).prop_map(Some)]);
+    proptest::collection::vec(row, 1..60).prop_map(|rows| {
+        let schema = Schema::of(&[
+            ("grp", DataType::Int),
+            ("device", DataType::Int),
+            ("value", DataType::Float),
+        ]);
+        let mut t = Table::new("m", schema).unwrap();
+        for (g, d, v) in rows {
+            t.push_row(vec![
+                Value::Int(g),
+                Value::Int(d),
+                v.map(Value::Float).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lineage of a group-by query partitions exactly the rows that pass
+    /// the WHERE clause: every filtered row appears in exactly one group.
+    #[test]
+    fn lineage_partitions_the_filtered_input(table in arbitrary_table(), threshold in -60.0..160.0f64) {
+        let stmt = parse_select(&format!(
+            "SELECT grp, avg(value) FROM m WHERE value > {threshold} GROUP BY grp"
+        )).unwrap();
+        let result = execute(&table, &stmt, ExecOptions::default()).unwrap();
+        let mut all_inputs: Vec<RowId> = (0..result.len()).flat_map(|i| result.inputs_of(i).to_vec()).collect();
+        all_inputs.sort();
+        let mut expected: Vec<RowId> = col("value").gt(lit(threshold)).filter(&table).unwrap();
+        expected.sort();
+        prop_assert_eq!(all_inputs.clone(), expected);
+        // No duplicates across groups.
+        let mut dedup = all_inputs.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all_inputs.len());
+    }
+
+    /// Aggregates computed by the engine match a naive reference computation
+    /// over the lineage rows.
+    #[test]
+    fn aggregates_match_naive_reference(table in arbitrary_table()) {
+        let stmt = parse_select(
+            "SELECT grp, avg(value), sum(value), count(value), min(value), max(value) FROM m GROUP BY grp",
+        ).unwrap();
+        let result = execute(&table, &stmt, ExecOptions::default()).unwrap();
+        for i in 0..result.len() {
+            let values: Vec<f64> = result
+                .inputs_of(i)
+                .iter()
+                .filter_map(|&r| table.value_by_name(r, "value").unwrap().as_f64())
+                .collect();
+            let avg = result.value_f64(i, "avg_value").unwrap();
+            let sum = result.value_f64(i, "sum_value").unwrap();
+            let count = result.value_f64(i, "count_value").unwrap().unwrap();
+            let min = result.value_f64(i, "min_value").unwrap();
+            let max = result.value_f64(i, "max_value").unwrap();
+            prop_assert_eq!(count as usize, values.len());
+            if values.is_empty() {
+                prop_assert!(avg.is_none());
+                prop_assert!(sum.is_none());
+                prop_assert!(min.is_none());
+                prop_assert!(max.is_none());
+            } else {
+                let naive_sum: f64 = values.iter().sum();
+                prop_assert!((sum.unwrap() - naive_sum).abs() < 1e-6);
+                prop_assert!((avg.unwrap() - naive_sum / values.len() as f64).abs() < 1e-6);
+                prop_assert!((min.unwrap() - values.iter().copied().fold(f64::INFINITY, f64::min)).abs() < 1e-9);
+                prop_assert!((max.unwrap() - values.iter().copied().fold(f64::NEG_INFINITY, f64::max)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Clean-as-you-query soundness: rewriting the query with `AND NOT p` is
+    /// equivalent to physically deleting the rows matching `p`.
+    #[test]
+    fn query_rewrite_equals_physical_deletion(table in arbitrary_table(), device in 0i64..6) {
+        let predicate = ConjunctivePredicate::new(vec![Condition::equals("device", device)]);
+        let stmt = parse_select("SELECT grp, avg(value), count(*) FROM m GROUP BY grp").unwrap();
+
+        let rewritten_stmt = stmt.with_additional_filter(predicate.to_exclusion_expr());
+        let rewritten = execute(&table, &rewritten_stmt, ExecOptions::default()).unwrap();
+
+        let mut physical = table.clone();
+        let matching = predicate.matching_rows(&physical);
+        physical.delete_rows(&matching).unwrap();
+        let deleted = execute(&physical, &stmt, ExecOptions::default()).unwrap();
+
+        prop_assert_eq!(rewritten.rows, deleted.rows);
+    }
+
+    /// A conjunctive predicate matches a row iff its compiled expression
+    /// evaluates to TRUE on that row, and its matched set plus its exclusion
+    /// set cover every visible row exactly once.
+    #[test]
+    fn predicate_and_expression_agree(table in arbitrary_table(), low in -50.0..150.0f64, device in 0i64..6) {
+        let predicate = ConjunctivePredicate::new(vec![
+            Condition::above("value", low),
+            Condition::equals("device", device),
+        ]);
+        let matched = predicate.matching_rows(&table);
+        let via_expr = predicate.to_expr().filter(&table).unwrap();
+        prop_assert_eq!(matched.clone(), via_expr);
+        let excluded = predicate.to_exclusion_expr().filter(&table).unwrap();
+        // NULL `value` rows satisfy neither the predicate nor its negation
+        // (SQL three-valued logic), so matched + excluded <= all rows.
+        prop_assert!(matched.len() + excluded.len() <= table.num_rows());
+        for r in &matched {
+            prop_assert!(!excluded.contains(r));
+        }
+    }
+
+    /// The influence of every tuple is bounded by the base error when the
+    /// metric combines penalties with `Sum` over a single selected group,
+    /// and removing the *most* influential tuple never increases the error
+    /// beyond the base (sanity of leave-one-out analysis).
+    #[test]
+    fn influence_is_consistent_with_base_error(table in arbitrary_table(), threshold in 0.0..80.0f64) {
+        let stmt = parse_select("SELECT grp, avg(value) FROM m GROUP BY grp").unwrap();
+        let result = execute(&table, &stmt, ExecOptions::default()).unwrap();
+        if result.is_empty() {
+            return Ok(());
+        }
+        let metric = dbwipes::ErrorMetric::too_high("avg_value", threshold);
+        let selected = vec![0usize];
+        let report = dbwipes::core::rank_influence(&table, &result, &selected, &metric);
+        let report = match report {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(report.base_error >= 0.0);
+        for t in &report.influences {
+            // influence = base - after, and after >= 0, so influence <= base.
+            prop_assert!(t.influence <= report.base_error + 1e-9);
+        }
+    }
+
+    /// CSV round-trips preserve every visible row.
+    #[test]
+    fn csv_round_trip(table in arbitrary_table()) {
+        let csv = dbwipes::storage::csv::to_csv(&table);
+        let back = dbwipes::storage::csv::from_csv("m", &csv).unwrap();
+        prop_assert_eq!(back.num_rows(), table.visible_rows());
+        for (new_idx, old_id) in table.visible_row_ids().enumerate() {
+            let original = table.row(old_id).unwrap();
+            let round_tripped = back.row(RowId(new_idx)).unwrap();
+            prop_assert_eq!(original, round_tripped);
+        }
+    }
+}
