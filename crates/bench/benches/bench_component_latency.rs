@@ -19,11 +19,8 @@ fn bench_components(c: &mut Criterion) {
     let examples = hot_readings(&dataset, &result, &suspicious);
     let influence = rank_influence(&dataset.table, &result, &suspicious, &metric).unwrap();
     let f_rows = influence.inputs();
-    let space = FeatureSpace::build_excluding(
-        &dataset.table,
-        &["temp".into(), "window".into()],
-        &f_rows,
-    );
+    let space =
+        FeatureSpace::build_excluding(&dataset.table, &["temp".into(), "window".into()], &f_rows);
     let candidates = enumerate_candidates(
         &dataset.table,
         &space,
@@ -34,7 +31,13 @@ fn bench_components(c: &mut Criterion) {
     let predicates: Vec<_> = candidates
         .iter()
         .flat_map(|cand| {
-            enumerate_predicates(&dataset.table, &space, &f_rows, cand, &PredicateEnumConfig::default())
+            enumerate_predicates(
+                &dataset.table,
+                &space,
+                &f_rows,
+                cand,
+                &PredicateEnumConfig::default(),
+            )
         })
         .collect();
 

@@ -32,7 +32,8 @@ fn bench_enumerator(c: &mut Criterion) {
         ("naive_bayes_with_subgroups", CleaningStrategy::NaiveBayes, true),
     ];
     for (name, cleaning, extend) in variants {
-        let config = EnumeratorConfig { cleaning, extend_with_subgroups: extend, ..Default::default() };
+        let config =
+            EnumeratorConfig { cleaning, extend_with_subgroups: extend, ..Default::default() };
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
             b.iter(|| {
                 black_box(enumerate_candidates(&dataset.table, &space, &examples, &influence, cfg))

@@ -20,9 +20,7 @@ fn bench_ranker(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(3));
     for &n_predicates in &[4usize, 16, 64] {
         let predicates: Vec<ConjunctivePredicate> = (0..n_predicates)
-            .map(|i| {
-                ConjunctivePredicate::new(vec![Condition::equals("device", (i % 20) as i64)])
-            })
+            .map(|i| ConjunctivePredicate::new(vec![Condition::equals("device", (i % 20) as i64)]))
             .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(n_predicates),

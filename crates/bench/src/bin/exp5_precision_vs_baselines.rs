@@ -89,7 +89,9 @@ fn main() {
         &["strategy", "returned_rows", "precision", "recall", "f1", "answer"],
         &rows,
     );
-    println!("\nPaper expectation: traditional provenance returns thousands of tuples with very low");
+    println!(
+        "\nPaper expectation: traditional provenance returns thousands of tuples with very low"
+    );
     println!("precision; DBWipes returns a one/two-condition predicate whose matched tuples are");
     println!("dominated by the true errors, at equal or better recall.");
 }

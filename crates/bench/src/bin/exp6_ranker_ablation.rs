@@ -12,19 +12,31 @@ fn main() {
     let weightings: [(&str, RankerConfig); 4] = [
         (
             "error improvement only",
-            RankerConfig { weight_error: 1.0, weight_accuracy: 0.0, weight_complexity: 0.0, max_results: 10 },
+            RankerConfig {
+                weight_error: 1.0,
+                weight_accuracy: 0.0,
+                weight_complexity: 0.0,
+                max_results: 10,
+            },
         ),
         (
             "+ D' accuracy term",
-            RankerConfig { weight_error: 1.0, weight_accuracy: 0.5, weight_complexity: 0.0, max_results: 10 },
+            RankerConfig {
+                weight_error: 1.0,
+                weight_accuracy: 0.5,
+                weight_complexity: 0.0,
+                max_results: 10,
+            },
         ),
-        (
-            "+ complexity penalty (default)",
-            RankerConfig::default(),
-        ),
+        ("+ complexity penalty (default)", RankerConfig::default()),
         (
             "accuracy only (no error term)",
-            RankerConfig { weight_error: 0.0, weight_accuracy: 1.0, weight_complexity: 0.05, max_results: 10 },
+            RankerConfig {
+                weight_error: 0.0,
+                weight_accuracy: 1.0,
+                weight_complexity: 0.05,
+                max_results: 10,
+            },
         ),
     ];
     let mut rows = Vec::new();
@@ -52,14 +64,22 @@ fn main() {
     // Part 2: splitting-strategy ablation (the paper's "m standard splitting
     // and pruning strategies").
     let strategies: [(&str, Vec<TreeConfig>); 4] = [
-        ("gini only", vec![TreeConfig { criterion: SplitCriterion::Gini, ..TreeConfig::default() }]),
+        (
+            "gini only",
+            vec![TreeConfig { criterion: SplitCriterion::Gini, ..TreeConfig::default() }],
+        ),
         (
             "gain ratio only",
             vec![TreeConfig { criterion: SplitCriterion::GainRatio, ..TreeConfig::default() }],
         ),
         (
             "gini, unpruned depth 8",
-            vec![TreeConfig { criterion: SplitCriterion::Gini, max_depth: 8, prune: false, ..TreeConfig::default() }],
+            vec![TreeConfig {
+                criterion: SplitCriterion::Gini,
+                max_depth: 8,
+                prune: false,
+                ..TreeConfig::default()
+            }],
         ),
         ("gini + gain ratio + shallow gini (default)", Vec::new()),
     ];
@@ -85,8 +105,12 @@ fn main() {
         &["tree strategies", "ranked predicates", "top predicate", "improvement", "gt_f1"],
         &rows,
     );
-    println!("\nPaper expectation: the error-improvement term is what pushes genuinely explanatory");
+    println!(
+        "\nPaper expectation: the error-improvement term is what pushes genuinely explanatory"
+    );
     println!("predicates to the top; the accuracy term breaks ties toward predicates that agree");
     println!("with the user's examples; the complexity penalty keeps the descriptions short; and");
-    println!("using several splitting strategies yields a richer candidate pool than any single one.");
+    println!(
+        "using several splitting strategies yields a richer candidate pool than any single one."
+    );
 }

@@ -9,8 +9,15 @@ use std::time::Instant;
 
 fn main() {
     let dataset = sensor_dataset(216_000);
-    let aggregates =
-        ["avg(temp)", "sum(temp)", "count(*)", "min(temp)", "max(temp)", "stddev(temp)", "variance(temp)"];
+    let aggregates = [
+        "avg(temp)",
+        "sum(temp)",
+        "count(*)",
+        "min(temp)",
+        "max(temp)",
+        "stddev(temp)",
+        "variance(temp)",
+    ];
     let mut rows = Vec::new();
     for agg in aggregates {
         let sql = format!("SELECT window, {agg} FROM readings GROUP BY window");

@@ -2,7 +2,9 @@
 //! much do D′ cleaning (k-means / naive Bayes) and subgroup-discovery
 //! extension matter when the user's example selection is noisy or tiny?
 
-use dbwipes_bench::{config_with_enumerator, corrupted_dataset, corrupted_explanation, fmt, print_table};
+use dbwipes_bench::{
+    config_with_enumerator, corrupted_dataset, corrupted_explanation, fmt, print_table,
+};
 use dbwipes_core::CleaningStrategy;
 use dbwipes_storage::RowId;
 use rand::rngs::StdRng;
@@ -12,11 +14,8 @@ fn main() {
     let dataset = corrupted_dataset(12_000);
     let mut rng = StdRng::seed_from_u64(11);
     let error_rows: Vec<RowId> = dataset.truth.error_rows.iter().copied().collect();
-    let clean_rows: Vec<RowId> = dataset
-        .table
-        .visible_row_ids()
-        .filter(|r| !dataset.truth.is_error(*r))
-        .collect();
+    let clean_rows: Vec<RowId> =
+        dataset.table.visible_row_ids().filter(|r| !dataset.truth.is_error(*r)).collect();
 
     // D' with a controlled noise rate: `1 - noise` of the examples are true
     // errors, `noise` are accidental selections of clean rows.
@@ -71,8 +70,12 @@ fn main() {
         &["D'_noise", "enumerator", "candidates", "predicates", "top predicate", "improvement", "gt_f1"],
         &rows,
     );
-    println!("\nPaper expectation: with a clean D' every variant finds the right predicate; as the");
-    println!("selection gets noisier, the cleaning step (k-means / classifier) keeps the candidate");
+    println!(
+        "\nPaper expectation: with a clean D' every variant finds the right predicate; as the"
+    );
+    println!(
+        "selection gets noisier, the cleaning step (k-means / classifier) keeps the candidate"
+    );
     println!("datasets coherent and the subgroup extension recovers error tuples the user missed,");
     println!("so the variants with cleaning + extension degrade the least.");
 }

@@ -6,7 +6,9 @@
 //! the raw readings of those windows, split into the >100°F population the
 //! user highlights as D′ and the rest.
 
-use dbwipes_bench::{fmt, hot_readings, print_table, run_query, sensor_dataset, suspicious_windows};
+use dbwipes_bench::{
+    fmt, hot_readings, print_table, run_query, sensor_dataset, suspicious_windows,
+};
 
 fn main() {
     for &n in &[54_000usize, 216_000] {
@@ -28,7 +30,9 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 4 left / E2 ({n} readings): avg & stddev of temperature per 30-min window"),
+            &format!(
+                "Figure 4 left / E2 ({n} readings): avg & stddev of temperature per 30-min window"
+            ),
             &["window", "avg_temp", "std_temp", "flag"],
             &rows,
         );
@@ -41,7 +45,11 @@ fn main() {
             "Figure 4 right / E2: zoomed-in tuples of the suspicious windows",
             &["population", "readings", "share"],
             &[
-                vec!["all tuples in suspicious windows (F)".into(), inputs.len().to_string(), fmt(1.0)],
+                vec![
+                    "all tuples in suspicious windows (F)".into(),
+                    inputs.len().to_string(),
+                    fmt(1.0),
+                ],
                 vec![
                     "readings above 100F (user's D')".into(),
                     hot.len().to_string(),

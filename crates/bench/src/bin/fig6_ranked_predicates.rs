@@ -24,12 +24,26 @@ fn main() {
     }
     print_table(
         "Figure 6 / E3: ranked predicates for the sensor query (108k readings, 3 failing sensors)",
-        &["rank", "predicate", "score", "improvement", "D'_f1", "removes", "gt_precision", "gt_recall"],
+        &[
+            "rank",
+            "predicate",
+            "score",
+            "improvement",
+            "D'_f1",
+            "removes",
+            "gt_precision",
+            "gt_recall",
+        ],
         &rows,
     );
     println!("\nbase error over the selected windows: {:.2}", explanation.base_error);
-    println!("candidate datasets produced by the Dataset Enumerator: {}", explanation.candidates.len());
+    println!(
+        "candidate datasets produced by the Dataset Enumerator: {}",
+        explanation.candidates.len()
+    );
     println!("\nPaper expectation: the top predicates isolate the failing sensors (their ids /");
-    println!("collapsed battery voltage) and clicking one removes the inflated windows; predicates");
+    println!(
+        "collapsed battery voltage) and clicking one removes the inflated windows; predicates"
+    );
     println!("lower in the list remove progressively less of the error.");
 }

@@ -27,8 +27,9 @@ fn main() {
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
-        let negative_days =
-            (0..result.len()).filter(|&i| result.value_f64(i, "total").unwrap().unwrap_or(0.0) < 0.0).count();
+        let negative_days = (0..result.len())
+            .filter(|&i| result.value_f64(i, "total").unwrap().unwrap_or(0.0) < 0.0)
+            .count();
 
         let (_, explanation) = fec_explanation(&dataset, ExplainConfig::standard());
         let reattribution_rank = explanation
@@ -77,6 +78,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nPaper expectation: the spike sits near day 500, the top-ranked predicate references");
-    println!("the memo string REATTRIBUTION TO SPOUSE, and clicking it removes the negative spike.");
+    println!(
+        "\nPaper expectation: the spike sits near day 500, the top-ranked predicate references"
+    );
+    println!(
+        "the memo string REATTRIBUTION TO SPOUSE, and clicking it removes the negative spike."
+    );
 }

@@ -17,8 +17,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 use dbwipes_core::{
-    explain_on_table, CleaningStrategy, ErrorMetric, ExplainConfig, Explanation,
-    ExplanationRequest,
+    explain_on_table, CleaningStrategy, ErrorMetric, ExplainConfig, Explanation, ExplanationRequest,
 };
 use dbwipes_data::{
     generate_corrupted, generate_fec, generate_sensor, CorruptedDataset, CorruptionConfig,
@@ -67,7 +66,8 @@ pub fn run_query(table: &dbwipes_storage::Table, sql: &str) -> QueryResult {
 /// provenance-overhead experiment).
 pub fn run_query_without_lineage(table: &dbwipes_storage::Table, sql: &str) -> QueryResult {
     let stmt = parse_select(sql).expect("valid experiment query");
-    execute(table, &stmt, ExecOptions { capture_lineage: false }).expect("experiment query executes")
+    execute(table, &stmt, ExecOptions { capture_lineage: false })
+        .expect("experiment query executes")
 }
 
 /// The standard sensor-scenario selection: the windows whose temperature
@@ -120,10 +120,7 @@ pub fn sensor_explanation(
 
 /// Runs the full FEC walkthrough pipeline (Figure 7 / §3.2) and returns the
 /// query result together with the explanation.
-pub fn fec_explanation(
-    dataset: &FecDataset,
-    config: ExplainConfig,
-) -> (QueryResult, Explanation) {
+pub fn fec_explanation(dataset: &FecDataset, config: ExplainConfig) -> (QueryResult, Explanation) {
     let result = run_query(&dataset.table, &dataset.daily_total_query());
     let suspicious: Vec<usize> = (0..result.len())
         .filter(|&i| result.value_f64(i, "total").unwrap_or(None).unwrap_or(0.0) < 0.0)
@@ -145,8 +142,7 @@ pub fn fec_explanation(
     let mut request =
         ExplanationRequest::new(suspicious, examples, ErrorMetric::too_low("total", 0.0));
     request.config = config;
-    let explanation =
-        explain_on_table(&dataset.table, &result, &request).expect("fec explanation");
+    let explanation = explain_on_table(&dataset.table, &result, &request).expect("fec explanation");
     (result, explanation)
 }
 
@@ -251,7 +247,7 @@ mod tests {
         let with = run_query(&ds.table, &ds.group_avg_query());
         let without = run_query_without_lineage(&ds.table, &ds.group_avg_query());
         assert_eq!(with.rows, without.rows);
-        assert!(with.inputs_of(0).len() > 0);
+        assert!(!with.inputs_of(0).is_empty());
         assert_eq!(without.inputs_of(0).len(), 0);
         print_table("demo", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(fmt(1.23456), "1.235");

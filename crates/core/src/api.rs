@@ -225,22 +225,20 @@ pub fn explain_on_table(
 ) -> Result<Explanation, CoreError> {
     // 1. Preprocessor.
     let start = Instant::now();
-    let influence =
-        rank_influence(table, result, &request.suspicious_outputs, &request.metric)?;
+    let influence = rank_influence(table, result, &request.suspicious_outputs, &request.metric)?;
     let preprocess_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     let f_rows = influence.inputs();
 
-    // D′: the user's examples, or the top-influence tuples when none given.
+    // D′ for the ranker's agreement score: the user's examples, or the
+    // top-influence tuples when none were given. The Dataset Enumerator
+    // receives the *user's* (possibly empty) D′ below — fabricating a small
+    // capped D′ there would label only a sliver of each true error group
+    // positive and starve the decision trees of positive leaves; the
+    // enumerator instead falls back to the full influence ranking.
     let examples: Vec<RowId> = if request.suspicious_inputs.is_empty() {
         let k = ((f_rows.len() as f64 * 0.05).ceil() as usize).clamp(1, 50);
-        influence
-            .influences
-            .iter()
-            .filter(|t| t.influence > 0.0)
-            .take(k)
-            .map(|t| t.row)
-            .collect()
+        influence.influences.iter().filter(|t| t.influence > 0.0).take(k).map(|t| t.row).collect()
     } else {
         request.suspicious_inputs.clone()
     };
@@ -266,8 +264,13 @@ pub fn explain_on_table(
 
     // 2. Dataset Enumerator.
     let start = Instant::now();
-    let candidates =
-        enumerate_candidates(table, &space, &examples, &influence, &request.config.enumerator);
+    let candidates = enumerate_candidates(
+        table,
+        &space,
+        &request.suspicious_inputs,
+        &influence,
+        &request.config.enumerator,
+    );
     let enumerate_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     // 3. Predicate Enumerator.
@@ -366,11 +369,8 @@ mod tests {
         let suspicious: Vec<usize> = (0..result.len())
             .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
             .collect();
-        let request = ExplanationRequest::new(
-            suspicious,
-            Vec::new(),
-            ErrorMetric::too_high("std_temp", 4.0),
-        );
+        let request =
+            ExplanationRequest::new(suspicious, Vec::new(), ErrorMetric::too_high("std_temp", 4.0));
         let explanation = db.explain(&result, &request).unwrap();
         assert!(!explanation.predicates.is_empty());
         assert!(explanation.best().unwrap().improvement > 0.3);
@@ -412,11 +412,7 @@ mod tests {
 
     fn max_avg(result: &QueryResult) -> f64 {
         let col = result.column_index("avg_temp").unwrap();
-        result
-            .rows
-            .iter()
-            .filter_map(|r| r[col].as_f64())
-            .fold(f64::NEG_INFINITY, f64::max)
+        result.rows.iter().filter_map(|r| r[col].as_f64()).fold(f64::NEG_INFINITY, f64::max)
     }
 
     #[test]

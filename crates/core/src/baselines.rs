@@ -55,9 +55,7 @@ pub fn top_k_influence(report: &InfluenceReport, k: usize) -> ProvenanceAnswer {
 /// are removed in decreasing influence order until ε reaches zero, and a
 /// tuple's Γ is the set of *other* tuples removed before the error vanished.
 /// Tuples not needed to fix the error get responsibility 0.
-pub fn greedy_responsibility(
-    report: &InfluenceReport,
-) -> Vec<(RowId, f64)> {
+pub fn greedy_responsibility(report: &InfluenceReport) -> Vec<(RowId, f64)> {
     let base = report.base_error;
     if base <= 0.0 {
         return report.influences.iter().map(|t| (t.row, 0.0)).collect();
@@ -133,7 +131,9 @@ pub fn single_attribute_predicates(
             DataType::Int | DataType::Float | DataType::Timestamp => {
                 let mut values: Vec<f64> = f_rows
                     .iter()
-                    .filter_map(|&r| table.value_by_name(r, &field.name).ok().and_then(|v| v.as_f64()))
+                    .filter_map(|&r| {
+                        table.value_by_name(r, &field.name).ok().and_then(|v| v.as_f64())
+                    })
                     .collect();
                 if values.is_empty() {
                     continue;

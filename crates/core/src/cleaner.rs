@@ -111,7 +111,11 @@ mod tests {
     fn table() -> Table {
         let mut t = Table::new(
             "readings",
-            Schema::of(&[("window", DataType::Int), ("sensorid", DataType::Int), ("temp", DataType::Float)]),
+            Schema::of(&[
+                ("window", DataType::Int),
+                ("sensorid", DataType::Int),
+                ("temp", DataType::Float),
+            ]),
         )
         .unwrap();
         for i in 0..40i64 {

@@ -64,14 +64,19 @@ impl Default for EnumeratorConfig {
 /// E8 and the dashboard can attribute predicates to pipeline stages).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CandidateSource {
-    /// The user's example tuples, after cleaning.
+    /// The user's example tuples after the cleaning stage ran (which may
+    /// have kept all of them, or skipped clustering for a tiny D′).
     CleanedExamples,
-    /// The raw example tuples (only emitted when cleaning is disabled or
-    /// removed nothing).
+    /// The raw example tuples (only emitted when cleaning is disabled).
     RawExamples,
     /// A subgroup discovered over the high-influence portion of F; the
     /// string is the subgroup's human-readable description.
     Subgroup(String),
+    /// The top of the Preprocessor's influence ranking — the fallback used
+    /// when cleaning and subgroup extension produced no candidates (e.g. no
+    /// examples were supplied, or extension found no subgroup), so
+    /// downstream stages always receive a candidate.
+    HighInfluence,
 }
 
 /// A candidate approximation of D* (the erroneous inputs).
@@ -114,10 +119,7 @@ pub fn enumerate_candidates(
     let cleaned = clean_examples(table, space, examples, &f_rows, config);
     let cleaned_set: BTreeSet<RowId> = cleaned.iter().copied().collect();
     if !cleaned.is_empty() {
-        let source = if cleaned.len() == examples.len() && config.cleaning != CleaningStrategy::None
-        {
-            CandidateSource::CleanedExamples
-        } else if config.cleaning == CleaningStrategy::None {
+        let source = if config.cleaning == CleaningStrategy::None {
             CandidateSource::RawExamples
         } else {
             CandidateSource::CleanedExamples
@@ -136,24 +138,39 @@ pub fn enumerate_candidates(
             .take(top_n.max(cleaned.len()))
             .map(|t| t.row)
             .collect();
-        let labels: Vec<bool> = f_rows
-            .iter()
-            .map(|r| cleaned_set.contains(r) || high_influence.contains(r))
-            .collect();
+        let labels: Vec<bool> =
+            f_rows.iter().map(|r| cleaned_set.contains(r) || high_influence.contains(r)).collect();
         if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
             let dataset = space.extract(table, &f_rows);
             let subgroups = discover_subgroups(&dataset, &labels, &config.subgroup);
             for sg in subgroups {
                 let covered: BTreeSet<RowId> =
                     sg.covered_indices(&dataset).into_iter().map(|i| f_rows[i]).collect();
-                let rows: Vec<RowId> =
-                    covered.union(&cleaned_set).copied().collect();
+                let rows: Vec<RowId> = covered.union(&cleaned_set).copied().collect();
                 let description = sg.to_predicate(space).to_string();
                 candidates.push(CandidateDataset {
                     rows,
                     source: CandidateSource::Subgroup(description),
                 });
             }
+        }
+    }
+
+    // 3. Fallback: with no (usable) examples and no subgroup extension the
+    //    list can still be empty; approximate D* straight from the
+    //    Preprocessor's influence ranking so the Predicate Enumerator always
+    //    has something to train against.
+    if candidates.is_empty() && !f_rows.is_empty() {
+        let top_n = (((f_rows.len() as f64) * config.influence_fraction).ceil() as usize).max(1);
+        let rows: Vec<RowId> = influence
+            .influences
+            .iter()
+            .filter(|t| t.influence > 0.0)
+            .take(top_n)
+            .map(|t| t.row)
+            .collect();
+        if !rows.is_empty() {
+            candidates.push(CandidateDataset { rows, source: CandidateSource::HighInfluence });
         }
     }
 
@@ -321,7 +338,9 @@ mod tests {
             broken.len()
         );
         // Subgroup candidates carry a description.
-        assert!(candidates.iter().any(|cand| matches!(&cand.source, CandidateSource::Subgroup(d) if !d.is_empty())));
+        assert!(candidates
+            .iter()
+            .any(|cand| matches!(&cand.source, CandidateSource::Subgroup(d) if !d.is_empty())));
     }
 
     #[test]

@@ -134,10 +134,8 @@ pub fn rank_influence(
     let mut group_states: Vec<AggregateState> = Vec::with_capacity(selected.len());
     for &s in selected {
         let rows = result.inputs_of(s);
-        let values: Vec<Option<f64>> = rows
-            .iter()
-            .map(|&r| aggregate_arg_value(table, call, r))
-            .collect::<Result<_, _>>()?;
+        let values: Vec<Option<f64>> =
+            rows.iter().map(|&r| aggregate_arg_value(table, call, r)).collect::<Result<_, _>>()?;
         let mut state = AggregateState::new(call.func);
         for v in &values {
             state.add(*v);
@@ -188,17 +186,15 @@ mod tests {
     fn catalog() -> Catalog {
         let mut t = Table::new(
             "readings",
-            Schema::of(&[("hour", DataType::Int), ("sensorid", DataType::Int), ("temp", DataType::Float)]),
+            Schema::of(&[
+                ("hour", DataType::Int),
+                ("sensorid", DataType::Int),
+                ("temp", DataType::Float),
+            ]),
         )
         .unwrap();
         // hour 0: normal. hour 1: one broken reading of 120.
-        let rows = [
-            (0, 1, 20.0),
-            (0, 2, 22.0),
-            (1, 1, 21.0),
-            (1, 3, 120.0),
-            (1, 2, 24.0),
-        ];
+        let rows = [(0, 1, 20.0), (0, 2, 22.0), (1, 1, 21.0), (1, 3, 120.0), (1, 2, 24.0)];
         for (h, s, temp) in rows {
             t.push_row(vec![Value::Int(h), Value::Int(s), Value::Float(temp)]).unwrap();
         }
@@ -255,7 +251,8 @@ mod tests {
     #[test]
     fn metric_column_fallback_to_single_aggregate() {
         let c = catalog();
-        let r = execute_sql(&c, "SELECT hour, avg(temp) AS mean_t FROM readings GROUP BY hour").unwrap();
+        let r = execute_sql(&c, "SELECT hour, avg(temp) AS mean_t FROM readings GROUP BY hour")
+            .unwrap();
         // Column name does not match the alias, but there is only one
         // aggregate, so it is used.
         let metric = ErrorMetric::too_high("avg_temp", 30.0);
@@ -263,8 +260,14 @@ mod tests {
         assert!(report.base_error > 0.0);
 
         // With two aggregates an unknown column is ambiguous.
-        let r2 = execute_sql(&c, "SELECT hour, avg(temp), sum(temp) FROM readings GROUP BY hour").unwrap();
-        let err = rank_influence(c.table("readings").unwrap(), &r2, &[1], &ErrorMetric::too_high("nope", 0.0));
+        let r2 = execute_sql(&c, "SELECT hour, avg(temp), sum(temp) FROM readings GROUP BY hour")
+            .unwrap();
+        let err = rank_influence(
+            c.table("readings").unwrap(),
+            &r2,
+            &[1],
+            &ErrorMetric::too_high("nope", 0.0),
+        );
         assert!(err.is_err());
         // Naming one of them works.
         let ok = rank_influence(

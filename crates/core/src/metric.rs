@@ -61,23 +61,39 @@ impl ErrorMetric {
     /// "Values are too high" metric over `column` with the given expected
     /// upper bound.
     pub fn too_high(column: impl Into<String>, threshold: f64) -> Self {
-        ErrorMetric { column: column.into(), kind: MetricKind::TooHigh { threshold }, combine: Combine::Sum }
+        ErrorMetric {
+            column: column.into(),
+            kind: MetricKind::TooHigh { threshold },
+            combine: Combine::Sum,
+        }
     }
 
     /// "Values are too low" metric.
     pub fn too_low(column: impl Into<String>, threshold: f64) -> Self {
-        ErrorMetric { column: column.into(), kind: MetricKind::TooLow { threshold }, combine: Combine::Sum }
+        ErrorMetric {
+            column: column.into(),
+            kind: MetricKind::TooLow { threshold },
+            combine: Combine::Sum,
+        }
     }
 
     /// "Should be equal to" metric.
     pub fn not_equal_to(column: impl Into<String>, expected: f64) -> Self {
-        ErrorMetric { column: column.into(), kind: MetricKind::NotEqualTo { expected }, combine: Combine::Sum }
+        ErrorMetric {
+            column: column.into(),
+            kind: MetricKind::NotEqualTo { expected },
+            combine: Combine::Sum,
+        }
     }
 
     /// The paper's `diff` metric: the maximum amount any selected value
     /// exceeds the constant `c` (§2.1).
     pub fn diff(column: impl Into<String>, c: f64) -> Self {
-        ErrorMetric { column: column.into(), kind: MetricKind::TooHigh { threshold: c }, combine: Combine::Max }
+        ErrorMetric {
+            column: column.into(),
+            kind: MetricKind::TooHigh { threshold: c },
+            combine: Combine::Max,
+        }
     }
 
     /// Returns a copy using a different combination rule.
@@ -157,7 +173,8 @@ pub fn suggest_metrics(column: &str, selected: &[f64], unselected: &[f64]) -> Ve
         return suggestions;
     }
     let sel_mean = mean(selected);
-    let reference: Vec<f64> = if unselected.is_empty() { selected.to_vec() } else { unselected.to_vec() };
+    let reference: Vec<f64> =
+        if unselected.is_empty() { selected.to_vec() } else { unselected.to_vec() };
     let ref_mean = mean(&reference);
     let ref_max = reference.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let ref_min = reference.iter().copied().fold(f64::INFINITY, f64::min);
@@ -228,7 +245,7 @@ mod tests {
 
     #[test]
     fn evaluate_result_reads_the_named_column() {
-        use dbwipes_engine::{execute_sql};
+        use dbwipes_engine::execute_sql;
         use dbwipes_storage::{Catalog, DataType, Schema, Table, Value};
         let mut t = Table::new(
             "readings",

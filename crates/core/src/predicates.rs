@@ -41,7 +41,11 @@ impl Default for PredicateEnumConfig {
             tree_configs: vec![
                 TreeConfig { criterion: SplitCriterion::Gini, ..TreeConfig::default() },
                 TreeConfig { criterion: SplitCriterion::GainRatio, ..TreeConfig::default() },
-                TreeConfig { criterion: SplitCriterion::Gini, max_depth: 2, ..TreeConfig::default() },
+                TreeConfig {
+                    criterion: SplitCriterion::Gini,
+                    max_depth: 2,
+                    ..TreeConfig::default()
+                },
             ],
             mine_text_conditions: true,
             min_text_support: 3,
@@ -185,7 +189,8 @@ mod tests {
     fn trees_and_text_mining_find_the_reattribution_predicate() {
         let (t, errors, all) = fec_like();
         let space = FeatureSpace::build_excluding(&t, &["amount".into()], &all);
-        let candidate = CandidateDataset { rows: errors.clone(), source: CandidateSource::CleanedExamples };
+        let candidate =
+            CandidateDataset { rows: errors.clone(), source: CandidateSource::CleanedExamples };
         let predicates =
             enumerate_predicates(&t, &space, &all, &candidate, &PredicateEnumConfig::default());
         assert!(!predicates.is_empty());
@@ -195,10 +200,7 @@ mod tests {
             "expected a memo predicate, got {texts:?}"
         );
         // Some predicate should capture the structured signal too (occupation).
-        assert!(
-            texts.iter().any(|p| p.contains("occupation") || p.contains("memo")),
-            "{texts:?}"
-        );
+        assert!(texts.iter().any(|p| p.contains("occupation") || p.contains("memo")), "{texts:?}");
         // No duplicates.
         let unique: BTreeSet<&String> = texts.iter().collect();
         assert_eq!(unique.len(), texts.len());
@@ -233,7 +235,8 @@ mod tests {
         let empty = CandidateDataset { rows: vec![], source: CandidateSource::RawExamples };
         assert!(enumerate_predicates(&t, &space, &all, &empty, &PredicateEnumConfig::default())
             .is_empty());
-        let candidate = CandidateDataset { rows: vec![RowId(0)], source: CandidateSource::RawExamples };
+        let candidate =
+            CandidateDataset { rows: vec![RowId(0)], source: CandidateSource::RawExamples };
         assert!(enumerate_predicates(&t, &space, &[], &candidate, &PredicateEnumConfig::default())
             .is_empty());
     }

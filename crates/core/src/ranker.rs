@@ -117,8 +117,7 @@ pub fn rank_predicates(
         // Error after excluding the matching tuples: re-execute the original
         // statement with `AND NOT predicate`.
         let cleaned_stmt = result.statement.with_additional_filter(predicate.to_exclusion_expr());
-        let cleaned =
-            execute(table, &cleaned_stmt, ExecOptions { capture_lineage: false })?;
+        let cleaned = execute(table, &cleaned_stmt, ExecOptions { capture_lineage: false })?;
         let error_after = error_over_keys(&cleaned, &selected_keys, metric);
         let improvement = if error_before > 0.0 {
             ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
@@ -129,10 +128,8 @@ pub fn rank_predicates(
         // Agreement with the user's examples, measured within F.
         let matched_in_f: BTreeSet<RowId> = matched_set.intersection(&f_set).copied().collect();
         let tp = matched_in_f.intersection(&example_set).count() as f64;
-        let precision =
-            if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
-        let recall =
-            if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
+        let precision = if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
+        let recall = if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
         let example_f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -239,7 +236,8 @@ mod tests {
         assert!(ranked[0].example_f1 > 0.9);
         // The irrelevant sensor yields no improvement (removing its normal
         // readings can only raise the polluted average further).
-        let irrelevant = ranked.iter().find(|p| p.predicate.to_string().contains("sensorid = 3")).unwrap();
+        let irrelevant =
+            ranked.iter().find(|p| p.predicate.to_string().contains("sensorid = 3")).unwrap();
         assert!(irrelevant.improvement <= 0.0);
         assert!(!ranked[0].summary().is_empty());
     }

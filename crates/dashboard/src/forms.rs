@@ -108,7 +108,9 @@ mod tests {
         assert_eq!(stmt.table, "readings");
         assert_eq!(form.text(), "SELECT window, avg(temp) FROM readings GROUP BY window");
 
-        let rewritten = stmt.with_additional_filter(dbwipes_storage::col("temp").lt_eq(dbwipes_storage::lit(100.0)));
+        let rewritten = stmt.with_additional_filter(
+            dbwipes_storage::col("temp").lt_eq(dbwipes_storage::lit(100.0)),
+        );
         form.show_statement(&rewritten);
         assert!(form.text().contains("WHERE temp <= 100.0"));
         assert!(form.validate().is_ok());

@@ -204,7 +204,11 @@ mod tests {
     fn catalog() -> Catalog {
         let mut t = Table::new(
             "readings",
-            Schema::of(&[("window", DataType::Int), ("sensorid", DataType::Int), ("temp", DataType::Float)]),
+            Schema::of(&[
+                ("window", DataType::Int),
+                ("sensorid", DataType::Int),
+                ("temp", DataType::Float),
+            ]),
         )
         .unwrap();
         for i in 0..60i64 {

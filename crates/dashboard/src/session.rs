@@ -122,12 +122,7 @@ impl DashboardSession {
 
     /// Brushes the group-level plot to select suspicious outputs S (step 3).
     /// Returns the selected output indices.
-    pub fn brush_outputs(
-        &mut self,
-        x_column: &str,
-        y_column: &str,
-        brush: Brush,
-    ) -> Vec<usize> {
+    pub fn brush_outputs(&mut self, x_column: &str, y_column: &str, brush: Brush) -> Vec<usize> {
         let Some(series) = self.plot(x_column, y_column) else { return Vec::new() };
         let selected = brush.selected_outputs(&series);
         self.select_outputs(selected.clone());
@@ -196,10 +191,8 @@ impl DashboardSession {
     /// Runs the backend pipeline ("debug!") and returns the ranked
     /// predicates.
     pub fn debug(&mut self) -> Result<&Explanation, CoreError> {
-        let result = self
-            .result
-            .as_ref()
-            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+        let result =
+            self.result.as_ref().ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         let metric = self
             .metric
             .clone()
@@ -226,21 +219,17 @@ impl DashboardSession {
     /// query as `AND NOT (...)`, the query re-executes, and the
     /// visualization/query form update (step 7). Returns the new result.
     pub fn click_predicate(&mut self, index: usize) -> Result<&QueryResult, CoreError> {
-        let predicate = self
-            .ranked_predicates()
-            .get(index)
-            .map(|p| p.predicate.clone())
-            .ok_or_else(|| CoreError::invalid(format!("no ranked predicate at index {index}")))?;
+        let predicate =
+            self.ranked_predicates().get(index).map(|p| p.predicate.clone()).ok_or_else(|| {
+                CoreError::invalid(format!("no ranked predicate at index {index}"))
+            })?;
         let cleaning = self
             .cleaning
             .as_mut()
             .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         cleaning.apply(predicate);
-        let table = self
-            .db
-            .catalog()
-            .table(&cleaning.base_statement().table)
-            .map_err(CoreError::from)?;
+        let table =
+            self.db.catalog().table(&cleaning.base_statement().table).map_err(CoreError::from)?;
         let result = cleaning.execute(table)?;
         self.query_form.show_statement(&result.statement);
         self.result = Some(result);
@@ -257,11 +246,8 @@ impl DashboardSession {
             .as_mut()
             .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         cleaning.undo();
-        let table = self
-            .db
-            .catalog()
-            .table(&cleaning.base_statement().table)
-            .map_err(CoreError::from)?;
+        let table =
+            self.db.catalog().table(&cleaning.base_statement().table).map_err(CoreError::from)?;
         let result = cleaning.execute(table)?;
         self.query_form.show_statement(&result.statement);
         self.result = Some(result);

@@ -10,9 +10,7 @@
 //! so that aggregates over them become anomalous.
 
 use crate::truth::GroundTruth;
-use dbwipes_storage::{
-    Condition, ConjunctivePredicate, DataType, Schema, Table, Value,
-};
+use dbwipes_storage::{Condition, ConjunctivePredicate, DataType, Schema, Table, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,7 +70,8 @@ pub struct CorruptedDataset {
     pub config: CorruptionConfig,
 }
 
-const REGIONS: &[&str] = &["north", "south", "east", "west", "central", "remote", "campus", "plant"];
+const REGIONS: &[&str] =
+    &["north", "south", "east", "west", "central", "remote", "campus", "plant"];
 
 /// Schema of the generated `measurements` table.
 pub fn measurements_schema() -> Schema {
@@ -138,7 +137,8 @@ pub fn generate_corrupted(config: &CorruptionConfig) -> CorruptedDataset {
 impl CorruptedDataset {
     /// The per-group average query the E5/E8 experiments debug.
     pub fn group_avg_query(&self) -> String {
-        "SELECT grp, avg(value) AS avg_value FROM measurements GROUP BY grp ORDER BY grp".to_string()
+        "SELECT grp, avg(value) AS avg_value FROM measurements GROUP BY grp ORDER BY grp"
+            .to_string()
     }
 }
 
@@ -191,7 +191,8 @@ mod tests {
         assert_eq!(ds.table.num_rows(), config.num_rows);
         assert_eq!(ds.table.schema(), &measurements_schema());
         // Regions are clamped to the available list.
-        let huge = CorruptionConfig { num_regions: 100, num_rows: 100, ..CorruptionConfig::small() };
+        let huge =
+            CorruptionConfig { num_regions: 100, num_rows: 100, ..CorruptionConfig::small() };
         let ds = generate_corrupted(&huge);
         assert_eq!(ds.table.num_rows(), 100);
     }

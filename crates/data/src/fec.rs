@@ -103,7 +103,8 @@ const OCCUPATIONS: &[&str] = &[
     "PROFESSOR",
     "NOT EMPLOYED",
 ];
-const ORDINARY_MEMOS: &[&str] = &["", "", "", "", "ONLINE DONATION", "EVENT TICKET", "MAIL IN", "PAYROLL DEDUCTION"];
+const ORDINARY_MEMOS: &[&str] =
+    &["", "", "", "", "ONLINE DONATION", "EVENT TICKET", "MAIL IN", "PAYROLL DEDUCTION"];
 
 /// The schema of the generated `contributions` table.
 pub fn contributions_schema() -> Schema {

@@ -129,8 +129,8 @@ pub fn generate_sensor(config: &SensorConfig) -> SensorDataset {
             if corrupted {
                 // Battery collapse: voltage drops sharply and the reported
                 // temperature ramps towards ~122°F with extra jitter.
-                let progress =
-                    (tick - failure_tick) as f64 / (readings_per_sensor - failure_tick).max(1) as f64;
+                let progress = (tick - failure_tick) as f64
+                    / (readings_per_sensor - failure_tick).max(1) as f64;
                 voltage = 2.0 - 0.4 * progress + rng.gen_range(-0.05..0.05);
                 temp = 100.0 + 22.0 * progress + rng.gen_range(-3.0..3.0);
             }

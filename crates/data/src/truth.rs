@@ -48,15 +48,16 @@ impl GroundTruth {
 
     /// Precision/recall/F1 of a candidate predicate measured against the
     /// injected error rows, evaluated over the visible rows of `table`.
-    pub fn score_predicate(&self, table: &Table, predicate: &ConjunctivePredicate) -> PredicateScore {
+    pub fn score_predicate(
+        &self,
+        table: &Table,
+        predicate: &ConjunctivePredicate,
+    ) -> PredicateScore {
         let matched = predicate.matching_rows(table);
         let tp = matched.iter().filter(|r| self.error_rows.contains(r)).count();
         let precision = if matched.is_empty() { 0.0 } else { tp as f64 / matched.len() as f64 };
-        let recall = if self.error_rows.is_empty() {
-            0.0
-        } else {
-            tp as f64 / self.error_rows.len() as f64
-        };
+        let recall =
+            if self.error_rows.is_empty() { 0.0 } else { tp as f64 / self.error_rows.len() as f64 };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -69,11 +70,8 @@ impl GroundTruth {
     pub fn score_rows(&self, rows: &[RowId]) -> PredicateScore {
         let tp = rows.iter().filter(|r| self.error_rows.contains(r)).count();
         let precision = if rows.is_empty() { 0.0 } else { tp as f64 / rows.len() as f64 };
-        let recall = if self.error_rows.is_empty() {
-            0.0
-        } else {
-            tp as f64 / self.error_rows.len() as f64
-        };
+        let recall =
+            if self.error_rows.is_empty() { 0.0 } else { tp as f64 / self.error_rows.len() as f64 };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -159,11 +157,8 @@ mod tests {
         let s = gt.score_rows(&[]);
         assert_eq!(s.precision, 0.0);
         assert_eq!(s.f1, 0.0);
-        let empty = GroundTruth::new(
-            Vec::<RowId>::new(),
-            ConjunctivePredicate::always_true(),
-            "none",
-        );
+        let empty =
+            GroundTruth::new(Vec::<RowId>::new(), ConjunctivePredicate::always_true(), "none");
         assert_eq!(empty.score_rows(&[RowId(1)]).recall, 0.0);
     }
 }

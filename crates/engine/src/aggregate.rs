@@ -166,7 +166,8 @@ impl AggregateState {
         match (self, other) {
             (
                 AggregateState::Avg { sum, count } | AggregateState::Sum { sum, count },
-                AggregateState::Avg { sum: s2, count: c2 } | AggregateState::Sum { sum: s2, count: c2 },
+                AggregateState::Avg { sum: s2, count: c2 }
+                | AggregateState::Sum { sum: s2, count: c2 },
             ) => {
                 *sum += s2;
                 *count += c2;
@@ -254,8 +255,14 @@ mod tests {
 
     #[test]
     fn avg_sum_count() {
-        assert_eq!(AggregateState::compute(AggregateFunc::Avg, vals(&[1.0, 2.0, 3.0])), Value::Float(2.0));
-        assert_eq!(AggregateState::compute(AggregateFunc::Sum, vals(&[1.0, 2.0, 3.5])), Value::Float(6.5));
+        assert_eq!(
+            AggregateState::compute(AggregateFunc::Avg, vals(&[1.0, 2.0, 3.0])),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            AggregateState::compute(AggregateFunc::Sum, vals(&[1.0, 2.0, 3.5])),
+            Value::Float(6.5)
+        );
         assert_eq!(AggregateState::compute(AggregateFunc::Count, vals(&[1.0, 2.0])), Value::Int(2));
         // NULLs are skipped.
         assert_eq!(
@@ -279,8 +286,14 @@ mod tests {
 
     #[test]
     fn min_max() {
-        assert_eq!(AggregateState::compute(AggregateFunc::Min, vals(&[3.0, -1.0, 2.0])), Value::Float(-1.0));
-        assert_eq!(AggregateState::compute(AggregateFunc::Max, vals(&[3.0, -1.0, 2.0])), Value::Float(3.0));
+        assert_eq!(
+            AggregateState::compute(AggregateFunc::Min, vals(&[3.0, -1.0, 2.0])),
+            Value::Float(-1.0)
+        );
+        assert_eq!(
+            AggregateState::compute(AggregateFunc::Max, vals(&[3.0, -1.0, 2.0])),
+            Value::Float(3.0)
+        );
     }
 
     #[test]
@@ -298,12 +311,21 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // A single value has zero spread.
-        assert_eq!(AggregateState::compute(AggregateFunc::StdDev, vals(&[42.0])), Value::Float(0.0));
+        assert_eq!(
+            AggregateState::compute(AggregateFunc::StdDev, vals(&[42.0])),
+            Value::Float(0.0)
+        );
     }
 
     #[test]
     fn removal_matches_recomputation_for_sum_like() {
-        for func in [AggregateFunc::Avg, AggregateFunc::Sum, AggregateFunc::StdDev, AggregateFunc::Variance, AggregateFunc::Count] {
+        for func in [
+            AggregateFunc::Avg,
+            AggregateFunc::Sum,
+            AggregateFunc::StdDev,
+            AggregateFunc::Variance,
+            AggregateFunc::Count,
+        ] {
             let data = [5.0, 1.0, 9.0, 3.0, 7.0];
             let mut s = AggregateState::new(func);
             for v in data {
@@ -334,7 +356,9 @@ mod tests {
 
     #[test]
     fn removal_from_empty_state_is_rejected() {
-        for func in [AggregateFunc::Avg, AggregateFunc::Sum, AggregateFunc::Count, AggregateFunc::StdDev] {
+        for func in
+            [AggregateFunc::Avg, AggregateFunc::Sum, AggregateFunc::Count, AggregateFunc::StdDev]
+        {
             let mut s = AggregateState::new(func);
             assert!(!s.remove(Some(1.0)), "{func}");
         }

@@ -266,9 +266,7 @@ fn validate(table: &Table, stmt: &SelectStatement) -> Result<(), EngineError> {
     if let Some(pred) = &stmt.where_clause {
         let t = pred.validate(schema)?;
         if !matches!(t, DataType::Bool | DataType::Null) {
-            return Err(EngineError::plan(format!(
-                "WHERE clause must be boolean, found {t}"
-            )));
+            return Err(EngineError::plan(format!("WHERE clause must be boolean, found {t}")));
         }
     }
     for g in &stmt.group_by {
@@ -437,7 +435,8 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let r = run("SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 1");
+        let r =
+            run("SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 1");
         assert_eq!(r.len(), 1);
         assert_eq!(r.value(0, "hour").unwrap(), Value::Int(1));
         // Lineage still refers to the surviving group.
@@ -483,7 +482,8 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register(readings()).unwrap();
         catalog.table_mut("readings").unwrap().delete_row(RowId(3)).unwrap();
-        let r = execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let r =
+            execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
         assert_eq!(r.value(1, "avg_temp").unwrap(), Value::Float(21.0));
     }
 
@@ -492,9 +492,12 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register(readings()).unwrap();
         // Non-grouped column in SELECT.
-        assert!(execute_sql(&catalog, "SELECT sensorid, avg(temp) FROM readings GROUP BY hour").is_err());
+        assert!(execute_sql(&catalog, "SELECT sensorid, avg(temp) FROM readings GROUP BY hour")
+            .is_err());
         // Unknown column.
-        assert!(execute_sql(&catalog, "SELECT hour, avg(missing) FROM readings GROUP BY hour").is_err());
+        assert!(
+            execute_sql(&catalog, "SELECT hour, avg(missing) FROM readings GROUP BY hour").is_err()
+        );
         // Non-numeric aggregate argument.
         let schema = Schema::of(&[("name", DataType::Str)]);
         let mut t = Table::new("people", schema).unwrap();
@@ -509,9 +512,17 @@ mod tests {
         let stmt = parse_select("SELECT avg(x) FROM other").unwrap();
         assert!(execute(&readings(), &stmt, ExecOptions::default()).is_err());
         // ORDER BY target not in select list.
-        assert!(execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY sensorid").is_err());
+        assert!(execute_sql(
+            &catalog,
+            "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY sensorid"
+        )
+        .is_err());
         // ORDER BY ordinal out of range.
-        assert!(execute_sql(&catalog, "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY 3").is_err());
+        assert!(execute_sql(
+            &catalog,
+            "SELECT hour, avg(temp) FROM readings GROUP BY hour ORDER BY 3"
+        )
+        .is_err());
     }
 
     #[test]
@@ -527,7 +538,8 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register(readings()).unwrap();
         let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
-        let r = execute_on_catalog(&catalog, &stmt, ExecOptions { capture_lineage: false }).unwrap();
+        let r =
+            execute_on_catalog(&catalog, &stmt, ExecOptions { capture_lineage: false }).unwrap();
         assert_eq!(r.len(), 2);
         assert!(r.inputs_of(0).is_empty());
         assert_eq!(r.value(0, "avg_temp").unwrap(), Value::Float(21.0));

@@ -256,7 +256,8 @@ mod tests {
 
     #[test]
     fn tokenizes_a_full_query() {
-        let toks = kinds("SELECT avg(temp), stddev(temp) FROM readings WHERE temp >= 10.5 GROUP BY hour");
+        let toks =
+            kinds("SELECT avg(temp), stddev(temp) FROM readings WHERE temp >= 10.5 GROUP BY hour");
         assert!(toks.contains(&TokenKind::Ident("SELECT".into())));
         assert!(toks.contains(&TokenKind::Ident("avg".into())));
         assert!(toks.contains(&TokenKind::LParen));

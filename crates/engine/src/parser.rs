@@ -128,8 +128,7 @@ impl Parser {
         self.expect_keyword("FROM")?;
         let table = self.expect_ident("table name")?;
 
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
 
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -382,10 +381,7 @@ impl Parser {
                     return Ok(Expr::Literal(Value::Null));
                 }
                 if is_reserved(&name) {
-                    return Err(EngineError::parse(
-                        format!("unexpected keyword {name}"),
-                        position,
-                    ));
+                    return Err(EngineError::parse(format!("unexpected keyword {name}"), position));
                 }
                 if matches!(self.peek(), TokenKind::LParen) {
                     return Err(EngineError::parse(
@@ -444,11 +440,15 @@ mod tests {
 
     #[test]
     fn parses_count_star_and_bare_aliases() {
-        let q = parse_select("SELECT candidate, count(*) n FROM donations GROUP BY candidate").unwrap();
+        let q =
+            parse_select("SELECT candidate, count(*) n FROM donations GROUP BY candidate").unwrap();
         assert_eq!(q.items[1].alias.as_deref(), Some("n"));
         assert!(matches!(
             q.items[1].expr,
-            SelectExpr::Aggregate(AggregateCall { func: AggregateFunc::Count, arg: AggregateArg::Star })
+            SelectExpr::Aggregate(AggregateCall {
+                func: AggregateFunc::Count,
+                arg: AggregateArg::Star
+            })
         ));
     }
 

@@ -110,18 +110,19 @@ impl QueryResult {
         let names = self.column_names();
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let shown: Vec<&Vec<Value>> = self.rows.iter().take(limit).collect();
-        let rendered: Vec<Vec<String>> = shown
-            .iter()
-            .map(|r| r.iter().map(|v| format_cell(v)).collect::<Vec<_>>())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            shown.iter().map(|r| r.iter().map(format_cell).collect::<Vec<_>>()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
             }
         }
         let mut out = String::new();
-        let header: Vec<String> =
-            names.iter().enumerate().map(|(i, n)| format!("{:width$}", n, width = widths[i])).collect();
+        let header: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{:width$}", n, width = widths[i]))
+            .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
         out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));

@@ -99,7 +99,10 @@ impl FeatureSpace {
             let field = table.schema().field_at(idx).expect("index resolved");
             match field.dtype {
                 DataType::Int | DataType::Float | DataType::Timestamp | DataType::Bool => {
-                    features.push(FeatureDef { column: field.name.clone(), kind: FeatureKind::Numeric });
+                    features.push(FeatureDef {
+                        column: field.name.clone(),
+                        kind: FeatureKind::Numeric,
+                    });
                 }
                 DataType::Str => {
                     let mut values: Vec<Value> = Vec::new();
@@ -200,7 +203,12 @@ impl FeatureSpace {
 
     /// Translates a learned numeric threshold or categorical test back into
     /// a human-readable [`Condition`]. `upper=true` means `column <= value`.
-    pub fn numeric_condition(&self, feature: usize, threshold: f64, upper: bool) -> Option<Condition> {
+    pub fn numeric_condition(
+        &self,
+        feature: usize,
+        threshold: f64,
+        upper: bool,
+    ) -> Option<Condition> {
         let def = self.features.get(feature)?;
         if !matches!(def.kind, FeatureKind::Numeric) {
             return None;
@@ -214,7 +222,12 @@ impl FeatureSpace {
 
     /// Translates a categorical equality/inequality test into a
     /// [`Condition`].
-    pub fn categorical_condition(&self, feature: usize, category: usize, equal: bool) -> Option<Condition> {
+    pub fn categorical_condition(
+        &self,
+        feature: usize,
+        category: usize,
+        equal: bool,
+    ) -> Option<Condition> {
         let def = self.features.get(feature)?;
         let FeatureKind::Categorical { values } = &def.kind else { return None };
         let value = values.get(category)?.clone();
@@ -278,12 +291,8 @@ mod tests {
     fn builds_numeric_and_categorical_features() {
         let t = table();
         let rows = all_rows(&t);
-        let space = FeatureSpace::build(
-            &t,
-            &["sensorid".into(), "temp".into(), "room".into()],
-            &rows,
-            16,
-        );
+        let space =
+            FeatureSpace::build(&t, &["sensorid".into(), "temp".into(), "room".into()], &rows, 16);
         assert_eq!(space.len(), 3);
         assert!(!space.is_empty());
         assert_eq!(space.features()[0].kind, FeatureKind::Numeric);
@@ -314,8 +323,7 @@ mod tests {
     fn extraction_handles_nulls_and_unknown_categories() {
         let t = table();
         let rows = all_rows(&t);
-        let space =
-            FeatureSpace::build(&t, &["temp".into(), "room".into()], &rows[..3], 16);
+        let space = FeatureSpace::build(&t, &["temp".into(), "room".into()], &rows[..3], 16);
         let ds = space.extract(&t, &rows);
         assert_eq!(ds.len(), 4);
         assert!(!ds.is_empty());

@@ -46,12 +46,7 @@ impl KMeansResult {
 
     /// Indices of the points assigned to `cluster`.
     pub fn members_of(&self, cluster: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a == cluster)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|(_, &a)| a == cluster).map(|(i, _)| i).collect()
     }
 }
 
@@ -118,7 +113,12 @@ fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
 /// result. The `seed` makes runs reproducible across the experiment harness.
 pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -> KMeansResult {
     if points.is_empty() || k == 0 {
-        return KMeansResult { centroids: Vec::new(), assignments: Vec::new(), inertia: 0.0, iterations: 0 };
+        return KMeansResult {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
     }
     let k = k.min(points.len());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -158,7 +158,9 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| distance_sq(p, &centroids[a]).total_cmp(&distance_sq(p, &centroids[b])))
+                .min_by(|&a, &b| {
+                    distance_sq(p, &centroids[a]).total_cmp(&distance_sq(p, &centroids[b]))
+                })
                 .unwrap_or(0);
             if assignments[i] != best {
                 assignments[i] = best;
@@ -186,11 +188,8 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iterations: usize, seed: u64) -
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &a)| distance_sq(p, &centroids[a]))
-        .sum();
+    let inertia =
+        points.iter().zip(&assignments).map(|(p, &a)| distance_sq(p, &centroids[a])).sum();
     KMeansResult { centroids, assignments, inertia, iterations }
 }
 

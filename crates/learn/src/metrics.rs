@@ -30,11 +30,7 @@ pub fn entropy(pos: f64, neg: f64) -> f64 {
 }
 
 /// Weighted impurity of a two-way split under a given impurity function.
-pub fn split_impurity(
-    impurity: fn(f64, f64) -> f64,
-    left: (f64, f64),
-    right: (f64, f64),
-) -> f64 {
+pub fn split_impurity(impurity: fn(f64, f64) -> f64, left: (f64, f64), right: (f64, f64)) -> f64 {
     let n = left.0 + left.1 + right.0 + right.1;
     if n <= 0.0 {
         return 0.0;

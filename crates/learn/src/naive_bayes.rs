@@ -57,7 +57,8 @@ impl NaiveBayes {
     /// Log-likelihood ratio `log P(x | +) + log P(+) − log P(x | −) − log P(−)`.
     /// Positive values favour the positive class.
     pub fn log_odds(&self, instance: &[FeatureValue]) -> f64 {
-        class_log_likelihood(&self.positive, instance) - class_log_likelihood(&self.negative, instance)
+        class_log_likelihood(&self.positive, instance)
+            - class_log_likelihood(&self.negative, instance)
     }
 
     /// Predicts the class of an instance.

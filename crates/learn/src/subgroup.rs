@@ -89,14 +89,12 @@ impl Subgroup {
 }
 
 fn covers(tests: &[(usize, PathTest)], instance: &[FeatureValue]) -> bool {
-    tests.iter().all(|(feature, test)| {
-        match (instance.get(*feature), test) {
-            (Some(FeatureValue::Num(v)), PathTest::Le(th)) => *v <= *th,
-            (Some(FeatureValue::Num(v)), PathTest::Gt(th)) => *v > *th,
-            (Some(FeatureValue::Cat(c)), PathTest::Eq(cat)) => c == cat,
-            (Some(FeatureValue::Cat(c)), PathTest::NotEq(cat)) => c != cat,
-            _ => false,
-        }
+    tests.iter().all(|(feature, test)| match (instance.get(*feature), test) {
+        (Some(FeatureValue::Num(v)), PathTest::Le(th)) => *v <= *th,
+        (Some(FeatureValue::Num(v)), PathTest::Gt(th)) => *v > *th,
+        (Some(FeatureValue::Cat(c)), PathTest::Eq(cat)) => c == cat,
+        (Some(FeatureValue::Cat(c)), PathTest::NotEq(cat)) => c != cat,
+        _ => false,
     })
 }
 
@@ -110,11 +108,7 @@ fn candidate_tests(dataset: &Dataset, config: &SubgroupConfig) -> Vec<(usize, Pa
         for inst in &dataset.instances {
             match inst.get(feature) {
                 Some(FeatureValue::Num(v)) => numeric.push(*v),
-                Some(FeatureValue::Cat(c)) => {
-                    if !categories.contains(c) {
-                        categories.push(*c);
-                    }
-                }
+                Some(FeatureValue::Cat(c)) if !categories.contains(c) => categories.push(*c),
                 _ => {}
             }
         }
@@ -197,10 +191,12 @@ pub fn discover_subgroups(
             (wracc, covered_pos, covered_neg)
         };
 
+        // (rule tests, wracc, covered positives, covered negatives)
+        type ScoredRule = (Vec<(usize, PathTest)>, f64, usize, usize);
         let mut beam: Vec<(Vec<(usize, PathTest)>, f64)> = vec![(Vec::new(), f64::NEG_INFINITY)];
         let mut best: Option<Subgroup> = None;
         for _level in 0..config.max_conditions {
-            let mut expansions: Vec<(Vec<(usize, PathTest)>, f64, usize, usize)> = Vec::new();
+            let mut expansions: Vec<ScoredRule> = Vec::new();
             for (tests, _) in &beam {
                 for cand in &candidates {
                     if tests.iter().any(|t| t == cand) {
@@ -224,8 +220,7 @@ pub fn discover_subgroups(
             // already returned in a previous covering round so that each
             // round describes a *new* subgroup even when a large subgroup's
             // decayed weight still dominates WRAcc.
-            if let Some(top) =
-                expansions.iter().find(|e| !subgroups.iter().any(|s| s.tests == e.0))
+            if let Some(top) = expansions.iter().find(|e| !subgroups.iter().any(|s| s.tests == e.0))
             {
                 let better = match &best {
                     Some(b) => top.1 > b.wracc,
@@ -304,8 +299,7 @@ mod tests {
         let texts: Vec<String> =
             subgroups.iter().map(|s| s.to_predicate(&space).to_string()).collect();
         let mentions_kitchen = texts.iter().any(|t| t.contains("kitchen"));
-        let mentions_sensor =
-            texts.iter().any(|t| t.contains("sensorid") || t.contains("voltage"));
+        let mentions_sensor = texts.iter().any(|t| t.contains("sensorid") || t.contains("voltage"));
         assert!(mentions_kitchen, "subgroups: {texts:?}");
         assert!(mentions_sensor, "subgroups: {texts:?}");
         for s in &subgroups {

@@ -266,7 +266,11 @@ impl DecisionTree {
             match node {
                 TreeNode::Leaf { pos, neg } => return pos > neg,
                 TreeNode::Split { feature, test, left, right, .. } => {
-                    node = if satisfies(instance.get(*feature).copied(), *test) { left } else { right };
+                    node = if satisfies(instance.get(*feature).copied(), *test) {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -339,10 +343,7 @@ fn grow(
     let pos = indices.iter().filter(|&&i| labels[i]).count();
     let neg = indices.len() - pos;
     let leaf = TreeNode::Leaf { pos, neg };
-    if pos == 0
-        || neg == 0
-        || depth >= config.max_depth
-        || indices.len() < config.min_samples_split
+    if pos == 0 || neg == 0 || depth >= config.max_depth || indices.len() < config.min_samples_split
     {
         return leaf;
     }
@@ -355,9 +356,8 @@ fn grow(
         return leaf;
     }
 
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| satisfies(dataset.instances[i].get(feature).copied(), test));
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| satisfies(dataset.instances[i].get(feature).copied(), test));
     if left_idx.len() < config.min_leaf_size || right_idx.len() < config.min_leaf_size {
         return leaf;
     }
@@ -398,11 +398,7 @@ fn best_split(
         for &i in indices {
             match dataset.instances[i].get(feature) {
                 Some(FeatureValue::Num(v)) => numeric.push((*v, labels[i])),
-                Some(FeatureValue::Cat(c)) => {
-                    if !categories.contains(c) {
-                        categories.push(*c);
-                    }
-                }
+                Some(FeatureValue::Cat(c)) if !categories.contains(c) => categories.push(*c),
                 _ => {}
             }
         }
@@ -443,7 +439,8 @@ fn best_split(
         for cat in categories {
             let mut left = (0.0, 0.0);
             for &i in indices {
-                if satisfies(dataset.instances[i].get(feature).copied(), SplitTest::CategoryEq(cat)) {
+                if satisfies(dataset.instances[i].get(feature).copied(), SplitTest::CategoryEq(cat))
+                {
                     if labels[i] {
                         left.0 += 1.0;
                     } else {
@@ -575,11 +572,8 @@ mod tests {
     fn max_depth_and_min_leaf_are_respected() {
         let (t, labels) = sensor_table(200);
         let (_, ds) = extract(&t);
-        let tree = DecisionTree::train(
-            &ds,
-            &labels,
-            TreeConfig { max_depth: 1, ..TreeConfig::default() },
-        );
+        let tree =
+            DecisionTree::train(&ds, &labels, TreeConfig { max_depth: 1, ..TreeConfig::default() });
         assert!(tree.depth() <= 1);
         let tree = DecisionTree::train(
             &ds,

@@ -107,7 +107,13 @@ impl OperatorGraph {
     pub fn explain(&self) -> String {
         let mut out = String::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            out.push_str(&format!("{:indent$}{} [rows={}]\n", "", node.kind, node.output_rows, indent = i * 2));
+            out.push_str(&format!(
+                "{:indent$}{} [rows={}]\n",
+                "",
+                node.kind,
+                node.output_rows,
+                indent = i * 2
+            ));
         }
         out
     }
@@ -122,7 +128,10 @@ mod tests {
         g.push(OperatorKind::Scan { table: "readings".into() }, 1000);
         g.push(OperatorKind::Filter { predicate: "temp IS NOT NULL".into() }, 990);
         g.push(OperatorKind::GroupBy { columns: vec!["window".into()] }, 48);
-        g.push(OperatorKind::Aggregate { aggregates: vec!["avg(temp)".into(), "stddev(temp)".into()] }, 48);
+        g.push(
+            OperatorKind::Aggregate { aggregates: vec!["avg(temp)".into(), "stddev(temp)".into()] },
+            48,
+        );
         g.push(OperatorKind::Project { columns: vec!["window".into(), "avg_temp".into()] }, 48);
         g
     }

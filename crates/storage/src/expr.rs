@@ -48,7 +48,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 
@@ -162,6 +167,10 @@ pub fn lit(value: impl Into<Value>) -> Expr {
     Expr::Literal(value.into())
 }
 
+// The arithmetic builder methods (`add`, `sub`, `mul`, …) intentionally
+// shadow the std operator-trait names: they build AST nodes rather than
+// evaluate, and call sites read as SQL (`col("a").add(lit(1))`).
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     fn binary(self, op: BinaryOp, rhs: Expr) -> Expr {
         Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
@@ -447,9 +456,9 @@ impl Expr {
                 let v = expr.eval(table, row)?;
                 match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Str(s) => {
-                        Ok(Value::Bool(s.to_ascii_lowercase().contains(&pattern.to_ascii_lowercase())))
-                    }
+                    Value::Str(s) => Ok(Value::Bool(
+                        s.to_ascii_lowercase().contains(&pattern.to_ascii_lowercase()),
+                    )),
                     other => Err(StorageError::Eval(format!("CONTAINS applied to {other}"))),
                 }
             }
@@ -601,12 +610,7 @@ impl fmt::Display for Expr {
             Expr::Between { expr, low, high } => write!(f, "{expr} BETWEEN {low} AND {high}"),
             Expr::InList { expr, list, negated } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(
-                    f,
-                    "{expr} {}IN ({})",
-                    if *negated { "NOT " } else { "" },
-                    items.join(", ")
-                )
+                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
             }
             Expr::Contains { expr, pattern } => {
                 write!(f, "{expr} LIKE '%{}%'", pattern.replace('\'', "''"))
@@ -631,7 +635,12 @@ mod tests {
         let mut t = Table::new("t", schema).unwrap();
         t.push_rows(vec![
             vec![Value::Int(1), Value::Float(20.0), Value::str("normal"), Value::Bool(true)],
-            vec![Value::Int(15), Value::Float(120.0), Value::str("REATTRIBUTION TO SPOUSE"), Value::Bool(false)],
+            vec![
+                Value::Int(15),
+                Value::Float(120.0),
+                Value::str("REATTRIBUTION TO SPOUSE"),
+                Value::Bool(false),
+            ],
             vec![Value::Int(3), Value::Null, Value::str("refund issued"), Value::Bool(true)],
         ])
         .unwrap();
@@ -738,10 +747,7 @@ mod tests {
         assert_eq!(col("sensorid").add(lit(1)).validate(schema).unwrap(), DataType::Int);
         assert_eq!(col("sensorid").add(lit(1.5)).validate(schema).unwrap(), DataType::Float);
         assert_eq!(col("ok").and(lit(true)).validate(schema).unwrap(), DataType::Bool);
-        assert_eq!(
-            col("memo").contains("x").validate(schema).unwrap(),
-            DataType::Bool
-        );
+        assert_eq!(col("memo").contains("x").validate(schema).unwrap(), DataType::Bool);
     }
 
     #[test]

@@ -148,11 +148,7 @@ impl Condition {
                 let c = || col(column.clone());
                 let mut parts = Vec::new();
                 if let Some(lo) = low {
-                    parts.push(if *low_inclusive {
-                        c().gt_eq(lit(*lo))
-                    } else {
-                        c().gt(lit(*lo))
-                    });
+                    parts.push(if *low_inclusive { c().gt_eq(lit(*lo)) } else { c().gt(lit(*lo)) });
                 }
                 if let Some(hi) = high {
                     parts.push(if *high_inclusive {
@@ -166,7 +162,9 @@ impl Condition {
             Condition::InSet { column, values } => {
                 col(column.clone()).in_list(values.iter().map(|v| lit(v.clone())).collect())
             }
-            Condition::Contains { column, pattern } => col(column.clone()).contains(pattern.clone()),
+            Condition::Contains { column, pattern } => {
+                col(column.clone()).contains(pattern.clone())
+            }
         }
     }
 
@@ -381,7 +379,12 @@ mod tests {
             vec![Value::Int(15), Value::Float(122.0), Value::Float(2.1), Value::str("ok")],
             vec![Value::Int(15), Value::Float(119.0), Value::Float(2.0), Value::str("ok")],
             vec![Value::Int(3), Value::Float(21.0), Value::Float(2.7), Value::str("ok")],
-            vec![Value::Int(7), Value::Float(22.5), Value::Float(2.6), Value::str("REATTRIBUTION TO SPOUSE")],
+            vec![
+                Value::Int(7),
+                Value::Float(22.5),
+                Value::Float(2.6),
+                Value::str("REATTRIBUTION TO SPOUSE"),
+            ],
         ])
         .unwrap();
         t

@@ -113,11 +113,7 @@ impl Schema {
 
     /// Returns the names of all string-typed (categorical) columns.
     pub fn string_columns(&self) -> Vec<String> {
-        self.fields
-            .iter()
-            .filter(|f| f.dtype == DataType::Str)
-            .map(|f| f.name.clone())
-            .collect()
+        self.fields.iter().filter(|f| f.dtype == DataType::Str).map(|f| f.name.clone()).collect()
     }
 
     /// Appends a field, returning a new schema.
@@ -153,11 +149,9 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = Schema::new(vec![
-            Field::new("a", DataType::Int),
-            Field::new("A", DataType::Float),
-        ])
-        .unwrap_err();
+        let err =
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("A", DataType::Float)])
+                .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateColumn(_)));
     }
 

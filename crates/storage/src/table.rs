@@ -50,11 +50,8 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Result<Self, StorageError> {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Column::new(f.dtype))
-            .collect::<Result<Vec<_>, _>>()?;
+        let columns =
+            schema.fields().iter().map(|f| Column::new(f.dtype)).collect::<Result<Vec<_>, _>>()?;
         Ok(Table { name: name.into(), schema, columns, deleted: Vec::new() })
     }
 
@@ -101,7 +98,7 @@ impl Table {
                 probe.push(value.clone())?;
             }
         }
-        for (col, value) in self.columns.iter_mut().zip(values.into_iter()) {
+        for (col, value) in self.columns.iter_mut().zip(values) {
             col.push(value).expect("validated above");
         }
         let id = RowId(self.deleted.len());
@@ -298,9 +295,7 @@ mod tests {
         let err = t.push_row(vec![Value::Int(9)]).unwrap_err();
         assert!(matches!(err, StorageError::ArityMismatch { expected: 3, found: 1 }));
         // Type error in the middle of a row must not partially apply.
-        let err = t
-            .push_row(vec![Value::Int(9), Value::str("oops"), Value::str("x")])
-            .unwrap_err();
+        let err = t.push_row(vec![Value::Int(9), Value::str("oops"), Value::str("x")]).unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
         assert_eq!(t.num_rows(), 3);
         for c in 0..3 {

@@ -43,10 +43,8 @@ fn main() {
         .filter(|(i, _)| !suspicious.contains(i))
         .map(|(_, v)| *v)
         .collect();
-    let selected_vals: Vec<f64> = suspicious
-        .iter()
-        .filter_map(|&i| result.value_f64(i, "avg_value").unwrap())
-        .collect();
+    let selected_vals: Vec<f64> =
+        suspicious.iter().filter_map(|&i| result.value_f64(i, "avg_value").unwrap()).collect();
     let metric = suggest_metrics("avg_value", &selected_vals, &normal)
         .into_iter()
         .next()
@@ -61,15 +59,15 @@ fn main() {
     loop {
         round += 1;
         let error = metric.evaluate_result(&result, &suspicious_rows(&result, 62.0));
-        println!("round {round}: error = {error:.2}, applied predicates = {}", session.applied().len());
+        println!(
+            "round {round}: error = {error:.2}, applied predicates = {}",
+            session.applied().len()
+        );
         if error < 1.0 || round > 5 {
             break;
         }
-        let mut request = ExplanationRequest::new(
-            suspicious_rows(&result, 62.0),
-            vec![],
-            metric.clone(),
-        );
+        let mut request =
+            ExplanationRequest::new(suspicious_rows(&result, 62.0), vec![], metric.clone());
         // Alternate the cleaning strategy just to exercise both paths.
         request.config.enumerator.cleaning =
             if round % 2 == 0 { CleaningStrategy::NaiveBayes } else { CleaningStrategy::KMeans };

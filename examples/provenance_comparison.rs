@@ -40,21 +40,33 @@ fn main() {
     let metric = ErrorMetric::too_high("avg_value", 60.0);
     let table = db.catalog().table("measurements").expect("table");
 
-    println!("{:<34} {:>9} {:>10} {:>8} {:>8}", "strategy", "returned", "precision", "recall", "f1");
+    println!(
+        "{:<34} {:>9} {:>10} {:>8} {:>8}",
+        "strategy", "returned", "precision", "recall", "f1"
+    );
     println!("{}", "-".repeat(74));
 
     // Coarse-grained provenance: the whole table.
     let coarse = coarse_grained_provenance(table);
-    report("coarse-grained provenance", dataset.truth.score_rows(&coarse.rows().collect::<Vec<_>>()));
+    report(
+        "coarse-grained provenance",
+        dataset.truth.score_rows(&coarse.rows().collect::<Vec<_>>()),
+    );
 
     // Fine-grained provenance: all inputs of the suspicious outputs.
     let fine = fine_grained_provenance(&result, &suspicious);
-    report("fine-grained provenance (Trio)", dataset.truth.score_rows(&fine.rows().collect::<Vec<_>>()));
+    report(
+        "fine-grained provenance (Trio)",
+        dataset.truth.score_rows(&fine.rows().collect::<Vec<_>>()),
+    );
 
     // Top-k influence (k = |ground truth|).
     let influence = rank_influence(table, &result, &suspicious, &metric).expect("influence");
     let topk = top_k_influence(&influence, truth.len());
-    report("top-k leave-one-out influence", dataset.truth.score_rows(&topk.rows().collect::<Vec<_>>()));
+    report(
+        "top-k leave-one-out influence",
+        dataset.truth.score_rows(&topk.rows().collect::<Vec<_>>()),
+    );
 
     // Greedy responsibility (causality-style).
     let resp = greedy_responsibility(&influence);

@@ -1,0 +1,251 @@
+//! Offline, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate, implementing
+//! the API subset the DBWipes benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size`, `measurement_time`,
+//! `throughput`, `bench_function`, `bench_with_input`), [`BenchmarkId`],
+//! [`Throughput`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Behaviour mirrors real criterion's two modes:
+//!
+//! * invoked **without** `--bench` (as `cargo test` does for bench
+//!   targets), every benchmark body runs exactly once as a smoke test;
+//! * invoked **with** `--bench` (as `cargo bench` does), each benchmark is
+//!   timed over `sample_size` iterations after one warm-up, and the mean /
+//!   min / max per-iteration wall time is printed.
+//!
+//! There are no plots, no statistics beyond the above, and no baselines —
+//! this exists so the workspace builds and benches run in a container with
+//! no network access; swapping back to real criterion is a one-line
+//! `Cargo.toml` change.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` to the target binary; cargo test does
+        // not. Smoke mode (run-once) keeps `cargo test -q` fast.
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_only: !timed }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke_only;
+        run_one(id, 10, smoke, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim times a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim does not report throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.criterion.smoke_only, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.sample_size, self.criterion.smoke_only, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, sample_size: usize, smoke_only: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher =
+        Bencher { iterations: if smoke_only { 1 } else { sample_size }, samples: Vec::new() };
+    f(&mut bencher);
+    if smoke_only {
+        println!("bench {label}: ok (smoke mode, 1 iteration)");
+    } else if let Some(stats) = bencher.stats() {
+        println!(
+            "bench {label}: mean {:?} / min {:?} / max {:?} over {} iterations",
+            stats.mean,
+            stats.min,
+            stats.max,
+            bencher.samples.len(),
+        );
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (once in smoke mode), recording wall time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed warm-up when actually measuring.
+        if self.iterations > 1 {
+            black_box(f());
+        }
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        let n = u32::try_from(self.samples.len()).ok().filter(|&n| n > 0)?;
+        let total: Duration = self.samples.iter().sum();
+        Some(Stats {
+            mean: total / n,
+            min: *self.samples.iter().min()?,
+            max: *self.samples.iter().max()?,
+        })
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`] (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a bench group function calling each target with a [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

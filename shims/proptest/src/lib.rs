@@ -1,0 +1,168 @@
+//! Offline, dependency-free stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate, implementing the
+//! API subset the DBWipes property tests use: the [`Strategy`] trait with
+//! `prop_map`, range / tuple / `Just` / `any::<bool>()` strategies,
+//! [`collection::vec`], [`option::of`], `prop_oneof!`, `ProptestConfig`
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Semantics: each `proptest!` test body runs for `ProptestConfig::cases`
+//! deterministic random cases (seeded from the test's name, so failures
+//! reproduce). Unlike real proptest there is **no shrinking** — a failing
+//! case panics with the ordinary assertion message. The container this
+//! workspace builds in has no network access, so the real crate cannot be
+//! vendored; this shim keeps the test sources compatible so the swap back
+//! is a one-line `Cargo.toml` change.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors with lengths in `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies ([`option::of`]).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option<T>` values (about half `Some`).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` or `Some(v)` with `v` drawn from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Runs `proptest!`-style property tests: optional
+/// `#![proptest_config(..)]` header, then `#[test]` functions whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` that reports through the surrounding `proptest!` runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the surrounding `proptest!` runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err(::std::format!("assertion failed: `{:?}` == `{:?}`", left, right));
+        }
+    }};
+}
+
+/// Picks one of several same-valued strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(options.push(::std::boxed::Box::new($strat));)+
+        $crate::strategy::OneOf::new(options)
+    }};
+}

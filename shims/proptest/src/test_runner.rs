@@ -1,0 +1,46 @@
+//! The deterministic per-test RNG and the run configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block (subset of the real crate's
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest also defaults to 256 cases.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies, seeded deterministically from the test
+/// name so every run (and every CI run) explores the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator (used directly by strategy impls).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test (FNV-1a hash of the name as seed).
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(hash) }
+    }
+}

@@ -62,8 +62,7 @@ fn traditional_provenance_has_low_precision() {
 #[test]
 fn dbwipes_predicate_is_far_more_precise_than_lineage() {
     let s = setup();
-    let request =
-        ExplanationRequest::new(s.suspicious.clone(), vec![], s.metric.clone());
+    let request = ExplanationRequest::new(s.suspicious.clone(), vec![], s.metric.clone());
     let explanation = s.db.explain(&s.result, &request).unwrap();
     let best = explanation.best().expect("a ranked predicate");
     let table = s.db.catalog().table("measurements").unwrap();
@@ -118,19 +117,12 @@ fn single_attribute_baseline_is_beaten_or_matched_by_the_full_pipeline() {
     )
     .unwrap();
     assert!(!single.is_empty());
-    let single_best_f1 = s
-        .dataset
-        .truth
-        .score_rows(&single[0].predicate.matching_rows(table))
-        .f1;
+    let single_best_f1 = s.dataset.truth.score_rows(&single[0].predicate.matching_rows(table)).f1;
 
     let request = ExplanationRequest::new(s.suspicious.clone(), vec![], s.metric.clone());
     let explanation = s.db.explain(&s.result, &request).unwrap();
-    let dbwipes_f1 = s
-        .dataset
-        .truth
-        .score_rows(&explanation.best().unwrap().predicate.matching_rows(table))
-        .f1;
+    let dbwipes_f1 =
+        s.dataset.truth.score_rows(&explanation.best().unwrap().predicate.matching_rows(table)).f1;
     assert!(
         dbwipes_f1 + 1e-9 >= single_best_f1,
         "DBWipes f1 {dbwipes_f1} vs single-attribute f1 {single_best_f1}"

@@ -101,9 +101,8 @@ fn cleaning_physically_matches_query_rewriting() {
     let removed = db.clean("contributions", &predicate).unwrap();
     assert!(!removed.is_empty());
     let physical = db.query(&dataset.daily_total_query()).unwrap();
-    let physical_total: f64 = (0..physical.len())
-        .filter_map(|i| physical.value_f64(i, "total").unwrap())
-        .sum();
+    let physical_total: f64 =
+        (0..physical.len()).filter_map(|i| physical.value_f64(i, "total").unwrap()).sum();
     assert!((physical_total - rewritten_total).abs() < 1e-6);
 
     // Restoring brings the original answer back.

@@ -79,11 +79,8 @@ fn explanations_work_per_sensor_grouping_too() {
         .collect();
     assert_eq!(suspicious.len(), ds.config.failing_sensors.len());
 
-    let request = ExplanationRequest::new(
-        suspicious,
-        vec![],
-        ErrorMetric::too_high("avg_temp", 30.0),
-    );
+    let request =
+        ExplanationRequest::new(suspicious, vec![], ErrorMetric::too_high("avg_temp", 30.0));
     let explanation = db.explain(&result, &request).unwrap();
     let best = explanation.best().unwrap();
     // With the failing sensors *being* the suspicious groups, the valid

@@ -15,23 +15,16 @@ use proptest::prelude::*;
 fn labelled_table() -> impl Strategy<Value = (Table, Vec<bool>)> {
     let row = (0.0..100.0f64, -10.0..10.0f64, 0usize..4, any::<bool>());
     proptest::collection::vec(row, 8..80).prop_map(|rows| {
-        let schema = Schema::of(&[
-            ("x", DataType::Float),
-            ("y", DataType::Float),
-            ("tag", DataType::Str),
-        ]);
+        let schema =
+            Schema::of(&[("x", DataType::Float), ("y", DataType::Float), ("tag", DataType::Str)]);
         let mut t = Table::new("d", schema).unwrap();
         let mut labels = Vec::new();
         for (x, y, tag, noise) in rows {
             // Ground truth: positive iff x > 60, with a little label noise so
             // trees cannot always be perfect.
             let label = x > 60.0 || (noise && x > 55.0);
-            t.push_row(vec![
-                Value::Float(x),
-                Value::Float(y),
-                Value::str(format!("t{tag}")),
-            ])
-            .unwrap();
+            t.push_row(vec![Value::Float(x), Value::Float(y), Value::str(format!("t{tag}"))])
+                .unwrap();
             labels.push(label);
         }
         (t, labels)
