@@ -1,0 +1,159 @@
+//! Incremental re-aggregation vs. per-candidate full re-execution.
+//!
+//! The Predicate Ranker used to re-execute the full statement (with `AND
+//! NOT predicate` conjoined) once per candidate. It now asks a
+//! [`GroupedAggregateCache`] built once per ranking. This bench times both
+//! strategies on the sensor workload and prints the speedup, which the
+//! scheduled CI bench job records as an artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbwipes_bench::{run_query, sensor_dataset, suspicious_windows};
+use dbwipes_core::ranker::error_over_keys;
+use dbwipes_core::{rank_predicates, ErrorMetric, RankerConfig};
+use dbwipes_engine::{execute, ExecOptions, QueryResult};
+use dbwipes_storage::{Condition, ConjunctivePredicate, RowId, Table, Value};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The pre-incremental ranker, reproduced verbatim as the baseline: for
+/// every candidate, rewrite the statement with `AND NOT predicate` and
+/// re-execute it from scratch.
+fn rank_by_full_reexecution(
+    table: &Table,
+    result: &QueryResult,
+    selected: &[usize],
+    examples: &[RowId],
+    metric: &ErrorMetric,
+    predicates: &[ConjunctivePredicate],
+    config: &RankerConfig,
+) -> Vec<(String, f64)> {
+    let error_before = metric.evaluate_result(result, selected);
+    let f_set: BTreeSet<RowId> = result.inputs_of_rows(selected).into_iter().collect();
+    let example_set: BTreeSet<RowId> = examples.iter().copied().collect();
+    let selected_keys: Vec<Vec<Value>> =
+        selected.iter().filter_map(|&i| result.group_keys.get(i).cloned()).collect();
+
+    let mut ranked = Vec::new();
+    for predicate in predicates {
+        let matched = predicate.matching_rows(table);
+        let cleaned_stmt = result.statement.with_additional_filter(predicate.to_exclusion_expr());
+        let cleaned =
+            execute(table, &cleaned_stmt, ExecOptions { capture_lineage: false }).unwrap();
+        let error_after = error_over_keys(&cleaned, &selected_keys, metric);
+        let improvement = if error_before > 0.0 {
+            ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+        let matched_in_f: Vec<RowId> =
+            matched.iter().filter(|r| f_set.contains(r)).copied().collect();
+        let tp = matched_in_f.iter().filter(|r| example_set.contains(r)).count() as f64;
+        let precision = if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
+        let recall = if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let score = config.weight_error * improvement + config.weight_accuracy * f1
+            - config.weight_complexity * (predicate.complexity().saturating_sub(1)) as f64;
+        ranked.push((predicate.to_string(), score));
+    }
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    ranked
+}
+
+fn candidate_pool(n: usize) -> Vec<ConjunctivePredicate> {
+    (0..n)
+        .map(|i| ConjunctivePredicate::new(vec![Condition::equals("sensorid", (i % 54) as i64)]))
+        .collect()
+}
+
+fn bench_incremental_ranker(c: &mut Criterion) {
+    let dataset = sensor_dataset(16_200);
+    let result = run_query(&dataset.table, &dataset.window_query());
+    let suspicious = suspicious_windows(&result, 8.0);
+    let examples: Vec<RowId> = dataset.error_rows().into_iter().take(16).collect();
+    let metric = ErrorMetric::too_high("std_temp", 4.0);
+    let config = RankerConfig { max_results: 100, ..RankerConfig::default() };
+
+    let mut group = c.benchmark_group("incremental_ranker");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[8usize, 32] {
+        let predicates = candidate_pool(n);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &predicates, |b, preds| {
+            b.iter(|| {
+                black_box(
+                    rank_predicates(
+                        &dataset.table,
+                        &result,
+                        &suspicious,
+                        &examples,
+                        &metric,
+                        preds.clone(),
+                        &config,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_reexecution", n), &predicates, |b, preds| {
+            b.iter(|| {
+                black_box(rank_by_full_reexecution(
+                    &dataset.table,
+                    &result,
+                    &suspicious,
+                    &examples,
+                    &metric,
+                    preds,
+                    &config,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Explicit speedup line for the CI artifact (and the acceptance
+    // criterion): one timed pass over the 32-candidate pool per strategy.
+    let predicates = candidate_pool(32);
+    let start = Instant::now();
+    let incremental = rank_predicates(
+        &dataset.table,
+        &result,
+        &suspicious,
+        &examples,
+        &metric,
+        predicates.clone(),
+        &config,
+    )
+    .unwrap();
+    let incremental_time = start.elapsed();
+    let start = Instant::now();
+    let baseline = rank_by_full_reexecution(
+        &dataset.table,
+        &result,
+        &suspicious,
+        &examples,
+        &metric,
+        &predicates,
+        &config,
+    );
+    let baseline_time = start.elapsed();
+    // Same candidate pool (all distinct), same scores, same order.
+    assert_eq!(incremental.len(), baseline.len());
+    for (inc, (name, score)) in incremental.iter().zip(&baseline) {
+        assert_eq!(&inc.predicate.to_string(), name);
+        assert!((inc.score - score).abs() < 1e-9, "{name}: {} vs {score}", inc.score);
+    }
+    println!(
+        "incremental_ranker speedup: {:.1}x (incremental {:?} vs full re-execution {:?}, \
+         32 candidates, sensor workload)",
+        baseline_time.as_secs_f64() / incremental_time.as_secs_f64(),
+        incremental_time,
+        baseline_time,
+    );
+}
+
+criterion_group!(benches, bench_incremental_ranker);
+criterion_main!(benches);

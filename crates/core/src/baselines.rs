@@ -115,7 +115,10 @@ impl Default for SingleAttributeConfig {
 
 /// Exhaustive single-attribute predicate search: generates every
 /// one-condition predicate over F's attribute values and ranks them with the
-/// same ranker DBWipes uses. Returns the ranked list (best first).
+/// same ranker DBWipes uses (and therefore the same incremental
+/// re-aggregation cache — the statement executes once for the whole
+/// candidate pool, however many thresholds are generated). Returns the
+/// ranked list (best first).
 pub fn single_attribute_predicates(
     table: &Table,
     result: &QueryResult,

@@ -4,12 +4,20 @@
 //! generated S ... It then uses leave-one-out analysis to rank each tuple
 //! in F by how much it influences ε" (paper §2.2.2). The influence of a
 //! tuple is the decrease in ε obtained by recomputing its group's aggregate
-//! without it; sum-like aggregates use O(1) state removal, min/max fall
-//! back to a rescan of the group.
+//! without it. The per-group aggregate states and argument values come from
+//! the engine's [`GroupedAggregateCache`] (one execution shared with the
+//! Predicate Ranker); each tuple's leave-one-out value is then one
+//! [`AggregateState::remove`] on a copy of its group's state for sum-like
+//! aggregates, with min/max falling back to a rescan of the group. The
+//! per-tuple loop is embarrassingly parallel and runs across scoped
+//! threads.
 
 use crate::error::CoreError;
 use crate::metric::ErrorMetric;
-use dbwipes_engine::{AggregateArg, AggregateCall, AggregateState, QueryResult, SelectExpr};
+use crate::parallel::map_chunked;
+use dbwipes_engine::{
+    AggregateArg, AggregateCall, AggregateState, GroupedAggregateCache, QueryResult, SelectExpr,
+};
 use dbwipes_storage::{RowId, Table};
 
 /// Influence of one input tuple on the error metric.
@@ -106,13 +114,34 @@ pub fn aggregate_arg_value(
 }
 
 /// Ranks every input tuple of the selected outputs by leave-one-out
-/// influence on ε.
+/// influence on ε, building the incremental re-aggregation cache internally.
 pub fn rank_influence(
     table: &Table,
     result: &QueryResult,
     selected: &[usize],
     metric: &ErrorMetric,
 ) -> Result<InfluenceReport, CoreError> {
+    let cache = GroupedAggregateCache::build(table, &result.statement)?;
+    rank_influence_with_cache(&cache, result, selected, metric)
+}
+
+/// [`rank_influence`] over a caller-provided cache (which carries the table
+/// it was built from) — the explain pipeline builds one
+/// [`GroupedAggregateCache`] and shares it between the Preprocessor and the
+/// Ranker.
+///
+/// The cache is only trusted when its groups agree with the result's
+/// lineage (same rows per selected group); when they differ — the table
+/// changed since the result was computed, or the result was executed
+/// without lineage capture — the Preprocessor falls back to deriving the
+/// states from the result's lineage directly.
+pub fn rank_influence_with_cache(
+    cache: &GroupedAggregateCache,
+    result: &QueryResult,
+    selected: &[usize],
+    metric: &ErrorMetric,
+) -> Result<InfluenceReport, CoreError> {
+    let table = cache.table();
     if selected.is_empty() {
         return Err(CoreError::invalid("no suspicious outputs (S) were selected"));
     }
@@ -124,54 +153,96 @@ pub fn rank_influence(
             )));
         }
     }
-    let (_, call) = metric_aggregate(result, metric)?;
+    let (item, call) = metric_aggregate(result, metric)?;
 
-    // Current aggregate value of each selected group, plus the per-tuple
-    // argument values needed for leave-one-out recomputation.
-    let mut current: Vec<Option<f64>> = Vec::with_capacity(selected.len());
-    let mut group_rows: Vec<&[RowId]> = Vec::with_capacity(selected.len());
+    // Aggregate state, input rows and per-tuple argument values of each
+    // selected group — straight from the cache when it matches the result's
+    // lineage, otherwise rebuilt from the lineage.
+    let mut group_rows: Vec<Vec<RowId>> = Vec::with_capacity(selected.len());
     let mut group_values: Vec<Vec<Option<f64>>> = Vec::with_capacity(selected.len());
     let mut group_states: Vec<AggregateState> = Vec::with_capacity(selected.len());
-    for &s in selected {
-        let rows = result.inputs_of(s);
-        let values: Vec<Option<f64>> =
-            rows.iter().map(|&r| aggregate_arg_value(table, call, r)).collect::<Result<_, _>>()?;
-        let mut state = AggregateState::new(call.func);
-        for v in &values {
-            state.add(*v);
+
+    // The cache must answer for the *same* statement (not just the same
+    // grouping — `item` indexes its SELECT list) and agree with the
+    // result's lineage row-for-row; otherwise use the lineage directly.
+    let cached_groups: Option<Vec<usize>> = if cache.statement() == &result.statement {
+        selected
+            .iter()
+            .map(|&s| {
+                cache
+                    .find_group(&result.group_keys[s])
+                    .filter(|&g| cache.group_rows(g) == result.inputs_of(s))
+            })
+            .collect()
+    } else {
+        None
+    };
+    match cached_groups {
+        Some(groups) => {
+            for &g in &groups {
+                group_rows.push(cache.group_rows(g).to_vec());
+                group_values
+                    .push(cache.arg_values(g, item).expect("metric item is an aggregate").to_vec());
+                group_states
+                    .push(cache.state(g, item).expect("metric item is an aggregate").clone());
+            }
         }
-        current.push(state.finish().as_f64());
-        group_rows.push(rows);
-        group_values.push(values);
-        group_states.push(state);
+        None => {
+            for &s in selected {
+                let rows = result.inputs_of(s).to_vec();
+                let values: Vec<Option<f64>> = rows
+                    .iter()
+                    .map(|&r| aggregate_arg_value(table, call, r))
+                    .collect::<Result<_, _>>()?;
+                let mut state = AggregateState::new(call.func);
+                for v in &values {
+                    state.add(*v);
+                }
+                group_rows.push(rows);
+                group_values.push(values);
+                group_states.push(state);
+            }
+        }
     }
 
+    let current: Vec<Option<f64>> = group_states.iter().map(|s| s.finish().as_f64()).collect();
     let base_error = metric.evaluate(&current);
 
-    let mut influences = Vec::new();
-    for (gi, &s) in selected.iter().enumerate() {
-        for (ti, &row) in group_rows[gi].iter().enumerate() {
-            let value = group_values[gi][ti];
-            // Aggregate value of the group without this tuple.
-            let new_value = if call.func.supports_removal() {
-                let mut st = group_states[gi].clone();
-                st.remove(value);
-                st.finish().as_f64()
-            } else {
-                let mut st = AggregateState::new(call.func);
-                for (tj, v) in group_values[gi].iter().enumerate() {
-                    if tj != ti {
-                        st.add(*v);
-                    }
+    // Leave-one-out per tuple, fanned out across threads. Each tuple clones
+    // its group's state and removes its own contribution (a fresh clone per
+    // tuple, so floating-point drift never accumulates across tuples);
+    // min/max rebuild the group without the tuple instead.
+    let tasks: Vec<(usize, usize)> = group_rows
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, rows)| (0..rows.len()).map(move |ti| (gi, ti)))
+        .collect();
+    let supports_removal = call.func.supports_removal();
+    let mut influences = map_chunked(&tasks, |_, &(gi, ti)| {
+        let value = group_values[gi][ti];
+        // Aggregate value of the group without this tuple.
+        let new_value = if supports_removal {
+            let mut st = group_states[gi].clone();
+            st.remove(value);
+            st.finish().as_f64()
+        } else {
+            let mut st = AggregateState::new(group_states[gi].func());
+            for (tj, v) in group_values[gi].iter().enumerate() {
+                if tj != ti {
+                    st.add(*v);
                 }
-                st.finish().as_f64()
-            };
-            let mut hypothetical = current.clone();
-            hypothetical[gi] = new_value;
-            let new_error = metric.evaluate(&hypothetical);
-            influences.push(TupleInfluence { row, group: s, influence: base_error - new_error });
+            }
+            st.finish().as_f64()
+        };
+        let mut hypothetical = current.clone();
+        hypothetical[gi] = new_value;
+        let new_error = metric.evaluate(&hypothetical);
+        TupleInfluence {
+            row: group_rows[gi][ti],
+            group: selected[gi],
+            influence: base_error - new_error,
         }
-    }
+    });
 
     influences.sort_by(|a, b| b.influence.total_cmp(&a.influence).then(a.row.cmp(&b.row)));
     Ok(InfluenceReport { base_error, influences })
@@ -301,6 +372,43 @@ mod tests {
         // base = (21-10) + (55-10) = 56
         assert!((report.base_error - 56.0).abs() < 1e-9);
         assert_eq!(report.influences.len(), 5);
+        assert_eq!(report.influences[0].row, RowId(3));
+    }
+
+    #[test]
+    fn mismatched_statement_cache_falls_back_to_lineage() {
+        let c = catalog();
+        let table = c.table("readings").unwrap();
+        let r = execute_sql(&c, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        // A cache for a *different* statement with identical grouping: the
+        // metric's SELECT-list index points at sum(temp) there, not
+        // avg(temp). It must not be trusted.
+        let other = dbwipes_engine::parse_select(
+            "SELECT hour, count(*), sum(temp) FROM readings GROUP BY hour",
+        )
+        .unwrap();
+        let wrong_cache = GroupedAggregateCache::build(table, &other).unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 30.0);
+        let via_wrong_cache = rank_influence_with_cache(&wrong_cache, &r, &[1], &metric).unwrap();
+        let direct = rank_influence(table, &r, &[1], &metric).unwrap();
+        assert_eq!(via_wrong_cache.influences, direct.influences);
+        assert!((via_wrong_cache.base_error - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_cache_falls_back_to_lineage() {
+        let mut c = catalog();
+        let r = execute_sql(&c, "SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        // Mutate the table after executing: the cache no longer matches the
+        // result's lineage, so the lineage path must take over and produce
+        // the same report the original table state implied... except values
+        // are re-read from the (changed) table, as before the rewire.
+        c.table_mut("readings").unwrap().delete_row(RowId(4)).unwrap();
+        let table = c.table("readings").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 30.0);
+        let report = rank_influence(table, &r, &[1], &metric).unwrap();
+        // F still comes from the result's lineage: all three rows of hour 1.
+        assert_eq!(report.influences.len(), 3);
         assert_eq!(report.influences[0].row, RowId(3));
     }
 }

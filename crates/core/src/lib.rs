@@ -65,6 +65,7 @@ pub mod enumerator;
 pub mod error;
 pub mod influence;
 pub mod metric;
+mod parallel;
 pub mod predicates;
 pub mod ranker;
 
@@ -76,7 +77,7 @@ pub use enumerator::{
     enumerate_candidates, CandidateDataset, CandidateSource, CleaningStrategy, EnumeratorConfig,
 };
 pub use error::CoreError;
-pub use influence::{rank_influence, InfluenceReport, TupleInfluence};
+pub use influence::{rank_influence, rank_influence_with_cache, InfluenceReport, TupleInfluence};
 pub use metric::{suggest_metrics, Combine, ErrorMetric, MetricKind};
 pub use predicates::{enumerate_predicates, PredicateEnumConfig};
-pub use ranker::{rank_predicates, RankedPredicate, RankerConfig};
+pub use ranker::{rank_predicates, rank_predicates_with_cache, RankedPredicate, RankerConfig};

@@ -1,0 +1,67 @@
+//! Scoped-thread fan-out for the embarrassingly parallel hot loops (the
+//! Ranker's per-candidate scoring and the Preprocessor's per-tuple
+//! leave-one-out), using only `std::thread` — no extra dependencies under
+//! the offline shims.
+
+use std::thread;
+
+/// Maps `f` over `items`, preserving order. Items are split into
+/// contiguous chunks, one per available core (capped by the item count),
+/// and each chunk runs on its own scoped thread; with one item or one core
+/// the loop runs inline. `f` receives the item's index alongside the item,
+/// so callers can address shared per-item context.
+pub(crate) fn map_chunked<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let f = &f;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk_size + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_indices() {
+        let items: Vec<i64> = (0..103).collect();
+        let out = map_chunked(&items, |i, &v| (i as i64, v * 2));
+        assert_eq!(out.len(), 103);
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as i64);
+            assert_eq!(*doubled, 2 * i as i64);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(map_chunked::<i32, i32, _>(&[], |_, v| *v).is_empty());
+        assert_eq!(map_chunked(&[7], |i, v| i + *v), vec![7]);
+    }
+}

@@ -5,15 +5,22 @@
 //! tree at differentiating Dᶜᵢ from F − Dᶜᵢ, and decreases by the
 //! complexity (number of terms in) the predicate" (paper §2.2.2).
 //!
-//! For every candidate predicate the ranker re-executes the query on a
-//! version of the database that excludes the matching tuples (the same
-//! "what if I clicked this predicate" computation the dashboard performs)
-//! and measures how much ε improves over the user-selected outputs.
+//! For every candidate predicate the ranker answers "what if I clicked this
+//! predicate" — the query result with the predicate's matching tuples
+//! excluded — and measures how much ε improves over the user-selected
+//! outputs. Instead of re-executing the full SQL statement per candidate,
+//! it asks a [`GroupedAggregateCache`] built once per ranking: a single
+//! pass over the table classifies each row under SQL three-valued logic
+//! (matching the semantics of rewriting the query with `AND NOT predicate`)
+//! and only the touched groups' aggregate states are re-derived. Candidates
+//! are scored in parallel across scoped threads; each candidate's score is
+//! independent, so the ranking is deterministic regardless of thread count.
 
 use crate::error::CoreError;
 use crate::metric::ErrorMetric;
-use dbwipes_engine::{execute, ExecOptions, QueryResult};
-use dbwipes_storage::{ConjunctivePredicate, RowId, Table, Value};
+use crate::parallel::map_chunked;
+use dbwipes_engine::{GroupedAggregateCache, QueryResult};
+use dbwipes_storage::{ConjunctivePredicate, DataType, RowId, Table, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// Weights of the ranking score.
@@ -78,7 +85,8 @@ impl RankedPredicate {
     }
 }
 
-/// Ranks candidate predicates.
+/// Ranks candidate predicates, building the incremental re-aggregation
+/// cache internally (one statement execution for the whole candidate set).
 ///
 /// * `table` — the queried table.
 /// * `result` — the original query result (provides the statement, the
@@ -95,66 +103,164 @@ pub fn rank_predicates(
     predicates: Vec<ConjunctivePredicate>,
     config: &RankerConfig,
 ) -> Result<Vec<RankedPredicate>, CoreError> {
+    let cache = GroupedAggregateCache::build(table, &result.statement)?;
+    rank_predicates_with_cache(&cache, result, selected, examples, metric, predicates, config)
+}
+
+/// [`rank_predicates`] over a caller-provided cache (which carries the
+/// table it was built from) — the explain pipeline builds one
+/// [`GroupedAggregateCache`] and shares it between the Preprocessor and the
+/// Ranker.
+pub fn rank_predicates_with_cache(
+    cache: &GroupedAggregateCache,
+    result: &QueryResult,
+    selected: &[usize],
+    examples: &[RowId],
+    metric: &ErrorMetric,
+    predicates: Vec<ConjunctivePredicate>,
+    config: &RankerConfig,
+) -> Result<Vec<RankedPredicate>, CoreError> {
     let error_before = metric.evaluate_result(result, selected);
     let f_rows: Vec<RowId> = result.inputs_of_rows(selected);
-    let f_set: BTreeSet<RowId> = f_rows.iter().copied().collect();
-    let example_set: BTreeSet<RowId> = examples.iter().copied().collect();
+    let ctx = ScoreContext {
+        cache,
+        error_before,
+        // Group keys of the selected outputs, used to find the same groups
+        // in the incrementally cleaned result.
+        selected_keys: selected.iter().filter_map(|&i| result.group_keys.get(i).cloned()).collect(),
+        f_set: f_rows.iter().copied().collect(),
+        example_set: examples.iter().copied().collect(),
+        metric,
+        config,
+    };
 
-    // Group keys of the selected outputs, used to find the same groups in
-    // the re-executed (cleaned) result.
-    let selected_keys: Vec<Vec<Value>> =
-        selected.iter().filter_map(|&i| result.group_keys.get(i).cloned()).collect();
-
-    let mut ranked = Vec::with_capacity(predicates.len());
+    // Deduplicate on the canonical (sorted-conjunct) form, so `a AND b` and
+    // `b AND a` are scored once; first occurrence wins.
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    for predicate in predicates {
-        if predicate.is_trivial() || !seen.insert(predicate.to_string()) {
-            continue;
-        }
-        let matched = predicate.matching_rows(table);
-        let matched_set: BTreeSet<RowId> = matched.iter().copied().collect();
+    let candidates: Vec<ConjunctivePredicate> = predicates
+        .into_iter()
+        .filter(|p| !p.is_trivial() && seen.insert(p.canonical_key()))
+        .collect();
 
-        // Error after excluding the matching tuples: re-execute the original
-        // statement with `AND NOT predicate`.
-        let cleaned_stmt = result.statement.with_additional_filter(predicate.to_exclusion_expr());
-        let cleaned = execute(table, &cleaned_stmt, ExecOptions { capture_lineage: false })?;
-        let error_after = error_over_keys(&cleaned, &selected_keys, metric);
-        let improvement = if error_before > 0.0 {
-            ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
-        } else {
-            0.0
-        };
-
-        // Agreement with the user's examples, measured within F.
-        let matched_in_f: BTreeSet<RowId> = matched_set.intersection(&f_set).copied().collect();
-        let tp = matched_in_f.intersection(&example_set).count() as f64;
-        let precision = if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
-        let recall = if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
-        let example_f1 = if precision + recall == 0.0 {
-            0.0
-        } else {
-            2.0 * precision * recall / (precision + recall)
-        };
-
-        let complexity = predicate.complexity();
-        let score = config.weight_error * improvement + config.weight_accuracy * example_f1
-            - config.weight_complexity * (complexity.saturating_sub(1)) as f64;
-
-        ranked.push(RankedPredicate {
-            predicate,
-            score,
-            error_before,
-            error_after,
-            improvement,
-            example_f1,
-            complexity,
-            matched_rows: matched.len(),
-        });
-    }
+    let mut ranked = map_chunked(&candidates, |_, predicate| score_candidate(&ctx, predicate))
+        .into_iter()
+        .collect::<Result<Vec<RankedPredicate>, CoreError>>()?;
 
     ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.complexity.cmp(&b.complexity)));
     ranked.truncate(config.max_results);
     Ok(ranked)
+}
+
+/// The per-ranking state shared by every candidate's scoring pass.
+struct ScoreContext<'a, 't> {
+    cache: &'a GroupedAggregateCache<'t>,
+    error_before: f64,
+    selected_keys: Vec<Vec<Value>>,
+    f_set: BTreeSet<RowId>,
+    example_set: BTreeSet<RowId>,
+    metric: &'a ErrorMetric,
+    config: &'a RankerConfig,
+}
+
+/// Scores one candidate: a single table pass classifies every visible row
+/// under three-valued logic — rows where the predicate is TRUE are its
+/// matches; cached (filter-passing) rows where it is TRUE *or* NULL are
+/// excluded, exactly as the `AND NOT predicate` rewrite would drop them —
+/// then the cache re-derives only the touched groups.
+fn score_candidate(
+    ctx: &ScoreContext<'_, '_>,
+    predicate: &ConjunctivePredicate,
+) -> Result<RankedPredicate, CoreError> {
+    let ScoreContext { cache, error_before, selected_keys, f_set, example_set, metric, config } =
+        ctx;
+    let (cache, error_before) = (*cache, *error_before);
+    let table = cache.table();
+    // The same validation executing the rewritten statement would perform.
+    let p_expr = predicate.to_expr();
+    let t = p_expr.validate(table.schema())?;
+    if !matches!(t, DataType::Bool | DataType::Null) {
+        return Err(CoreError::invalid(format!("predicate must be boolean, found {t}")));
+    }
+
+    let mut matched: Vec<RowId> = Vec::new();
+    let mut excluded: Vec<RowId> = Vec::new();
+    match predicate.compile(table) {
+        // Fast path: typed, allocation-free three-valued evaluation.
+        Ok(compiled) => {
+            for rid in table.visible_row_ids() {
+                match compiled.matches(rid) {
+                    Some(true) => {
+                        matched.push(rid);
+                        if cache.contains(rid) {
+                            excluded.push(rid);
+                        }
+                    }
+                    Some(false) => {}
+                    // NULL: the row satisfies neither the predicate nor its
+                    // negation, so the rewrite's WHERE drops it.
+                    None => {
+                        if cache.contains(rid) {
+                            excluded.push(rid);
+                        }
+                    }
+                }
+            }
+        }
+        // Conditions the typed compiler cannot express evaluate through the
+        // general expression walk instead.
+        Err(_) => {
+            for rid in table.visible_row_ids() {
+                match p_expr.eval(table, rid)? {
+                    Value::Bool(true) => {
+                        matched.push(rid);
+                        if cache.contains(rid) {
+                            excluded.push(rid);
+                        }
+                    }
+                    Value::Bool(false) => {}
+                    _ => {
+                        if cache.contains(rid) {
+                            excluded.push(rid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let cleaned = cache.result_excluding(&excluded);
+    let error_after = error_over_keys(&cleaned, selected_keys, metric);
+    let improvement = if error_before > 0.0 {
+        ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
+    } else {
+        0.0
+    };
+
+    // Agreement with the user's examples, measured within F.
+    let matched_in_f: Vec<&RowId> = matched.iter().filter(|r| f_set.contains(r)).collect();
+    let tp = matched_in_f.iter().filter(|r| example_set.contains(r)).count() as f64;
+    let precision = if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
+    let recall = if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
+    let example_f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+
+    let complexity = predicate.complexity();
+    let score = config.weight_error * improvement + config.weight_accuracy * example_f1
+        - config.weight_complexity * (complexity.saturating_sub(1)) as f64;
+
+    Ok(RankedPredicate {
+        predicate: predicate.clone(),
+        score,
+        error_before,
+        error_after,
+        improvement,
+        example_f1,
+        complexity,
+        matched_rows: matched.len(),
+    })
 }
 
 /// Evaluates the metric over the rows of `result` whose group keys match
@@ -341,5 +447,72 @@ mod tests {
         assert_eq!(ranked[0].improvement, 1.0);
         // With no examples the F1 term is zero but ranking still works.
         assert_eq!(ranked[0].example_f1, 0.0);
+    }
+
+    #[test]
+    fn commuted_conjunctions_are_scored_once() {
+        let (c, broken) = setup();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let a_and_b = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 7),
+            Condition::above("temp", 100.0),
+        ]);
+        let b_and_a = ConjunctivePredicate::new(vec![
+            Condition::above("temp", 100.0),
+            Condition::equals("sensorid", 7),
+        ]);
+        assert_ne!(a_and_b.to_string(), b_and_a.to_string());
+        assert_eq!(a_and_b.canonical_key(), b_and_a.canonical_key());
+        let ranked = rank_predicates(
+            c.table("readings").unwrap(),
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            vec![a_and_b.clone(), b_and_a],
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        // Only the first occurrence survives dedup.
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].predicate, a_and_b);
+    }
+
+    #[test]
+    fn shared_cache_matches_internal_build() {
+        let (c, broken) = setup();
+        let table = c.table("readings").unwrap();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let candidates: Vec<ConjunctivePredicate> = (0..12)
+            .map(|s| ConjunctivePredicate::new(vec![Condition::equals("sensorid", s)]))
+            .collect();
+        let cache = GroupedAggregateCache::build(table, &r.statement).unwrap();
+        let via_cache = rank_predicates_with_cache(
+            &cache,
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            candidates.clone(),
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        let direct = rank_predicates(
+            table,
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            candidates,
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(via_cache.len(), direct.len());
+        for (a, b) in via_cache.iter().zip(&direct) {
+            assert_eq!(a.predicate, b.predicate);
+            assert_eq!(a.score, b.score);
+        }
     }
 }

@@ -6,9 +6,15 @@
 //! fed which output group) and the coarse-grained operator graph. This is
 //! the hook the paper's Preprocessor relies on: "the Preprocessor computes
 //! F, the set of input tuples that generated S" (§2.2.2).
+//!
+//! The pipeline stages are factored into standalone functions
+//! ([`scan_filter`], [`build_groups`], [`for_each_arg_value`],
+//! [`project_row`], [`output_order`], [`output_schema`]) shared with the
+//! incremental re-aggregation cache in [`crate::incremental`], so the full
+//! and incremental paths cannot drift apart.
 
 use crate::aggregate::AggregateState;
-use crate::ast::{AggregateArg, SelectExpr, SelectStatement, SortOrder};
+use crate::ast::{AggregateArg, AggregateCall, SelectExpr, SelectStatement, SortOrder};
 use crate::error::EngineError;
 use crate::parser::parse_select;
 use crate::result::QueryResult;
@@ -63,6 +69,70 @@ pub fn execute(
     graph.push(OperatorKind::Scan { table: table.name().to_string() }, table.visible_rows());
 
     // Scan + filter.
+    let filtered = scan_filter(table, stmt)?;
+    if let Some(pred) = &stmt.where_clause {
+        graph.push(OperatorKind::Filter { predicate: pred.to_string() }, filtered.len());
+    }
+
+    // Group.
+    let (group_keys, group_rows) = build_groups(table, stmt, filtered)?;
+    if !stmt.group_by.is_empty() {
+        graph.push(OperatorKind::GroupBy { columns: stmt.group_by.clone() }, group_keys.len());
+    }
+
+    // Aggregate + project.
+    let agg_names: Vec<String> = stmt.aggregates().iter().map(|a| a.to_string()).collect();
+    if !agg_names.is_empty() {
+        graph.push(OperatorKind::Aggregate { aggregates: agg_names }, group_keys.len());
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(group_keys.len());
+    for (gi, g_rows) in group_rows.iter().enumerate() {
+        let agg_outputs = aggregate_outputs(table, stmt, g_rows)?;
+        rows.push(project_row(table, stmt, &group_keys[gi], g_rows, &agg_outputs)?);
+    }
+
+    graph.push(
+        OperatorKind::Project { columns: stmt.items.iter().map(|i| i.output_name()).collect() },
+        rows.len(),
+    );
+
+    // Output schema.
+    let schema = output_schema(table, stmt)?;
+
+    // Sort (default: ascending by group key) and limit.
+    let order = output_order(stmt, &rows, &group_keys)?;
+
+    // Materialise output in final order, building lineage aligned with it.
+    let mut final_rows = Vec::with_capacity(order.len());
+    let mut final_keys = Vec::with_capacity(order.len());
+    let mut lineage = Lineage::new(table.name());
+    for &i in &order {
+        final_rows.push(rows[i].clone());
+        final_keys.push(group_keys[i].clone());
+        let g = lineage.add_group();
+        if opts.capture_lineage {
+            lineage.record_all(g, group_rows[i].iter().copied());
+        }
+    }
+
+    Ok(QueryResult {
+        statement: stmt.clone(),
+        schema,
+        rows: final_rows,
+        group_keys: final_keys,
+        lineage,
+        graph,
+        execution_nanos: start.elapsed().as_nanos(),
+    })
+}
+
+/// Scan stage: the visible rows that satisfy the WHERE clause, in scan
+/// order.
+pub(crate) fn scan_filter(
+    table: &Table,
+    stmt: &SelectStatement,
+) -> Result<Vec<RowId>, EngineError> {
     let mut filtered: Vec<RowId> = Vec::new();
     match &stmt.where_clause {
         Some(pred) => {
@@ -71,28 +141,37 @@ pub fn execute(
                     filtered.push(rid);
                 }
             }
-            graph.push(OperatorKind::Filter { predicate: pred.to_string() }, filtered.len());
         }
         None => filtered.extend(table.visible_row_ids()),
     }
+    Ok(filtered)
+}
 
-    // Group.
+/// Group stage: partitions `filtered` by the GROUP BY key, keeping groups in
+/// first-seen (scan) order. A query without GROUP BY produces exactly one
+/// group, even when no rows survive the filter (PostgreSQL semantics).
+pub(crate) type Groups = (Vec<Vec<Value>>, Vec<Vec<RowId>>);
+
+/// See [`Groups`]: returns `(group_keys, group_rows)`.
+pub(crate) fn build_groups(
+    table: &Table,
+    stmt: &SelectStatement,
+    filtered: Vec<RowId>,
+) -> Result<Groups, EngineError> {
     let group_cols: Vec<usize> = stmt
         .group_by
         .iter()
         .map(|c| table.schema().resolve(c).map_err(EngineError::from))
         .collect::<Result<_, _>>()?;
 
-    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut group_keys: Vec<Vec<Value>> = Vec::new();
     let mut group_rows: Vec<Vec<RowId>> = Vec::new();
 
     if group_cols.is_empty() {
-        // A query without GROUP BY produces exactly one group, even when no
-        // rows survive the filter (PostgreSQL semantics).
         group_keys.push(Vec::new());
-        group_rows.push(filtered.clone());
+        group_rows.push(filtered);
     } else {
+        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
         for &rid in &filtered {
             let key: Vec<Value> = group_cols
                 .iter()
@@ -110,73 +189,107 @@ pub fn execute(
             };
             group_rows[idx].push(rid);
         }
-        graph.push(OperatorKind::GroupBy { columns: stmt.group_by.clone() }, group_keys.len());
     }
+    Ok((group_keys, group_rows))
+}
 
-    // Aggregate + project.
-    let agg_names: Vec<String> = stmt.aggregates().iter().map(|a| a.to_string()).collect();
-    if !agg_names.is_empty() {
-        graph.push(OperatorKind::Aggregate { aggregates: agg_names }, group_keys.len());
-    }
-
-    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(group_keys.len());
-    for (gi, g_rows) in group_rows.iter().enumerate() {
-        let mut out_row = Vec::with_capacity(stmt.items.len());
-        for item in &stmt.items {
-            let v = match &item.expr {
-                SelectExpr::Column(name) => {
-                    let pos = stmt
-                        .group_by
-                        .iter()
-                        .position(|g| g.eq_ignore_ascii_case(name))
-                        .expect("validated: select column is in GROUP BY");
-                    group_keys[gi].get(pos).cloned().unwrap_or(Value::Null)
-                }
-                SelectExpr::Scalar(e) => match g_rows.first() {
-                    Some(&rid) => e.eval(table, rid)?,
-                    None => Value::Null,
-                },
-                SelectExpr::Aggregate(call) => {
-                    let mut state = AggregateState::new(call.func);
-                    match &call.arg {
-                        AggregateArg::Star => {
-                            for _ in g_rows {
-                                state.add(Some(1.0));
-                            }
-                        }
-                        AggregateArg::Expr(e) => {
-                            // Fast path: a bare column argument reads the typed
-                            // column directly instead of boxing a Value per row.
-                            if let dbwipes_storage::Expr::Column(cname) = e {
-                                let cidx = table.schema().resolve(cname)?;
-                                let column = table.column(cidx).expect("resolved");
-                                for &rid in g_rows {
-                                    state.add(column.get_f64(rid.index()));
-                                }
-                            } else {
-                                for &rid in g_rows {
-                                    state.add(e.eval(table, rid)?.as_f64());
-                                }
-                            }
-                        }
-                    }
-                    state.finish()
-                }
-            };
-            out_row.push(v);
+/// Streams the aggregate-argument value of every row in `rows` (in order)
+/// into `f` — `None` represents NULL, `COUNT(*)` yields `Some(1.0)` per row.
+/// A bare column argument reads the typed column directly instead of boxing
+/// a `Value` per row.
+pub(crate) fn for_each_arg_value(
+    table: &Table,
+    call: &AggregateCall,
+    rows: &[RowId],
+    mut f: impl FnMut(Option<f64>),
+) -> Result<(), EngineError> {
+    match &call.arg {
+        AggregateArg::Star => {
+            for _ in rows {
+                f(Some(1.0));
+            }
         }
-        rows.push(out_row);
+        AggregateArg::Expr(e) => {
+            if let dbwipes_storage::Expr::Column(cname) = e {
+                let cidx = table.schema().resolve(cname)?;
+                let column = table.column(cidx).expect("resolved");
+                for &rid in rows {
+                    f(column.get_f64(rid.index()));
+                }
+            } else {
+                for &rid in rows {
+                    f(e.eval(table, rid)?.as_f64());
+                }
+            }
+        }
     }
+    Ok(())
+}
 
-    graph.push(
-        OperatorKind::Project { columns: stmt.items.iter().map(|i| i.output_name()).collect() },
-        rows.len(),
-    );
+/// Computes the finished value of every aggregate SELECT item over one
+/// group's rows, in SELECT-list order of the aggregate items.
+fn aggregate_outputs(
+    table: &Table,
+    stmt: &SelectStatement,
+    g_rows: &[RowId],
+) -> Result<Vec<Value>, EngineError> {
+    let mut outputs = Vec::new();
+    for item in &stmt.items {
+        if let SelectExpr::Aggregate(call) = &item.expr {
+            let mut state = AggregateState::new(call.func);
+            for_each_arg_value(table, call, g_rows, |v| state.add(v))?;
+            outputs.push(state.finish());
+        }
+    }
+    Ok(outputs)
+}
 
-    // Output schema.
-    let schema = output_schema(table, stmt)?;
+/// Projects one output row for a group: group-key columns come from the key,
+/// scalar expressions are evaluated on a representative row (NULL when the
+/// group is empty), aggregate slots are filled from `agg_outputs` (one value
+/// per aggregate SELECT item, in order).
+pub(crate) fn project_row(
+    table: &Table,
+    stmt: &SelectStatement,
+    group_key: &[Value],
+    g_rows: &[RowId],
+    agg_outputs: &[Value],
+) -> Result<Vec<Value>, EngineError> {
+    let mut out_row = Vec::with_capacity(stmt.items.len());
+    let mut next_agg = 0usize;
+    for item in &stmt.items {
+        let v = match &item.expr {
+            SelectExpr::Column(name) => {
+                let pos = stmt
+                    .group_by
+                    .iter()
+                    .position(|g| g.eq_ignore_ascii_case(name))
+                    .expect("validated: select column is in GROUP BY");
+                group_key.get(pos).cloned().unwrap_or(Value::Null)
+            }
+            SelectExpr::Scalar(e) => match g_rows.first() {
+                Some(&rid) => e.eval(table, rid)?,
+                None => Value::Null,
+            },
+            SelectExpr::Aggregate(_) => {
+                let v = agg_outputs[next_agg].clone();
+                next_agg += 1;
+                v
+            }
+        };
+        out_row.push(v);
+    }
+    Ok(out_row)
+}
 
-    // Sort. Default: ascending by group key for deterministic output.
+/// Sort/limit stage: the output permutation of `rows` — ascending by group
+/// key when the statement has no ORDER BY, otherwise by its ORDER BY terms —
+/// truncated to the statement's LIMIT.
+pub(crate) fn output_order(
+    stmt: &SelectStatement,
+    rows: &[Vec<Value>],
+    group_keys: &[Vec<Value>],
+) -> Result<Vec<usize>, EngineError> {
     let mut order: Vec<usize> = (0..rows.len()).collect();
     if stmt.order_by.is_empty() {
         order.sort_by(|&a, &b| group_keys[a].cmp(&group_keys[b]));
@@ -221,37 +334,14 @@ pub fn execute(
         });
     }
 
-    // Apply limit.
     if let Some(limit) = stmt.limit {
         order.truncate(limit);
     }
-
-    // Materialise output in final order, building lineage aligned with it.
-    let mut final_rows = Vec::with_capacity(order.len());
-    let mut final_keys = Vec::with_capacity(order.len());
-    let mut lineage = Lineage::new(table.name());
-    for &i in &order {
-        final_rows.push(rows[i].clone());
-        final_keys.push(group_keys[i].clone());
-        let g = lineage.add_group();
-        if opts.capture_lineage {
-            lineage.record_all(g, group_rows[i].iter().copied());
-        }
-    }
-
-    Ok(QueryResult {
-        statement: stmt.clone(),
-        schema,
-        rows: final_rows,
-        group_keys: final_keys,
-        lineage,
-        graph,
-        execution_nanos: start.elapsed().as_nanos(),
-    })
+    Ok(order)
 }
 
 /// Validates the statement against the table schema.
-fn validate(table: &Table, stmt: &SelectStatement) -> Result<(), EngineError> {
+pub(crate) fn validate(table: &Table, stmt: &SelectStatement) -> Result<(), EngineError> {
     if stmt.items.is_empty() {
         return Err(EngineError::plan("SELECT list is empty"));
     }
@@ -309,7 +399,7 @@ fn validate(table: &Table, stmt: &SelectStatement) -> Result<(), EngineError> {
 }
 
 /// Builds the output schema for a statement over a table.
-fn output_schema(table: &Table, stmt: &SelectStatement) -> Result<Schema, EngineError> {
+pub(crate) fn output_schema(table: &Table, stmt: &SelectStatement) -> Result<Schema, EngineError> {
     let mut fields = Vec::with_capacity(stmt.items.len());
     for item in &stmt.items {
         let dtype = match &item.expr {

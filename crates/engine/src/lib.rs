@@ -43,6 +43,7 @@ pub mod aggregate;
 pub mod ast;
 pub mod error;
 pub mod executor;
+pub mod incremental;
 pub mod lexer;
 pub mod parser;
 pub mod result;
@@ -54,5 +55,6 @@ pub use ast::{
 };
 pub use error::EngineError;
 pub use executor::{execute, execute_on_catalog, execute_sql, ExecOptions};
+pub use incremental::GroupedAggregateCache;
 pub use parser::{parse_expr, parse_select};
 pub use result::QueryResult;

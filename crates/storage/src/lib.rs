@@ -29,7 +29,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
 pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
-pub use predicate::{Condition, ConjunctivePredicate};
+pub use predicate::{CompiledPredicate, Condition, ConjunctivePredicate};
 pub use schema::{Field, Schema};
 pub use table::{RowId, Table};
 pub use value::{DataType, Value};

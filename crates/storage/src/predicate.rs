@@ -7,9 +7,12 @@
 //! restricted form, its SQL rendering, and its conversion to the general
 //! [`Expr`] language for evaluation and query rewriting.
 
+use crate::column::Column;
+use crate::error::StorageError;
 use crate::expr::{col, lit, Expr};
 use crate::table::{RowId, Table};
-use crate::value::Value;
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// A single per-attribute condition inside a [`ConjunctivePredicate`].
@@ -310,6 +313,16 @@ impl ConjunctivePredicate {
         ConjunctivePredicate::new(conds)
     }
 
+    /// A canonical form for deduplication: the rendered conditions, sorted.
+    /// Conjunction is commutative, so `a AND b` and `b AND a` describe the
+    /// same tuple set and share a key — unlike `to_string()`, which keeps
+    /// the original conjunct order.
+    pub fn canonical_key(&self) -> String {
+        let mut parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        parts.sort_unstable();
+        parts.join(" AND ")
+    }
+
     /// Converts to an evaluable [`Expr`] (the empty predicate becomes `TRUE`).
     pub fn to_expr(&self) -> Expr {
         Expr::conjunction(self.conditions.iter().map(|c| c.to_expr()).collect())
@@ -326,8 +339,29 @@ impl ConjunctivePredicate {
         self.conditions.iter().all(|c| c.to_expr().matches(table, row).unwrap_or(false))
     }
 
+    /// Compiles the predicate against a table: column indices are resolved
+    /// and literals coerced once, so per-row evaluation is allocation-free
+    /// typed comparisons instead of a recursive [`Expr`] walk. Fails when a
+    /// condition's types do not line up with the schema (the same cases
+    /// where [`Expr::validate`] or evaluation would fail); callers fall
+    /// back to the expression path then.
+    pub fn compile<'t>(&self, table: &'t Table) -> Result<CompiledPredicate<'t>, StorageError> {
+        let conds = self
+            .conditions
+            .iter()
+            .map(|c| CompiledCondition::compile(c, table))
+            .collect::<Result<_, _>>()?;
+        Ok(CompiledPredicate { conds })
+    }
+
     /// Returns all visible rows matched by the predicate.
     pub fn matching_rows(&self, table: &Table) -> Vec<RowId> {
+        if let Ok(compiled) = self.compile(table) {
+            return table
+                .visible_row_ids()
+                .filter(|&r| compiled.matches(r) == Some(true))
+                .collect();
+        }
         table.visible_row_ids().filter(|&r| self.matches(table, r)).collect()
     }
 
@@ -359,6 +393,214 @@ impl fmt::Display for ConjunctivePredicate {
         let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
         f.write_str(&parts.join(" AND "))
     }
+}
+
+/// A [`ConjunctivePredicate`] compiled against one table (see
+/// [`ConjunctivePredicate::compile`]). Evaluation implements the same SQL
+/// three-valued logic as the predicate's [`Expr`] form, bit-for-bit: value
+/// comparisons go through `f64::total_cmp` exactly like
+/// [`Value::total_cmp`], and a NULL operand yields unknown (`None`).
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate<'t> {
+    conds: Vec<CompiledCondition<'t>>,
+}
+
+impl CompiledPredicate<'_> {
+    /// Three-valued evaluation of the conjunction on one row:
+    /// `Some(true)` / `Some(false)` / `None` (= SQL NULL, unknown). The
+    /// trivial predicate is `TRUE` everywhere, matching its `Expr` form.
+    pub fn matches(&self, row: RowId) -> Option<bool> {
+        let mut saw_null = false;
+        for c in &self.conds {
+            match c.eval(row.index()) {
+                Some(false) => return Some(false),
+                None => saw_null = true,
+                Some(true) => {}
+            }
+        }
+        if saw_null {
+            None
+        } else {
+            Some(true)
+        }
+    }
+}
+
+/// One compiled condition: a typed comparison bound to a column reference.
+#[derive(Debug, Clone)]
+enum CompiledCondition<'t> {
+    /// Matches every row (the unbounded range compiles to `TRUE`, exactly
+    /// like [`Condition::to_expr`]).
+    True,
+    /// Always NULL: a comparison against a NULL literal, or any condition
+    /// on a column whose declared type is NULL.
+    Unknown,
+    /// `column = v` / `column <> v` on a numeric (or bool) column.
+    NumEquals { column: &'t Column, value: f64, negate: bool },
+    /// `column = v` / `column <> v` on a string column.
+    StrEquals { column: &'t Column, value: String, negate: bool },
+    /// A (half-)open numeric range; bound flag = inclusive.
+    NumRange { column: &'t Column, low: Option<(f64, bool)>, high: Option<(f64, bool)> },
+    /// `column IN (...)` against the numerically coercible set members.
+    NumInSet { column: &'t Column, values: Vec<f64>, with_null: bool },
+    /// `column IN (...)` against the string set members.
+    StrInSet { column: &'t Column, values: Vec<String>, with_null: bool },
+    /// Case-insensitive substring containment; the needle is pre-lowercased.
+    StrContains { column: &'t Column, needle_lower: String },
+}
+
+impl<'t> CompiledCondition<'t> {
+    fn compile(cond: &Condition, table: &'t Table) -> Result<Self, StorageError> {
+        let idx = table.schema().resolve(cond.column())?;
+        let dtype = table.schema().field_at(idx).expect("resolved").dtype;
+        let column = table.column(idx).expect("resolved");
+        if dtype == DataType::Null {
+            // Every value of the column is NULL, so every comparison is
+            // unknown — except the unbounded range, which is literally TRUE.
+            return Ok(match cond {
+                Condition::Range { low: None, high: None, .. } => CompiledCondition::True,
+                _ => CompiledCondition::Unknown,
+            });
+        }
+        let mismatch = |expected: &str| StorageError::TypeMismatch {
+            expected: expected.into(),
+            found: dtype,
+            context: format!("condition on column '{}'", cond.column()),
+        };
+        match cond {
+            Condition::Equals { value, .. } | Condition::NotEquals { value, .. } => {
+                let negate = matches!(cond, Condition::NotEquals { .. });
+                match (dtype, value) {
+                    (_, Value::Null) => Ok(CompiledCondition::Unknown),
+                    (DataType::Str, Value::Str(s)) => {
+                        Ok(CompiledCondition::StrEquals { column, value: s.clone(), negate })
+                    }
+                    (DataType::Str, _) | (_, Value::Str(_)) => Err(mismatch("str")),
+                    (DataType::Bool, Value::Bool(b)) => Ok(CompiledCondition::NumEquals {
+                        column,
+                        value: if *b { 1.0 } else { 0.0 },
+                        negate,
+                    }),
+                    // `compare` refuses bool-vs-numeric, so compilation must too.
+                    (DataType::Bool, _) | (_, Value::Bool(_)) => Err(mismatch("bool")),
+                    (_, v) => Ok(CompiledCondition::NumEquals {
+                        column,
+                        value: v.as_f64().expect("numeric literal"),
+                        negate,
+                    }),
+                }
+            }
+            Condition::Range { low, low_inclusive, high, high_inclusive, .. } => {
+                if low.is_none() && high.is_none() {
+                    return Ok(CompiledCondition::True);
+                }
+                if !dtype.is_numeric() {
+                    return Err(mismatch("numeric"));
+                }
+                Ok(CompiledCondition::NumRange {
+                    column,
+                    low: low.map(|v| (v, *low_inclusive)),
+                    high: high.map(|v| (v, *high_inclusive)),
+                })
+            }
+            Condition::InSet { values, .. } => {
+                let with_null = values.iter().any(|v| v.is_null());
+                if dtype == DataType::Str {
+                    // Only string members can equal a string value; the
+                    // rest can never match and are dropped.
+                    let values = values
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Str(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    Ok(CompiledCondition::StrInSet { column, values, with_null })
+                } else {
+                    // IN uses `Value` equality, which coerces numerics and
+                    // bools through f64 — mirror that.
+                    let values = values.iter().filter_map(|v| v.as_f64()).collect();
+                    Ok(CompiledCondition::NumInSet { column, values, with_null })
+                }
+            }
+            Condition::Contains { pattern, .. } => {
+                if dtype != DataType::Str {
+                    return Err(mismatch("str"));
+                }
+                Ok(CompiledCondition::StrContains {
+                    column,
+                    needle_lower: pattern.to_ascii_lowercase(),
+                })
+            }
+        }
+    }
+
+    /// Three-valued evaluation on one row index (`None` = NULL).
+    fn eval(&self, row: usize) -> Option<bool> {
+        match self {
+            CompiledCondition::True => Some(true),
+            CompiledCondition::Unknown => None,
+            CompiledCondition::NumEquals { column, value, negate } => {
+                let v = column.get_f64(row)?;
+                Some((v.total_cmp(value) == Ordering::Equal) != *negate)
+            }
+            CompiledCondition::StrEquals { column, value, negate } => {
+                let s = column.get_str(row)?;
+                Some((s == value) != *negate)
+            }
+            CompiledCondition::NumRange { column, low, high } => {
+                let v = column.get_f64(row)?;
+                let low_ok = low.map_or(true, |(lo, incl)| {
+                    let ord = v.total_cmp(&lo);
+                    ord == Ordering::Greater || (incl && ord == Ordering::Equal)
+                });
+                let high_ok = high.map_or(true, |(hi, incl)| {
+                    let ord = v.total_cmp(&hi);
+                    ord == Ordering::Less || (incl && ord == Ordering::Equal)
+                });
+                Some(low_ok && high_ok)
+            }
+            CompiledCondition::NumInSet { column, values, with_null } => {
+                let v = column.get_f64(row)?;
+                if values.iter().any(|m| v.total_cmp(m) == Ordering::Equal) {
+                    Some(true)
+                } else if *with_null {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CompiledCondition::StrInSet { column, values, with_null } => {
+                let s = column.get_str(row)?;
+                if values.iter().any(|m| m == s) {
+                    Some(true)
+                } else if *with_null {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CompiledCondition::StrContains { column, needle_lower } => {
+                let s = column.get_str(row)?;
+                Some(contains_ignore_ascii_case(s, needle_lower))
+            }
+        }
+    }
+}
+
+/// ASCII-case-insensitive substring search without allocating, equivalent
+/// to `haystack.to_ascii_lowercase().contains(needle_lower)` for an
+/// already-lowercased needle.
+fn contains_ignore_ascii_case(haystack: &str, needle_lower: &str) -> bool {
+    let n = needle_lower.as_bytes();
+    if n.is_empty() {
+        return true;
+    }
+    let h = haystack.as_bytes();
+    if n.len() > h.len() {
+        return false;
+    }
+    h.windows(n.len()).any(|w| w.iter().zip(n).all(|(a, b)| a.eq_ignore_ascii_case(b)))
 }
 
 #[cfg(test)]
@@ -471,6 +713,117 @@ mod tests {
         assert!(!Condition::in_set("c", vec![Value::Int(1)]).subsumes(&Condition::equals("c", 7)));
         assert!(Condition::equals("c", 1).subsumes(&Condition::equals("c", 1)));
         assert!(!Condition::equals("c", 1).subsumes(&Condition::equals("c", 2)));
+    }
+
+    #[test]
+    fn compiled_matches_expression_three_valued_logic() {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("ok", DataType::Bool),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("r", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(15), Value::Float(122.0), Value::Bool(true), Value::str("fine")],
+            vec![Value::Int(15), Value::Null, Value::Bool(false), Value::str("REATTRIBUTION")],
+            vec![Value::Int(3), Value::Float(21.0), Value::Null, Value::Null],
+            vec![Value::Null, Value::Float(-0.0), Value::Bool(true), Value::str("Reattribution x")],
+        ])
+        .unwrap();
+        let conditions = vec![
+            Condition::equals("sensorid", 15),
+            Condition::not_equals("sensorid", 15),
+            Condition::equals("temp", 122.0),
+            Condition::equals("temp", 0.0), // -0.0 vs 0.0: total_cmp says unequal
+            Condition::equals("ok", true),
+            Condition::not_equals("memo", "fine"),
+            Condition::equals("memo", Value::str("fine")),
+            Condition::equals("sensorid", Value::Null),
+            Condition::above("temp", 21.0),
+            Condition::at_least("temp", 21.0),
+            Condition::at_most("temp", 21.0),
+            Condition::between("temp", 0.0, 122.0),
+            Condition::Range {
+                column: "temp".into(),
+                low: None,
+                low_inclusive: false,
+                high: None,
+                high_inclusive: false,
+            },
+            Condition::in_set("sensorid", vec![Value::Int(3), Value::Int(15)]),
+            Condition::in_set("sensorid", vec![Value::Int(3), Value::Null]),
+            Condition::in_set("memo", vec![Value::str("fine"), Value::Int(7)]),
+            Condition::contains("memo", "REATTRIBUTION"),
+            Condition::contains("memo", ""),
+        ];
+        // Every single condition and every pair must agree with the Expr
+        // path on all rows, under three-valued logic.
+        let mut predicates: Vec<ConjunctivePredicate> = Vec::new();
+        for c in &conditions {
+            predicates.push(ConjunctivePredicate { conditions: vec![c.clone()] });
+            for d in &conditions {
+                predicates.push(ConjunctivePredicate { conditions: vec![c.clone(), d.clone()] });
+            }
+        }
+        for p in &predicates {
+            let compiled = p.compile(&t).expect("all conditions are well-typed");
+            let expr = p.to_expr();
+            for r in t.visible_row_ids() {
+                let via_expr = match expr.eval(&t, r).unwrap() {
+                    Value::Bool(b) => Some(b),
+                    Value::Null => None,
+                    other => panic!("non-boolean predicate value {other:?}"),
+                };
+                assert_eq!(compiled.matches(r), via_expr, "{p} on row {r:?}");
+            }
+            // matching_rows (which now uses the compiled path) agrees with
+            // the per-condition fallback.
+            let fallback: Vec<RowId> = t.visible_row_ids().filter(|&r| p.matches(&t, r)).collect();
+            assert_eq!(p.matching_rows(&t), fallback, "{p}");
+        }
+    }
+
+    #[test]
+    fn compile_rejects_mistyped_conditions() {
+        let t = table();
+        // String equality against a numeric column and vice versa.
+        assert!(ConjunctivePredicate::new(vec![Condition::equals("temp", Value::str("x"))])
+            .compile(&t)
+            .is_err());
+        assert!(ConjunctivePredicate::new(vec![Condition::equals("memo", 4)]).compile(&t).is_err());
+        // Range and CONTAINS on a string column.
+        assert!(ConjunctivePredicate::new(vec![Condition::above("memo", 1.0)])
+            .compile(&t)
+            .is_err());
+        assert!(ConjunctivePredicate::new(vec![Condition::contains("temp", "x")])
+            .compile(&t)
+            .is_err());
+        // Unknown column.
+        assert!(ConjunctivePredicate::new(vec![Condition::equals("missing", 1)])
+            .compile(&t)
+            .is_err());
+        // matching_rows falls back to the expression path and still answers.
+        let p = ConjunctivePredicate::new(vec![Condition::equals("memo", 4)]);
+        assert!(p.matching_rows(&t).is_empty());
+    }
+
+    #[test]
+    fn canonical_key_ignores_conjunct_order() {
+        let a_and_b = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::above("temp", 100.0),
+        ]);
+        let b_and_a = ConjunctivePredicate::new(vec![
+            Condition::above("temp", 100.0),
+            Condition::equals("sensorid", 15),
+        ]);
+        assert_ne!(a_and_b.to_string(), b_and_a.to_string());
+        assert_eq!(a_and_b.canonical_key(), b_and_a.canonical_key());
+        // Different predicates keep different keys.
+        let other = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 3)]);
+        assert_ne!(a_and_b.canonical_key(), other.canonical_key());
+        assert_eq!(ConjunctivePredicate::always_true().canonical_key(), "");
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Equivalence property tests for the incremental re-aggregation subsystem.
+//!
+//! For random tables, statements and exclusion sets, the incremental path
+//! (`GroupedAggregateCache::result_excluding`) must produce results
+//! identical — group keys, aggregate values and schema, lineage aside — to
+//! full re-execution of the statement on a table with the excluded rows
+//! deleted.
+//!
+//! Values are drawn from a half-integer grid (`k/2` for small integer `k`),
+//! so every partial sum and sum-of-squares is exactly representable in an
+//! `f64` and `AggregateState::remove`'s subtraction is the exact inverse of
+//! `add`. That makes *bitwise* equality the right assertion: any
+//! disagreement is an algorithmic bug in the incremental path, never
+//! floating-point reordering noise. (On arbitrary reals the incremental
+//! values can drift from re-summation by FP-rounding ulps, which the ranker
+//! tolerates; exactness of the *algebra* is what these tests pin down.)
+
+use dbwipes::engine::{execute, parse_select, ExecOptions, GroupedAggregateCache, QueryResult};
+use dbwipes::storage::{DataType, Schema, Value};
+use dbwipes::{RowId, Table};
+use proptest::prelude::*;
+
+/// A random sensor-style table whose `value` column lies on the
+/// half-integer grid (NULLs included).
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let value = prop_oneof![Just(None), (-100i64..300).prop_map(|k| Some(k as f64 / 2.0))];
+    let row = (0i64..4, 0i64..6, value);
+    proptest::collection::vec(row, 1..60).prop_map(|rows| {
+        let schema = Schema::of(&[
+            ("grp", DataType::Int),
+            ("device", DataType::Int),
+            ("value", DataType::Float),
+        ]);
+        let mut t = Table::new("m", schema).unwrap();
+        for (g, d, v) in rows {
+            t.push_row(vec![
+                Value::Int(g),
+                Value::Int(d),
+                v.map(Value::Float).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+/// A random exclusion set: a subset of row indices (some possibly out of
+/// range or duplicated — the cache must tolerate both).
+fn arbitrary_exclusions() -> impl Strategy<Value = Vec<RowId>> {
+    proptest::collection::vec((0usize..70).prop_map(RowId), 0..40)
+}
+
+/// A random statement over the table, drawn from shapes covering every
+/// aggregate (SUM/COUNT/AVG/STDDEV/VARIANCE plus the MIN/MAX fallback),
+/// grouped and ungrouped queries, WHERE clauses, scalar items, ORDER BY and
+/// LIMIT.
+fn arbitrary_statement() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SELECT grp, avg(value), sum(value), count(*), count(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, stddev(value), variance(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, min(value), max(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, device, sum(value), max(value) FROM m GROUP BY grp, device".to_string()),
+        Just("SELECT avg(value), min(value), max(value), count(*) FROM m".to_string()),
+        (-40i64..120).prop_map(|t| format!(
+            "SELECT grp, avg(value), max(value) FROM m WHERE value > {} GROUP BY grp",
+            t as f64 / 2.0
+        )),
+        Just("SELECT grp, grp * 10 AS label, sum(value) FROM m GROUP BY grp ORDER BY sum_value DESC LIMIT 3".to_string()),
+        Just("SELECT grp, count(value) FROM m GROUP BY grp ORDER BY 2 DESC, grp LIMIT 2".to_string()),
+    ]
+}
+
+/// Ground truth: full re-execution on a copy of the table with the excluded
+/// rows physically deleted (lineage capture off, matching the cache).
+fn reference(table: &Table, sql: &str, excluded: &[RowId]) -> QueryResult {
+    let mut t = table.clone();
+    for &r in excluded {
+        if r.index() < t.num_rows() && !t.is_deleted(r) {
+            t.delete_row(r).unwrap();
+        }
+    }
+    let stmt = parse_select(sql).unwrap();
+    execute(&t, &stmt, ExecOptions { capture_lineage: false }).unwrap()
+}
+
+fn assert_equivalent(table: &Table, sql: &str, excluded: &[RowId]) -> Result<(), String> {
+    let stmt = parse_select(sql).unwrap();
+    let cache = GroupedAggregateCache::build(table, &stmt).unwrap();
+    let incremental = cache.result_excluding(excluded);
+    let full = reference(table, sql, excluded);
+    prop_assert!(
+        incremental.group_keys == full.group_keys,
+        "group keys diverged for {sql} excluding {excluded:?}"
+    );
+    prop_assert!(
+        incremental.rows == full.rows,
+        "rows diverged for {sql} excluding {excluded:?}: {:?} != {:?}",
+        incremental.rows,
+        full.rows
+    );
+    prop_assert_eq!(incremental.schema.names(), full.schema.names());
+    prop_assert_eq!(incremental.len(), full.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline equivalence property: 256 random (table, statement,
+    /// exclusion-set) triples, bitwise-identical results. Four statements
+    /// are drawn per case, so every case cross-checks several shapes.
+    #[test]
+    fn incremental_matches_full_reexecution(
+        table in arbitrary_table(),
+        excluded in arbitrary_exclusions(),
+        sql_a in arbitrary_statement(),
+        sql_b in arbitrary_statement(),
+        sql_c in arbitrary_statement(),
+        sql_d in arbitrary_statement(),
+    ) {
+        for sql in [&sql_a, &sql_b, &sql_c, &sql_d] {
+            assert_equivalent(&table, sql, &excluded)?;
+        }
+    }
+
+    /// MIN/MAX fallback: exclusions targeted at the extrema (the rows whose
+    /// removal forces the rescan branch rather than an O(1) subtraction).
+    #[test]
+    fn min_max_fallback_matches(table in arbitrary_table(), take in 1usize..6) {
+        // Exclude the `take` largest and smallest values — guaranteed to
+        // dethrone the current min/max of their groups.
+        let mut by_value: Vec<(f64, RowId)> = (0..table.num_rows())
+            .filter_map(|i| {
+                table.value_by_name(RowId(i), "value").ok().and_then(|v| v.as_f64()).map(|v| (v, RowId(i)))
+            })
+            .collect();
+        by_value.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut excluded: Vec<RowId> = by_value.iter().take(take).map(|&(_, r)| r).collect();
+        excluded.extend(by_value.iter().rev().take(take).map(|&(_, r)| r));
+        assert_equivalent(&table, "SELECT grp, min(value), max(value), avg(value) FROM m GROUP BY grp", &excluded)?;
+        assert_equivalent(&table, "SELECT min(value), max(value) FROM m", &excluded)?;
+    }
+
+    /// Empty-group deletion: excluding *every* row of some groups must make
+    /// those groups disappear (GROUP BY) or leave the single implicit group
+    /// reporting empty-input values (no GROUP BY).
+    #[test]
+    fn whole_group_exclusion_matches(table in arbitrary_table(), victim in 0i64..4) {
+        let excluded: Vec<RowId> = (0..table.num_rows())
+            .map(RowId)
+            .filter(|&r| {
+                table.value_by_name(r, "grp").map(|v| v == Value::Int(victim)).unwrap_or(false)
+            })
+            .collect();
+        assert_equivalent(&table, "SELECT grp, sum(value), count(*) FROM m GROUP BY grp", &excluded)?;
+        // Excluding everything exercises total-exclusion of all groups.
+        let all: Vec<RowId> = (0..table.num_rows()).map(RowId).collect();
+        assert_equivalent(&table, "SELECT grp, avg(value) FROM m GROUP BY grp", &all)?;
+        assert_equivalent(&table, "SELECT avg(value), count(*), min(value) FROM m", &all)?;
+    }
+
+    /// The ranker's exclusion semantics: excluding exactly the cached rows
+    /// where a predicate is TRUE-or-NULL equals rewriting the query with
+    /// `AND NOT predicate` — the "clean as you query" rewrite the ranker
+    /// used to execute per candidate.
+    #[test]
+    fn exclusion_set_matches_query_rewrite(table in arbitrary_table(), device in 0i64..6) {
+        use dbwipes::storage::{Condition, ConjunctivePredicate};
+        let predicate = ConjunctivePredicate::new(vec![Condition::equals("device", device)]);
+        let stmt = parse_select("SELECT grp, avg(value), count(*) FROM m GROUP BY grp").unwrap();
+        let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+
+        let p_expr = predicate.to_expr();
+        let excluded: Vec<RowId> = table
+            .visible_row_ids()
+            .filter(|&r| {
+                cache.contains(r)
+                    && !matches!(p_expr.eval(&table, r), Ok(Value::Bool(false)))
+            })
+            .collect();
+        let incremental = cache.result_excluding(&excluded);
+
+        let rewritten = stmt.with_additional_filter(predicate.to_exclusion_expr());
+        let full = execute(&table, &rewritten, ExecOptions { capture_lineage: false }).unwrap();
+        prop_assert_eq!(&incremental.rows, &full.rows);
+        prop_assert_eq!(&incremental.group_keys, &full.group_keys);
+    }
+}
