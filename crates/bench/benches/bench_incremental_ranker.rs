@@ -71,6 +71,10 @@ fn candidate_pool(n: usize) -> Vec<ConjunctivePredicate> {
 }
 
 fn bench_incremental_ranker(c: &mut Criterion) {
+    println!(
+        "incremental_ranker: {} threads effective (DBWIPES_THREADS to override)",
+        dbwipes_core::effective_parallelism()
+    );
     let dataset = sensor_dataset(16_200);
     let result = run_query(&dataset.table, &dataset.window_query());
     let suspicious = suspicious_windows(&result, 8.0);

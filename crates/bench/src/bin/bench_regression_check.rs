@@ -1,0 +1,325 @@
+//! Diffs a timed `cargo bench -p dbwipes-bench` run against the checked-in
+//! `BENCH_BASELINE.json` and fails loudly on regressions, closing the
+//! ROADMAP's "diff against stored baselines instead of eyeballing
+//! artifacts" item.
+//!
+//! ```text
+//! bench_regression_check <bench-results.txt> <BENCH_BASELINE.json> [--write]
+//! ```
+//!
+//! * default mode: every baseline entry must appear in the results with a
+//!   mean within `tolerance_pct` (default 25%) of the recorded mean;
+//!   slower means a regression, a missing bench means a silently-dropped
+//!   measurement — both exit non-zero with a table of verdicts. Benches
+//!   present in the results but absent from the baseline are listed as
+//!   additions (not failures) with a hint to `--write`.
+//! * `--write`: regenerate the baseline file from the results (run this on
+//!   the reference machine after intentional perf changes; baselines are
+//!   wall-clock means, so they are only comparable on similar hardware).
+//!
+//! Input lines are the offline criterion shim's timed format:
+//! `bench <label>: mean <dur> / min <dur> / max <dur> over N iterations`.
+
+use dbwipes_server::Json;
+use std::process::ExitCode;
+
+/// One measured bench: label and mean nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+struct Measurement {
+    label: String,
+    mean_ns: f64,
+}
+
+/// Parses a humanized `Duration` debug rendering (`12.5ms`, `980ns`,
+/// `3.2µs`, `1.04s`) into nanoseconds.
+fn parse_duration_ns(text: &str) -> Option<f64> {
+    let text = text.trim();
+    let split = text.find(|c: char| !(c.is_ascii_digit() || c == '.'))?;
+    let (number, unit) = text.split_at(split);
+    let value: f64 = number.parse().ok()?;
+    let scale = match unit {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+/// Extracts the timed measurements from a bench-results capture, ignoring
+/// narration lines and smoke-mode output.
+fn parse_results(text: &str) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("bench ") else { continue };
+        let Some((label, tail)) = rest.split_once(": mean ") else { continue };
+        let Some((mean_text, _)) = tail.split_once(" / ") else { continue };
+        if let Some(mean_ns) = parse_duration_ns(mean_text) {
+            out.push(Measurement { label: label.to_string(), mean_ns });
+        }
+    }
+    out
+}
+
+/// Gate configuration stored alongside the baseline means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gate {
+    /// Relative slack: a bench regresses only when it is more than this
+    /// many percent slower than its baseline mean.
+    tolerance_pct: f64,
+    /// Absolute slack: ...and the absolute slowdown also exceeds this many
+    /// nanoseconds. Micro-benches (a few µs) routinely jitter far beyond
+    /// any percentage tolerance across runner generations and
+    /// noisy-neighbor load; the floor keeps sub-noise deltas from failing
+    /// the gate while a real regression (µs → ms) still trips it.
+    min_delta_ns: f64,
+}
+
+fn load_baseline(text: &str) -> Result<(Gate, Vec<Measurement>), String> {
+    let value = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let tolerance_pct = value
+        .get("tolerance_pct")
+        .and_then(Json::as_f64)
+        .ok_or("baseline is missing numeric `tolerance_pct`")?;
+    let min_delta_ns = value.get("min_delta_ns").and_then(Json::as_f64).unwrap_or(50_000.0);
+    let gate = Gate { tolerance_pct, min_delta_ns };
+    let benches = match value.get("benches") {
+        Some(Json::Obj(map)) => map,
+        _ => return Err("baseline is missing object `benches`".to_string()),
+    };
+    let mut entries = Vec::new();
+    for (label, entry) in benches {
+        let mean_ns = entry
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline entry `{label}` is missing numeric `mean_ns`"))?;
+        entries.push(Measurement { label: label.clone(), mean_ns });
+    }
+    Ok((gate, entries))
+}
+
+fn render_baseline(gate: Gate, measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"comment\": \"Timed-bench means recorded by bench_regression_check --write; wall-clock values are machine-specific, so regenerate from a run on the machine that enforces the gate (for CI: a bench-results artifact) and after intentional perf changes.\",\n");
+    out.push_str(&format!("  \"tolerance_pct\": {},\n", gate.tolerance_pct));
+    out.push_str(&format!("  \"min_delta_ns\": {},\n", gate.min_delta_ns));
+    out.push_str("  \"benches\": {\n");
+    let mut sorted: Vec<&Measurement> = measurements.iter().collect();
+    sorted.sort_by(|a, b| a.label.cmp(&b.label));
+    for (i, m) in sorted.iter().enumerate() {
+        let comma = if i + 1 == sorted.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {}: {{\"mean_ns\": {:.0}}}{comma}\n",
+            Json::str(m.label.clone()),
+            m.mean_ns
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn check(gate: Gate, baseline: &[Measurement], current: &[Measurement]) -> bool {
+    let mut ok = true;
+    println!(
+        "{:<44} {:>10} {:>10} {:>8}  verdict (tolerance {}% and > {})",
+        "bench",
+        "baseline",
+        "current",
+        "delta",
+        gate.tolerance_pct,
+        human(gate.min_delta_ns),
+    );
+    for base in baseline {
+        match current.iter().find(|m| m.label == base.label) {
+            None => {
+                ok = false;
+                println!(
+                    "{:<44} {:>10} {:>10} {:>8}  MISSING — bench disappeared from timed run",
+                    base.label,
+                    human(base.mean_ns),
+                    "-",
+                    "-"
+                );
+            }
+            Some(now) => {
+                let delta_pct = (now.mean_ns - base.mean_ns) / base.mean_ns * 100.0;
+                let regressed = delta_pct > gate.tolerance_pct
+                    && now.mean_ns - base.mean_ns > gate.min_delta_ns;
+                if regressed {
+                    ok = false;
+                }
+                println!(
+                    "{:<44} {:>10} {:>10} {:>+7.1}%  {}",
+                    base.label,
+                    human(base.mean_ns),
+                    human(now.mean_ns),
+                    delta_pct,
+                    if regressed { "REGRESSION" } else { "ok" }
+                );
+            }
+        }
+    }
+    for now in current {
+        if !baseline.iter().any(|b| b.label == now.label) {
+            println!(
+                "{:<44} {:>10} {:>10} {:>8}  new bench (add with --write)",
+                now.label,
+                "-",
+                human(now.mean_ns),
+                "-"
+            );
+        }
+    }
+    ok
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (results_path, baseline_path, write) =
+        match args.as_slice() {
+            [results, baseline] => (results, baseline, false),
+            [results, baseline, flag] if flag == "--write" => (results, baseline, true),
+            _ => return Err(
+                "usage: bench_regression_check <bench-results.txt> <BENCH_BASELINE.json> [--write]"
+                    .to_string(),
+            ),
+        };
+    let results_text = std::fs::read_to_string(results_path)
+        .map_err(|e| format!("cannot read {results_path}: {e}"))?;
+    let current = parse_results(&results_text);
+    if current.is_empty() {
+        return Err(format!(
+            "{results_path} contains no timed bench lines — was the run made with `cargo bench` \
+             (not `cargo test`)?"
+        ));
+    }
+
+    if write {
+        let gate = std::fs::read_to_string(baseline_path)
+            .ok()
+            .and_then(|t| load_baseline(&t).ok())
+            .map(|(gate, _)| gate)
+            .unwrap_or(Gate { tolerance_pct: 25.0, min_delta_ns: 50_000.0 });
+        std::fs::write(baseline_path, render_baseline(gate, &current))
+            .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+        println!("wrote {} entries to {baseline_path}", current.len());
+        return Ok(true);
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let (gate, baseline) = load_baseline(&baseline_text)?;
+    let ok = check(gate, &baseline, &current);
+    if ok {
+        println!("bench regression check passed ({} baseline entries)", baseline.len());
+    } else {
+        println!("bench regression check FAILED");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_regression_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_parsing_covers_the_debug_renderings() {
+        assert_eq!(parse_duration_ns("980ns"), Some(980.0));
+        assert_eq!(parse_duration_ns("3.5µs"), Some(3_500.0));
+        assert_eq!(parse_duration_ns("3.5us"), Some(3_500.0));
+        assert_eq!(parse_duration_ns("12.25ms"), Some(12_250_000.0));
+        assert_eq!(parse_duration_ns("1.04s"), Some(1_040_000_000.0));
+        assert_eq!(parse_duration_ns("fast"), None);
+        assert_eq!(parse_duration_ns("12 parsecs"), None);
+    }
+
+    #[test]
+    fn results_parsing_picks_out_timed_lines() {
+        let text = "incremental_ranker: 1 threads effective\n\
+                    bench server_sessions/explain_cold: mean 25.3ms / min 24.1ms / max 27.9ms over 10 iterations\n\
+                    bench server_sessions/explain_cached: mean 900.5µs / min 850µs / max 1.1ms over 10 iterations\n\
+                    bench smoke/only: ok (smoke mode, 1 iteration)\n\
+                    incremental_ranker speedup: 9.0x\n";
+        let parsed = parse_results(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "server_sessions/explain_cold");
+        assert_eq!(parsed[0].mean_ns, 25_300_000.0);
+        assert_eq!(parsed[1].mean_ns, 900_500.0);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_verdicts() {
+        let gate = Gate { tolerance_pct: 25.0, min_delta_ns: 50_000.0 };
+        let measurements = vec![
+            Measurement { label: "a/fast".into(), mean_ns: 1_000.0 },
+            Measurement { label: "b/slow".into(), mean_ns: 2_000_000.0 },
+        ];
+        let rendered = render_baseline(gate, &measurements);
+        let (loaded_gate, loaded) = load_baseline(&rendered).unwrap();
+        assert_eq!(loaded_gate, gate);
+        assert_eq!(loaded, measurements);
+
+        // Within tolerance passes; beyond it, or missing, fails.
+        let within = vec![
+            Measurement { label: "a/fast".into(), mean_ns: 1_200.0 },
+            Measurement { label: "b/slow".into(), mean_ns: 1_500_000.0 },
+        ];
+        assert!(check(gate, &loaded, &within));
+        let regressed = vec![
+            Measurement { label: "a/fast".into(), mean_ns: 1_000.0 },
+            Measurement { label: "b/slow".into(), mean_ns: 2_600_000.0 },
+        ];
+        assert!(!check(gate, &loaded, &regressed));
+        let missing = vec![Measurement { label: "a/fast".into(), mean_ns: 1_000.0 }];
+        assert!(!check(gate, &loaded, &missing));
+        // New benches are reported but do not fail the check.
+        let extra = vec![
+            Measurement { label: "a/fast".into(), mean_ns: 1_000.0 },
+            Measurement { label: "b/slow".into(), mean_ns: 2_000_000.0 },
+            Measurement { label: "c/new".into(), mean_ns: 5.0 },
+        ];
+        assert!(check(gate, &loaded, &extra));
+        assert!(load_baseline("{}").is_err());
+        assert!(load_baseline("nope").is_err());
+    }
+
+    #[test]
+    fn absolute_floor_masks_micro_bench_jitter_but_not_real_regressions() {
+        let gate = Gate { tolerance_pct: 25.0, min_delta_ns: 50_000.0 };
+        let baseline = vec![Measurement { label: "micro".into(), mean_ns: 4_000.0 }];
+        // 10x slower but only +36µs absolute: cross-machine noise, passes.
+        let noisy = vec![Measurement { label: "micro".into(), mean_ns: 40_000.0 }];
+        assert!(check(gate, &baseline, &noisy));
+        // µs → ms is a real regression: clears both slacks, fails.
+        let blown = vec![Measurement { label: "micro".into(), mean_ns: 4_000_000.0 }];
+        assert!(!check(gate, &baseline, &blown));
+        // The floor defaults to 50µs when absent from older baselines.
+        let legacy = r#"{"tolerance_pct": 25, "benches": {"micro": {"mean_ns": 4000}}}"#;
+        let (legacy_gate, _) = load_baseline(legacy).unwrap();
+        assert_eq!(legacy_gate.min_delta_ns, 50_000.0);
+    }
+}

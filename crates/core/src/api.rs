@@ -225,13 +225,46 @@ pub fn explain_on_table(
     result: &QueryResult,
     request: &ExplanationRequest,
 ) -> Result<Explanation, CoreError> {
-    // 1. Preprocessor. The incremental re-aggregation cache is built once
-    // here (one statement execution) and shared with the Predicate Ranker
-    // in step 4, so its build cost is charged to the Preprocessor.
+    // The incremental re-aggregation cache is built once here (one
+    // statement execution), shared between the Preprocessor and the
+    // Predicate Ranker, and dropped with the call — its build cost is
+    // charged to the Preprocessor. Callers that keep caches alive across
+    // explains (the server's cross-brush registry) build the cache
+    // themselves and call [`explain_with_cache`] directly.
     let start = Instant::now();
     let cache = GroupedAggregateCache::build(table, &result.statement)?;
+    let build_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let mut explanation = explain_with_cache(&cache, result, request)?;
+    explanation.timings.preprocess_ms += build_ms;
+    Ok(explanation)
+}
+
+/// Runs the full backend pipeline over an externally-owned
+/// [`GroupedAggregateCache`] (which carries the table it was built from).
+///
+/// The cache must answer for exactly the statement of `result`; a cache
+/// built for a different statement would silently score candidates against
+/// the wrong query, so the mismatch is rejected up front. On a cache hit
+/// the pipeline skips the one-full-execution build cost — the point of
+/// keeping caches alive across brushes and repeated explains.
+pub fn explain_with_cache(
+    cache: &GroupedAggregateCache<'_>,
+    result: &QueryResult,
+    request: &ExplanationRequest,
+) -> Result<Explanation, CoreError> {
+    if cache.statement() != &result.statement {
+        return Err(CoreError::invalid(format!(
+            "cache was built for `{}` but the result being explained ran `{}`",
+            cache.statement().to_sql(),
+            result.statement.to_sql()
+        )));
+    }
+    let table = cache.table();
+
+    // 1. Preprocessor.
+    let start = Instant::now();
     let influence =
-        rank_influence_with_cache(&cache, result, &request.suspicious_outputs, &request.metric)?;
+        rank_influence_with_cache(cache, result, &request.suspicious_outputs, &request.metric)?;
     let preprocess_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     let f_rows = influence.inputs();
@@ -296,7 +329,7 @@ pub fn explain_on_table(
     // 4. Predicate Ranker, reusing the Preprocessor's cache.
     let start = Instant::now();
     let ranked = rank_predicates_with_cache(
-        &cache,
+        cache,
         result,
         &request.suspicious_outputs,
         &examples,
@@ -380,6 +413,36 @@ mod tests {
         let explanation = db.explain(&result, &request).unwrap();
         assert!(!explanation.predicates.is_empty());
         assert!(explanation.best().unwrap().improvement > 0.3);
+    }
+
+    #[test]
+    fn external_cache_matches_internal_build_and_rejects_mismatches() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        let std_col = result.column_index("std_temp").unwrap();
+        let suspicious: Vec<usize> = (0..result.len())
+            .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
+            .collect();
+        let examples: Vec<RowId> = ds.error_rows().into_iter().take(8).collect();
+        let request =
+            ExplanationRequest::new(suspicious, examples, ErrorMetric::too_high("std_temp", 4.0));
+
+        let table = db.catalog().table("readings").unwrap();
+        let cache = GroupedAggregateCache::build(table, &result.statement).unwrap();
+        let external = explain_with_cache(&cache, &result, &request).unwrap();
+        let internal = db.explain(&result, &request).unwrap();
+        assert_eq!(external.predicates.len(), internal.predicates.len());
+        for (a, b) in external.predicates.iter().zip(&internal.predicates) {
+            assert_eq!(a.predicate, b.predicate);
+            assert_eq!(a.score, b.score);
+        }
+        assert_eq!(external.base_error, internal.base_error);
+
+        // A cache built for a different statement must be rejected, not
+        // silently scored against the wrong query.
+        let other = db.query("SELECT sensorid, avg(temp) FROM readings GROUP BY sensorid").unwrap();
+        let err = explain_with_cache(&cache, &other, &request).unwrap_err();
+        assert!(err.to_string().contains("cache was built for"), "{err}");
     }
 
     #[test]

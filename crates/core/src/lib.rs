@@ -65,12 +65,13 @@ pub mod enumerator;
 pub mod error;
 pub mod influence;
 pub mod metric;
-mod parallel;
+pub mod parallel;
 pub mod predicates;
 pub mod ranker;
 
 pub use api::{
-    explain_on_table, ComponentTimings, DbWipes, ExplainConfig, Explanation, ExplanationRequest,
+    explain_on_table, explain_with_cache, ComponentTimings, DbWipes, ExplainConfig, Explanation,
+    ExplanationRequest,
 };
 pub use cleaner::{delete_matching, restore_rows, CleaningSession};
 pub use enumerator::{
@@ -79,5 +80,6 @@ pub use enumerator::{
 pub use error::CoreError;
 pub use influence::{rank_influence, rank_influence_with_cache, InfluenceReport, TupleInfluence};
 pub use metric::{suggest_metrics, Combine, ErrorMetric, MetricKind};
+pub use parallel::effective_parallelism;
 pub use predicates::{enumerate_predicates, PredicateEnumConfig};
 pub use ranker::{rank_predicates, rank_predicates_with_cache, RankedPredicate, RankerConfig};

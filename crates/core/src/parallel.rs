@@ -2,21 +2,53 @@
 //! Ranker's per-candidate scoring and the Preprocessor's per-tuple
 //! leave-one-out), using only `std::thread` — no extra dependencies under
 //! the offline shims.
+//!
+//! The fan-out width defaults to [`std::thread::available_parallelism`]
+//! and can be overridden with the `DBWIPES_THREADS` environment variable
+//! (useful on machines whose reported CPU count does not reflect the
+//! cores actually usable — e.g. a dev container reporting 1 CPU — and for
+//! pinning benchmarks to a fixed width). Results are deterministic
+//! regardless of the width: items are mapped in order, so the override
+//! only affects wall-clock time.
 
 use std::thread;
 
+/// The fan-out width parallel loops will use: the value of the
+/// `DBWIPES_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism (1 when unknown).
+/// Benchmarks print this so recorded timings carry their thread context.
+pub fn effective_parallelism() -> usize {
+    parallelism_from(std::env::var("DBWIPES_THREADS").ok().as_deref())
+}
+
+/// [`effective_parallelism`] for an explicit override value (`None` =
+/// variable unset). Separated so tests can exercise the interpretation
+/// without mutating process environment — concurrent `setenv`/`getenv`
+/// is undefined behavior on glibc, and the test binary runs threaded.
+fn parallelism_from(raw: Option<&str>) -> usize {
+    if let Some(raw) = raw {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Maps `f` over `items`, preserving order. Items are split into
-/// contiguous chunks, one per available core (capped by the item count),
-/// and each chunk runs on its own scoped thread; with one item or one core
-/// the loop runs inline. `f` receives the item's index alongside the item,
-/// so callers can address shared per-item context.
+/// contiguous chunks, one per thread of [`effective_parallelism`] (capped
+/// by the item count), and each chunk runs on its own scoped thread; with
+/// one item or one thread the loop runs inline. `f` receives the item's
+/// index alongside the item, so callers can address shared per-item
+/// context.
 pub(crate) fn map_chunked<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(items.len());
+    let threads = effective_parallelism().min(items.len());
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -63,5 +95,26 @@ mod tests {
     fn empty_and_singleton_inputs() {
         assert!(map_chunked::<i32, i32, _>(&[], |_, v| *v).is_empty());
         assert_eq!(map_chunked(&[7], |i, v| i + *v), vec![7]);
+    }
+
+    #[test]
+    fn override_interpretation() {
+        let machine = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Unset: the machine's parallelism.
+        assert_eq!(parallelism_from(None), machine);
+        // Positive integers (whitespace tolerated) win.
+        for (raw, expect) in [("1", 1), ("2", 2), (" 7 ", 7), ("16", 16)] {
+            assert_eq!(parallelism_from(Some(raw)), expect);
+        }
+        // Invalid or zero values fall back to the machine default.
+        for bogus in ["0", "-3", "lots", ""] {
+            assert_eq!(parallelism_from(Some(bogus)), machine);
+        }
+        // The live entry point agrees with the pure interpretation of the
+        // process's actual (unmutated) environment.
+        assert_eq!(
+            effective_parallelism(),
+            parallelism_from(std::env::var("DBWIPES_THREADS").ok().as_deref())
+        );
     }
 }

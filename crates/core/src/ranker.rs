@@ -228,7 +228,9 @@ fn score_candidate(
         }
     }
 
-    let cleaned = cache.result_excluding(&excluded);
+    // Only the brushed groups matter for ε: ask the cache for exactly
+    // those keys instead of materialising (and re-sorting) every group.
+    let cleaned = cache.result_excluding_keys(&excluded, selected_keys);
     let error_after = error_over_keys(&cleaned, selected_keys, metric);
     let improvement = if error_before > 0.0 {
         ((error_before - error_after) / error_before).clamp(-1.0, 1.0)

@@ -13,7 +13,7 @@ use dbwipes_core::{
     CleaningSession, CoreError, DbWipes, ErrorMetric, Explanation, ExplanationRequest,
     RankedPredicate,
 };
-use dbwipes_engine::QueryResult;
+use dbwipes_engine::{GroupedAggregateCache, QueryResult};
 use dbwipes_storage::{RowId, Table};
 
 /// Where the user is in the Figure-1 interaction loop.
@@ -188,11 +188,21 @@ impl DashboardSession {
         self.explanation = None;
     }
 
-    /// Runs the backend pipeline ("debug!") and returns the ranked
-    /// predicates.
-    pub fn debug(&mut self) -> Result<&Explanation, CoreError> {
-        let result =
-            self.result.as_ref().ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+    /// The currently selected error metric ε, if any.
+    pub fn metric(&self) -> Option<&ErrorMetric> {
+        self.metric.as_ref()
+    }
+
+    /// The "Query, S, D′, ε" request the next `debug!` click would send to
+    /// the backend, validated against the current interaction state. This
+    /// is the single source of truth for how a request is formed —
+    /// callers that cache or memoize explains (the server) key on exactly
+    /// this value, so it cannot drift from what [`DashboardSession::debug`]
+    /// actually runs.
+    pub fn explain_request(&self) -> Result<ExplanationRequest, CoreError> {
+        if self.result.is_none() {
+            return Err(CoreError::invalid("no query has been executed"));
+        }
         let metric = self
             .metric
             .clone()
@@ -200,12 +210,52 @@ impl DashboardSession {
         if self.selected_outputs.is_empty() {
             return Err(CoreError::invalid("no suspicious outputs are selected"));
         }
-        let request = ExplanationRequest::new(
+        Ok(ExplanationRequest::new(
             self.selected_outputs.clone(),
             self.selected_inputs.clone(),
             metric,
-        );
+        ))
+    }
+
+    /// Runs the backend pipeline ("debug!") and returns the ranked
+    /// predicates.
+    pub fn debug(&mut self) -> Result<&Explanation, CoreError> {
+        let request = self.explain_request()?;
+        let result = self.result.as_ref().expect("validated by explain_request");
         let explanation = self.db.explain(result, &request)?;
+        self.explanation = Some(explanation);
+        Ok(self.explanation.as_ref().expect("just set"))
+    }
+
+    /// [`DashboardSession::debug`] over an externally-owned incremental
+    /// re-aggregation cache, skipping the per-explain cache build when the
+    /// caller kept a cache alive across brushes (the server's
+    /// `CacheRegistry`). The cache must have been built for the current
+    /// result's statement over the session's current table data; a
+    /// mismatched statement is rejected by the backend.
+    pub fn debug_with_cache(
+        &mut self,
+        cache: &GroupedAggregateCache<'_>,
+    ) -> Result<&Explanation, CoreError> {
+        let request = self.explain_request()?;
+        let result = self.result.as_ref().expect("validated by explain_request");
+        let explanation = dbwipes_core::explain_with_cache(cache, result, &request)?;
+        self.explanation = Some(explanation);
+        Ok(self.explanation.as_ref().expect("just set"))
+    }
+
+    /// Installs an explanation that was computed earlier for this session's
+    /// *current* query, selections and metric — the server's explanation
+    /// memo replaying a memoized `debug!` answer. The session must be in a
+    /// state where `debug` would be legal (query run, S selected, ε
+    /// picked); the caller is responsible for only replaying an
+    /// explanation whose request matches that state, which the memo
+    /// guarantees by keying on exactly those inputs.
+    pub fn install_explanation(
+        &mut self,
+        explanation: Explanation,
+    ) -> Result<&Explanation, CoreError> {
+        self.explain_request()?;
         self.explanation = Some(explanation);
         Ok(self.explanation.as_ref().expect("just set"))
     }
@@ -228,15 +278,7 @@ impl DashboardSession {
             .as_mut()
             .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         cleaning.apply(predicate);
-        let table =
-            self.db.catalog().table(&cleaning.base_statement().table).map_err(CoreError::from)?;
-        let result = cleaning.execute(table)?;
-        self.query_form.show_statement(&result.statement);
-        self.result = Some(result);
-        self.selected_outputs.clear();
-        self.selected_inputs.clear();
-        self.explanation = None;
-        Ok(self.result.as_ref().expect("just set"))
+        self.reexecute_cleaned()
     }
 
     /// Un-applies the most recently clicked predicate and re-executes.
@@ -246,6 +288,18 @@ impl DashboardSession {
             .as_mut()
             .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         cleaning.undo();
+        self.reexecute_cleaned()
+    }
+
+    /// Re-executes the cleaning session's current (rewritten) statement and
+    /// resets the visualization state — the one place encoding what a
+    /// predicate click or undo does to the session, so apply and undo
+    /// cannot drift apart.
+    fn reexecute_cleaned(&mut self) -> Result<&QueryResult, CoreError> {
+        let cleaning = self
+            .cleaning
+            .as_ref()
+            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
         let table =
             self.db.catalog().table(&cleaning.base_statement().table).map_err(CoreError::from)?;
         let result = cleaning.execute(table)?;
@@ -365,6 +419,41 @@ mod tests {
         // Brushing an unknown column selects nothing.
         assert!(s.brush_outputs("nope", "std_temp", Brush::above(0.0)).is_empty());
         assert!(s.brush_inputs("nope", "temp", Brush::above(0.0)).is_empty());
+    }
+
+    #[test]
+    fn debug_with_external_cache_matches_plain_debug() {
+        let (mut s, ds) = session();
+        s.run_query(&ds.window_query()).unwrap();
+        s.brush_outputs("window", "std_temp", Brush::above(8.0));
+        s.brush_inputs("sensorid", "temp", Brush::above(100.0));
+        let choices = s.metric_choices("std_temp");
+        s.set_metric(choices[0].metric.clone());
+
+        // Snapshot the table (clones preserve identity and version) so the
+        // cache does not borrow from the session it is handed back to.
+        let table = s.current_table().unwrap().clone();
+        let stmt = s.result().unwrap().statement.clone();
+        let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        // A cache built for a different statement is rejected up front.
+        let wrong_stmt = dbwipes_engine::parse_select(
+            "SELECT sensorid, avg(temp) FROM readings GROUP BY sensorid",
+        )
+        .unwrap();
+        let wrong = GroupedAggregateCache::build(&table, &wrong_stmt).unwrap();
+        assert!(s.debug_with_cache(&wrong).is_err());
+
+        let cached: Vec<_> = s
+            .debug_with_cache(&cache)
+            .unwrap()
+            .predicates
+            .iter()
+            .map(|p| (p.predicate.clone(), p.score))
+            .collect();
+        let plain: Vec<_> =
+            s.debug().unwrap().predicates.iter().map(|p| (p.predicate.clone(), p.score)).collect();
+        assert_eq!(cached, plain);
+        assert_eq!(s.state(), SessionState::Explained);
     }
 
     #[test]

@@ -55,8 +55,65 @@ use crate::executor::{
 use crate::result::QueryResult;
 use dbwipes_provenance::{Lineage, OperatorGraph, OperatorKind};
 use dbwipes_storage::{RowId, Schema, Table, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How a cache holds the table it indexed: borrowed from the caller (the
+/// classic single-explain path, where the cache lives within one call
+/// stack) or shared ownership of an immutable snapshot (the server's
+/// cross-brush registry, whose caches must outlive any single request).
+#[derive(Debug, Clone)]
+enum TableStore<'t> {
+    Borrowed(&'t Table),
+    Shared(Arc<Table>),
+}
+
+impl std::ops::Deref for TableStore<'_> {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        match self {
+            TableStore::Borrowed(t) => t,
+            TableStore::Shared(t) => t,
+        }
+    }
+}
+
+/// Identifies "this statement over this table data" — the key of the
+/// server's cross-brush cache registry.
+///
+/// Two equal fingerprints guarantee a retained [`GroupedAggregateCache`]
+/// is reusable: the statement's canonical SQL matches (rendered from the
+/// parsed AST, so whitespace and keyword spelling are normalised; `SELECT
+/// x` and `select   x` fingerprint identically, while identifier *case*
+/// differences conservatively miss) and the table holds bit-identical data
+/// ([`Table::id`] pins the logical table across re-registrations,
+/// [`Table::version`] pins its mutation state). The lower-cased table name
+/// rides along so a registry can invalidate by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheFingerprint {
+    /// Lower-cased table name (for invalidation by name).
+    pub table_name: String,
+    /// [`Table::id`] of the table.
+    pub table_id: u64,
+    /// [`Table::version`] of the table.
+    pub table_version: u64,
+    /// The statement's canonical SQL rendering.
+    pub statement: String,
+}
+
+impl CacheFingerprint {
+    /// The fingerprint of `stmt` over the current data of `table`.
+    pub fn of(table: &Table, stmt: &SelectStatement) -> Self {
+        CacheFingerprint {
+            table_name: table.name().to_ascii_lowercase(),
+            table_id: table.id(),
+            table_version: table.version(),
+            statement: stmt.to_sql(),
+        }
+    }
+}
 
 /// One materialised group: its key, its input rows, the per-aggregate
 /// retained state and the per-aggregate argument values (aligned with the
@@ -76,17 +133,22 @@ struct CachedGroup {
 }
 
 /// A one-time execution of a statement, retained in a form that can answer
-/// exclusion queries incrementally. Borrows the table it was built from, so
-/// a cache can never be asked about a different table than it indexed. See
+/// exclusion queries incrementally. Holds the table it was built from —
+/// either borrowed ([`GroupedAggregateCache::build`]) or as a shared
+/// immutable snapshot ([`GroupedAggregateCache::build_shared`], which
+/// yields a `'static` cache suitable for long-lived registries) — so a
+/// cache can never be asked about a different table than it indexed. See
 /// the module docs for the design.
 #[derive(Debug, Clone)]
 pub struct GroupedAggregateCache<'t> {
-    table: &'t Table,
+    table: TableStore<'t>,
     stmt: SelectStatement,
     schema: Schema,
     groups: Vec<CachedGroup>,
     /// row → (group index, position within the group's row list).
     row_index: HashMap<RowId, (u32, u32)>,
+    /// GROUP BY key → group index (keys are unique per group).
+    key_index: HashMap<Vec<Value>, u32>,
     /// SELECT-list indices of the aggregate items (one per state slot).
     agg_item_indices: Vec<usize>,
     /// SELECT-list indices of the non-aggregate items.
@@ -98,6 +160,22 @@ impl<'t> GroupedAggregateCache<'t> {
     /// aggregate states. Validation errors are the same ones
     /// [`crate::execute`] would report.
     pub fn build(table: &'t Table, stmt: &SelectStatement) -> Result<Self, EngineError> {
+        Self::build_from(TableStore::Borrowed(table), stmt)
+    }
+
+    /// [`GroupedAggregateCache::build`] over a shared table snapshot. The
+    /// returned cache co-owns the snapshot, so it has no borrowed lifetime
+    /// and can be stored in a registry that outlives the building request
+    /// (the server's cross-brush cache reuse).
+    pub fn build_shared(
+        table: Arc<Table>,
+        stmt: &SelectStatement,
+    ) -> Result<GroupedAggregateCache<'static>, EngineError> {
+        GroupedAggregateCache::build_from(TableStore::Shared(table), stmt)
+    }
+
+    fn build_from(store: TableStore<'t>, stmt: &SelectStatement) -> Result<Self, EngineError> {
+        let table: &Table = &store;
         validate(table, stmt)?;
         let filtered = scan_filter(table, stmt)?;
         let (group_keys, group_rows) = build_groups(table, stmt, filtered)?;
@@ -121,6 +199,7 @@ impl<'t> GroupedAggregateCache<'t> {
 
         let mut groups = Vec::with_capacity(group_keys.len());
         let mut row_index = HashMap::new();
+        let mut key_index = HashMap::with_capacity(group_keys.len());
         for (gi, (key, rows)) in group_keys.into_iter().zip(group_rows).enumerate() {
             let mut states = Vec::with_capacity(agg_calls.len());
             let mut arg_values = Vec::with_capacity(agg_calls.len());
@@ -139,23 +218,34 @@ impl<'t> GroupedAggregateCache<'t> {
             for (pos, &rid) in rows.iter().enumerate() {
                 row_index.insert(rid, (gi as u32, pos as u32));
             }
+            key_index.insert(key.clone(), gi as u32);
             groups.push(CachedGroup { key, rows, states, arg_values, template });
         }
 
+        let schema = output_schema(table, stmt)?;
         Ok(GroupedAggregateCache {
-            table,
+            table: store,
             stmt: stmt.clone(),
-            schema: output_schema(table, stmt)?,
+            schema,
             groups,
             row_index,
+            key_index,
             agg_item_indices: agg_calls.iter().map(|(i, _)| *i).collect(),
             plain_item_indices,
         })
     }
 
     /// The table this cache was built from.
-    pub fn table(&self) -> &'t Table {
-        self.table
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The fingerprint identifying this cache's (statement, table data)
+    /// pair — what a registry keys reuse on. Cheap: no hashing of the data
+    /// itself, just the statement's SQL rendering plus the table's identity
+    /// and version stamps.
+    pub fn fingerprint(&self) -> CacheFingerprint {
+        CacheFingerprint::of(&self.table, &self.stmt)
     }
 
     /// The statement this cache answers for.
@@ -183,7 +273,7 @@ impl<'t> GroupedAggregateCache<'t> {
     /// The index of the group whose GROUP BY key is `key` (first-seen
     /// order, not output order).
     pub fn find_group(&self, key: &[Value]) -> Option<usize> {
-        self.groups.iter().position(|g| g.key == key)
+        self.key_index.get(key).map(|&gi| gi as usize)
     }
 
     /// The input rows of group `g`, in scan order.
@@ -218,46 +308,13 @@ impl<'t> GroupedAggregateCache<'t> {
     /// multiple times) are ignored.
     pub fn result_excluding(&self, excluded: &[RowId]) -> QueryResult {
         let start = Instant::now();
+        let touched = self.touched_positions(excluded, None);
 
-        // Excluded positions per touched group, sorted and deduplicated.
-        let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
-        for rid in excluded {
-            if let Some(&(g, pos)) = self.row_index.get(rid) {
-                touched.entry(g).or_default().push(pos);
-            }
-        }
-        for positions in touched.values_mut() {
-            positions.sort_unstable();
-            positions.dedup();
-        }
-
-        let has_group_by = !self.stmt.group_by.is_empty();
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
         let mut keys: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
         for (gi, group) in self.groups.iter().enumerate() {
-            let row = match touched.get(&(gi as u32)) {
-                None => group.template.clone(),
-                Some(positions) => {
-                    let remaining = group.rows.len() - positions.len();
-                    if remaining == 0 && has_group_by {
-                        // Every contributing row is excluded: the group
-                        // disappears, exactly as under full re-execution.
-                        continue;
-                    }
-                    let mut row = group.template.clone();
-                    for (slot, &item) in self.agg_item_indices.iter().enumerate() {
-                        row[item] = self.reaggregate(group, slot, positions).finish();
-                    }
-                    if remaining == 0 {
-                        // The implicit group of a GROUP BY-less query: scalar
-                        // items lose their representative row and become
-                        // NULL, matching the executor on an empty input.
-                        for &item in &self.plain_item_indices {
-                            row[item] = Value::Null;
-                        }
-                    }
-                    row
-                }
+            let Some(row) = self.cleaned_group_row(group, touched.get(&(gi as u32))) else {
+                continue;
             };
             rows.push(row);
             keys.push(group.key.clone());
@@ -267,26 +324,155 @@ impl<'t> GroupedAggregateCache<'t> {
 
         let mut final_rows = Vec::with_capacity(order.len());
         let mut final_keys = Vec::with_capacity(order.len());
-        let mut lineage = Lineage::new(self.table.name());
         for &i in &order {
             final_rows.push(std::mem::take(&mut rows[i]));
             final_keys.push(std::mem::take(&mut keys[i]));
-            lineage.add_group();
+        }
+        self.finish_result(final_rows, final_keys, start)
+    }
+
+    /// The rows of [`GroupedAggregateCache::result_excluding`] restricted
+    /// to the groups whose GROUP BY key appears in `keys` — without
+    /// materialising (cloning, re-aggregating or sorting) any other group.
+    ///
+    /// This is the Predicate Ranker's shape of question: a brush selects a
+    /// handful of suspicious groups, and every candidate predicate only
+    /// needs ε re-evaluated over *those* groups; on a query with hundreds
+    /// of windows the full result would be >95% wasted work.
+    ///
+    /// The returned partial result contains one row per distinct requested
+    /// key that (still) exists after the exclusion, in the cache's
+    /// first-seen group order — ORDER BY is not applied, since rows are
+    /// identified by their group key. The per-group values are exactly the
+    /// corresponding rows of `result_excluding`. A statement with LIMIT
+    /// falls back internally to the full path (which groups survive the
+    /// limit depends on every other group) and then filters, so results
+    /// remain exact.
+    pub fn result_excluding_keys(&self, excluded: &[RowId], keys: &[Vec<Value>]) -> QueryResult {
+        if self.stmt.limit.is_some() {
+            let wanted: HashSet<&[Value]> = keys.iter().map(|k| k.as_slice()).collect();
+            let full = self.result_excluding(excluded);
+            let start = Instant::now();
+            let mut rows = Vec::new();
+            let mut out_keys = Vec::new();
+            for (row, key) in full.rows.into_iter().zip(full.group_keys) {
+                if wanted.contains(key.as_slice()) {
+                    rows.push(row);
+                    out_keys.push(key);
+                }
+            }
+            return self.finish_result(rows, out_keys, start);
         }
 
+        let start = Instant::now();
+        // Resolve the requested keys through the key index — O(|keys|), not
+        // a scan over every cached group — and visit them in first-seen
+        // group order. Unknown keys resolve to nothing; duplicates collapse.
+        let mut wanted: Vec<u32> =
+            keys.iter().filter_map(|k| self.key_index.get(k.as_slice()).copied()).collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let wanted_set: HashSet<u32> = wanted.iter().copied().collect();
+        let touched = self.touched_positions(excluded, Some(&wanted_set));
+
+        let mut rows = Vec::with_capacity(wanted.len());
+        let mut out_keys = Vec::with_capacity(wanted.len());
+        for &gi in &wanted {
+            let group = &self.groups[gi as usize];
+            let Some(row) = self.cleaned_group_row(group, touched.get(&gi)) else {
+                continue;
+            };
+            rows.push(row);
+            out_keys.push(group.key.clone());
+        }
+        self.finish_result(rows, out_keys, start)
+    }
+
+    /// Excluded positions per touched group, sorted and deduplicated.
+    /// Restricted to the group indices in `wanted` when given (rows
+    /// outside those groups cannot affect the answer, so indexing them is
+    /// wasted work).
+    fn touched_positions(
+        &self,
+        excluded: &[RowId],
+        wanted: Option<&HashSet<u32>>,
+    ) -> HashMap<u32, Vec<u32>> {
+        let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+        for rid in excluded {
+            if let Some(&(g, pos)) = self.row_index.get(rid) {
+                if let Some(wanted) = wanted {
+                    if !wanted.contains(&g) {
+                        continue;
+                    }
+                }
+                touched.entry(g).or_default().push(pos);
+            }
+        }
+        for positions in touched.values_mut() {
+            positions.sort_unstable();
+            positions.dedup();
+        }
+        touched
+    }
+
+    /// One group's output row after excluding `positions`, or `None` when
+    /// the group disappears (every contributing row excluded, under GROUP
+    /// BY) — the single place encoding the exclusion semantics for both the
+    /// full and the by-key paths.
+    fn cleaned_group_row(
+        &self,
+        group: &CachedGroup,
+        positions: Option<&Vec<u32>>,
+    ) -> Option<Vec<Value>> {
+        let Some(positions) = positions else {
+            return Some(group.template.clone());
+        };
+        let has_group_by = !self.stmt.group_by.is_empty();
+        let remaining = group.rows.len() - positions.len();
+        if remaining == 0 && has_group_by {
+            // Every contributing row is excluded: the group disappears,
+            // exactly as under full re-execution.
+            return None;
+        }
+        let mut row = group.template.clone();
+        for (slot, &item) in self.agg_item_indices.iter().enumerate() {
+            row[item] = self.reaggregate(group, slot, positions).finish();
+        }
+        if remaining == 0 {
+            // The implicit group of a GROUP BY-less query: scalar items
+            // lose their representative row and become NULL, matching the
+            // executor on an empty input.
+            for &item in &self.plain_item_indices {
+                row[item] = Value::Null;
+            }
+        }
+        Some(row)
+    }
+
+    /// Wraps computed rows into a lineage-free [`QueryResult`].
+    fn finish_result(
+        &self,
+        rows: Vec<Vec<Value>>,
+        keys: Vec<Vec<Value>>,
+        start: Instant,
+    ) -> QueryResult {
+        let mut lineage = Lineage::new(self.table.name());
+        for _ in &rows {
+            lineage.add_group();
+        }
         let mut graph = OperatorGraph::new();
         graph.push(
             OperatorKind::Aggregate {
                 aggregates: self.stmt.aggregates().iter().map(|a| a.to_string()).collect(),
             },
-            final_rows.len(),
+            rows.len(),
         );
 
         QueryResult {
             statement: self.stmt.clone(),
             schema: self.schema.clone(),
-            rows: final_rows,
-            group_keys: final_keys,
+            rows,
+            group_keys: keys,
             lineage,
             graph,
             execution_nanos: start.elapsed().as_nanos(),
@@ -442,6 +628,115 @@ mod tests {
         assert!(cache.state(g, 0).is_none());
         assert!(cache.arg_values(g, 0).is_none());
         assert!(cache.find_group(&[Value::Int(9)]).is_none());
+    }
+
+    /// `result_excluding_keys` must agree row-for-row with filtering the
+    /// full result down to the requested keys (ignoring row order, which
+    /// the by-key path does not promise).
+    fn check_keys(sql: &str, excluded: &[RowId], keys: &[Vec<Value>]) {
+        let table = readings();
+        let stmt = parse_select(sql).unwrap();
+        let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        let partial = cache.result_excluding_keys(excluded, keys);
+        let full = cache.result_excluding(excluded);
+        let mut expected: Vec<(&Vec<Value>, &Vec<Value>)> =
+            full.group_keys.iter().zip(&full.rows).filter(|(k, _)| keys.contains(k)).collect();
+        let mut got: Vec<(&Vec<Value>, &Vec<Value>)> =
+            partial.group_keys.iter().zip(&partial.rows).collect();
+        expected.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        got.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        assert_eq!(got, expected, "{sql} excluding {excluded:?} keys {keys:?}");
+    }
+
+    #[test]
+    fn excluding_keys_matches_filtered_full_result() {
+        let all_keys = vec![vec![Value::Int(0)], vec![Value::Int(1)]];
+        let hour1 = vec![vec![Value::Int(1)]];
+        for excluded in [&[][..], &[RowId(3)][..], &[RowId(2), RowId(3), RowId(4)][..]] {
+            check_keys(
+                "SELECT hour, avg(temp), count(*) FROM readings GROUP BY hour",
+                excluded,
+                &all_keys,
+            );
+            check_keys(
+                "SELECT hour, min(temp), max(temp) FROM readings GROUP BY hour",
+                excluded,
+                &hour1,
+            );
+            // Keys that never existed are simply absent from the answer.
+            check_keys(
+                "SELECT hour, sum(temp) FROM readings GROUP BY hour",
+                excluded,
+                &[vec![Value::Int(1)], vec![Value::Int(42)]],
+            );
+        }
+        // ORDER BY without LIMIT stays on the fast path (order is irrelevant
+        // to the by-key contract); LIMIT falls back to the full path.
+        check_keys(
+            "SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC",
+            &[RowId(3)],
+            &all_keys,
+        );
+        check_keys(
+            "SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 1",
+            &[RowId(3)],
+            &all_keys,
+        );
+        // A fully excluded group disappears from the by-key answer too.
+        check_keys(
+            "SELECT hour, avg(temp) FROM readings GROUP BY hour",
+            &[RowId(0), RowId(1)],
+            &[vec![Value::Int(0)]],
+        );
+    }
+
+    #[test]
+    fn excluding_keys_touches_only_requested_groups() {
+        let table = readings();
+        let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        // Excluded rows live in hour 0, but only hour 1 is requested: the
+        // answer is hour 1's untouched template row.
+        let partial = cache.result_excluding_keys(&[RowId(0), RowId(1)], &[vec![Value::Int(1)]]);
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial.group_keys[0], vec![Value::Int(1)]);
+        assert_eq!(partial.rows[0], cache.full_result().rows[1]);
+        // Empty key set → empty result, regardless of exclusions.
+        assert!(cache.result_excluding_keys(&[RowId(0)], &[]).is_empty());
+    }
+
+    #[test]
+    fn shared_build_matches_borrowed_build_and_fingerprints() {
+        let table = readings();
+        let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let borrowed = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        let arc = std::sync::Arc::new(table.clone());
+        // The shared cache has no borrowed lifetime: it can outlive every
+        // reference to the table it was built from.
+        let shared: GroupedAggregateCache<'static> =
+            GroupedAggregateCache::build_shared(arc.clone(), &stmt).unwrap();
+        assert_eq!(
+            shared.result_excluding(&[RowId(3)]).rows,
+            borrowed.result_excluding(&[RowId(3)]).rows
+        );
+        assert_eq!(shared.fingerprint(), borrowed.fingerprint());
+        assert_eq!(shared.table().id(), table.id());
+
+        let fp = shared.fingerprint();
+        assert_eq!(fp.table_name, "readings");
+        assert_eq!(fp.table_id, table.id());
+        assert_eq!(fp.table_version, table.version());
+        // Equivalent SQL spellings (whitespace, keyword case) canonicalise
+        // to the same fingerprint...
+        let respelled =
+            parse_select("select  hour,  AVG( temp )\nfrom readings group by hour").unwrap();
+        assert_eq!(CacheFingerprint::of(&table, &respelled), fp);
+        // ...while mutating the data changes it.
+        let mut mutated = table.clone();
+        mutated.delete_row(RowId(0)).unwrap();
+        let fp2 = CacheFingerprint::of(&mutated, &stmt);
+        assert_eq!(fp2.table_id, fp.table_id);
+        assert_ne!(fp2, fp);
     }
 
     #[test]

@@ -55,6 +55,6 @@ pub use ast::{
 };
 pub use error::EngineError;
 pub use executor::{execute, execute_on_catalog, execute_sql, ExecOptions};
-pub use incremental::GroupedAggregateCache;
+pub use incremental::{CacheFingerprint, GroupedAggregateCache};
 pub use parser::{parse_expr, parse_select};
 pub use result::QueryResult;

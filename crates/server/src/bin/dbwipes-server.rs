@@ -1,0 +1,160 @@
+//! The `dbwipes-server` binary: serves the line-delimited JSON protocol
+//! over stdin/stdout (default) or a TCP listener (`--listen ADDR`).
+//!
+//! ```text
+//! dbwipes-server [--listen 127.0.0.1:7433] [--dataset sensor|fec|both]
+//!                [--readings N] [--cache-capacity N]
+//! ```
+//!
+//! In stdio mode the process reads one request per line and writes one
+//! response per line until EOF — the shape a web gateway or the
+//! `examples/server_session.rs` driver expects. In TCP mode each accepted
+//! connection gets its own thread speaking the same protocol; sessions
+//! live in the shared [`SessionManager`], so a client may reconnect and
+//! resume its session by id.
+
+use dbwipes_data::{generate_fec, generate_sensor, FecConfig, SensorConfig};
+use dbwipes_server::SessionManager;
+use dbwipes_storage::Catalog;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    listen: Option<String>,
+    dataset: String,
+    readings: usize,
+    cache_capacity: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        listen: None,
+        dataset: "sensor".to_string(),
+        readings: 5_400,
+        cache_capacity: 32,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--listen" => options.listen = Some(value("--listen")?),
+            "--dataset" => options.dataset = value("--dataset")?,
+            "--readings" => {
+                options.readings =
+                    value("--readings")?.parse().map_err(|e| format!("--readings: {e}"))?;
+            }
+            "--cache-capacity" => {
+                options.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dbwipes-server [--listen ADDR] [--dataset sensor|fec|both] \
+                     [--readings N] [--cache-capacity N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn demo_catalog(options: &Options) -> Result<Catalog, String> {
+    let mut catalog = Catalog::new();
+    let want_sensor = matches!(options.dataset.as_str(), "sensor" | "both");
+    let want_fec = matches!(options.dataset.as_str(), "fec" | "both");
+    if !want_sensor && !want_fec {
+        return Err(format!(
+            "unknown dataset `{}` (expected sensor | fec | both)",
+            options.dataset
+        ));
+    }
+    if want_sensor {
+        let data = generate_sensor(&SensorConfig {
+            num_readings: options.readings,
+            failing_sensors: vec![15],
+            ..SensorConfig::small()
+        });
+        catalog.register(data.table).map_err(|e| e.to_string())?;
+    }
+    if want_fec {
+        let data = generate_fec(&FecConfig::default());
+        catalog.register(data.table).map_err(|e| e.to_string())?;
+    }
+    Ok(catalog)
+}
+
+fn serve_stdio(manager: &SessionManager) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(stdout, "{}", manager.handle_line(&line))?;
+        stdout.flush()?;
+    }
+    Ok(())
+}
+
+fn serve_tcp(manager: Arc<SessionManager>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    // Report the bound address (port 0 resolves to an ephemeral port).
+    eprintln!("dbwipes-server listening on {}", listener.local_addr()?);
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let manager = Arc::clone(&manager);
+        std::thread::spawn(move || {
+            let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = manager.handle_line(&line);
+                if writeln!(writer, "{reply}").is_err() {
+                    break;
+                }
+            }
+            eprintln!("connection {peer} closed");
+        });
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("dbwipes-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let catalog = match demo_catalog(&options) {
+        Ok(catalog) => catalog,
+        Err(e) => {
+            eprintln!("dbwipes-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manager = Arc::new(SessionManager::with_cache_capacity(catalog, options.cache_capacity));
+    let served = match &options.listen {
+        Some(addr) => serve_tcp(manager, addr),
+        None => serve_stdio(&manager),
+    };
+    if let Err(e) = served {
+        eprintln!("dbwipes-server: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

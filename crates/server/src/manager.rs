@@ -1,0 +1,365 @@
+//! Concurrent session hosting.
+//!
+//! A [`SessionManager`] turns the single-user
+//! [`DashboardSession`](dbwipes_dashboard::DashboardSession) into a
+//! multi-tenant service:
+//!
+//! * **Shared data, private state.** All sessions open over one base
+//!   [`Catalog`] whose tables live behind `Arc` snapshots — opening a
+//!   session clones the catalog in O(tables) reference bumps, not O(data).
+//!   A session that physically mutates a table copies-on-write, so one
+//!   analyst's cleaning never leaks into another's dashboard.
+//! * **Per-session locking.** Each session sits behind its own `Mutex`;
+//!   the manager's session map is only read-locked to route a command, so
+//!   concurrent clients working in different sessions never serialize on
+//!   each other's brush→debug loops.
+//! * **Cross-brush cache reuse.** All sessions share one
+//!   [`CacheRegistry`]: a repeated `debug` on an unchanged statement —
+//!   within one session or across sessions brushing the same dashboard —
+//!   skips the full statement execution that dominates explain latency.
+
+use crate::registry::{CacheRegistry, ExplainKey};
+use dbwipes_core::{CoreError, DbWipes, Explanation};
+use dbwipes_dashboard::DashboardSession;
+use dbwipes_engine::{CacheFingerprint, GroupedAggregateCache};
+use dbwipes_storage::{Catalog, Table};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identifies one open session within a [`SessionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One client's dashboard plus its service-side counters.
+#[derive(Debug)]
+pub struct ServerSession {
+    dashboard: DashboardSession,
+    commands: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ServerSession {
+    fn new(catalog: Catalog) -> Self {
+        ServerSession {
+            dashboard: DashboardSession::new(DbWipes::with_catalog(catalog)),
+            commands: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// The wrapped dashboard session.
+    pub fn dashboard(&self) -> &DashboardSession {
+        &self.dashboard
+    }
+
+    /// Mutable access to the wrapped dashboard session.
+    pub fn dashboard_mut(&mut self) -> &mut DashboardSession {
+        &mut self.dashboard
+    }
+
+    /// Number of commands this session has served.
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    /// How many of this session's `debug` calls reused a registry cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// How many of this session's `debug` calls had to build a cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Counts one served command (called by the protocol layer).
+    pub(crate) fn record_command(&mut self) {
+        self.commands += 1;
+    }
+
+    /// Runs `debug!` through the shared two-tier registry: an unchanged
+    /// request (same statement, same table data, same S/D′/ε) replays the
+    /// memoized explanation outright; a changed request still reuses the
+    /// statement-level [`GroupedAggregateCache`] when one is alive,
+    /// building and retaining both tiers otherwise.
+    ///
+    /// Returns the explanation and whether *any* shared tier hit (the
+    /// protocol's `cache_hit` flag).
+    pub fn debug_cached(
+        &mut self,
+        registry: &CacheRegistry,
+    ) -> Result<(&Explanation, bool), CoreError> {
+        let result = self
+            .dashboard
+            .result()
+            .ok_or_else(|| CoreError::invalid("no query has been executed"))?;
+        let stmt = result.statement.clone();
+        let table =
+            self.dashboard.backend().catalog().table_arc(&stmt.table).map_err(CoreError::from)?;
+        let fingerprint = CacheFingerprint::of(&table, &stmt);
+
+        // The memo key is derived from the *same* request `debug` would
+        // run (the dashboard's single source of truth, including the
+        // pipeline config), so key and computation cannot drift apart;
+        // this also performs `debug`'s own state validation.
+        let request = self.dashboard.explain_request()?;
+        let key = ExplainKey::new(fingerprint.clone(), &request);
+
+        // Tier 2: the identical question was already answered.
+        if let Some(memoized) = registry.get_explanation(&key) {
+            self.cache_hits += 1;
+            let explanation = self.dashboard.install_explanation((*memoized).clone())?;
+            return Ok((explanation, true));
+        }
+
+        // Tier 1: reuse (or build) the statement-level aggregate cache,
+        // run the pipeline, memoize the answer.
+        let (cache, cache_hit) = registry
+            .get_or_build(fingerprint, || {
+                GroupedAggregateCache::build_shared(Arc::clone(&table), &stmt)
+            })
+            .map_err(CoreError::from)?;
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+        let explanation = self.dashboard.debug_with_cache(&cache)?;
+        registry.store_explanation(key, Arc::new(explanation.clone()));
+        Ok((explanation, cache_hit))
+    }
+}
+
+/// Hosts many concurrent [`ServerSession`]s over one shared catalog and
+/// one shared [`CacheRegistry`]. See the module docs for the concurrency
+/// story.
+#[derive(Debug)]
+pub struct SessionManager {
+    base: Mutex<Catalog>,
+    registry: Arc<CacheRegistry>,
+    sessions: RwLock<HashMap<SessionId, Arc<Mutex<ServerSession>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// Creates a manager serving `catalog` with the default cache capacity.
+    pub fn new(catalog: Catalog) -> Self {
+        SessionManager::with_cache_capacity(catalog, CacheRegistry::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a manager retaining at most `cache_capacity` aggregate
+    /// caches.
+    pub fn with_cache_capacity(catalog: Catalog, cache_capacity: usize) -> Self {
+        SessionManager {
+            base: Mutex::new(catalog),
+            registry: Arc::new(CacheRegistry::new(cache_capacity)),
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared cache registry.
+    pub fn registry(&self) -> &CacheRegistry {
+        &self.registry
+    }
+
+    /// Opens a new session over the current base catalog.
+    pub fn open_session(&self) -> SessionId {
+        let catalog = self.base.lock().expect("catalog lock poisoned").clone();
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let session = Arc::new(Mutex::new(ServerSession::new(catalog)));
+        self.sessions.write().expect("session map lock poisoned").insert(id, session);
+        id
+    }
+
+    /// Closes a session; returns false when the id was unknown.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.sessions.write().expect("session map lock poisoned").remove(&id).is_some()
+    }
+
+    /// The handle of an open session. Callers lock the returned session
+    /// for as long as their command runs; other sessions stay available.
+    pub fn session(&self, id: SessionId) -> Option<Arc<Mutex<ServerSession>>> {
+        self.sessions.read().expect("session map lock poisoned").get(&id).cloned()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().expect("session map lock poisoned").len()
+    }
+
+    /// Ids of all open sessions, sorted.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> =
+            self.sessions.read().expect("session map lock poisoned").keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Registers `table` in the base catalog (replacing any table of the
+    /// same name) and eagerly invalidates the registry's caches for it.
+    /// Sessions already open keep their current snapshot — like a database,
+    /// in-flight transactions finish on the data they started with — while
+    /// sessions opened afterwards see the new table.
+    pub fn register_table(&self, table: Table) {
+        let name = table.name().to_string();
+        self.base.lock().expect("catalog lock poisoned").register_or_replace(table);
+        self.registry.invalidate_table(&name);
+    }
+
+    /// Names of the tables in the base catalog.
+    pub fn table_names(&self) -> Vec<String> {
+        self.base.lock().expect("catalog lock poisoned").table_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbwipes_data::{generate_sensor, SensorConfig};
+
+    fn manager() -> (SessionManager, String) {
+        let ds = generate_sensor(&SensorConfig {
+            num_readings: 2_700,
+            failing_sensors: vec![15],
+            ..SensorConfig::small()
+        });
+        let mut catalog = Catalog::new();
+        catalog.register(ds.table.clone()).unwrap();
+        (SessionManager::new(catalog), ds.window_query())
+    }
+
+    #[test]
+    fn sessions_are_independent_views_over_shared_tables() {
+        let (m, query) = manager();
+        let a = m.open_session();
+        let b = m.open_session();
+        assert_ne!(a, b);
+        assert_eq!(m.session_count(), 2);
+        assert_eq!(m.session_ids(), vec![a, b]);
+
+        let sa = m.session(a).unwrap();
+        let sb = m.session(b).unwrap();
+        // Both sessions see the same snapshot (no data copied).
+        {
+            let sa = sa.lock().unwrap();
+            let sb = sb.lock().unwrap();
+            let ta = sa.dashboard().backend().catalog().table_arc("readings").unwrap();
+            let tb = sb.dashboard().backend().catalog().table_arc("readings").unwrap();
+            assert!(Arc::ptr_eq(&ta, &tb));
+        }
+        // Session A runs a query; session B's state is untouched.
+        sa.lock().unwrap().dashboard_mut().run_query(&query).unwrap();
+        assert!(sa.lock().unwrap().dashboard().result().is_some());
+        assert!(sb.lock().unwrap().dashboard().result().is_none());
+
+        assert!(m.close_session(a));
+        assert!(!m.close_session(a));
+        assert!(m.session(a).is_none());
+        assert_eq!(m.session_count(), 1);
+    }
+
+    #[test]
+    fn repeated_debug_hits_the_shared_registry_within_and_across_sessions() {
+        let (m, query) = manager();
+        let run_debug = |id: SessionId| {
+            let s = m.session(id).unwrap();
+            let mut s = s.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap();
+            let outputs: Vec<usize> = (0..s.dashboard().result().unwrap().len()).collect();
+            s.dashboard_mut().select_outputs(outputs);
+            s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+            let (_, hit) = s.debug_cached(m.registry()).unwrap();
+            hit
+        };
+        let a = m.open_session();
+        assert!(!run_debug(a), "first explain ever must build");
+        assert!(run_debug(a), "second explain in the same session must hit");
+        let b = m.open_session();
+        assert!(run_debug(b), "another session asking the same question must hit");
+
+        // One aggregate-cache build total; the two repeats carried the
+        // identical request (same S, same ε over the same snapshot), so
+        // they replayed the memoized explanation without touching tier 1.
+        let stats = m.registry().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.explanation_misses, 1);
+        assert_eq!(stats.explanation_hits, 2);
+        assert!(stats.explanation_hit_rate() > 0.6);
+        assert_eq!(stats.explanation_entries, 1);
+        let sa = m.session(a).unwrap();
+        let sa = sa.lock().unwrap();
+        assert_eq!((sa.cache_hits(), sa.cache_misses()), (1, 1));
+    }
+
+    #[test]
+    fn changed_brushes_miss_the_memo_but_reuse_the_aggregate_cache() {
+        let (m, query) = manager();
+        let a = m.open_session();
+        let sa = m.session(a).unwrap();
+        let mut s = sa.lock().unwrap();
+        s.dashboard_mut().run_query(&query).unwrap();
+        s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+
+        s.dashboard_mut().select_outputs(vec![0]);
+        let (_, hit) = s.debug_cached(m.registry()).unwrap();
+        assert!(!hit, "first ever debug builds everything");
+
+        // A different ε on the same statement: the pipeline must rerun
+        // (different request), but over the retained aggregate cache.
+        s.dashboard_mut().select_outputs(vec![0]);
+        s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 5.0));
+        let (_, hit) = s.debug_cached(m.registry()).unwrap();
+        assert!(hit, "the statement-level cache must be reused");
+        let stats = m.registry().stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!((stats.explanation_misses, stats.explanation_hits), (2, 0));
+        assert_eq!(stats.explanation_entries, 2);
+    }
+
+    #[test]
+    fn reregistering_a_table_invalidates_and_leaves_open_sessions_on_their_snapshot() {
+        let (m, query) = manager();
+        let a = m.open_session();
+        let sa = m.session(a).unwrap();
+        {
+            let mut s = sa.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap();
+            s.dashboard_mut().select_outputs(vec![0]);
+            s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 0.0));
+            s.debug_cached(m.registry()).unwrap();
+        }
+        assert_eq!(m.registry().len(), 1);
+
+        // Replace the table with a fresh (different) dataset.
+        let ds2 = generate_sensor(&SensorConfig { num_readings: 1_350, ..SensorConfig::small() });
+        m.register_table(ds2.table.clone());
+        assert_eq!(m.registry().len(), 0, "re-registration evicts the table's caches");
+        assert_eq!(m.table_names(), vec!["readings".to_string()]);
+
+        // The open session still works over its original snapshot...
+        let rows_a = {
+            let mut s = sa.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap().len()
+        };
+        // ...while a new session sees the replacement table.
+        let b = m.open_session();
+        let sb = m.session(b).unwrap();
+        let rows_b = {
+            let mut s = sb.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap().len()
+        };
+        assert!(rows_a >= rows_b, "old snapshot has more readings ({rows_a} vs {rows_b})");
+    }
+}

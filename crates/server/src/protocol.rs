@@ -1,0 +1,418 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response per line, in order. This is the
+//! wire format the paper's web frontend would speak to this backend; it
+//! maps one-to-one onto the Figure-1 interaction loop.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request  := { "cmd": <command>, "id"?: <any>, "session"?: <int>, ...arguments }
+//! response := { "ok": true,  "id"?: <echoed>, ...payload }
+//!           | { "ok": false, "id"?: <echoed>, "error": <string> }
+//!
+//! command  := "ping" | "tables" | "stats" | "sessions"
+//!           | "open_session" | "close_session"
+//!           | "run_query"       (session, sql)
+//!           | "plot"            (session, x, y)
+//!           | "zoom"            (session, x, y)
+//!           | "brush_outputs"   (session, x, y, brush)
+//!           | "brush_inputs"    (session, x, y, brush)
+//!           | "metric_choices"  (session, column)
+//!           | "set_metric"      (session, kind, column, value)
+//!           | "debug"           (session)
+//!           | "click_predicate" (session, index)
+//!           | "undo"            (session)
+//!           | "state"           (session)
+//!
+//! brush    := { "x_min"?: <num>, "x_max"?: <num>, "y_min"?: <num>, "y_max"?: <num> }
+//!             (omitted edges are unbounded)
+//! kind     := "too_high" | "too_low" | "not_equal_to"
+//! ```
+//!
+//! The optional `id` is echoed verbatim on the response, so a pipelining
+//! client can correlate answers; everything after a parse failure of the
+//! *request line itself* is answered with `ok:false` and no echo.
+
+use crate::json::Json;
+use dbwipes_core::ErrorMetric;
+use dbwipes_dashboard::Brush;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Names of the served tables.
+    Tables,
+    /// Registry and session counters.
+    Stats,
+    /// Ids of the open sessions.
+    Sessions,
+    /// Opens a fresh session; answers with its id.
+    OpenSession,
+    /// Closes the addressed session.
+    CloseSession(u64),
+    /// Executes a new base query (resets selections and cleaning).
+    RunQuery {
+        /// Target session.
+        session: u64,
+        /// The SQL text.
+        sql: String,
+    },
+    /// The group-level scatter series.
+    Plot {
+        /// Target session.
+        session: u64,
+        /// X-axis column.
+        x: String,
+        /// Y-axis column.
+        y: String,
+    },
+    /// The zoomed-in tuple series for the selected outputs.
+    Zoom {
+        /// Target session.
+        session: u64,
+        /// X-axis column.
+        x: String,
+        /// Y-axis column.
+        y: String,
+    },
+    /// Brushes the group plot to select suspicious outputs S.
+    BrushOutputs {
+        /// Target session.
+        session: u64,
+        /// X-axis column.
+        x: String,
+        /// Y-axis column.
+        y: String,
+        /// The brushed rectangle.
+        brush: Brush,
+    },
+    /// Brushes the tuple plot to select suspicious inputs D′.
+    BrushInputs {
+        /// Target session.
+        session: u64,
+        /// X-axis column.
+        x: String,
+        /// Y-axis column.
+        y: String,
+        /// The brushed rectangle.
+        brush: Brush,
+    },
+    /// The error-metric choices the form would offer.
+    MetricChoices {
+        /// Target session.
+        session: u64,
+        /// The aggregate output column.
+        column: String,
+    },
+    /// Picks the error metric ε.
+    SetMetric {
+        /// Target session.
+        session: u64,
+        /// The chosen metric.
+        metric: ErrorMetric,
+    },
+    /// Runs the backend pipeline ("debug!").
+    Debug(u64),
+    /// Clicks the i-th ranked predicate.
+    ClickPredicate {
+        /// Target session.
+        session: u64,
+        /// Zero-based rank of the predicate to apply.
+        index: usize,
+    },
+    /// Un-applies the most recent predicate.
+    Undo(u64),
+    /// The session's interaction state and counters.
+    State(u64),
+}
+
+impl Command {
+    /// The session a command addresses, when it addresses one.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Command::Ping
+            | Command::Tables
+            | Command::Stats
+            | Command::Sessions
+            | Command::OpenSession => None,
+            Command::CloseSession(s) | Command::Debug(s) | Command::Undo(s) | Command::State(s) => {
+                Some(*s)
+            }
+            Command::RunQuery { session, .. }
+            | Command::Plot { session, .. }
+            | Command::Zoom { session, .. }
+            | Command::BrushOutputs { session, .. }
+            | Command::BrushInputs { session, .. }
+            | Command::MetricChoices { session, .. }
+            | Command::SetMetric { session, .. }
+            | Command::ClickPredicate { session, .. } => Some(*session),
+        }
+    }
+}
+
+/// A parsed request line: the command plus the client's correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed verbatim on the response when present.
+    pub id: Option<Json>,
+    /// The command to execute.
+    pub command: Command,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let id = value.get("id").cloned();
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `cmd`".to_string())?;
+
+    let session = || -> Result<u64, String> {
+        value
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`{cmd}` requires an integer `session`"))
+    };
+    let string_field = |name: &str| -> Result<String, String> {
+        value
+            .get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("`{cmd}` requires a string `{name}`"))
+    };
+
+    let command = match cmd {
+        "ping" => Command::Ping,
+        "tables" => Command::Tables,
+        "stats" => Command::Stats,
+        "sessions" => Command::Sessions,
+        "open_session" => Command::OpenSession,
+        "close_session" => Command::CloseSession(session()?),
+        "run_query" => Command::RunQuery { session: session()?, sql: string_field("sql")? },
+        "plot" | "zoom" | "brush_outputs" | "brush_inputs" => {
+            let (s, x, y) = (session()?, string_field("x")?, string_field("y")?);
+            match cmd {
+                "plot" => Command::Plot { session: s, x, y },
+                "zoom" => Command::Zoom { session: s, x, y },
+                "brush_outputs" => {
+                    Command::BrushOutputs { session: s, x, y, brush: parse_brush(&value)? }
+                }
+                _ => Command::BrushInputs { session: s, x, y, brush: parse_brush(&value)? },
+            }
+        }
+        "metric_choices" => {
+            Command::MetricChoices { session: session()?, column: string_field("column")? }
+        }
+        "set_metric" => {
+            let s = session()?;
+            let column = string_field("column")?;
+            let kind = string_field("kind")?;
+            let v = value
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "`set_metric` requires a numeric `value`".to_string())?;
+            let metric = match kind.as_str() {
+                "too_high" => ErrorMetric::too_high(column, v),
+                "too_low" => ErrorMetric::too_low(column, v),
+                "not_equal_to" => ErrorMetric::not_equal_to(column, v),
+                other => {
+                    return Err(format!(
+                        "unknown metric kind `{other}` (expected too_high | too_low | not_equal_to)"
+                    ))
+                }
+            };
+            Command::SetMetric { session: s, metric }
+        }
+        "debug" => Command::Debug(session()?),
+        "click_predicate" => {
+            let s = session()?;
+            let index = value
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "`click_predicate` requires an integer `index`".to_string())?;
+            Command::ClickPredicate { session: s, index: index as usize }
+        }
+        "undo" => Command::Undo(session()?),
+        "state" => Command::State(session()?),
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    Ok(Request { id, command })
+}
+
+fn parse_brush(value: &Json) -> Result<Brush, String> {
+    let edge = |name: &str, default: f64| -> Result<f64, String> {
+        match value.get("brush").and_then(|b| b.get(name)) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or_else(|| format!("brush edge `{name}` must be a number")),
+        }
+    };
+    if value.get("brush").is_some() && !matches!(value.get("brush"), Some(Json::Obj(_))) {
+        return Err("`brush` must be an object".to_string());
+    }
+    Ok(Brush {
+        x_min: edge("x_min", f64::NEG_INFINITY)?,
+        x_max: edge("x_max", f64::INFINITY)?,
+        y_min: edge("y_min", f64::NEG_INFINITY)?,
+        y_max: edge("y_max", f64::INFINITY)?,
+    })
+}
+
+/// Builds a success response: `{"ok": true, ...fields}` plus the echoed id.
+pub fn ok_response(id: Option<&Json>, fields: Vec<(&str, Json)>) -> String {
+    let mut obj = Json::obj(fields);
+    if let Json::Obj(map) = &mut obj {
+        map.insert("ok".to_string(), Json::Bool(true));
+        if let Some(id) = id {
+            map.insert("id".to_string(), id.clone());
+        }
+    }
+    obj.to_string()
+}
+
+/// Builds an error response: `{"ok": false, "error": message}` plus the
+/// echoed id.
+pub fn error_response(id: Option<&Json>, message: &str) -> String {
+    let mut obj = Json::obj(vec![("error", Json::str(message))]);
+    if let Json::Obj(map) = &mut obj {
+        map.insert("ok".to_string(), Json::Bool(false));
+        if let Some(id) = id {
+            map.insert("id".to_string(), id.clone());
+        }
+    }
+    obj.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let cases = [
+            (r#"{"cmd":"ping"}"#, Command::Ping),
+            (r#"{"cmd":"tables"}"#, Command::Tables),
+            (r#"{"cmd":"stats"}"#, Command::Stats),
+            (r#"{"cmd":"sessions"}"#, Command::Sessions),
+            (r#"{"cmd":"open_session"}"#, Command::OpenSession),
+            (r#"{"cmd":"close_session","session":3}"#, Command::CloseSession(3)),
+            (
+                r#"{"cmd":"run_query","session":1,"sql":"SELECT avg(x) FROM t"}"#,
+                Command::RunQuery { session: 1, sql: "SELECT avg(x) FROM t".into() },
+            ),
+            (
+                r#"{"cmd":"plot","session":1,"x":"w","y":"a"}"#,
+                Command::Plot { session: 1, x: "w".into(), y: "a".into() },
+            ),
+            (
+                r#"{"cmd":"zoom","session":1,"x":"w","y":"a"}"#,
+                Command::Zoom { session: 1, x: "w".into(), y: "a".into() },
+            ),
+            (
+                r#"{"cmd":"brush_outputs","session":1,"x":"w","y":"a","brush":{"y_min":8}}"#,
+                Command::BrushOutputs {
+                    session: 1,
+                    x: "w".into(),
+                    y: "a".into(),
+                    brush: Brush::above(8.0),
+                },
+            ),
+            (
+                r#"{"cmd":"brush_inputs","session":1,"x":"s","y":"t","brush":{"y_max":2}}"#,
+                Command::BrushInputs {
+                    session: 1,
+                    x: "s".into(),
+                    y: "t".into(),
+                    brush: Brush::below(2.0),
+                },
+            ),
+            (
+                r#"{"cmd":"metric_choices","session":1,"column":"a"}"#,
+                Command::MetricChoices { session: 1, column: "a".into() },
+            ),
+            (
+                r#"{"cmd":"set_metric","session":1,"kind":"too_high","column":"a","value":4}"#,
+                Command::SetMetric { session: 1, metric: ErrorMetric::too_high("a", 4.0) },
+            ),
+            (r#"{"cmd":"debug","session":2}"#, Command::Debug(2)),
+            (
+                r#"{"cmd":"click_predicate","session":1,"index":0}"#,
+                Command::ClickPredicate { session: 1, index: 0 },
+            ),
+            (r#"{"cmd":"undo","session":1}"#, Command::Undo(1)),
+            (r#"{"cmd":"state","session":1}"#, Command::State(1)),
+        ];
+        for (line, expected) in cases {
+            let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(request.command, expected, "{line}");
+            assert!(request.id.is_none());
+        }
+    }
+
+    #[test]
+    fn ids_are_parsed_and_echoed() {
+        let request = parse_request(r#"{"cmd":"ping","id":17}"#).unwrap();
+        assert_eq!(request.id, Some(Json::Num(17.0)));
+        assert_eq!(
+            ok_response(request.id.as_ref(), vec![("pong", Json::Bool(true))]),
+            r#"{"id":17,"ok":true,"pong":true}"#
+        );
+        assert_eq!(
+            error_response(request.id.as_ref(), "boom"),
+            r#"{"error":"boom","id":17,"ok":false}"#
+        );
+        assert_eq!(error_response(None, "boom"), r#"{"error":"boom","ok":false}"#);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"session":1}"#, "missing string field `cmd`"),
+            (r#"{"cmd":"warp"}"#, "unknown command"),
+            (r#"{"cmd":"debug"}"#, "requires an integer `session`"),
+            (r#"{"cmd":"debug","session":-1}"#, "requires an integer `session`"),
+            (r#"{"cmd":"run_query","session":1}"#, "requires a string `sql`"),
+            (
+                r#"{"cmd":"brush_outputs","session":1,"x":"a","y":"b","brush":3}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"cmd":"brush_outputs","session":1,"x":"a","y":"b","brush":{"y_min":"hi"}}"#,
+                "must be a number",
+            ),
+            (
+                r#"{"cmd":"set_metric","session":1,"kind":"odd","column":"a","value":1}"#,
+                "unknown metric kind",
+            ),
+            (
+                r#"{"cmd":"set_metric","session":1,"kind":"too_high","column":"a"}"#,
+                "numeric `value`",
+            ),
+            (r#"{"cmd":"click_predicate","session":1}"#, "integer `index`"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn session_accessor_covers_all_variants() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap().command.session(), None);
+        assert_eq!(
+            parse_request(r#"{"cmd":"state","session":9}"#).unwrap().command.session(),
+            Some(9)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"close_session","session":9}"#).unwrap().command.session(),
+            Some(9)
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Command dispatch: one request line in, one response line out.
+//!
+//! [`SessionManager::handle_line`] is the whole server loop's body; the
+//! stdio and TCP front-ends in the `dbwipes-server` binary (and the tests)
+//! just shuttle lines to it. Keeping the transport out of the dispatch
+//! means every protocol behaviour is testable without sockets.
+
+use crate::json::Json;
+use crate::manager::{ServerSession, SessionId, SessionManager};
+use crate::protocol::{error_response, ok_response, parse_request, Command, Request};
+use dbwipes_core::{ComponentTimings, CoreError, Explanation, MetricKind};
+use dbwipes_dashboard::{PointRef, ScatterSeries};
+use dbwipes_engine::QueryResult;
+use dbwipes_storage::Value;
+
+impl SessionManager {
+    /// Parses and executes one request line, returning the response line
+    /// (without a trailing newline). Never panics on malformed input —
+    /// every failure becomes an `ok:false` reply.
+    pub fn handle_line(&self, line: &str) -> String {
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(e) => return error_response(None, &e),
+        };
+        let id = request.id.clone();
+        match self.dispatch(request) {
+            Ok(fields) => ok_response(id.as_ref(), fields),
+            Err(message) => error_response(id.as_ref(), &message),
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Vec<(&'static str, Json)>, String> {
+        match request.command {
+            Command::Ping => Ok(vec![("pong", Json::Bool(true))]),
+            Command::Tables => Ok(vec![(
+                "tables",
+                Json::Arr(self.table_names().into_iter().map(Json::Str).collect()),
+            )]),
+            Command::Sessions => Ok(vec![(
+                "sessions",
+                Json::Arr(self.session_ids().iter().map(|s| Json::num(s.0 as f64)).collect()),
+            )]),
+            Command::Stats => {
+                let stats = self.registry().stats();
+                Ok(vec![
+                    ("sessions", Json::num(self.session_count() as f64)),
+                    (
+                        "cache",
+                        Json::obj(vec![
+                            ("hits", Json::num(stats.hits as f64)),
+                            ("misses", Json::num(stats.misses as f64)),
+                            ("evictions", Json::num(stats.evictions as f64)),
+                            ("invalidations", Json::num(stats.invalidations as f64)),
+                            ("entries", Json::num(stats.entries as f64)),
+                            ("hit_rate", Json::num(stats.hit_rate())),
+                            ("explanation_hits", Json::num(stats.explanation_hits as f64)),
+                            ("explanation_misses", Json::num(stats.explanation_misses as f64)),
+                            (
+                                "explanation_evictions",
+                                Json::num(stats.explanation_evictions as f64),
+                            ),
+                            ("explanation_entries", Json::num(stats.explanation_entries as f64)),
+                            ("explanation_hit_rate", Json::num(stats.explanation_hit_rate())),
+                        ]),
+                    ),
+                ])
+            }
+            Command::OpenSession => {
+                let id = self.open_session();
+                Ok(vec![("session", Json::num(id.0 as f64))])
+            }
+            Command::CloseSession(s) => {
+                if self.close_session(SessionId(s)) {
+                    Ok(vec![("closed", Json::num(s as f64))])
+                } else {
+                    Err(format!("no such session {s}"))
+                }
+            }
+            command => {
+                let s = command.session().expect("all remaining commands address a session");
+                let handle =
+                    self.session(SessionId(s)).ok_or_else(|| format!("no such session {s}"))?;
+                let mut session = handle.lock().expect("session lock poisoned");
+                session.record_command();
+                self.session_command(&mut session, command)
+            }
+        }
+    }
+
+    fn session_command(
+        &self,
+        session: &mut ServerSession,
+        command: Command,
+    ) -> Result<Vec<(&'static str, Json)>, String> {
+        let core = |e: CoreError| e.to_string();
+        match command {
+            Command::RunQuery { sql, .. } => {
+                let result = session.dashboard_mut().run_query(&sql).map_err(core)?;
+                Ok(result_fields(result))
+            }
+            Command::Plot { x, y, .. } => {
+                let series = session
+                    .dashboard()
+                    .plot(&x, &y)
+                    .ok_or("nothing to plot (no result, or unknown columns)")?;
+                Ok(vec![("series", series_json(&series))])
+            }
+            Command::Zoom { x, y, .. } => {
+                let series = session
+                    .dashboard()
+                    .zoom(&x, &y)
+                    .ok_or("nothing to zoom into (no selected outputs, or unknown columns)")?;
+                Ok(vec![("series", series_json(&series))])
+            }
+            Command::BrushOutputs { x, y, brush, .. } => {
+                let selected = session.dashboard_mut().brush_outputs(&x, &y, brush);
+                Ok(vec![(
+                    "selected",
+                    Json::Arr(selected.into_iter().map(|i| Json::num(i as f64)).collect()),
+                )])
+            }
+            Command::BrushInputs { x, y, brush, .. } => {
+                let selected = session.dashboard_mut().brush_inputs(&x, &y, brush);
+                Ok(vec![(
+                    "selected",
+                    Json::Arr(selected.into_iter().map(|r| Json::num(r.0 as f64)).collect()),
+                )])
+            }
+            Command::MetricChoices { column, .. } => {
+                let choices = session.dashboard().metric_choices(&column);
+                Ok(vec![(
+                    "choices",
+                    Json::Arr(
+                        choices
+                            .iter()
+                            .map(|c| {
+                                // kind/value mirror `set_metric`'s request
+                                // fields, so a client can echo a choice
+                                // straight back without parsing the label.
+                                let (kind, value) = match c.metric.kind {
+                                    MetricKind::TooHigh { threshold } => ("too_high", threshold),
+                                    MetricKind::TooLow { threshold } => ("too_low", threshold),
+                                    MetricKind::NotEqualTo { expected } => {
+                                        ("not_equal_to", expected)
+                                    }
+                                };
+                                Json::obj(vec![
+                                    ("label", Json::str(&c.label)),
+                                    ("column", Json::str(&c.metric.column)),
+                                    ("kind", Json::str(kind)),
+                                    ("value", Json::num(value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )])
+            }
+            Command::SetMetric { metric, .. } => {
+                let label = metric.to_string();
+                session.dashboard_mut().set_metric(metric);
+                Ok(vec![("metric", Json::str(label))])
+            }
+            Command::Debug(_) => {
+                let (explanation, cache_hit) =
+                    session.debug_cached(self.registry()).map_err(core)?;
+                let mut fields = explanation_fields(explanation);
+                fields.push(("cache_hit", Json::Bool(cache_hit)));
+                Ok(fields)
+            }
+            Command::ClickPredicate { index, .. } => {
+                let result = session.dashboard_mut().click_predicate(index).map_err(core)?;
+                let mut fields = result_fields(result);
+                fields.push(applied_field(session));
+                Ok(fields)
+            }
+            Command::Undo(_) => {
+                let result = session.dashboard_mut().undo_clean().map_err(core)?;
+                let mut fields = result_fields(result);
+                fields.push(applied_field(session));
+                Ok(fields)
+            }
+            Command::State(_) => {
+                let d = session.dashboard();
+                let mut fields = vec![
+                    ("state", Json::str(format!("{:?}", d.state()))),
+                    ("sql", Json::str(d.current_sql())),
+                    ("selected_outputs", Json::num(d.selected_outputs().len() as f64)),
+                    ("selected_inputs", Json::num(d.selected_inputs().len() as f64)),
+                    ("commands", Json::num(session.commands() as f64)),
+                    ("cache_hits", Json::num(session.cache_hits() as f64)),
+                    ("cache_misses", Json::num(session.cache_misses() as f64)),
+                ];
+                fields.push(applied_field(session));
+                Ok(fields)
+            }
+            Command::Ping
+            | Command::Tables
+            | Command::Stats
+            | Command::Sessions
+            | Command::OpenSession
+            | Command::CloseSession(_) => unreachable!("handled by dispatch"),
+        }
+    }
+}
+
+fn applied_field(session: &ServerSession) -> (&'static str, Json) {
+    (
+        "applied_predicates",
+        Json::Arr(
+            session
+                .dashboard()
+                .applied_predicates()
+                .iter()
+                .map(|p| Json::str(p.to_string()))
+                .collect(),
+        ),
+    )
+}
+
+fn value_json(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::num(*i as f64),
+        Value::Float(f) => Json::num(*f),
+        Value::Timestamp(t) => Json::num(*t as f64),
+        Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+fn result_fields(result: &QueryResult) -> Vec<(&'static str, Json)> {
+    vec![
+        ("sql", Json::str(result.statement.to_sql())),
+        ("columns", Json::Arr(result.column_names().into_iter().map(Json::Str).collect())),
+        (
+            "rows",
+            Json::Arr(
+                result
+                    .rows
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(value_json).collect()))
+                    .collect(),
+            ),
+        ),
+        ("row_count", Json::num(result.len() as f64)),
+    ]
+}
+
+fn series_json(series: &ScatterSeries) -> Json {
+    Json::obj(vec![
+        ("x", Json::str(series.x_label.clone())),
+        ("y", Json::str(series.y_label.clone())),
+        (
+            "points",
+            Json::Arr(
+                series
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let (kind, reference) = match p.reference {
+                            PointRef::Output(i) => ("output", i),
+                            PointRef::Input(r) => ("input", r.0),
+                        };
+                        Json::obj(vec![
+                            ("x", Json::num(p.x)),
+                            ("y", Json::num(p.y)),
+                            ("kind", Json::str(kind)),
+                            ("ref", Json::num(reference as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn timings_json(timings: &ComponentTimings) -> Json {
+    Json::obj(vec![
+        ("preprocess_ms", Json::num(timings.preprocess_ms)),
+        ("enumerate_ms", Json::num(timings.enumerate_ms)),
+        ("predicates_ms", Json::num(timings.predicates_ms)),
+        ("rank_ms", Json::num(timings.rank_ms)),
+        ("total_ms", Json::num(timings.total_ms())),
+    ])
+}
+
+fn explanation_fields(explanation: &Explanation) -> Vec<(&'static str, Json)> {
+    vec![
+        (
+            "predicates",
+            Json::Arr(
+                explanation
+                    .predicates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Json::obj(vec![
+                            ("index", Json::num(i as f64)),
+                            ("predicate", Json::str(p.predicate.to_string())),
+                            ("score", Json::num(p.score)),
+                            ("improvement", Json::num(p.improvement)),
+                            ("f1", Json::num(p.example_f1)),
+                            ("removes", Json::num(p.matched_rows as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("base_error", Json::num(explanation.base_error)),
+        ("timings", timings_json(&explanation.timings)),
+    ]
+}

@@ -3,15 +3,23 @@
 use crate::error::StorageError;
 use crate::table::Table;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A catalog of tables keyed by lower-cased name.
 ///
 /// DBWipes' demo databases contain a handful of tables (FEC contributions,
 /// Intel sensor readings); a simple ordered map is sufficient and keeps
 /// listing deterministic for tests and examples.
+///
+/// Tables are held behind [`Arc`], so cloning a catalog is cheap (one
+/// reference-count bump per table) and many concurrent sessions can share
+/// one set of immutable table snapshots. Mutation goes through
+/// [`Catalog::table_mut`], which copies-on-write: the mutating catalog gets
+/// a private copy of the table (with a fresh [`Table::version`]) while every
+/// other clone keeps reading the original snapshot untouched.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Catalog {
@@ -27,31 +35,50 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(table.name().to_string()));
         }
-        self.tables.insert(key, table);
+        self.tables.insert(key, Arc::new(table));
         Ok(())
     }
 
     /// Registers a table, replacing any existing table of the same name.
     pub fn register_or_replace(&mut self, table: Table) {
-        self.tables.insert(table.name().to_ascii_lowercase(), table);
+        self.tables.insert(table.name().to_ascii_lowercase(), Arc::new(table));
     }
 
-    /// Removes and returns a table.
+    /// Removes and returns a table (cloning the data if other catalogs
+    /// still share the snapshot).
     pub fn deregister(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(&name.to_ascii_lowercase())
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Looks up a table by case-insensitive name.
     pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(|arc| arc.as_ref())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Looks up a table mutably.
+    /// Looks up a table and returns a shared handle to its current
+    /// snapshot. The handle stays valid (and immutable) even if the catalog
+    /// later mutates or replaces the table — which is what lets the server's
+    /// cache registry keep aggregate caches alive across brushes without
+    /// holding any catalog lock.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a table mutably, copying-on-write when the snapshot is
+    /// shared with other catalog clones or outstanding [`Catalog::table_arc`]
+    /// handles.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
@@ -115,6 +142,33 @@ mod tests {
         c.table_mut("t").unwrap().push_row(vec![crate::value::Value::Int(1)]).unwrap();
         assert_eq!(c.table("t").unwrap().num_rows(), 1);
         assert!(c.table_mut("missing").is_err());
+    }
+
+    #[test]
+    fn clones_share_snapshots_and_copy_on_write() {
+        let mut base = Catalog::new();
+        base.register(table("t")).unwrap();
+        base.table_mut("t").unwrap().push_row(vec![crate::value::Value::Int(1)]).unwrap();
+
+        let mut session = base.clone();
+        let snapshot = base.table_arc("t").unwrap();
+        assert!(Arc::ptr_eq(&snapshot, &session.table_arc("t").unwrap()));
+        assert_eq!(snapshot.id(), session.table("t").unwrap().id());
+
+        // The session mutates its view: it gets a private copy...
+        session.table_mut("t").unwrap().delete_row(crate::table::RowId(0)).unwrap();
+        assert_eq!(session.table("t").unwrap().visible_rows(), 0);
+        // ...while the base catalog and the outstanding snapshot are untouched.
+        assert_eq!(base.table("t").unwrap().visible_rows(), 1);
+        assert_eq!(snapshot.visible_rows(), 1);
+        // Same identity, different data version.
+        assert_eq!(session.table("t").unwrap().id(), snapshot.id());
+        assert_ne!(session.table("t").unwrap().version(), snapshot.version());
+
+        // Deregistering while a snapshot is live clones the data out.
+        let owned = base.deregister("t").unwrap();
+        assert_eq!(owned.visible_rows(), 1);
+        assert_eq!(snapshot.visible_rows(), 1);
     }
 
     #[test]

@@ -10,6 +10,19 @@ use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global counter behind table identities and data versions.
+///
+/// Every draw is unique for the lifetime of the process, so two tables (or
+/// two diverged clones of one table) can never share an `(id, version)`
+/// pair — the property the server's statement-fingerprint cache keys rely
+/// on.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A stable identifier of a row within one table.
 ///
@@ -45,6 +58,12 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     deleted: Vec<bool>,
+    /// Identity stamp: unique per `Table::new` call, preserved by `clone()`
+    /// (a clone is a snapshot of the *same* logical table).
+    id: u64,
+    /// Data version: re-stamped on every mutation, so any two tables with
+    /// equal `(id, version)` hold identical data.
+    version: u64,
 }
 
 impl Table {
@@ -52,12 +71,34 @@ impl Table {
     pub fn new(name: impl Into<String>, schema: Schema) -> Result<Self, StorageError> {
         let columns =
             schema.fields().iter().map(|f| Column::new(f.dtype)).collect::<Result<Vec<_>, _>>()?;
-        Ok(Table { name: name.into(), schema, columns, deleted: Vec::new() })
+        let id = next_stamp();
+        Ok(Table { name: name.into(), schema, columns, deleted: Vec::new(), id, version: id })
     }
 
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The table's process-unique identity. Clones share the identity of
+    /// the table they were cloned from; independently created tables never
+    /// collide, even across re-registrations under the same name.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The table's data version. Every mutation (insert, soft delete,
+    /// restore) re-stamps the version from a process-global counter, so
+    /// diverged clones of one table also get distinct versions. Two tables
+    /// with equal [`Table::id`] and equal version are guaranteed to hold
+    /// identical data — the invariant behind cross-brush cache reuse.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Re-stamps the data version; called by every mutating method.
+    fn touch(&mut self) {
+        self.version = next_stamp();
     }
 
     /// The table schema.
@@ -103,6 +144,7 @@ impl Table {
         }
         let id = RowId(self.deleted.len());
         self.deleted.push(false);
+        self.touch();
         Ok(id)
     }
 
@@ -158,6 +200,7 @@ impl Table {
         match self.deleted.get_mut(row.0) {
             Some(d) => {
                 *d = true;
+                self.touch();
                 Ok(())
             }
             None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
@@ -177,6 +220,9 @@ impl Table {
                 changed += 1;
             }
         }
+        if changed > 0 {
+            self.touch();
+        }
         Ok(changed)
     }
 
@@ -185,6 +231,7 @@ impl Table {
         match self.deleted.get_mut(row.0) {
             Some(d) => {
                 *d = false;
+                self.touch();
                 Ok(())
             }
             None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
@@ -196,6 +243,7 @@ impl Table {
         for d in &mut self.deleted {
             *d = false;
         }
+        self.touch();
     }
 
     /// Iterates over the ids of all visible (non-deleted) rows.
@@ -354,6 +402,53 @@ mod tests {
         let full = t.preview(10);
         assert!(!full.contains("..."));
         assert!(full.contains("kitchen"));
+    }
+
+    #[test]
+    fn identity_survives_clone_but_versions_diverge() {
+        let a = sensor_table();
+        let other = sensor_table();
+        assert_ne!(a.id(), other.id(), "independent tables get distinct identities");
+
+        let mut b = a.clone();
+        assert_eq!(a.id(), b.id(), "a clone snapshots the same logical table");
+        assert_eq!(a.version(), b.version(), "an unmodified clone holds identical data");
+
+        let mut a = a;
+        a.delete_row(RowId(0)).unwrap();
+        b.delete_row(RowId(1)).unwrap();
+        // Diverged clones must not share a version even though both mutated
+        // "once" — versions are drawn from a global counter, not incremented.
+        assert_ne!(a.version(), b.version());
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_version() {
+        let mut t = sensor_table();
+        let mut last = t.version();
+        let mut expect_bump = |t: &Table, what: &str| {
+            assert_ne!(t.version(), last, "{what} must re-stamp the version");
+            last = t.version();
+        };
+        t.push_row(vec![Value::Int(4), Value::Float(19.0), Value::str("hall")]).unwrap();
+        expect_bump(&t, "push_row");
+        t.delete_row(RowId(0)).unwrap();
+        expect_bump(&t, "delete_row");
+        t.restore_row(RowId(0)).unwrap();
+        expect_bump(&t, "restore_row");
+        t.delete_rows(&[RowId(1), RowId(2)]).unwrap();
+        expect_bump(&t, "delete_rows");
+        t.restore_all();
+        expect_bump(&t, "restore_all");
+        // Read-only accessors and failed mutations leave the version alone.
+        let v = t.version();
+        let _ = t.row(RowId(0));
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+        assert!(t.delete_row(RowId(99)).is_err());
+        assert_eq!(t.version(), v);
+        // A no-op delete_rows (all already visible/deleted as-is) does not bump.
+        assert_eq!(t.delete_rows(&[]).unwrap(), 0);
+        assert_eq!(t.version(), v);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Drives the `dbwipes-server` binary end to end over stdin/stdout: a
+//! scripted Figure-1 session — query, brush S and D′, pick ε, debug twice
+//! (watch the second one hit the shared registry), clean, undo — spoken in
+//! the line-delimited JSON protocol a web frontend would use.
+//!
+//! ```sh
+//! cargo build --release -p dbwipes-server   # build the server first
+//! cargo run --example server_session
+//! ```
+//!
+//! When the binary is not built yet, the same script runs in-process
+//! against a [`dbwipes_server::SessionManager`] (identical dispatch code,
+//! no pipes), so the example always works.
+
+use dbwipes_server::SessionManager;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn script() -> Vec<String> {
+    let q = "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS std_temp \
+             FROM readings GROUP BY window ORDER BY window";
+    vec![
+        r#"{"cmd":"tables"}"#.to_string(),
+        r#"{"cmd":"open_session"}"#.to_string(),
+        format!(r#"{{"cmd":"run_query","session":1,"sql":"{q}"}}"#),
+        r#"{"cmd":"plot","session":1,"x":"window","y":"std_temp"}"#.to_string(),
+        r#"{"cmd":"brush_outputs","session":1,"x":"window","y":"std_temp","brush":{"y_min":8}}"#
+            .to_string(),
+        r#"{"cmd":"brush_inputs","session":1,"x":"sensorid","y":"temp","brush":{"y_min":100}}"#
+            .to_string(),
+        r#"{"cmd":"set_metric","session":1,"kind":"too_high","column":"std_temp","value":4}"#
+            .to_string(),
+        r#"{"cmd":"debug","session":1}"#.to_string(),
+        r#"{"cmd":"debug","session":1}"#.to_string(),
+        r#"{"cmd":"click_predicate","session":1,"index":0}"#.to_string(),
+        r#"{"cmd":"undo","session":1}"#.to_string(),
+        r#"{"cmd":"stats"}"#.to_string(),
+        r#"{"cmd":"close_session","session":1}"#.to_string(),
+    ]
+}
+
+/// The built server binary, if present next to this example's own profile
+/// directory (`target/<profile>/dbwipes-server`).
+fn server_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?; // target/<profile>/examples/server_session
+    let profile_dir = exe.parent()?.parent()?;
+    [profile_dir.join("dbwipes-server"), profile_dir.join("dbwipes-server.exe")]
+        .into_iter()
+        .find(|candidate| candidate.is_file())
+}
+
+fn preview(reply: &str) -> String {
+    const LIMIT: usize = 160;
+    if reply.chars().count() <= LIMIT {
+        reply.to_string()
+    } else {
+        let cut: String = reply.chars().take(LIMIT).collect();
+        format!("{cut}… ({} bytes)", reply.len())
+    }
+}
+
+fn drive_binary(binary: &PathBuf) -> std::io::Result<()> {
+    println!("driving {}\n", binary.display());
+    let mut child = Command::new(binary)
+        .args(["--readings", "5400"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut replies = stdout.lines();
+    for line in script() {
+        writeln!(stdin, "{line}")?;
+        stdin.flush()?;
+        let reply = replies.next().expect("one reply per request")?;
+        println!("→ {line}");
+        println!("← {}\n", preview(&reply));
+    }
+    drop(stdin); // EOF ends the server loop.
+    child.wait()?;
+    Ok(())
+}
+
+fn drive_in_process() {
+    println!("dbwipes-server binary not built; running the protocol in-process");
+    println!("(build it with: cargo build --release -p dbwipes-server)\n");
+    let data = dbwipes_data::generate_sensor(&dbwipes_data::SensorConfig {
+        num_readings: 5_400,
+        failing_sensors: vec![15],
+        ..dbwipes_data::SensorConfig::small()
+    });
+    let mut catalog = dbwipes_storage::Catalog::new();
+    catalog.register(data.table.clone()).expect("register demo table");
+    let manager = SessionManager::new(catalog);
+    for line in script() {
+        let reply = manager.handle_line(&line);
+        println!("→ {line}");
+        println!("← {}\n", preview(&reply));
+    }
+}
+
+fn main() {
+    match server_binary() {
+        Some(binary) => {
+            if let Err(e) = drive_binary(&binary) {
+                eprintln!("failed to drive the binary ({e}); falling back to in-process");
+                drive_in_process();
+            }
+        }
+        None => drive_in_process(),
+    }
+}
