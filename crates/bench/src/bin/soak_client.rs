@@ -1,0 +1,235 @@
+//! TCP soak driver for the CI `soak` job: N concurrent clients × M
+//! commands each against a running `dbwipes-server`, failing on any
+//! dropped reply or any non-`busy` error.
+//!
+//! ```text
+//! soak_client --addr HOST:PORT [--clients 64] [--commands 50]
+//!             [--stats-out PATH] [--expect-busy] [--shutdown]
+//! ```
+//!
+//! Every client holds one connection for its whole command script, so
+//! `--clients` is also the offered connection concurrency. A `busy`
+//! admission reply (the executor's backpressure: queue full or connection
+//! cap) is *not* a failure — the client backs off and reconnects, exactly
+//! as the protocol intends — but every command sent on an admitted
+//! connection must be answered `ok:true`, in order, with its echoed id.
+//!
+//! After the fleet drains, one control connection captures the server's
+//! `stats` reply (written to `--stats-out` for the job's artifact upload),
+//! optionally asserts that backpressure was actually observed
+//! (`--expect-busy`, used when `clients` exceeds the pool+queue capacity),
+//! and optionally sends the `shutdown` ctrl-line (`--shutdown`) so the
+//! harness can assert the server exits 0.
+
+use dbwipes_server::{Json, LineClient};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    clients: usize,
+    commands: usize,
+    stats_out: Option<String>,
+    expect_busy: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: String::new(),
+        clients: 64,
+        commands: 50,
+        stats_out: None,
+        expect_busy: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--clients" => {
+                options.clients =
+                    value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--commands" => {
+                options.commands =
+                    value("--commands")?.parse().map_err(|e| format!("--commands: {e}"))?
+            }
+            "--stats-out" => options.stats_out = Some(value("--stats-out")?),
+            "--expect-busy" => options.expect_busy = true,
+            "--shutdown" => options.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak_client --addr HOST:PORT [--clients N] [--commands N] \
+                     [--stats-out PATH] [--expect-busy] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if options.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(options)
+}
+
+/// Connects and probes with `ping` until admitted, treating `busy` replies
+/// as back-off-and-retry. Reports how many admissions were refused.
+fn connect_admitted(addr: &str, busy_retries: &mut u64) -> Result<LineClient, String> {
+    const MAX_ATTEMPTS: usize = 50_000;
+    for attempt in 0..MAX_ATTEMPTS {
+        let mut conn = LineClient::connect(addr, Duration::from_secs(60))?;
+        match conn.roundtrip(r#"{"cmd":"ping"}"#) {
+            Ok(reply) if reply.get("pong") == Some(&Json::Bool(true)) => return Ok(conn),
+            Ok(reply) if reply.get("busy") == Some(&Json::Bool(true)) => {
+                *busy_retries += 1;
+                // Exponential-ish backoff, capped: the pool signalled
+                // overload, so do not hammer it.
+                std::thread::sleep(Duration::from_millis(2 + (attempt as u64 % 20)));
+            }
+            Ok(reply) => return Err(format!("non-busy admission error: {reply}")),
+            // The server may also close a rejected socket as we write the
+            // probe; indistinguishable from busy at this layer, so retry.
+            Err(_) => {
+                *busy_retries += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    Err(format!("never admitted after {MAX_ATTEMPTS} attempts"))
+}
+
+/// One client's script: admission probe, `open_session`, then the command
+/// loop (state probes against its session), `close_session`. Every command
+/// carries an id and must come back `ok:true` with that id echoed.
+fn run_client(addr: &str, commands: usize) -> Result<u64, String> {
+    let mut busy_retries = 0;
+    let mut conn = connect_admitted(addr, &mut busy_retries)?;
+    let session = conn
+        .roundtrip(r#"{"cmd":"open_session","id":"open"}"#)?
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or("open_session carried no id")?;
+    for i in 0..commands {
+        let line = format!(r#"{{"cmd":"state","session":{session},"id":{i}}}"#);
+        let reply = conn.roundtrip(&line)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("command {i} failed: {reply}"));
+        }
+        if reply.get("id").and_then(Json::as_u64) != Some(i as u64) {
+            return Err(format!("command {i} lost its id: {reply}"));
+        }
+    }
+    let closed = conn.roundtrip(&format!(r#"{{"cmd":"close_session","session":{session}}}"#))?;
+    if closed.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("close_session failed: {closed}"));
+    }
+    Ok(busy_retries)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("soak_client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "soak_client: {} clients x {} commands against {}",
+        options.clients, options.commands, options.addr
+    );
+    let start = Instant::now();
+    let results: Vec<Result<u64, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|_| {
+                let addr = options.addr.as_str();
+                let commands = options.commands;
+                scope.spawn(move || run_client(addr, commands))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut failures = 0;
+    let mut busy_retries = 0;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(retries) => busy_retries += retries,
+            Err(e) => {
+                eprintln!("soak_client: client {i} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let total_commands = options.clients * (options.commands + 2); // + open/close
+    println!(
+        "soak_client: {} clients done in {elapsed:.2?} ({:.0} commands/s), \
+         {busy_retries} busy admission retries, {failures} failures",
+        options.clients - failures,
+        total_commands as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+    );
+    if failures > 0 {
+        return ExitCode::FAILURE;
+    }
+
+    // Fleet drained: capture the server's stats for the job artifact.
+    let mut control_busy = 0;
+    let mut control = match connect_admitted(&options.addr, &mut control_busy) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("soak_client: control connection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match control.roundtrip(r#"{"cmd":"stats"}"#) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("soak_client: stats failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("soak_client: server stats: {stats}");
+    if let Some(path) = &options.stats_out {
+        if let Err(e) = std::fs::write(path, format!("{stats}\n")) {
+            eprintln!("soak_client: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("soak_client: stats written to {path}");
+    }
+    if options.expect_busy {
+        let rejected =
+            stats.get("pool").and_then(|p| p.get("rejected")).and_then(Json::as_u64).unwrap_or(0);
+        if rejected == 0 && busy_retries == 0 {
+            eprintln!(
+                "soak_client: --expect-busy, but the pool reports 0 rejections and no client \
+                 saw a busy reply — the queue never saturated"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "soak_client: backpressure observed ({rejected} rejected admissions, \
+             {busy_retries} client-side busy retries)"
+        );
+    }
+    if options.shutdown {
+        match control.roundtrip(r#"{"cmd":"shutdown"}"#) {
+            Ok(reply) if reply.get("shutting_down") == Some(&Json::Bool(true)) => {
+                println!("soak_client: shutdown ctrl-line acknowledged");
+            }
+            Ok(reply) => {
+                eprintln!("soak_client: unexpected shutdown reply: {reply}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("soak_client: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

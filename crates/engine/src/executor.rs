@@ -7,9 +7,9 @@
 //! the hook the paper's Preprocessor relies on: "the Preprocessor computes
 //! F, the set of input tuples that generated S" (§2.2.2).
 //!
-//! The pipeline stages are factored into standalone functions
-//! ([`scan_filter`], [`build_groups`], [`for_each_arg_value`],
-//! [`project_row`], [`output_order`], [`output_schema`]) shared with the
+//! The pipeline stages are factored into standalone crate-private
+//! functions (`scan_filter`, `build_groups`, `for_each_arg_value`,
+//! `project_row`, `output_order`, `output_schema`) shared with the
 //! incremental re-aggregation cache in [`crate::incremental`], so the full
 //! and incremental paths cannot drift apart.
 

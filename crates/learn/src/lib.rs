@@ -11,7 +11,7 @@
 //! * **CN2-SD subgroup discovery** ([`discover_subgroups`]) — the Dataset
 //!   Enumerator extends the user's example tuples D′ with subgroups of
 //!   inputs that strongly influence the error metric.
-//! * **K-means** ([`kmeans`]) and **naive Bayes** ([`NaiveBayes`]) — the
+//! * **K-means** ([`kmeans()`]) and **naive Bayes** ([`NaiveBayes`]) — the
 //!   Dataset Enumerator's D′ cleaning step removes example tuples that are
 //!   not self-consistent.
 //!

@@ -78,7 +78,7 @@ pub fn gini_gain(parent: (f64, f64), left: (f64, f64), right: (f64, f64)) -> f64
 /// Weighted relative accuracy of a rule covering `covered_pos` positives and
 /// `covered_neg` negatives out of a population with `total_pos` / `total_neg`:
 /// `WRAcc = coverage × (precision − base_rate)`. This is the quality measure
-/// of CN2-SD subgroup discovery (Lavrač et al. 2004, the paper's [4]).
+/// of CN2-SD subgroup discovery (Lavrač et al. 2004, the paper's \[4\]).
 pub fn weighted_relative_accuracy(
     covered_pos: f64,
     covered_neg: f64,

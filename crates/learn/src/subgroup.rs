@@ -1,10 +1,10 @@
 //! CN2-SD style subgroup discovery.
 //!
-//! The Dataset Enumerator "extend[s] the cleaned D′ using subgroup discovery
+//! The Dataset Enumerator "extend\[s\] the cleaned D′ using subgroup discovery
 //! algorithms to find groups of inputs that highly influence ε. Subgroup
 //! discovery is a variant of decision tree classifiers that find
 //! descriptions of large subgroups that have the same class value in a
-//! dataset" (paper §2.2.2, citing Lavrač et al.'s CN2-SD [4]).
+//! dataset" (paper §2.2.2, citing Lavrač et al.'s CN2-SD \[4\]).
 //!
 //! This module implements a beam-search rule learner with the CN2-SD
 //! weighted covering scheme: rules are conjunctions of attribute tests

@@ -4,28 +4,40 @@
 //! ```text
 //! dbwipes-server [--listen 127.0.0.1:7433] [--dataset sensor|fec|both]
 //!                [--readings N] [--cache-capacity N]
+//!                [--workers N] [--queue-depth N] [--max-connections N]
+//!                [--idle-timeout-ms N] [--thread-per-conn]
 //! ```
 //!
 //! In stdio mode the process reads one request per line and writes one
-//! response per line until EOF — the shape a web gateway or the
-//! `examples/server_session.rs` driver expects. In TCP mode each accepted
-//! connection gets its own thread speaking the same protocol; sessions
+//! response per line until EOF (or the `shutdown` ctrl-line) — the shape a
+//! web gateway or the `examples/server_session.rs` driver expects. In TCP
+//! mode connections are served by the bounded worker-pool executor
+//! ([`dbwipes_server::executor`]): `--workers` threads (default
+//! `DBWIPES_SERVER_WORKERS`, else the effective parallelism) pull
+//! connections from a bounded queue, over-capacity admissions get a
+//! structured `busy` reply, silent sockets are closed after
+//! `--idle-timeout-ms`, and the `shutdown` ctrl-line drains in-flight
+//! sessions, flushes replies, and exits 0. `--thread-per-conn` restores
+//! the unbounded pre-pool accept loop (the measured baseline). Sessions
 //! live in the shared [`SessionManager`], so a client may reconnect and
 //! resume its session by id.
 
 use dbwipes_data::{generate_fec, generate_sensor, FecConfig, SensorConfig};
-use dbwipes_server::SessionManager;
+use dbwipes_server::{serve_pooled, serve_thread_per_connection, PoolConfig, SessionManager};
 use dbwipes_storage::Catalog;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     listen: Option<String>,
     dataset: String,
     readings: usize,
     cache_capacity: usize,
+    pool: PoolConfig,
+    thread_per_conn: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +46,8 @@ fn parse_args() -> Result<Options, String> {
         dataset: "sensor".to_string(),
         readings: 5_400,
         cache_capacity: 32,
+        pool: PoolConfig::default(),
+        thread_per_conn: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,10 +64,31 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
             }
+            "--workers" => {
+                options.pool.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                options.pool.queue_depth =
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--max-connections" => {
+                options.pool.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+                options.pool.idle_timeout = Duration::from_millis(ms);
+            }
+            "--thread-per-conn" => options.thread_per_conn = true,
             "--help" | "-h" => {
                 println!(
                     "usage: dbwipes-server [--listen ADDR] [--dataset sensor|fec|both] \
-                     [--readings N] [--cache-capacity N]"
+                     [--readings N] [--cache-capacity N] [--workers N] [--queue-depth N] \
+                     [--max-connections N] [--idle-timeout-ms N] [--thread-per-conn]"
                 );
                 std::process::exit(0);
             }
@@ -98,38 +133,43 @@ fn serve_stdio(manager: &SessionManager) -> std::io::Result<()> {
         }
         writeln!(stdout, "{}", manager.handle_line(&line))?;
         stdout.flush()?;
+        // The `shutdown` ctrl-line: its reply is flushed above, then the
+        // loop drains — same exit-0 contract as the TCP executor.
+        if manager.shutdown_requested() {
+            break;
+        }
     }
     Ok(())
 }
 
-fn serve_tcp(manager: Arc<SessionManager>, addr: &str) -> std::io::Result<()> {
+fn serve_tcp(manager: Arc<SessionManager>, addr: &str, options: &Options) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     // Report the bound address (port 0 resolves to an ephemeral port).
     eprintln!("dbwipes-server listening on {}", listener.local_addr()?);
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let manager = Arc::clone(&manager);
-        std::thread::spawn(move || {
-            let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
-            let mut writer = match stream.try_clone() {
-                Ok(w) => w,
-                Err(_) => return,
-            };
-            let reader = BufReader::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let reply = manager.handle_line(&line);
-                if writeln!(writer, "{reply}").is_err() {
-                    break;
-                }
-            }
-            eprintln!("connection {peer} closed");
-        });
+    if options.thread_per_conn {
+        serve_thread_per_connection(manager, listener, options.pool.clone())
+    } else {
+        let config = options.pool.clone().normalized();
+        eprintln!(
+            "dbwipes-server pool: {} workers, queue depth {}, connection cap {}, \
+             idle timeout {}ms",
+            config.workers,
+            config.queue_depth,
+            config.max_connections,
+            config.idle_timeout.as_millis()
+        );
+        let stats = serve_pooled(manager, listener, config)?;
+        let snapshot = stats.snapshot();
+        eprintln!(
+            "dbwipes-server drained: {} connections served, {} commands, {} rejected busy, \
+             peak {} concurrent",
+            snapshot.served_connections,
+            snapshot.commands,
+            snapshot.rejected,
+            snapshot.peak_connections
+        );
+        Ok(())
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -149,7 +189,7 @@ fn main() -> ExitCode {
     };
     let manager = Arc::new(SessionManager::with_cache_capacity(catalog, options.cache_capacity));
     let served = match &options.listen {
-        Some(addr) => serve_tcp(manager, addr),
+        Some(addr) => serve_tcp(manager, addr, &options),
         None => serve_stdio(&manager),
     };
     if let Err(e) = served {

@@ -291,16 +291,28 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    if (c as u32) < 0x20 {
-                        return Err(format!("raw control character at byte {}", self.pos));
+                    // Consume the whole run of plain characters at once.
+                    // The input is a &str, so the bytes are valid UTF-8 by
+                    // construction, and the run delimiters (`"`, `\`,
+                    // control bytes) are all < 0x80 — they can never be a
+                    // byte *inside* a multi-byte sequence, so stopping on
+                    // them cannot split a character. (Per-character
+                    // consumption here used to re-validate the entire
+                    // remaining input each step: O(n²) on the large
+                    // documents the `batch` command carries.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b < 0x20 {
+                            return Err(format!("raw control character at byte {}", self.pos));
+                        }
+                        self.pos += 1;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(run);
                 }
             }
         }

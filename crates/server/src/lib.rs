@@ -21,9 +21,14 @@
 //!   near-free — measured at ~5000× faster by `bench_server_sessions`.
 //! * the line-delimited JSON [`protocol`] — `run_query`, `plot`, `zoom`,
 //!   `brush_outputs`, `brush_inputs`, `set_metric`, `debug`,
-//!   `click_predicate`, `undo` and friends — served by
-//!   [`SessionManager::handle_line`] and exposed over stdin/stdout or TCP
-//!   by the `dbwipes-server` binary.
+//!   `click_predicate`, `undo`, `batch`, `shutdown` and friends — served
+//!   by [`SessionManager::handle_line`] and exposed over stdin/stdout or
+//!   TCP by the `dbwipes-server` binary.
+//! * the bounded worker-pool TCP [`executor`] — a fixed worker pool over a
+//!   bounded `Mutex`+`Condvar` MPMC queue, with `busy` backpressure
+//!   replies, a hard connection cap, idle timeouts, and graceful drain on
+//!   the `shutdown` ctrl-line — so heavy traffic degrades into explicit
+//!   `busy` answers instead of unbounded threads and memory.
 //!
 //! [`GroupedAggregateCache`]: dbwipes_engine::GroupedAggregateCache
 //! [`CacheFingerprint`]: dbwipes_engine::CacheFingerprint
@@ -52,13 +57,22 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod client;
+pub mod executor;
 pub mod json;
 pub mod manager;
 pub mod protocol;
 pub mod registry;
 mod service;
 
+pub use client::LineClient;
+pub use executor::{
+    serve_pooled, serve_thread_per_connection, BoundedQueue, PoolConfig, PoolSnapshot, PoolStats,
+};
 pub use json::Json;
-pub use manager::{ServerSession, SessionId, SessionManager};
-pub use protocol::{error_response, ok_response, parse_request, Command, Request};
+pub use manager::{DebugCacheReport, ServerSession, SessionId, SessionManager};
+pub use protocol::{
+    error_response, error_response_value, ok_response, ok_response_value, parse_request,
+    parse_request_value, Command, Request, MAX_BATCH_COMMANDS,
+};
 pub use registry::{CacheRegistry, CacheStats, ExplainKey};

@@ -1,7 +1,7 @@
 //! Concurrent session hosting.
 //!
 //! A [`SessionManager`] turns the single-user
-//! [`DashboardSession`](dbwipes_dashboard::DashboardSession) into a
+//! [`DashboardSession`] into a
 //! multi-tenant service:
 //!
 //! * **Shared data, private state.** All sessions open over one base
@@ -18,15 +18,16 @@
 //!   within one session or across sessions brushing the same dashboard —
 //!   skips the full statement execution that dominates explain latency.
 
+use crate::executor::PoolStats;
 use crate::registry::{CacheRegistry, ExplainKey};
-use dbwipes_core::{CoreError, DbWipes, Explanation};
+use dbwipes_core::{ComponentTimings, CoreError, DbWipes, Explanation};
 use dbwipes_dashboard::DashboardSession;
 use dbwipes_engine::{CacheFingerprint, GroupedAggregateCache};
 use dbwipes_storage::{Catalog, Table};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Identifies one open session within a [`SessionManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,18 +88,35 @@ impl ServerSession {
         self.commands += 1;
     }
 
+    /// Runs `debug!` through the registry, keeping only the boolean
+    /// "any shared tier hit" flag. Convenience over [`debug_cached`]
+    /// (the protocol layer additionally surfaces the memo flag).
+    ///
+    /// [`debug_cached`]: ServerSession::debug_cached
+    pub fn debug_cached_hit(
+        &mut self,
+        registry: &CacheRegistry,
+    ) -> Result<(&Explanation, bool), CoreError> {
+        let (explanation, report) = self.debug_cached(registry)?;
+        Ok((explanation, report.cache_hit))
+    }
+
     /// Runs `debug!` through the shared two-tier registry: an unchanged
     /// request (same statement, same table data, same S/D′/ε) replays the
     /// memoized explanation outright; a changed request still reuses the
     /// statement-level [`GroupedAggregateCache`] when one is alive,
     /// building and retaining both tiers otherwise.
     ///
-    /// Returns the explanation and whether *any* shared tier hit (the
-    /// protocol's `cache_hit` flag).
+    /// Returns the explanation and a [`DebugCacheReport`] saying which
+    /// tier served it. A memo-served explanation reports *near-zero*
+    /// component timings — no pipeline ran, so replaying the original
+    /// run's wall-clock numbers would misreport the service's latency —
+    /// and the protocol layer surfaces `report.memo_hit` as the reply's
+    /// `cached` marker.
     pub fn debug_cached(
         &mut self,
         registry: &CacheRegistry,
-    ) -> Result<(&Explanation, bool), CoreError> {
+    ) -> Result<(&Explanation, DebugCacheReport), CoreError> {
         let result = self
             .dashboard
             .result()
@@ -115,11 +133,16 @@ impl ServerSession {
         let request = self.dashboard.explain_request()?;
         let key = ExplainKey::new(fingerprint.clone(), &request);
 
-        // Tier 2: the identical question was already answered.
+        // Tier 2: the identical question was already answered. The replay
+        // reports zeroed timings: nothing was computed now, and replaying
+        // the original run's elapsed times would be a lie about *this*
+        // call's latency.
         if let Some(memoized) = registry.get_explanation(&key) {
             self.cache_hits += 1;
-            let explanation = self.dashboard.install_explanation((*memoized).clone())?;
-            return Ok((explanation, true));
+            let mut replay = (*memoized).clone();
+            replay.timings = ComponentTimings::default();
+            let explanation = self.dashboard.install_explanation(replay)?;
+            return Ok((explanation, DebugCacheReport { cache_hit: true, memo_hit: true }));
         }
 
         // Tier 1: reuse (or build) the statement-level aggregate cache,
@@ -136,8 +159,21 @@ impl ServerSession {
         }
         let explanation = self.dashboard.debug_with_cache(&cache)?;
         registry.store_explanation(key, Arc::new(explanation.clone()));
-        Ok((explanation, cache_hit))
+        Ok((explanation, DebugCacheReport { cache_hit, memo_hit: false }))
     }
+}
+
+/// Which shared registry tier served a [`ServerSession::debug_cached`]
+/// call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DebugCacheReport {
+    /// Any shared tier hit — the protocol's `cache_hit` flag. True both
+    /// for a memo replay and for a pipeline run over a retained
+    /// aggregate cache.
+    pub cache_hit: bool,
+    /// The explanation tier replayed a memoized answer outright (no
+    /// pipeline ran) — the protocol's `cached` marker.
+    pub memo_hit: bool,
 }
 
 /// Hosts many concurrent [`ServerSession`]s over one shared catalog and
@@ -149,6 +185,12 @@ pub struct SessionManager {
     registry: Arc<CacheRegistry>,
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<ServerSession>>>>,
     next_id: AtomicU64,
+    /// Set by the `shutdown` ctrl-line (or the front-end directly); every
+    /// serving loop polls it and drains.
+    shutdown: AtomicBool,
+    /// Executor counters, attached by the pooled TCP front-end so the
+    /// `stats` command can report them. Never set in stdio mode.
+    pool: OnceLock<Arc<PoolStats>>,
 }
 
 impl SessionManager {
@@ -165,12 +207,38 @@ impl SessionManager {
             registry: Arc::new(CacheRegistry::new(cache_capacity)),
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            pool: OnceLock::new(),
         }
     }
 
     /// The shared cache registry.
     pub fn registry(&self) -> &CacheRegistry {
         &self.registry
+    }
+
+    /// Flags the service for graceful shutdown: front-ends stop accepting
+    /// work, drain what is in flight, flush replies, and exit. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`SessionManager::request_shutdown`] has been called.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Attaches the pooled executor's counters so the `stats` command can
+    /// report them. The first attach wins (a manager is served by one
+    /// front-end); returns false when stats were already attached.
+    pub fn attach_pool_stats(&self, stats: Arc<PoolStats>) -> bool {
+        self.pool.set(stats).is_ok()
+    }
+
+    /// The attached executor counters, if this manager is served by the
+    /// pooled TCP front-end.
+    pub fn pool_stats(&self) -> Option<&Arc<PoolStats>> {
+        self.pool.get()
     }
 
     /// Opens a new session over the current base catalog.
@@ -279,7 +347,7 @@ mod tests {
             let outputs: Vec<usize> = (0..s.dashboard().result().unwrap().len()).collect();
             s.dashboard_mut().select_outputs(outputs);
             s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
-            let (_, hit) = s.debug_cached(m.registry()).unwrap();
+            let (_, hit) = s.debug_cached_hit(m.registry()).unwrap();
             hit
         };
         let a = m.open_session();
@@ -313,14 +381,14 @@ mod tests {
         s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
 
         s.dashboard_mut().select_outputs(vec![0]);
-        let (_, hit) = s.debug_cached(m.registry()).unwrap();
+        let (_, hit) = s.debug_cached_hit(m.registry()).unwrap();
         assert!(!hit, "first ever debug builds everything");
 
         // A different ε on the same statement: the pipeline must rerun
         // (different request), but over the retained aggregate cache.
         s.dashboard_mut().select_outputs(vec![0]);
         s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 5.0));
-        let (_, hit) = s.debug_cached(m.registry()).unwrap();
+        let (_, hit) = s.debug_cached_hit(m.registry()).unwrap();
         assert!(hit, "the statement-level cache must be reused");
         let stats = m.registry().stats();
         assert_eq!((stats.misses, stats.hits), (1, 1));

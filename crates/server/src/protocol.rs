@@ -13,6 +13,8 @@
 //!
 //! command  := "ping" | "tables" | "stats" | "sessions"
 //!           | "open_session" | "close_session"
+//!           | "shutdown"
+//!           | "batch"           (commands: [<request>...])
 //!           | "run_query"       (session, sql)
 //!           | "plot"            (session, x, y)
 //!           | "zoom"            (session, x, y)
@@ -33,6 +35,16 @@
 //! The optional `id` is echoed verbatim on the response, so a pipelining
 //! client can correlate answers; everything after a parse failure of the
 //! *request line itself* is answered with `ok:false` and no echo.
+//!
+//! `batch` carries an array of request objects (each shaped exactly like a
+//! top-level request, nesting excluded) and answers with one `results`
+//! array holding each command's individual response object in order. A
+//! scripted replay submitted as one batch is executed back to back —
+//! consecutive commands addressing the same session run under a single
+//! session-lock acquisition, which is what makes batched dashboard replays
+//! cheap. `shutdown` is the ctrl-line: it flips the manager's shutdown
+//! flag so the serving front-end (stdio loop or the pooled TCP executor)
+//! drains in-flight connections, flushes replies, and exits cleanly.
 
 use crate::json::Json;
 use dbwipes_core::ErrorMetric;
@@ -53,6 +65,13 @@ pub enum Command {
     OpenSession,
     /// Closes the addressed session.
     CloseSession(u64),
+    /// Requests graceful shutdown of the serving process (the ctrl-line):
+    /// in-flight connections drain, replies flush, the process exits 0.
+    Shutdown,
+    /// Executes a sequence of commands back to back, answering with one
+    /// `results` array. Consecutive commands addressing the same session
+    /// share a single session-lock acquisition.
+    Batch(Vec<Request>),
     /// Executes a new base query (resets selections and cleaning).
     RunQuery {
         /// Target session.
@@ -137,7 +156,9 @@ impl Command {
             | Command::Tables
             | Command::Stats
             | Command::Sessions
-            | Command::OpenSession => None,
+            | Command::OpenSession
+            | Command::Shutdown
+            | Command::Batch(_) => None,
             Command::CloseSession(s) | Command::Debug(s) | Command::Undo(s) | Command::State(s) => {
                 Some(*s)
             }
@@ -162,9 +183,21 @@ pub struct Request {
     pub command: Command,
 }
 
+/// The most commands one `batch` request may carry. Bounds the work a
+/// single line can enqueue (the transport already reads one line at a
+/// time, so this is the per-request unit of admission control).
+pub const MAX_BATCH_COMMANDS: usize = 256;
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    parse_request_value(&value)
+}
+
+/// Parses one already-decoded request object (a top-level line or a
+/// `batch` element — the shapes are identical, except that `batch` may
+/// not nest).
+pub fn parse_request_value(value: &Json) -> Result<Request, String> {
     if !matches!(value, Json::Obj(_)) {
         return Err("request must be a JSON object".to_string());
     }
@@ -195,6 +228,28 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "sessions" => Command::Sessions,
         "open_session" => Command::OpenSession,
         "close_session" => Command::CloseSession(session()?),
+        "shutdown" => Command::Shutdown,
+        "batch" => {
+            let Some(Json::Arr(items)) = value.get("commands") else {
+                return Err("`batch` requires an array `commands`".to_string());
+            };
+            if items.len() > MAX_BATCH_COMMANDS {
+                return Err(format!(
+                    "`batch` carries {} commands (max {MAX_BATCH_COMMANDS})",
+                    items.len()
+                ));
+            }
+            let mut commands = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if item.get("cmd").and_then(Json::as_str) == Some("batch") {
+                    return Err(format!("`batch` command {i} nests a batch (not allowed)"));
+                }
+                let request =
+                    parse_request_value(item).map_err(|e| format!("`batch` command {i}: {e}"))?;
+                commands.push(request);
+            }
+            Command::Batch(commands)
+        }
         "run_query" => Command::RunQuery { session: session()?, sql: string_field("sql")? },
         "plot" | "zoom" | "brush_outputs" | "brush_inputs" => {
             let (s, x, y) = (session()?, string_field("x")?, string_field("y")?);
@@ -202,9 +257,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "plot" => Command::Plot { session: s, x, y },
                 "zoom" => Command::Zoom { session: s, x, y },
                 "brush_outputs" => {
-                    Command::BrushOutputs { session: s, x, y, brush: parse_brush(&value)? }
+                    Command::BrushOutputs { session: s, x, y, brush: parse_brush(value)? }
                 }
-                _ => Command::BrushInputs { session: s, x, y, brush: parse_brush(&value)? },
+                _ => Command::BrushInputs { session: s, x, y, brush: parse_brush(value)? },
             }
         }
         "metric_choices" => {
@@ -264,8 +319,10 @@ fn parse_brush(value: &Json) -> Result<Brush, String> {
     })
 }
 
-/// Builds a success response: `{"ok": true, ...fields}` plus the echoed id.
-pub fn ok_response(id: Option<&Json>, fields: Vec<(&str, Json)>) -> String {
+/// Builds a success response object: `{"ok": true, ...fields}` plus the
+/// echoed id. The value form feeds `batch`'s `results` array; the line
+/// protocol serializes it via [`ok_response`].
+pub fn ok_response_value(id: Option<&Json>, fields: Vec<(&str, Json)>) -> Json {
     let mut obj = Json::obj(fields);
     if let Json::Obj(map) = &mut obj {
         map.insert("ok".to_string(), Json::Bool(true));
@@ -273,12 +330,12 @@ pub fn ok_response(id: Option<&Json>, fields: Vec<(&str, Json)>) -> String {
             map.insert("id".to_string(), id.clone());
         }
     }
-    obj.to_string()
+    obj
 }
 
-/// Builds an error response: `{"ok": false, "error": message}` plus the
-/// echoed id.
-pub fn error_response(id: Option<&Json>, message: &str) -> String {
+/// Builds an error response object: `{"ok": false, "error": message}` plus
+/// the echoed id.
+pub fn error_response_value(id: Option<&Json>, message: &str) -> Json {
     let mut obj = Json::obj(vec![("error", Json::str(message))]);
     if let Json::Obj(map) = &mut obj {
         map.insert("ok".to_string(), Json::Bool(false));
@@ -286,7 +343,18 @@ pub fn error_response(id: Option<&Json>, message: &str) -> String {
             map.insert("id".to_string(), id.clone());
         }
     }
-    obj.to_string()
+    obj
+}
+
+/// Builds a success response: `{"ok": true, ...fields}` plus the echoed id.
+pub fn ok_response(id: Option<&Json>, fields: Vec<(&str, Json)>) -> String {
+    ok_response_value(id, fields).to_string()
+}
+
+/// Builds an error response: `{"ok": false, "error": message}` plus the
+/// echoed id.
+pub fn error_response(id: Option<&Json>, message: &str) -> String {
+    error_response_value(id, message).to_string()
 }
 
 #[cfg(test)]
@@ -347,6 +415,7 @@ mod tests {
             ),
             (r#"{"cmd":"undo","session":1}"#, Command::Undo(1)),
             (r#"{"cmd":"state","session":1}"#, Command::State(1)),
+            (r#"{"cmd":"shutdown"}"#, Command::Shutdown),
         ];
         for (line, expected) in cases {
             let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -404,6 +473,42 @@ mod tests {
     }
 
     #[test]
+    fn batch_requests_parse_elementwise_with_ids() {
+        let request = parse_request(
+            r#"{"cmd":"batch","id":7,"commands":[{"cmd":"ping","id":0},{"cmd":"state","session":2}]}"#,
+        )
+        .unwrap();
+        assert_eq!(request.id, Some(Json::Num(7.0)));
+        let Command::Batch(commands) = request.command else { panic!("expected a batch") };
+        assert_eq!(commands.len(), 2);
+        assert_eq!(commands[0].command, Command::Ping);
+        assert_eq!(commands[0].id, Some(Json::Num(0.0)));
+        assert_eq!(commands[1].command, Command::State(2));
+        assert_eq!(commands[1].id, None);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_with_reasons() {
+        for (line, needle) in [
+            (r#"{"cmd":"batch"}"#, "requires an array `commands`"),
+            (r#"{"cmd":"batch","commands":3}"#, "requires an array `commands`"),
+            (r#"{"cmd":"batch","commands":[{"cmd":"debug"}]}"#, "command 0"),
+            (
+                r#"{"cmd":"batch","commands":[{"cmd":"ping"},{"cmd":"batch","commands":[]}]}"#,
+                "nests a batch",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // The size cap is enforced before any element parses.
+        let big: Vec<String> =
+            (0..=MAX_BATCH_COMMANDS).map(|_| r#"{"cmd":"ping"}"#.to_string()).collect();
+        let line = format!(r#"{{"cmd":"batch","commands":[{}]}}"#, big.join(","));
+        assert!(parse_request(&line).unwrap_err().contains("max"));
+    }
+
+    #[test]
     fn session_accessor_covers_all_variants() {
         assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap().command.session(), None);
         assert_eq!(
@@ -414,5 +519,15 @@ mod tests {
             parse_request(r#"{"cmd":"close_session","session":9}"#).unwrap().command.session(),
             Some(9)
         );
+        // A batch is dispatched by the manager itself, not routed to one
+        // session — its elements carry their own targets.
+        assert_eq!(
+            parse_request(r#"{"cmd":"batch","commands":[{"cmd":"state","session":9}]}"#)
+                .unwrap()
+                .command
+                .session(),
+            None
+        );
+        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap().command.session(), None);
     }
 }

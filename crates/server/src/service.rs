@@ -5,9 +5,11 @@
 //! just shuttle lines to it. Keeping the transport out of the dispatch
 //! means every protocol behaviour is testable without sockets.
 
+use crate::executor::PoolStats;
 use crate::json::Json;
 use crate::manager::{ServerSession, SessionId, SessionManager};
-use crate::protocol::{error_response, ok_response, parse_request, Command, Request};
+use crate::protocol::{error_response, error_response_value, ok_response_value, parse_request};
+use crate::protocol::{Command, Request};
 use dbwipes_core::{ComponentTimings, CoreError, Explanation, MetricKind};
 use dbwipes_dashboard::{PointRef, ScatterSeries};
 use dbwipes_engine::QueryResult;
@@ -22,10 +24,18 @@ impl SessionManager {
             Ok(request) => request,
             Err(e) => return error_response(None, &e),
         };
+        self.handle_request(request).to_string()
+    }
+
+    /// Executes one parsed request, returning the response object. This is
+    /// [`SessionManager::handle_line`] minus the wire codec — `batch`
+    /// execution reuses it per element, collecting the objects into one
+    /// `results` array.
+    pub fn handle_request(&self, request: Request) -> Json {
         let id = request.id.clone();
         match self.dispatch(request) {
-            Ok(fields) => ok_response(id.as_ref(), fields),
-            Err(message) => error_response(id.as_ref(), &message),
+            Ok(fields) => ok_response_value(id.as_ref(), fields),
+            Err(message) => error_response_value(id.as_ref(), &message),
         }
     }
 
@@ -42,7 +52,7 @@ impl SessionManager {
             )]),
             Command::Stats => {
                 let stats = self.registry().stats();
-                Ok(vec![
+                let mut fields = vec![
                     ("sessions", Json::num(self.session_count() as f64)),
                     (
                         "cache",
@@ -63,7 +73,13 @@ impl SessionManager {
                             ("explanation_hit_rate", Json::num(stats.explanation_hit_rate())),
                         ]),
                     ),
-                ])
+                ];
+                // Executor counters, when a pooled TCP front-end serves
+                // this manager (stdio mode has no pool to report).
+                if let Some(pool) = self.pool_stats() {
+                    fields.push(("pool", pool_json(pool)));
+                }
+                Ok(fields)
             }
             Command::OpenSession => {
                 let id = self.open_session();
@@ -76,6 +92,16 @@ impl SessionManager {
                     Err(format!("no such session {s}"))
                 }
             }
+            Command::Shutdown => {
+                self.request_shutdown();
+                Ok(vec![("shutting_down", Json::Bool(true))])
+            }
+            Command::Batch(commands) => {
+                if let Some(pool) = self.pool_stats() {
+                    pool.record_batch();
+                }
+                Ok(self.run_batch(commands))
+            }
             command => {
                 let s = command.session().expect("all remaining commands address a session");
                 let handle =
@@ -85,6 +111,53 @@ impl SessionManager {
                 self.session_command(&mut session, command)
             }
         }
+    }
+
+    /// Executes a batch back to back, one response object per command.
+    ///
+    /// A run of *consecutive* commands addressing the same session is
+    /// served under a single session-lock acquisition — the point of
+    /// `batch`: a 50-command dashboard replay pays for one route + lock
+    /// instead of fifty. A failing command answers `ok:false` like its
+    /// top-level form would and the batch continues; the caller correlates
+    /// by position (or per-command ids).
+    fn run_batch(&self, commands: Vec<Request>) -> Vec<(&'static str, Json)> {
+        let total = commands.len();
+        let mut results = Vec::with_capacity(total);
+        let mut queue = commands.into_iter().peekable();
+        while let Some(request) = queue.next() {
+            // Commands the top-level dispatcher must handle (service-level
+            // commands and close_session) go through it one at a time.
+            let Some(target) = session_command_target(&request.command) else {
+                results.push(self.handle_request(request));
+                continue;
+            };
+            let Some(handle) = self.session(SessionId(target)) else {
+                results.push(error_response_value(
+                    request.id.as_ref(),
+                    &format!("no such session {target}"),
+                ));
+                continue;
+            };
+            let mut session = handle.lock().expect("session lock poisoned");
+            let mut run = Some(request);
+            while let Some(request) = run.take() {
+                session.record_command();
+                let reply = match self.session_command(&mut session, request.command) {
+                    Ok(fields) => ok_response_value(request.id.as_ref(), fields),
+                    Err(message) => error_response_value(request.id.as_ref(), &message),
+                };
+                results.push(reply);
+                // Pull the next command into the same lock acquisition
+                // while it keeps addressing this session.
+                if queue.peek().map(|next| session_command_target(&next.command))
+                    == Some(Some(target))
+                {
+                    run = queue.next();
+                }
+            }
+        }
+        vec![("count", Json::num(total as f64)), ("results", Json::Arr(results))]
     }
 
     fn session_command(
@@ -161,10 +234,12 @@ impl SessionManager {
                 Ok(vec![("metric", Json::str(label))])
             }
             Command::Debug(_) => {
-                let (explanation, cache_hit) =
-                    session.debug_cached(self.registry()).map_err(core)?;
+                let (explanation, report) = session.debug_cached(self.registry()).map_err(core)?;
                 let mut fields = explanation_fields(explanation);
-                fields.push(("cache_hit", Json::Bool(cache_hit)));
+                fields.push(("cache_hit", Json::Bool(report.cache_hit)));
+                // Memo-served replies carry `cached:true` and (by way of
+                // `debug_cached`) near-zero timings — nothing ran now.
+                fields.push(("cached", Json::Bool(report.memo_hit)));
                 Ok(fields)
             }
             Command::ClickPredicate { index, .. } => {
@@ -198,9 +273,40 @@ impl SessionManager {
             | Command::Stats
             | Command::Sessions
             | Command::OpenSession
-            | Command::CloseSession(_) => unreachable!("handled by dispatch"),
+            | Command::CloseSession(_)
+            | Command::Shutdown
+            | Command::Batch(_) => unreachable!("handled by dispatch"),
         }
     }
+}
+
+/// The session a command addresses *through the session-command path*:
+/// `Some` only for commands `session_command` serves under the session
+/// lock. `close_session` addresses a session but must go through the
+/// top-level dispatcher (it removes the session from the map), so it — and
+/// every service-level command — answers `None`.
+fn session_command_target(command: &Command) -> Option<u64> {
+    match command {
+        Command::CloseSession(_) => None,
+        other => other.session(),
+    }
+}
+
+/// Renders the pooled executor's counters for the `stats` reply.
+fn pool_json(stats: &PoolStats) -> Json {
+    let snapshot = stats.snapshot();
+    Json::obj(vec![
+        ("workers", Json::num(snapshot.workers as f64)),
+        ("queue_depth", Json::num(snapshot.queue_depth as f64)),
+        ("max_connections", Json::num(snapshot.max_connections as f64)),
+        ("queued", Json::num(snapshot.queued as f64)),
+        ("rejected", Json::num(snapshot.rejected as f64)),
+        ("active_connections", Json::num(snapshot.active_connections as f64)),
+        ("peak_connections", Json::num(snapshot.peak_connections as f64)),
+        ("served_connections", Json::num(snapshot.served_connections as f64)),
+        ("commands", Json::num(snapshot.commands as f64)),
+        ("batches", Json::num(snapshot.batches as f64)),
+    ])
 }
 
 fn applied_field(session: &ServerSession) -> (&'static str, Json) {

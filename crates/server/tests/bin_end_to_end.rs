@@ -2,6 +2,7 @@
 //! stdin/stdout pipes and once over a TCP connection, running a scripted
 //! Figure-1 session through each transport.
 
+use dbwipes_server::LineClient;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
 
@@ -75,6 +76,49 @@ fn stdio_transport_serves_a_scripted_session() {
 }
 
 #[test]
+fn tcp_shutdown_ctrl_line_drains_and_exits_zero() {
+    let mut child = Command::new(BIN)
+        .args([
+            "--readings",
+            "1350",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "4",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dbwipes-server");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = {
+        let mut line = String::new();
+        stderr.read_line(&mut line).expect("read listen banner");
+        line.trim().rsplit(' ').next().expect("banner ends with the address").to_string()
+    };
+
+    let mut client =
+        LineClient::connect(&addr, std::time::Duration::from_secs(30)).expect("connect");
+    let mut roundtrip =
+        |line: &str| -> String { client.roundtrip(line).expect("reply").to_string() };
+    assert!(roundtrip(r#"{"cmd":"ping"}"#).contains(r#""pong":true"#));
+    // The pooled front-end reports executor counters through `stats`.
+    let stats = roundtrip(r#"{"cmd":"stats"}"#);
+    assert!(stats.contains(r#""pool""#), "{stats}");
+    assert!(stats.contains(r#""workers":2"#), "{stats}");
+    // The ctrl-line: reply is flushed, the pool drains, the process
+    // exits 0 — the graceful-shutdown contract the CI soak job gates on.
+    assert!(roundtrip(r#"{"cmd":"shutdown"}"#).contains(r#""shutting_down":true"#));
+    let status = child.wait().expect("server exits after the ctrl-line");
+    assert!(status.success(), "graceful shutdown must exit 0, got {status:?}");
+    // The drain summary reaches stderr before exit.
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
+}
+
+#[test]
 fn tcp_transport_serves_a_scripted_session() {
     // Port 0 → the OS picks a free port; the server prints the bound
     // address on stderr as `dbwipes-server listening on <addr>`.
@@ -93,15 +137,11 @@ fn tcp_transport_serves_a_scripted_session() {
         line.trim().rsplit(' ').next().expect("banner ends with the address").to_string()
     };
 
-    let stream = std::net::TcpStream::connect(&addr).expect("connect to server");
-    let mut writer = stream.try_clone().unwrap();
-    let mut reader = BufReader::new(stream);
+    let mut client =
+        LineClient::connect(&addr, std::time::Duration::from_secs(30)).expect("connect");
     let mut replies = Vec::new();
     for line in script() {
-        writeln!(writer, "{line}").unwrap();
-        let mut reply = String::new();
-        reader.read_line(&mut reply).unwrap();
-        replies.push(reply.trim().to_string());
+        replies.push(client.roundtrip(&line).expect("reply").to_string());
     }
     check_replies(&replies);
 }

@@ -1,0 +1,263 @@
+//! Lifecycle edges of the bounded worker-pool TCP executor: queue-full
+//! `busy` backpressure, the hard connection cap, idle-timeout closes, and
+//! graceful shutdown draining an in-flight `explain`.
+//!
+//! Each test runs `serve_pooled` in-process over an ephemeral port with a
+//! deliberately tiny pool so the edge under test is reached
+//! deterministically, then shuts the pool down through the manager's flag
+//! and joins the serving thread.
+
+use dbwipes_data::{generate_sensor, SensorConfig};
+use dbwipes_server::{serve_pooled, Json, LineClient, PoolConfig, PoolSnapshot, SessionManager};
+use dbwipes_storage::Catalog;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pooled server running in a background thread.
+struct TestServer {
+    manager: Arc<SessionManager>,
+    addr: String,
+    serving: Option<JoinHandle<std::io::Result<Arc<dbwipes_server::PoolStats>>>>,
+}
+
+impl TestServer {
+    fn start(readings: usize, config: PoolConfig) -> Self {
+        let data = generate_sensor(&SensorConfig {
+            num_readings: readings,
+            failing_sensors: vec![15],
+            ..SensorConfig::small()
+        });
+        let mut catalog = Catalog::new();
+        catalog.register(data.table).unwrap();
+        let manager = Arc::new(SessionManager::new(catalog));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let serving = {
+            let manager = Arc::clone(&manager);
+            std::thread::spawn(move || serve_pooled(manager, listener, config))
+        };
+        TestServer { manager, addr, serving: Some(serving) }
+    }
+
+    fn connect(&self) -> Client {
+        Client(LineClient::connect(&self.addr, Duration::from_secs(20)).expect("connect"))
+    }
+
+    /// Requests shutdown, joins the serving thread, and returns the pool
+    /// counters.
+    fn stop(mut self) -> PoolSnapshot {
+        self.manager.request_shutdown();
+        let stats = self
+            .serving
+            .take()
+            .expect("server still running")
+            .join()
+            .expect("serving thread panicked")
+            .expect("serve_pooled failed");
+        stats.snapshot()
+    }
+}
+
+/// [`LineClient`] with panicking (test-assertion) verbs.
+struct Client(LineClient);
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        self.0.send(line).expect("write request");
+    }
+
+    fn read_reply(&mut self) -> Json {
+        self.0.read_reply().expect("read reply").expect("connection closed before a reply arrived")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.read_reply()
+    }
+
+    /// Reads until EOF, returning any lines seen on the way.
+    fn read_to_eof(&mut self) -> Vec<Json> {
+        self.0.read_to_eof().expect("reading to EOF")
+    }
+}
+
+fn long_idle() -> Duration {
+    Duration::from_secs(60)
+}
+
+#[test]
+fn saturated_queue_answers_busy_and_recovers() {
+    // One worker, one queue slot: the third concurrent connection must be
+    // turned away with a structured busy reply.
+    let server = TestServer::start(
+        120,
+        PoolConfig { workers: 1, queue_depth: 1, max_connections: 16, idle_timeout: long_idle() },
+    );
+
+    // A occupies the only worker (a served roundtrip proves it was popped
+    // off the queue)...
+    let mut a = server.connect();
+    assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
+    // ...B takes the only queue slot (it is admitted but never served
+    // while A stays connected)...
+    let mut b = server.connect();
+    b.send(r#"{"cmd":"ping"}"#);
+    std::thread::sleep(Duration::from_millis(100));
+    // ...so C's admission overflows the queue. The busy reply is pushed
+    // at admission time, before C sends anything.
+    let mut c = server.connect();
+    let reply = c.read_reply();
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{reply}");
+    assert_eq!(reply.get("busy"), Some(&Json::Bool(true)), "{reply}");
+    assert!(reply.get("error").and_then(Json::as_str).unwrap().contains("queue full"), "{reply}");
+
+    // Backpressure is not failure: once A leaves, the worker pops B and
+    // serves the command it queued.
+    drop(a);
+    assert_eq!(b.read_reply().get("pong"), Some(&Json::Bool(true)));
+
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 1, "exactly C was turned away");
+    assert!(stats.peak_connections >= 2, "A and B were admitted together: {stats:?}");
+    assert_eq!(stats.workers, 1);
+}
+
+#[test]
+fn connection_cap_rejects_with_busy() {
+    // Cap of one admitted connection (normalized to workers=1): the
+    // second concurrent client bounces off the cap, not the queue.
+    let server = TestServer::start(
+        120,
+        PoolConfig { workers: 1, queue_depth: 8, max_connections: 1, idle_timeout: long_idle() },
+    );
+    let mut a = server.connect();
+    assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
+
+    let mut b = server.connect();
+    let reply = b.read_reply();
+    assert_eq!(reply.get("busy"), Some(&Json::Bool(true)), "{reply}");
+    assert!(
+        reply.get("error").and_then(Json::as_str).unwrap().contains("connection limit"),
+        "{reply}"
+    );
+    // The rejected socket is closed server-side.
+    assert!(b.read_to_eof().is_empty());
+
+    // The admitted connection is unaffected by the rejection next door.
+    assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.max_connections, 1);
+}
+
+#[test]
+fn silent_connections_are_closed_after_the_idle_timeout() {
+    let idle = Duration::from_millis(200);
+    let server = TestServer::start(
+        120,
+        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: idle },
+    );
+    let mut a = server.connect();
+    assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
+
+    // Stay silent: the server must notify and close on its own.
+    let seen = a.read_to_eof();
+    assert_eq!(seen.len(), 1, "one timeout notice then EOF: {seen:?}");
+    assert_eq!(seen[0].get("idle_timeout"), Some(&Json::Bool(true)), "{}", seen[0]);
+    assert!(seen[0].get("error").and_then(Json::as_str).unwrap().contains("idle timeout"));
+
+    // The slot is free again: a fresh connection is served immediately.
+    let mut b = server.connect();
+    assert_eq!(b.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
+    let stats = server.stop();
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.served_connections >= 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_an_in_flight_explain() {
+    let server = TestServer::start(
+        2_700,
+        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: long_idle() },
+    );
+
+    // Walk a session to the brink of `debug`.
+    let mut a = server.connect();
+    let session = a
+        .roundtrip(r#"{"cmd":"open_session"}"#)
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("session id");
+    let query = "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS std_temp FROM readings \
+                 GROUP BY window ORDER BY window";
+    for line in [
+        format!(r#"{{"cmd":"run_query","session":{session},"sql":"{query}"}}"#),
+        format!(
+            r#"{{"cmd":"brush_outputs","session":{session},"x":"window","y":"std_temp","brush":{{"y_min":8}}}}"#
+        ),
+        format!(
+            r#"{{"cmd":"set_metric","session":{session},"kind":"too_high","column":"std_temp","value":4}}"#
+        ),
+    ] {
+        let reply = a.roundtrip(&line);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    }
+
+    // Fire the explain (tens of milliseconds of pipeline work), then have
+    // a second connection send the shutdown ctrl-line while it runs.
+    a.send(&format!(r#"{{"cmd":"debug","session":{session}}}"#));
+    std::thread::sleep(Duration::from_millis(20));
+    let mut ctrl = server.connect();
+    let reply = ctrl.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(reply.get("shutting_down"), Some(&Json::Bool(true)), "{reply}");
+
+    // The in-flight explain must complete and its reply must be flushed
+    // before the connection is drained and closed.
+    let explain = a.read_reply();
+    assert_eq!(explain.get("ok"), Some(&Json::Bool(true)), "{explain}");
+    assert!(
+        !explain.get("predicates").unwrap().as_array().unwrap().is_empty(),
+        "drained explain still carries its ranking: {explain}"
+    );
+    let trailing = a.read_to_eof();
+    assert!(
+        trailing.iter().all(|l| l.get("shutdown") == Some(&Json::Bool(true))),
+        "only shutdown notices may follow the drained reply: {trailing:?}"
+    );
+
+    // The pool unwinds cleanly: serving thread returns Ok, counters final.
+    let stats = server.stop();
+    assert!(stats.served_connections >= 1, "{stats:?}");
+    assert_eq!(stats.active_connections, 0, "everything drained: {stats:?}");
+    assert!(stats.commands >= 5, "{stats:?}");
+}
+
+#[test]
+fn batch_executes_back_to_back_and_reports_in_stats() {
+    let server = TestServer::start(
+        120,
+        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: long_idle() },
+    );
+    let mut a = server.connect();
+    let session =
+        a.roundtrip(r#"{"cmd":"open_session"}"#).get("session").and_then(Json::as_u64).unwrap();
+    let reply = a.roundtrip(&format!(
+        r#"{{"cmd":"batch","id":"replay","commands":[{{"cmd":"state","session":{session}}},{{"cmd":"state","session":{session}}},{{"cmd":"ping"}}]}}"#
+    ));
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("replay"));
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(3));
+    let results = reply.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results.iter().all(|r| r.get("ok") == Some(&Json::Bool(true))), "{results:?}");
+
+    let stats_reply = a.roundtrip(r#"{"cmd":"stats"}"#);
+    let pool = stats_reply.get("pool").expect("pooled front-end reports executor stats");
+    assert_eq!(pool.get("batches").and_then(Json::as_u64), Some(1), "{pool}");
+    assert_eq!(pool.get("workers").and_then(Json::as_u64), Some(2), "{pool}");
+
+    let stats = server.stop();
+    assert_eq!(stats.batches, 1);
+}

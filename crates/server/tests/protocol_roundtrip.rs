@@ -121,6 +121,7 @@ fn every_command_round_trips_through_the_figure_one_loop() {
     // debug: first misses, second hits, timings and ranked predicates.
     let first = ok(&m, &format!(r#"{{"cmd":"debug","session":{s}}}"#));
     assert_eq!(first.get("cache_hit"), Some(&Json::Bool(false)));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)), "a cold debug is not memo-served");
     let predicates = first.get("predicates").unwrap().as_array().unwrap();
     assert!(!predicates.is_empty());
     assert!(predicates[0].get("predicate").and_then(Json::as_str).is_some());
@@ -128,6 +129,20 @@ fn every_command_round_trips_through_the_figure_one_loop() {
     assert!(first.get("base_error").and_then(Json::as_f64).unwrap() > 0.0);
     let second = ok(&m, &format!(r#"{{"cmd":"debug","session":{s}}}"#));
     assert_eq!(second.get("cache_hit"), Some(&Json::Bool(true)));
+    // Regression (ROADMAP follow-up): a memo-served explanation must say
+    // so and must NOT replay the original run's elapsed times — nothing
+    // ran now, so the reported latency is (near-)zero.
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(
+        second.get("timings").unwrap().get("total_ms").and_then(Json::as_f64),
+        Some(0.0),
+        "memo replays report near-zero timings: {second}"
+    );
+    assert_eq!(
+        second.get("predicates").unwrap().as_array().unwrap().len(),
+        predicates.len(),
+        "the replayed ranking is the memoized one"
+    );
 
     // click_predicate rewrites the query; undo restores it.
     let clicked = ok(&m, &format!(r#"{{"cmd":"click_predicate","session":{s},"index":0}}"#));
@@ -153,6 +168,59 @@ fn every_command_round_trips_through_the_figure_one_loop() {
     assert!(
         err(&m, &format!(r#"{{"cmd":"close_session","session":{s}}}"#)).contains("no such session")
     );
+}
+
+#[test]
+fn batch_round_trips_a_scripted_replay_in_one_request() {
+    let (m, query) = manager();
+    let s = ok(&m, r#"{"cmd":"open_session"}"#).get("session").and_then(Json::as_u64).unwrap();
+
+    // The full Figure-1 replay as ONE line: run, brush, pick ε, debug.
+    let commands = [
+        format!(r#"{{"cmd":"run_query","session":{s},"sql":"{query}","id":"q"}}"#),
+        format!(
+            r#"{{"cmd":"brush_outputs","session":{s},"x":"window","y":"std_temp","brush":{{"y_min":8}}}}"#
+        ),
+        format!(
+            r#"{{"cmd":"set_metric","session":{s},"kind":"too_high","column":"std_temp","value":4}}"#
+        ),
+        format!(r#"{{"cmd":"debug","session":{s}}}"#),
+        r#"{"cmd":"stats"}"#.to_string(),
+    ];
+    let reply = ok(&m, &format!(r#"{{"cmd":"batch","commands":[{}]}}"#, commands.join(",")));
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(5));
+    let results = reply.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 5);
+    assert!(results.iter().all(|r| r.get("ok") == Some(&Json::Bool(true))), "{results:?}");
+    // Per-command ids survive into the results array.
+    assert_eq!(results[0].get("id").and_then(Json::as_str), Some("q"));
+    // The debug really ran inside the batch.
+    assert!(!results[3].get("predicates").unwrap().as_array().unwrap().is_empty());
+    // The session saw all four of its batched commands (the stats command
+    // is service-level; the state probe below counts itself).
+    let state = ok(&m, &format!(r#"{{"cmd":"state","session":{s}}}"#));
+    assert_eq!(state.get("commands").and_then(Json::as_u64), Some(5));
+
+    // A failing element answers ok:false in place without aborting the
+    // rest of the batch.
+    let mixed = ok(
+        &m,
+        r#"{"cmd":"batch","commands":[{"cmd":"ping"},{"cmd":"state","session":999},{"cmd":"ping"}]}"#,
+    );
+    let results = mixed.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+    assert!(results[1].get("error").and_then(Json::as_str).unwrap().contains("no such session"));
+    assert_eq!(results[2].get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn shutdown_command_flips_the_manager_flag() {
+    let (m, _) = manager();
+    assert!(!m.shutdown_requested());
+    let reply = ok(&m, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(reply.get("shutting_down"), Some(&Json::Bool(true)));
+    assert!(m.shutdown_requested());
 }
 
 #[test]

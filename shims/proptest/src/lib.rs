@@ -1,6 +1,7 @@
 //! Offline, dependency-free stand-in for the
 //! [`proptest`](https://crates.io/crates/proptest) crate, implementing the
-//! API subset the DBWipes property tests use: the [`Strategy`] trait with
+//! API subset the DBWipes property tests use: the [`strategy::Strategy`]
+//! trait with
 //! `prop_map`, range / tuple / `Just` / `any::<bool>()` strategies,
 //! [`collection::vec`], [`option::of`], `prop_oneof!`, `ProptestConfig`
 //! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
