@@ -4,7 +4,8 @@
 //! artifacts" item.
 //!
 //! ```text
-//! bench_regression_check <bench-results.txt> <BENCH_BASELINE.json> [--write]
+//! bench_regression_check <bench-results.txt> <BENCH_BASELINE.json> \
+//!     [--write] [--filter <prefix>[,<prefix>...]]
 //! ```
 //!
 //! * default mode: every baseline entry must appear in the results with a
@@ -16,6 +17,12 @@
 //! * `--write`: regenerate the baseline file from the results (run this on
 //!   the reference machine after intentional perf changes; baselines are
 //!   wall-clock means, so they are only comparable on similar hardware).
+//! * `--filter`: restrict the gate to baseline entries whose label starts
+//!   with one of the comma-separated prefixes (e.g.
+//!   `--filter ranker/,predicate_kernels/`). This is how the fast
+//!   ranker/predicate bench families gate pull requests without running —
+//!   or demanding results for — the whole timed suite. Incompatible with
+//!   `--write` (a filtered run must never shrink the stored baseline).
 //!
 //! Input lines are the offline criterion shim's timed format:
 //! `bench <label>: mean <dur> / min <dur> / max <dur> over N iterations`.
@@ -119,6 +126,27 @@ fn render_baseline(gate: Gate, measurements: &[Measurement]) -> String {
     out
 }
 
+/// Restricts both measurement lists to the labels starting with one of the
+/// comma-separated prefixes (the PR gate's fast ranker/predicate families).
+fn apply_filter(
+    baseline: &mut Vec<Measurement>,
+    current: &mut Vec<Measurement>,
+    prefixes: &str,
+) -> Result<(), String> {
+    let prefixes: Vec<&str> =
+        prefixes.split(',').map(str::trim).filter(|p| !p.is_empty()).collect();
+    if prefixes.is_empty() {
+        return Err("--filter requires at least one non-empty prefix".to_string());
+    }
+    let matches = |label: &str| prefixes.iter().any(|p| label.starts_with(p));
+    baseline.retain(|m| matches(&m.label));
+    current.retain(|m| matches(&m.label));
+    if baseline.is_empty() {
+        return Err(format!("--filter {} matches no baseline entry", prefixes.join(",")));
+    }
+    Ok(())
+}
+
 fn human(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
@@ -188,18 +216,19 @@ fn check(gate: Gate, baseline: &[Measurement], current: &[Measurement]) -> bool 
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (results_path, baseline_path, write) =
-        match args.as_slice() {
-            [results, baseline] => (results, baseline, false),
-            [results, baseline, flag] if flag == "--write" => (results, baseline, true),
-            _ => return Err(
-                "usage: bench_regression_check <bench-results.txt> <BENCH_BASELINE.json> [--write]"
-                    .to_string(),
-            ),
-        };
+    const USAGE: &str = "usage: bench_regression_check <bench-results.txt> \
+                         <BENCH_BASELINE.json> [--write] [--filter <prefix>[,<prefix>...]]";
+    let (results_path, baseline_path, write, filter) = match args.as_slice() {
+        [results, baseline] => (results, baseline, false, None),
+        [results, baseline, flag] if flag == "--write" => (results, baseline, true, None),
+        [results, baseline, flag, prefixes] if flag == "--filter" => {
+            (results, baseline, false, Some(prefixes.clone()))
+        }
+        _ => return Err(USAGE.to_string()),
+    };
     let results_text = std::fs::read_to_string(results_path)
         .map_err(|e| format!("cannot read {results_path}: {e}"))?;
-    let current = parse_results(&results_text);
+    let mut current = parse_results(&results_text);
     if current.is_empty() {
         return Err(format!(
             "{results_path} contains no timed bench lines — was the run made with `cargo bench` \
@@ -221,7 +250,11 @@ fn run() -> Result<bool, String> {
 
     let baseline_text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
-    let (gate, baseline) = load_baseline(&baseline_text)?;
+    let (gate, mut baseline) = load_baseline(&baseline_text)?;
+    if let Some(prefixes) = filter {
+        apply_filter(&mut baseline, &mut current, &prefixes)?;
+        println!("filtered gate: {} baseline entries match {prefixes}", baseline.len());
+    }
     let ok = check(gate, &baseline, &current);
     if ok {
         println!("bench regression check passed ({} baseline entries)", baseline.len());
@@ -305,6 +338,30 @@ mod tests {
         assert!(check(gate, &loaded, &extra));
         assert!(load_baseline("{}").is_err());
         assert!(load_baseline("nope").is_err());
+    }
+
+    #[test]
+    fn filter_restricts_the_gate_to_matching_families() {
+        let make = |labels: &[&str]| -> Vec<Measurement> {
+            labels.iter().map(|l| Measurement { label: l.to_string(), mean_ns: 1.0 }).collect()
+        };
+        let mut baseline =
+            make(&["ranker/4", "ranker/16", "predicate_kernels/cached/4000", "server_pool/1"]);
+        let mut current = make(&["ranker/4", "server_pool/1", "aggregates/x"]);
+        apply_filter(&mut baseline, &mut current, "ranker/, predicate_kernels/").unwrap();
+        assert_eq!(
+            baseline.iter().map(|m| m.label.as_str()).collect::<Vec<_>>(),
+            vec!["ranker/4", "ranker/16", "predicate_kernels/cached/4000"]
+        );
+        assert_eq!(current.iter().map(|m| m.label.as_str()).collect::<Vec<_>>(), vec!["ranker/4"]);
+        // The filtered check still fails on a bench missing from the run.
+        let gate = Gate { tolerance_pct: 25.0, min_delta_ns: 50_000.0 };
+        assert!(!check(gate, &baseline, &current));
+
+        // No match and empty prefix lists are argument errors.
+        let mut b = make(&["ranker/4"]);
+        assert!(apply_filter(&mut b.clone(), &mut make(&[]), "nope/").is_err());
+        assert!(apply_filter(&mut b, &mut make(&[]), " , ").is_err());
     }
 
     #[test]

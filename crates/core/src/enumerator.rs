@@ -11,7 +11,7 @@ use crate::influence::InfluenceReport;
 use dbwipes_learn::{
     discover_subgroups, kmeans, to_points, FeatureSpace, NaiveBayes, SubgroupConfig,
 };
-use dbwipes_storage::{RowId, Table};
+use dbwipes_storage::{RowId, RowSet, Table};
 use std::collections::BTreeSet;
 
 /// How the user's example tuples D′ are cleaned before extension.
@@ -128,18 +128,22 @@ pub fn enumerate_candidates(
     }
 
     // 2. Extend with subgroup discovery over F, where the positive class is
-    //    "in cleaned D′ or among the most influential tuples".
+    //    "in cleaned D′ or among the most influential tuples". Membership
+    //    tests run against RowSet bitmaps: labelling all of F is then one
+    //    O(1) probe per row instead of an ordered-set lookup.
     if config.extend_with_subgroups && !f_rows.is_empty() {
+        let num_rows = table.num_rows();
         let top_n = ((f_rows.len() as f64) * config.influence_fraction).ceil() as usize;
-        let high_influence: BTreeSet<RowId> = influence
-            .influences
-            .iter()
-            .filter(|t| t.influence > 0.0)
-            .take(top_n.max(cleaned.len()))
-            .map(|t| t.row)
-            .collect();
-        let labels: Vec<bool> =
-            f_rows.iter().map(|r| cleaned_set.contains(r) || high_influence.contains(r)).collect();
+        let mut positive_set =
+            RowSet::from_rows(num_rows, cleaned.iter().filter(|r| r.index() < num_rows));
+        for t in
+            influence.influences.iter().filter(|t| t.influence > 0.0).take(top_n.max(cleaned.len()))
+        {
+            if t.row.index() < num_rows {
+                positive_set.insert(t.row.index());
+            }
+        }
+        let labels: Vec<bool> = f_rows.iter().map(|r| positive_set.contains_row(*r)).collect();
         if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
             let dataset = space.extract(table, &f_rows);
             let subgroups = discover_subgroups(&dataset, &labels, &config.subgroup);

@@ -20,7 +20,9 @@ use crate::error::CoreError;
 use crate::metric::ErrorMetric;
 use crate::parallel::map_chunked;
 use dbwipes_engine::{GroupedAggregateCache, QueryResult};
-use dbwipes_storage::{ConjunctivePredicate, DataType, RowId, Table, Value};
+use dbwipes_storage::{
+    ConditionBitmapCache, ConjunctivePredicate, DataType, RowId, RowSet, Table, Value,
+};
 use std::collections::{BTreeSet, HashMap};
 
 /// Weights of the ranking score.
@@ -122,12 +124,17 @@ pub fn rank_predicates_with_cache(
 ) -> Result<Vec<RankedPredicate>, CoreError> {
     let error_before = metric.evaluate_result(result, selected);
     let f_rows: Vec<RowId> = result.inputs_of_rows(selected);
+    let num_rows = cache.table().num_rows();
+    let in_range = |r: &&RowId| r.index() < num_rows;
     let ctx = ScoreContext {
         cache,
+        bitmaps: ConditionBitmapCache::new(cache.table()),
         error_before,
         // Group keys of the selected outputs, used to find the same groups
         // in the incrementally cleaned result.
         selected_keys: selected.iter().filter_map(|&i| result.group_keys.get(i).cloned()).collect(),
+        f_rowset: RowSet::from_rows(num_rows, f_rows.iter().filter(in_range)),
+        example_rowset: RowSet::from_rows(num_rows, examples.iter().filter(in_range)),
         f_set: f_rows.iter().copied().collect(),
         example_set: examples.iter().copied().collect(),
         metric,
@@ -142,6 +149,16 @@ pub fn rank_predicates_with_cache(
         .filter(|p| !p.is_trivial() && seen.insert(p.canonical_key()))
         .collect();
 
+    // Warm the condition-bitmap cache serially: the candidate conjunctions
+    // share conditions drawn from one pool, so each distinct condition's
+    // column kernel runs exactly once here, and the parallel scoring pass
+    // below is pure bitmap intersections over cache hits.
+    for candidate in &candidates {
+        for condition in candidate.conditions() {
+            let _ = ctx.bitmaps.condition(ctx.cache.table(), condition);
+        }
+    }
+
     let mut ranked = map_chunked(&candidates, |_, predicate| score_candidate(&ctx, predicate))
         .into_iter()
         .collect::<Result<Vec<RankedPredicate>, CoreError>>()?;
@@ -154,26 +171,115 @@ pub fn rank_predicates_with_cache(
 /// The per-ranking state shared by every candidate's scoring pass.
 struct ScoreContext<'a, 't> {
     cache: &'a GroupedAggregateCache<'t>,
+    /// Condition bitmaps shared across candidates (warmed before scoring).
+    bitmaps: ConditionBitmapCache,
     error_before: f64,
     selected_keys: Vec<Vec<Value>>,
+    /// F as a bitmap (bitmap scoring path).
+    f_rowset: RowSet,
+    /// D′ as a bitmap (bitmap scoring path).
+    example_rowset: RowSet,
+    /// F as an ordered set (scalar fallback path).
     f_set: BTreeSet<RowId>,
+    /// D′ as an ordered set (scalar fallback path; also the recall
+    /// denominator, which counts every distinct example the user gave,
+    /// in-table or not).
     example_set: BTreeSet<RowId>,
     metric: &'a ErrorMetric,
     config: &'a RankerConfig,
 }
 
-/// Scores one candidate: a single table pass classifies every visible row
-/// under three-valued logic — rows where the predicate is TRUE are its
-/// matches; cached (filter-passing) rows where it is TRUE *or* NULL are
-/// excluded, exactly as the `AND NOT predicate` rewrite would drop them —
-/// then the cache re-derives only the touched groups.
+/// The per-candidate evidence both scoring paths produce: match counts,
+/// example agreement, and the incrementally cleaned partial result.
+struct CandidateEvidence {
+    matched_rows: usize,
+    matched_in_f: usize,
+    true_positives: usize,
+    cleaned: QueryResult,
+}
+
+/// Scores one candidate under three-valued logic — rows where the
+/// predicate is TRUE are its matches; cached (filter-passing) rows where
+/// it is TRUE *or* NULL are excluded, exactly as the `AND NOT predicate`
+/// rewrite would drop them — then the cache re-derives only the touched
+/// groups.
+///
+/// The default path is vectorized: each condition's cached bitmap (one
+/// columnar kernel scan per *distinct* condition per ranking) is
+/// intersected, match/agreement counts are popcounts, and the exclusion
+/// set flows into the aggregate cache as a bitmap. Conditions the typed
+/// compiler cannot express fall back to the per-row scalar walk.
 fn score_candidate(
     ctx: &ScoreContext<'_, '_>,
     predicate: &ConjunctivePredicate,
 ) -> Result<RankedPredicate, CoreError> {
-    let ScoreContext { cache, error_before, selected_keys, f_set, example_set, metric, config } =
-        ctx;
-    let (cache, error_before) = (*cache, *error_before);
+    let evidence = match ctx.bitmaps.conjunction(ctx.cache.table(), predicate) {
+        // A compiled conjunction is well-typed by construction, so the
+        // scalar path's expression validation cannot fail here.
+        Some(tri) => score_bitmaps(ctx, tri),
+        None => score_scalar(ctx, predicate)?,
+    };
+    let CandidateEvidence { matched_rows, matched_in_f, true_positives, cleaned } = evidence;
+    let error_before = ctx.error_before;
+    let error_after = error_over_keys(&cleaned, &ctx.selected_keys, ctx.metric);
+    let improvement = if error_before > 0.0 {
+        ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
+    } else {
+        0.0
+    };
+
+    // Agreement with the user's examples, measured within F.
+    let tp = true_positives as f64;
+    let precision = if matched_in_f == 0 { 0.0 } else { tp / matched_in_f as f64 };
+    let recall = if ctx.example_set.is_empty() { 0.0 } else { tp / ctx.example_set.len() as f64 };
+    let example_f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+
+    let complexity = predicate.complexity();
+    let score = ctx.config.weight_error * improvement + ctx.config.weight_accuracy * example_f1
+        - ctx.config.weight_complexity * (complexity.saturating_sub(1)) as f64;
+
+    Ok(RankedPredicate {
+        predicate: predicate.clone(),
+        score,
+        error_before,
+        error_after,
+        improvement,
+        example_f1,
+        complexity,
+        matched_rows,
+    })
+}
+
+/// The vectorized scoring path: bitmap intersections and popcounts only.
+fn score_bitmaps(ctx: &ScoreContext<'_, '_>, tri: dbwipes_storage::TriSet) -> CandidateEvidence {
+    let matched = tri.trues.and(ctx.bitmaps.visible());
+    // TRUE-or-NULL rows among the cache's filter-passing inputs: the
+    // `AND NOT predicate` rewrite drops exactly these.
+    let mut excluded = tri.passes_or_unknown();
+    excluded.and_assign(ctx.cache.membership());
+    // Only the brushed groups matter for ε: ask the cache for exactly
+    // those keys instead of materialising (and re-sorting) every group.
+    let cleaned = ctx.cache.result_excluding_keys_set(&excluded, &ctx.selected_keys);
+    let matched_in_f = matched.and(&ctx.f_rowset);
+    CandidateEvidence {
+        matched_rows: matched.count_ones(),
+        matched_in_f: matched_in_f.count_ones(),
+        true_positives: matched_in_f.intersection_count(&ctx.example_rowset),
+        cleaned,
+    }
+}
+
+/// The scalar fallback for predicates outside the typed-kernel fragment:
+/// one expression walk per visible row.
+fn score_scalar(
+    ctx: &ScoreContext<'_, '_>,
+    predicate: &ConjunctivePredicate,
+) -> Result<CandidateEvidence, CoreError> {
+    let cache = ctx.cache;
     let table = cache.table();
     // The same validation executing the rewritten statement would perform.
     let p_expr = predicate.to_expr();
@@ -184,84 +290,33 @@ fn score_candidate(
 
     let mut matched: Vec<RowId> = Vec::new();
     let mut excluded: Vec<RowId> = Vec::new();
-    match predicate.compile(table) {
-        // Fast path: typed, allocation-free three-valued evaluation.
-        Ok(compiled) => {
-            for rid in table.visible_row_ids() {
-                match compiled.matches(rid) {
-                    Some(true) => {
-                        matched.push(rid);
-                        if cache.contains(rid) {
-                            excluded.push(rid);
-                        }
-                    }
-                    Some(false) => {}
-                    // NULL: the row satisfies neither the predicate nor its
-                    // negation, so the rewrite's WHERE drops it.
-                    None => {
-                        if cache.contains(rid) {
-                            excluded.push(rid);
-                        }
-                    }
+    for rid in table.visible_row_ids() {
+        match p_expr.eval(table, rid)? {
+            Value::Bool(true) => {
+                matched.push(rid);
+                if cache.contains(rid) {
+                    excluded.push(rid);
                 }
             }
-        }
-        // Conditions the typed compiler cannot express evaluate through the
-        // general expression walk instead.
-        Err(_) => {
-            for rid in table.visible_row_ids() {
-                match p_expr.eval(table, rid)? {
-                    Value::Bool(true) => {
-                        matched.push(rid);
-                        if cache.contains(rid) {
-                            excluded.push(rid);
-                        }
-                    }
-                    Value::Bool(false) => {}
-                    _ => {
-                        if cache.contains(rid) {
-                            excluded.push(rid);
-                        }
-                    }
+            Value::Bool(false) => {}
+            // NULL: the row satisfies neither the predicate nor its
+            // negation, so the rewrite's WHERE drops it.
+            _ => {
+                if cache.contains(rid) {
+                    excluded.push(rid);
                 }
             }
         }
     }
 
-    // Only the brushed groups matter for ε: ask the cache for exactly
-    // those keys instead of materialising (and re-sorting) every group.
-    let cleaned = cache.result_excluding_keys(&excluded, selected_keys);
-    let error_after = error_over_keys(&cleaned, selected_keys, metric);
-    let improvement = if error_before > 0.0 {
-        ((error_before - error_after) / error_before).clamp(-1.0, 1.0)
-    } else {
-        0.0
-    };
-
-    // Agreement with the user's examples, measured within F.
-    let matched_in_f: Vec<&RowId> = matched.iter().filter(|r| f_set.contains(r)).collect();
-    let tp = matched_in_f.iter().filter(|r| example_set.contains(r)).count() as f64;
-    let precision = if matched_in_f.is_empty() { 0.0 } else { tp / matched_in_f.len() as f64 };
-    let recall = if example_set.is_empty() { 0.0 } else { tp / example_set.len() as f64 };
-    let example_f1 = if precision + recall == 0.0 {
-        0.0
-    } else {
-        2.0 * precision * recall / (precision + recall)
-    };
-
-    let complexity = predicate.complexity();
-    let score = config.weight_error * improvement + config.weight_accuracy * example_f1
-        - config.weight_complexity * (complexity.saturating_sub(1)) as f64;
-
-    Ok(RankedPredicate {
-        predicate: predicate.clone(),
-        score,
-        error_before,
-        error_after,
-        improvement,
-        example_f1,
-        complexity,
+    let cleaned = cache.result_excluding_keys(&excluded, &ctx.selected_keys);
+    let matched_in_f: Vec<&RowId> = matched.iter().filter(|r| ctx.f_set.contains(r)).collect();
+    let true_positives = matched_in_f.iter().filter(|r| ctx.example_set.contains(r)).count();
+    Ok(CandidateEvidence {
         matched_rows: matched.len(),
+        matched_in_f: matched_in_f.len(),
+        true_positives,
+        cleaned,
     })
 }
 

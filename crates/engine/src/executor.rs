@@ -129,20 +129,31 @@ pub fn execute(
 
 /// Scan stage: the visible rows that satisfy the WHERE clause, in scan
 /// order.
+///
+/// WHERE clauses that are pure conjunctions of per-attribute comparisons
+/// (the shape parsed queries and predicate rewrites overwhelmingly take)
+/// are evaluated through the storage crate's vectorized condition kernels —
+/// one typed column scan per conjunct plus a bitmap intersection — instead
+/// of the per-row expression walk. Anything outside that fragment keeps
+/// the scalar path; both produce identical row sets under SQL three-valued
+/// logic (only rows where the clause is TRUE survive).
 pub(crate) fn scan_filter(
     table: &Table,
     stmt: &SelectStatement,
 ) -> Result<Vec<RowId>, EngineError> {
-    let mut filtered: Vec<RowId> = Vec::new();
-    match &stmt.where_clause {
-        Some(pred) => {
-            for rid in table.visible_row_ids() {
-                if pred.matches(table, rid)? {
-                    filtered.push(rid);
-                }
-            }
+    let Some(pred) = &stmt.where_clause else {
+        return Ok(table.visible_row_ids().collect());
+    };
+    if let Some(conjunctive) = dbwipes_storage::ConjunctivePredicate::from_conjunctive_expr(pred) {
+        if let Ok(compiled) = conjunctive.compile(table) {
+            return Ok(compiled.eval_columns().trues.and(&table.visible_row_set()).to_row_ids());
         }
-        None => filtered.extend(table.visible_row_ids()),
+    }
+    let mut filtered: Vec<RowId> = Vec::new();
+    for rid in table.visible_row_ids() {
+        if pred.matches(table, rid)? {
+            filtered.push(rid);
+        }
     }
     Ok(filtered)
 }

@@ -54,7 +54,7 @@ use crate::executor::{
 };
 use crate::result::QueryResult;
 use dbwipes_provenance::{Lineage, OperatorGraph, OperatorKind};
-use dbwipes_storage::{RowId, Schema, Table, Value};
+use dbwipes_storage::{RowId, RowSet, Schema, Table, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,8 +145,12 @@ pub struct GroupedAggregateCache<'t> {
     stmt: SelectStatement,
     schema: Schema,
     groups: Vec<CachedGroup>,
-    /// row → (group index, position within the group's row list).
-    row_index: HashMap<RowId, (u32, u32)>,
+    /// Bitmap of the input rows that passed the WHERE clause — the set the
+    /// ranker intersects candidate-predicate bitmaps against.
+    membership: RowSet,
+    /// Dense row → (group index, position within the group's row list)
+    /// lookup, valid only where `membership` is set.
+    row_slots: Vec<(u32, u32)>,
     /// GROUP BY key → group index (keys are unique per group).
     key_index: HashMap<Vec<Value>, u32>,
     /// SELECT-list indices of the aggregate items (one per state slot).
@@ -198,7 +202,8 @@ impl<'t> GroupedAggregateCache<'t> {
             .collect();
 
         let mut groups = Vec::with_capacity(group_keys.len());
-        let mut row_index = HashMap::new();
+        let mut membership = RowSet::empty(table.num_rows());
+        let mut row_slots = vec![(0u32, 0u32); table.num_rows()];
         let mut key_index = HashMap::with_capacity(group_keys.len());
         for (gi, (key, rows)) in group_keys.into_iter().zip(group_rows).enumerate() {
             let mut states = Vec::with_capacity(agg_calls.len());
@@ -216,7 +221,8 @@ impl<'t> GroupedAggregateCache<'t> {
             let agg_outputs: Vec<Value> = states.iter().map(|s| s.finish()).collect();
             let template = project_row(table, stmt, &key, &rows, &agg_outputs)?;
             for (pos, &rid) in rows.iter().enumerate() {
-                row_index.insert(rid, (gi as u32, pos as u32));
+                membership.insert(rid.index());
+                row_slots[rid.index()] = (gi as u32, pos as u32);
             }
             key_index.insert(key.clone(), gi as u32);
             groups.push(CachedGroup { key, rows, states, arg_values, template });
@@ -228,7 +234,8 @@ impl<'t> GroupedAggregateCache<'t> {
             stmt: stmt.clone(),
             schema,
             groups,
-            row_index,
+            membership,
+            row_slots,
             key_index,
             agg_item_indices: agg_calls.iter().map(|(i, _)| *i).collect(),
             plain_item_indices,
@@ -261,13 +268,20 @@ impl<'t> GroupedAggregateCache<'t> {
     /// Number of input rows retained (the rows that passed the WHERE
     /// clause).
     pub fn num_rows(&self) -> usize {
-        self.row_index.len()
+        self.membership.count_ones()
     }
 
     /// True when `row` passed the statement's filter and contributes to some
     /// group.
     pub fn contains(&self, row: RowId) -> bool {
-        self.row_index.contains_key(&row)
+        self.membership.contains_row(row)
+    }
+
+    /// Bitmap of the input rows retained by the cache (the rows that passed
+    /// the WHERE clause), over the table's physical rows. Candidate
+    /// exclusion sets are intersections against this mask.
+    pub fn membership(&self) -> &RowSet {
+        &self.membership
     }
 
     /// The index of the group whose GROUP BY key is `key` (first-seen
@@ -350,34 +364,68 @@ impl<'t> GroupedAggregateCache<'t> {
     /// remain exact.
     pub fn result_excluding_keys(&self, excluded: &[RowId], keys: &[Vec<Value>]) -> QueryResult {
         if self.stmt.limit.is_some() {
-            let wanted: HashSet<&[Value]> = keys.iter().map(|k| k.as_slice()).collect();
-            let full = self.result_excluding(excluded);
-            let start = Instant::now();
-            let mut rows = Vec::new();
-            let mut out_keys = Vec::new();
-            for (row, key) in full.rows.into_iter().zip(full.group_keys) {
-                if wanted.contains(key.as_slice()) {
-                    rows.push(row);
-                    out_keys.push(key);
-                }
-            }
-            return self.finish_result(rows, out_keys, start);
+            return self.limited_keys_result(excluded, keys);
         }
-
         let start = Instant::now();
-        // Resolve the requested keys through the key index — O(|keys|), not
-        // a scan over every cached group — and visit them in first-seen
-        // group order. Unknown keys resolve to nothing; duplicates collapse.
+        let (wanted, wanted_set) = self.resolve_wanted(keys);
+        let touched = self.touched_positions(excluded, Some(&wanted_set));
+        self.keys_result(&wanted, &touched, start)
+    }
+
+    /// [`GroupedAggregateCache::result_excluding_keys`] for an exclusion
+    /// set given as a [`RowSet`] bitmap — the vectorized ranker's shape of
+    /// question. The set bits are consumed directly; no `Vec<RowId>` is
+    /// materialized on the fast (un-LIMITed) path.
+    pub fn result_excluding_keys_set(&self, excluded: &RowSet, keys: &[Vec<Value>]) -> QueryResult {
+        if self.stmt.limit.is_some() {
+            return self.limited_keys_result(&excluded.to_row_ids(), keys);
+        }
+        let start = Instant::now();
+        let (wanted, wanted_set) = self.resolve_wanted(keys);
+        let touched = self.touched_positions_of(excluded.iter(), Some(&wanted_set));
+        self.keys_result(&wanted, &touched, start)
+    }
+
+    /// The LIMIT fallback of the by-key paths: which groups survive the
+    /// limit depends on every other group, so compute the full result and
+    /// filter it down to the requested keys.
+    fn limited_keys_result(&self, excluded: &[RowId], keys: &[Vec<Value>]) -> QueryResult {
+        let wanted: HashSet<&[Value]> = keys.iter().map(|k| k.as_slice()).collect();
+        let full = self.result_excluding(excluded);
+        let start = Instant::now();
+        let mut rows = Vec::new();
+        let mut out_keys = Vec::new();
+        for (row, key) in full.rows.into_iter().zip(full.group_keys) {
+            if wanted.contains(key.as_slice()) {
+                rows.push(row);
+                out_keys.push(key);
+            }
+        }
+        self.finish_result(rows, out_keys, start)
+    }
+
+    /// Resolves the requested keys through the key index — O(|keys|), not
+    /// a scan over every cached group — in first-seen group order. Unknown
+    /// keys resolve to nothing; duplicates collapse.
+    fn resolve_wanted(&self, keys: &[Vec<Value>]) -> (Vec<u32>, HashSet<u32>) {
         let mut wanted: Vec<u32> =
             keys.iter().filter_map(|k| self.key_index.get(k.as_slice()).copied()).collect();
         wanted.sort_unstable();
         wanted.dedup();
         let wanted_set: HashSet<u32> = wanted.iter().copied().collect();
-        let touched = self.touched_positions(excluded, Some(&wanted_set));
+        (wanted, wanted_set)
+    }
 
+    /// Materializes the by-key answer for the resolved groups.
+    fn keys_result(
+        &self,
+        wanted: &[u32],
+        touched: &HashMap<u32, Vec<u32>>,
+        start: Instant,
+    ) -> QueryResult {
         let mut rows = Vec::with_capacity(wanted.len());
         let mut out_keys = Vec::with_capacity(wanted.len());
-        for &gi in &wanted {
+        for &gi in wanted {
             let group = &self.groups[gi as usize];
             let Some(row) = self.cleaned_group_row(group, touched.get(&gi)) else {
                 continue;
@@ -397,9 +445,19 @@ impl<'t> GroupedAggregateCache<'t> {
         excluded: &[RowId],
         wanted: Option<&HashSet<u32>>,
     ) -> HashMap<u32, Vec<u32>> {
+        self.touched_positions_of(excluded.iter().map(|r| r.index()), wanted)
+    }
+
+    /// [`GroupedAggregateCache::touched_positions`] over raw row indices.
+    fn touched_positions_of(
+        &self,
+        excluded: impl Iterator<Item = usize>,
+        wanted: Option<&HashSet<u32>>,
+    ) -> HashMap<u32, Vec<u32>> {
         let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
-        for rid in excluded {
-            if let Some(&(g, pos)) = self.row_index.get(rid) {
+        for row in excluded {
+            if self.membership.contains(row) {
+                let (g, pos) = self.row_slots[row];
                 if let Some(wanted) = wanted {
                     if !wanted.contains(&g) {
                         continue;
@@ -688,6 +746,46 @@ mod tests {
             &[RowId(0), RowId(1)],
             &[vec![Value::Int(0)]],
         );
+    }
+
+    #[test]
+    fn excluding_keys_set_matches_row_list_path() {
+        let table = readings();
+        let all_keys = vec![vec![Value::Int(0)], vec![Value::Int(1)]];
+        for sql in [
+            "SELECT hour, avg(temp), count(*) FROM readings GROUP BY hour",
+            "SELECT hour, min(temp), max(temp) FROM readings GROUP BY hour",
+            // LIMIT exercises the full-path fallback of the set variant.
+            "SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 1",
+        ] {
+            let stmt = parse_select(sql).unwrap();
+            let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+            for excluded in [&[][..], &[RowId(3)][..], &[RowId(0), RowId(1), RowId(4)][..]] {
+                let as_set = RowSet::from_rows(table.num_rows(), excluded.iter());
+                let via_set = cache.result_excluding_keys_set(&as_set, &all_keys);
+                let via_list = cache.result_excluding_keys(excluded, &all_keys);
+                assert_eq!(via_set.rows, via_list.rows, "{sql} excluding {excluded:?}");
+                assert_eq!(via_set.group_keys, via_list.group_keys, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_bitmap_mirrors_contains() {
+        let table = readings();
+        let stmt =
+            parse_select("SELECT hour, avg(temp) FROM readings WHERE sensorid <> 3 GROUP BY hour")
+                .unwrap();
+        let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        let membership = cache.membership();
+        assert_eq!(membership.universe(), table.num_rows());
+        assert_eq!(membership.count_ones(), cache.num_rows());
+        for rid in table.all_row_ids() {
+            assert_eq!(membership.contains_row(rid), cache.contains(rid), "{rid}");
+        }
+        // Row 3 (sensorid = 3) is filtered out.
+        assert!(!membership.contains(3));
+        assert!(membership.contains(0));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::features::{Dataset, FeatureSpace, FeatureValue};
 use crate::metrics::weighted_relative_accuracy;
 use crate::tree::{PathTest, Rule};
-use dbwipes_storage::ConjunctivePredicate;
+use dbwipes_storage::{ConjunctivePredicate, RowSet};
 
 /// Configuration of the subgroup-discovery search.
 #[derive(Debug, Clone, Copy)]
@@ -89,13 +89,19 @@ impl Subgroup {
 }
 
 fn covers(tests: &[(usize, PathTest)], instance: &[FeatureValue]) -> bool {
-    tests.iter().all(|(feature, test)| match (instance.get(*feature), test) {
+    tests.iter().all(|(feature, test)| test_covers(*feature, test, instance))
+}
+
+/// One test of a rule against one instance (missing values and type
+/// mismatches fail).
+fn test_covers(feature: usize, test: &PathTest, instance: &[FeatureValue]) -> bool {
+    match (instance.get(feature), test) {
         (Some(FeatureValue::Num(v)), PathTest::Le(th)) => *v <= *th,
         (Some(FeatureValue::Num(v)), PathTest::Gt(th)) => *v > *th,
         (Some(FeatureValue::Cat(c)), PathTest::Eq(cat)) => c == cat,
         (Some(FeatureValue::Cat(c)), PathTest::NotEq(cat)) => c != cat,
         _ => false,
-    })
+    }
 }
 
 /// Enumerates the single-condition building blocks used by the beam search.
@@ -158,6 +164,25 @@ pub fn discover_subgroups(
     }
     let total_neg = labels.iter().filter(|&&l| !l).count() as f64;
 
+    // Vectorized scoring substrate: one coverage bitmap per candidate test
+    // (computed once — weights change between covering rounds, coverage
+    // never does) plus the positive-class bitmap. A rule's coverage is then
+    // the intersection of its tests' bitmaps, and its class counts are
+    // popcounts instead of a per-instance conjunction walk.
+    let candidate_sets: Vec<RowSet> = candidates
+        .iter()
+        .map(|(feature, test)| {
+            let mut set = RowSet::empty(n);
+            for (i, inst) in dataset.instances.iter().enumerate() {
+                if test_covers(*feature, test, inst) {
+                    set.insert(i);
+                }
+            }
+            set
+        })
+        .collect();
+    let pos_set = RowSet::from_indices(n, (0..n).filter(|&i| labels[i]));
+
     // CN2-SD weighted covering: every positive starts with weight 1.
     let mut weights: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
     let mut subgroups: Vec<Subgroup> = Vec::new();
@@ -167,20 +192,14 @@ pub fn discover_subgroups(
         if total_pos_w < 1e-9 {
             break;
         }
-        // Beam search for the best rule under the current weights.
-        let score_rule = |tests: &[(usize, PathTest)]| -> (f64, usize, usize) {
+        // Scores one rule's coverage bitmap under the current weights.
+        let score_set = |covered: &RowSet| -> (f64, usize, usize) {
+            let covered_pos_set = covered.and(&pos_set);
+            let covered_pos = covered_pos_set.count_ones();
+            let covered_neg = covered.count_ones() - covered_pos;
             let mut covered_pos_w = 0.0;
-            let mut covered_pos = 0usize;
-            let mut covered_neg = 0usize;
-            for i in 0..n {
-                if covers(tests, &dataset.instances[i]) {
-                    if labels[i] {
-                        covered_pos_w += weights[i];
-                        covered_pos += 1;
-                    } else {
-                        covered_neg += 1;
-                    }
-                }
+            for i in covered_pos_set.iter() {
+                covered_pos_w += weights[i];
             }
             let wracc = weighted_relative_accuracy(
                 covered_pos_w,
@@ -191,30 +210,31 @@ pub fn discover_subgroups(
             (wracc, covered_pos, covered_neg)
         };
 
-        // (rule tests, wracc, covered positives, covered negatives)
-        type ScoredRule = (Vec<(usize, PathTest)>, f64, usize, usize);
-        let mut beam: Vec<(Vec<(usize, PathTest)>, f64)> = vec![(Vec::new(), f64::NEG_INFINITY)];
-        let mut best: Option<Subgroup> = None;
+        // (rule tests, coverage, wracc, covered positives, covered negatives)
+        type ScoredRule = (Vec<(usize, PathTest)>, RowSet, f64, usize, usize);
+        let mut beam: Vec<(Vec<(usize, PathTest)>, RowSet)> = vec![(Vec::new(), RowSet::full(n))];
+        let mut best: Option<(Subgroup, RowSet)> = None;
         for _level in 0..config.max_conditions {
             let mut expansions: Vec<ScoredRule> = Vec::new();
-            for (tests, _) in &beam {
-                for cand in &candidates {
+            for (tests, covered) in &beam {
+                for (ci, cand) in candidates.iter().enumerate() {
                     if tests.iter().any(|t| t == cand) {
+                        continue;
+                    }
+                    let extended_set = covered.and(&candidate_sets[ci]);
+                    let (wracc, cp, cn) = score_set(&extended_set);
+                    if cp < config.min_positive_coverage {
                         continue;
                     }
                     let mut extended = tests.clone();
                     extended.push(*cand);
-                    let (wracc, cp, cn) = score_rule(&extended);
-                    if cp < config.min_positive_coverage {
-                        continue;
-                    }
-                    expansions.push((extended, wracc, cp, cn));
+                    expansions.push((extended, extended_set, wracc, cp, cn));
                 }
             }
             if expansions.is_empty() {
                 break;
             }
-            expansions.sort_by(|a, b| b.1.total_cmp(&a.1));
+            expansions.sort_by(|a, b| b.2.total_cmp(&a.2));
             expansions.truncate(config.beam_width);
             // Track the overall best rule seen at any level, skipping rules
             // already returned in a previous covering round so that each
@@ -223,28 +243,29 @@ pub fn discover_subgroups(
             if let Some(top) = expansions.iter().find(|e| !subgroups.iter().any(|s| s.tests == e.0))
             {
                 let better = match &best {
-                    Some(b) => top.1 > b.wracc,
+                    Some((b, _)) => top.2 > b.wracc,
                     None => true,
                 };
-                if better && top.1 > 0.0 {
-                    best = Some(Subgroup {
-                        tests: top.0.clone(),
-                        wracc: top.1,
-                        covered_pos: top.2,
-                        covered_neg: top.3,
-                    });
+                if better && top.2 > 0.0 {
+                    best = Some((
+                        Subgroup {
+                            tests: top.0.clone(),
+                            wracc: top.2,
+                            covered_pos: top.3,
+                            covered_neg: top.4,
+                        },
+                        top.1.clone(),
+                    ));
                 }
             }
-            beam = expansions.into_iter().map(|(t, w, _, _)| (t, w)).collect();
+            beam = expansions.into_iter().map(|(t, set, ..)| (t, set)).collect();
         }
 
-        let Some(rule) = best else { break };
+        let Some((rule, rule_set)) = best else { break };
         // Decay the weight of covered positives so the next rule focuses on
         // what this rule missed.
-        for i in 0..n {
-            if labels[i] && covers(&rule.tests, &dataset.instances[i]) {
-                weights[i] *= config.covered_weight_decay;
-            }
+        for i in rule_set.and(&pos_set).iter() {
+            weights[i] *= config.covered_weight_decay;
         }
         // Stop if we re-discover an identical rule.
         if subgroups.iter().any(|s| s.tests == rule.tests) {

@@ -369,6 +369,16 @@ fn grow(
 
 /// Finds the best `(feature, test, gain)` over all features, or `None` when
 /// no valid split exists.
+///
+/// Split scoring is a columnar sweep: per feature, the numeric values are
+/// sorted **once** and every candidate threshold's class counts come from a
+/// prefix sum over that order (a threshold at boundary `b` puts exactly the
+/// first `b` sorted values on the left), while categorical counts
+/// accumulate in a single pass. This replaces the former
+/// O(thresholds × |indices|) re-scan per threshold and selects exactly the
+/// same split: thresholds, counts, scores and tie-breaking (first strictly
+/// better wins, features ascending, thresholds ascending, categories in
+/// first-seen order) are all unchanged.
 fn best_split(
     dataset: &Dataset,
     labels: &[bool],
@@ -392,23 +402,57 @@ fn best_split(
     };
 
     for feature in 0..num_features {
-        // Gather (value, label) pairs for this feature.
+        // Gather (value, label) pairs and per-category class counts for
+        // this feature in one pass.
         let mut numeric: Vec<(f64, bool)> = Vec::new();
         let mut categories: Vec<usize> = Vec::new();
+        let mut cat_counts: Vec<(f64, f64)> = Vec::new();
         for &i in indices {
             match dataset.instances[i].get(feature) {
                 Some(FeatureValue::Num(v)) => numeric.push((*v, labels[i])),
-                Some(FeatureValue::Cat(c)) if !categories.contains(c) => categories.push(*c),
+                Some(FeatureValue::Cat(c)) => {
+                    let slot = match categories.iter().position(|k| k == c) {
+                        Some(slot) => slot,
+                        None => {
+                            categories.push(*c);
+                            cat_counts.push((0.0, 0.0));
+                            categories.len() - 1
+                        }
+                    };
+                    if labels[i] {
+                        cat_counts[slot].0 += 1.0;
+                    } else {
+                        cat_counts[slot].1 += 1.0;
+                    }
+                }
                 _ => {}
             }
         }
 
         if !numeric.is_empty() {
             numeric.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut thresholds: Vec<f64> = Vec::new();
-            for w in numeric.windows(2) {
+            // cum_pos[j] = positives among the first j sorted values.
+            let mut cum_pos: Vec<usize> = Vec::with_capacity(numeric.len() + 1);
+            cum_pos.push(0);
+            for &(_, label) in &numeric {
+                cum_pos.push(cum_pos.last().unwrap() + label as usize);
+            }
+            // (midpoint threshold, number of sorted values <= it). The
+            // boundary count is re-derived from the threshold itself
+            // rather than assumed to be j+1: between very close (or very
+            // large) neighbours the midpoint can round up to the upper
+            // value (or overflow to +inf), and the scored counts must
+            // describe the partition `v <= th` actually makes.
+            let mut thresholds: Vec<(f64, usize)> = Vec::new();
+            for (j, w) in numeric.windows(2).enumerate() {
                 if w[0].0 < w[1].0 {
-                    thresholds.push((w[0].0 + w[1].0) / 2.0);
+                    let th = (w[0].0 + w[1].0) / 2.0;
+                    let below = if th < w[1].0 {
+                        j + 1
+                    } else {
+                        numeric.partition_point(|&(v, _)| v <= th)
+                    };
+                    thresholds.push((th, below));
                 }
             }
             if thresholds.len() > config.max_thresholds {
@@ -417,37 +461,15 @@ fn best_split(
                     .map(|k| thresholds[(k as f64 * step) as usize])
                     .collect();
             }
-            for th in thresholds {
-                let mut left = (0.0, 0.0);
-                for &i in indices {
-                    if satisfies(
-                        dataset.instances[i].get(feature).copied(),
-                        SplitTest::NumericLe(th),
-                    ) {
-                        if labels[i] {
-                            left.0 += 1.0;
-                        } else {
-                            left.1 += 1.0;
-                        }
-                    }
-                }
+            for (th, below) in thresholds {
+                let left_pos = cum_pos[below];
+                let left = (left_pos as f64, (below - left_pos) as f64);
                 let right = (total_pos - left.0, total_neg - left.1);
                 consider(feature, SplitTest::NumericLe(th), score(left, right));
             }
         }
 
-        for cat in categories {
-            let mut left = (0.0, 0.0);
-            for &i in indices {
-                if satisfies(dataset.instances[i].get(feature).copied(), SplitTest::CategoryEq(cat))
-                {
-                    if labels[i] {
-                        left.0 += 1.0;
-                    } else {
-                        left.1 += 1.0;
-                    }
-                }
-            }
+        for (cat, left) in categories.into_iter().zip(cat_counts) {
             let right = (total_pos - left.0, total_neg - left.1);
             consider(feature, SplitTest::CategoryEq(cat), score(left, right));
         }
@@ -623,6 +645,43 @@ mod tests {
         // A single range condition on x, not two separate conditions.
         assert_eq!(pred.complexity(), 1);
         assert!(pred.to_string().contains("x"));
+    }
+
+    #[test]
+    fn adjacent_float_values_score_the_partition_actually_made() {
+        // Feature x takes two adjacent floats whose midpoint rounds UP to
+        // the upper value (1+2⁻⁵² vs 1+2·2⁻⁵²: the exact midpoint ties to
+        // the even mantissa), so `v <= th` puts BOTH values on the left —
+        // a split there separates nothing. The scored counts must describe
+        // that real partition: were they assumed from the threshold's
+        // construction index, x would score a phantom perfect split,
+        // outrank the genuinely separating feature y, and then collapse to
+        // a leaf when the actual partition leaves the right child empty.
+        let a = f64::from_bits(1.0f64.to_bits() + 1);
+        let b = f64::from_bits(1.0f64.to_bits() + 2);
+        let th = (a + b) / 2.0;
+        assert_eq!(th, b, "midpoint rounds up for this pair");
+        let schema = Schema::of(&[("x", DataType::Float), ("y", DataType::Float)]);
+        let mut t = Table::new("t", schema).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let broken = i % 2 == 0;
+            // y separates almost perfectly (2 stragglers keep its gain
+            // below x's phantom-perfect score).
+            let y = if broken == (i % 20 != 0) { 10.0 + (i % 5) as f64 } else { 50.0 };
+            t.push_row(vec![Value::Float(if broken { a } else { b }), Value::Float(y)]).unwrap();
+            labels.push(broken);
+        }
+        let rows: Vec<RowId> = t.visible_row_ids().collect();
+        let space = FeatureSpace::build(&t, &["x".into(), "y".into()], &rows, 8);
+        let ds = space.extract(&t, &rows);
+        let tree = DecisionTree::train(
+            &ds,
+            &labels,
+            TreeConfig { min_gain: 1e-12, prune: false, ..TreeConfig::default() },
+        );
+        assert!(tree.depth() >= 1, "the separable feature y must be split on");
+        assert!(tree.accuracy(&ds, &labels) > 0.9);
     }
 
     #[test]

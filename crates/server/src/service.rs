@@ -13,7 +13,7 @@ use crate::protocol::{Command, Request};
 use dbwipes_core::{ComponentTimings, CoreError, Explanation, MetricKind};
 use dbwipes_dashboard::{PointRef, ScatterSeries};
 use dbwipes_engine::QueryResult;
-use dbwipes_storage::Value;
+use dbwipes_storage::{ConditionBitmapCache, Value};
 
 impl SessionManager {
     /// Parses and executes one request line, returning the response line
@@ -73,6 +73,11 @@ impl SessionManager {
                             ("explanation_hit_rate", Json::num(stats.explanation_hit_rate())),
                         ]),
                     ),
+                    // Process-wide counters of the storage layer's
+                    // condition-bitmap caches (the vectorized ranker warms
+                    // one per ranking; conditions shared across candidate
+                    // conjunctions hit).
+                    ("condition_bitmaps", condition_bitmaps_json()),
                 ];
                 // Executor counters, when a pooled TCP front-end serves
                 // this manager (stdio mode has no pool to report).
@@ -290,6 +295,19 @@ fn session_command_target(command: &Command) -> Option<u64> {
         Command::CloseSession(_) => None,
         other => other.session(),
     }
+}
+
+/// Renders the storage layer's process-wide condition-bitmap cache
+/// counters for the `stats` reply.
+fn condition_bitmaps_json() -> Json {
+    let (hits, misses) = ConditionBitmapCache::global_stats();
+    let total = hits + misses;
+    let hit_rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+    Json::obj(vec![
+        ("hits", Json::num(hits as f64)),
+        ("misses", Json::num(misses as f64)),
+        ("hit_rate", Json::num(hit_rate)),
+    ])
 }
 
 /// Renders the pooled executor's counters for the `stats` reply.

@@ -163,6 +163,19 @@ fn every_command_round_trips_through_the_figure_one_loop() {
     assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
     assert_eq!(cache.get("explanation_entries").and_then(Json::as_u64), Some(1));
 
+    // The vectorized ranker behind the cold debug warmed a condition-bitmap
+    // cache: every distinct candidate condition missed once, and the
+    // scoring pass hit the warmed entries. The counters are process-wide
+    // (other tests in this binary may also have ranked), so assert floors,
+    // not exact values.
+    let bitmaps = stats.get("condition_bitmaps").unwrap();
+    let bitmap_hits = bitmaps.get("hits").and_then(Json::as_u64).unwrap();
+    let bitmap_misses = bitmaps.get("misses").and_then(Json::as_u64).unwrap();
+    assert!(bitmap_misses >= 1, "the cold debug kernel-scanned conditions: {bitmaps}");
+    assert!(bitmap_hits >= 1, "candidate scoring reused warmed bitmaps: {bitmaps}");
+    let rate = bitmaps.get("hit_rate").and_then(Json::as_f64).unwrap();
+    assert!(rate > 0.0 && rate <= 1.0, "{bitmaps}");
+
     // close_session.
     ok(&m, &format!(r#"{{"cmd":"close_session","session":{s}}}"#));
     assert!(

@@ -10,8 +10,12 @@ use crate::error::StorageError;
 use crate::value::{DataType, Value};
 
 /// Typed backing storage of a column.
+///
+/// Crate-visible so the vectorized condition kernels in
+/// [`crate::predicate`] can scan the typed vectors directly instead of
+/// dispatching on the variant per row.
 #[derive(Debug, Clone)]
-enum ColumnData {
+pub(crate) enum ColumnData {
     Bool(Vec<bool>),
     Int(Vec<i64>),
     Float(Vec<f64>),
@@ -178,6 +182,16 @@ impl Column {
     /// Iterates over all values (including NULLs) in row order.
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.get(i).expect("in bounds"))
+    }
+
+    /// The typed backing vector (for the columnar kernels).
+    pub(crate) fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity mask (`false` = NULL), aligned with the data vector.
+    pub(crate) fn validity(&self) -> &[bool] {
+        &self.validity
     }
 }
 

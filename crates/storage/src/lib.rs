@@ -21,6 +21,7 @@ pub mod csv;
 pub mod error;
 pub mod expr;
 pub mod predicate;
+pub mod rowset;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -29,7 +30,10 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
 pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
-pub use predicate::{CompiledPredicate, Condition, ConjunctivePredicate};
+pub use predicate::{
+    CompiledPredicate, Condition, ConditionBitmapCache, ConjunctivePredicate, TriSet,
+};
+pub use rowset::RowSet;
 pub use schema::{Field, Schema};
 pub use table::{RowId, Table};
 pub use value::{DataType, Value};

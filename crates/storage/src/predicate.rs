@@ -7,13 +7,17 @@
 //! restricted form, its SQL rendering, and its conversion to the general
 //! [`Expr`] language for evaluation and query rewriting.
 
-use crate::column::Column;
+use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
-use crate::expr::{col, lit, Expr};
+use crate::expr::{col, lit, BinaryOp, Expr};
+use crate::rowset::RowSet;
 use crate::table::{RowId, Table};
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 /// A single per-attribute condition inside a [`ConjunctivePredicate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +131,15 @@ impl Condition {
     /// Builds a substring-containment condition.
     pub fn contains(column: impl Into<String>, pattern: impl Into<String>) -> Self {
         Condition::Contains { column: column.into(), pattern: pattern.into() }
+    }
+
+    /// An exact canonical key for caching this condition's evaluation
+    /// result. Unlike [`Condition`]'s `Display` form (which rounds range
+    /// bounds to four decimals for readability), the key renders values via
+    /// `Debug`, whose float formatting is round-trip precise — two
+    /// conditions share a key if and only if they are structurally equal.
+    pub fn cache_key(&self) -> String {
+        format!("{self:?}")
     }
 
     /// The attribute this condition constrains.
@@ -351,37 +364,146 @@ impl ConjunctivePredicate {
             .iter()
             .map(|c| CompiledCondition::compile(c, table))
             .collect::<Result<_, _>>()?;
-        Ok(CompiledPredicate { conds })
+        Ok(CompiledPredicate { conds, num_rows: table.num_rows() })
     }
 
-    /// Returns all visible rows matched by the predicate.
+    /// Returns all visible rows matched by the predicate, in ascending
+    /// [`RowId`] order. Uses the vectorized column kernels when every
+    /// condition compiles; otherwise falls back to the per-row expression
+    /// walk.
     pub fn matching_rows(&self, table: &Table) -> Vec<RowId> {
         if let Ok(compiled) = self.compile(table) {
-            return table
-                .visible_row_ids()
-                .filter(|&r| compiled.matches(r) == Some(true))
-                .collect();
+            return compiled.eval_columns().trues.and(&table.visible_row_set()).to_row_ids();
         }
         table.visible_row_ids().filter(|&r| self.matches(table, r)).collect()
     }
 
     /// Fraction of the given rows matched by the predicate (0 when `rows` is
-    /// empty).
+    /// empty). Counts matches directly — no row list is materialized.
     pub fn coverage(&self, table: &Table, rows: &[RowId]) -> f64 {
         if rows.is_empty() {
             return 0.0;
         }
-        let matched = rows.iter().filter(|&&r| self.matches(table, r)).count();
+        let matched = match self.compile(table) {
+            Ok(compiled) => rows.iter().filter(|r| compiled.matches(**r) == Some(true)).count(),
+            Err(_) => rows.iter().filter(|&&r| self.matches(table, r)).count(),
+        };
         matched as f64 / rows.len() as f64
     }
 
     /// Fraction of all visible rows matched — the predicate's selectivity.
+    /// A popcount over the match bitmap — no row list is materialized.
     pub fn selectivity(&self, table: &Table) -> f64 {
         let total = table.visible_rows();
         if total == 0 {
             return 0.0;
         }
-        self.matching_rows(table).len() as f64 / total as f64
+        let matched = match self.compile(table) {
+            Ok(compiled) => {
+                compiled.eval_columns().trues.intersection_count(&table.visible_row_set())
+            }
+            Err(_) => table.visible_row_ids().filter(|&r| self.matches(table, r)).count(),
+        };
+        matched as f64 / total as f64
+    }
+
+    /// Recovers a [`ConjunctivePredicate`] from an [`Expr`] that is a pure
+    /// conjunction of per-attribute comparisons against literals — the
+    /// inverse of [`ConjunctivePredicate::to_expr`] for the shapes the
+    /// engine's WHERE clauses and the enumerator's predicates take. Returns
+    /// `None` for any construct outside that fragment (disjunction,
+    /// negation, arithmetic, column-to-column comparison, `NOT IN`, string
+    /// order comparisons), in which case callers keep the scalar
+    /// expression walk.
+    pub fn from_conjunctive_expr(expr: &Expr) -> Option<ConjunctivePredicate> {
+        let mut conds = Vec::new();
+        collect_conjuncts(expr, &mut conds)?;
+        Some(ConjunctivePredicate::new(conds))
+    }
+}
+
+/// See [`ConjunctivePredicate::from_conjunctive_expr`].
+fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
+    /// A numeric bound usable in a [`Condition::Range`] (bools and strings
+    /// order-compare through their own paths, which the range kernel does
+    /// not implement).
+    fn numeric_bound(v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => v.as_f64(),
+            _ => None,
+        }
+    }
+    match expr {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            collect_conjuncts(left, out)?;
+            collect_conjuncts(right, out)
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            // Normalize to `column <op> literal`, mirroring the operator
+            // when the literal is on the left.
+            let (column, value, op) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) => (c, v, *op),
+                (Expr::Literal(v), Expr::Column(c)) => {
+                    let flipped = match *op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => other,
+                    };
+                    (c, v, flipped)
+                }
+                _ => return None,
+            };
+            let cond = match op {
+                BinaryOp::Eq => Condition::equals(column.clone(), value.clone()),
+                BinaryOp::NotEq => Condition::not_equals(column.clone(), value.clone()),
+                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+                    let bound = numeric_bound(value)?;
+                    let (low, high) = match op {
+                        BinaryOp::Gt | BinaryOp::GtEq => (Some(bound), None),
+                        _ => (None, Some(bound)),
+                    };
+                    Condition::Range {
+                        column: column.clone(),
+                        low,
+                        low_inclusive: op == BinaryOp::GtEq,
+                        high,
+                        high_inclusive: op == BinaryOp::LtEq,
+                    }
+                }
+                _ => return None,
+            };
+            out.push(cond);
+            Some(())
+        }
+        Expr::Between { expr, low, high } => {
+            let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
+                (&**expr, &**low, &**high)
+            else {
+                return None;
+            };
+            out.push(Condition::between(c.clone(), numeric_bound(lo)?, numeric_bound(hi)?));
+            Some(())
+        }
+        Expr::InList { expr, list, negated: false } => {
+            let Expr::Column(c) = &**expr else { return None };
+            let values = list
+                .iter()
+                .map(|e| match e {
+                    Expr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect::<Option<Vec<Value>>>()?;
+            out.push(Condition::in_set(c.clone(), values));
+            Some(())
+        }
+        Expr::Contains { expr, pattern } => {
+            let Expr::Column(c) = &**expr else { return None };
+            out.push(Condition::contains(c.clone(), pattern.clone()));
+            Some(())
+        }
+        _ => None,
     }
 }
 
@@ -403,6 +525,9 @@ impl fmt::Display for ConjunctivePredicate {
 #[derive(Debug, Clone)]
 pub struct CompiledPredicate<'t> {
     conds: Vec<CompiledCondition<'t>>,
+    /// Physical row count of the table the predicate was compiled against
+    /// (the universe of the bitmap path).
+    num_rows: usize,
 }
 
 impl CompiledPredicate<'_> {
@@ -423,6 +548,74 @@ impl CompiledPredicate<'_> {
         } else {
             Some(true)
         }
+    }
+
+    /// Vectorized three-valued evaluation of the conjunction over **every
+    /// physical row** of the table (soft-deleted rows included — intersect
+    /// with [`Table::visible_row_set`] to restrict to visible rows). Each
+    /// condition scans its typed column slice in one tight loop and the
+    /// per-condition bitmaps are intersected, so the result is identical,
+    /// row for row, to calling [`CompiledPredicate::matches`] in a loop.
+    ///
+    /// Conjunctions short-circuit columnar-style: once the surviving
+    /// (TRUE-or-NULL) set drops below a quarter of the table, the
+    /// remaining conditions evaluate per surviving row instead of
+    /// re-scanning whole columns — the selection-vector trick, so a
+    /// selective leading conjunct makes the rest nearly free.
+    pub fn eval_columns(&self) -> TriSet {
+        let n = self.num_rows;
+        let Some((first, rest)) = self.conds.split_first() else {
+            return TriSet { trues: RowSet::full(n), unknowns: RowSet::empty(n) };
+        };
+        let mut acc = first.eval_column(n);
+        for cond in rest {
+            let pass = acc.passes_or_unknown();
+            if pass.count_ones() * 4 < n {
+                // Sparse: evaluate only the rows still in play.
+                let mut trues = RowSet::empty(n);
+                let mut unknowns = RowSet::empty(n);
+                for i in pass.iter() {
+                    match cond.eval(i) {
+                        Some(true) => {
+                            if acc.trues.contains(i) {
+                                trues.insert(i);
+                            } else {
+                                unknowns.insert(i);
+                            }
+                        }
+                        None => unknowns.insert(i),
+                        Some(false) => {}
+                    }
+                }
+                acc = TriSet { trues, unknowns };
+            } else {
+                let tri = cond.eval_column(n);
+                let new_pass = pass.and(&tri.passes_or_unknown());
+                let trues = acc.trues.and(&tri.trues);
+                acc = TriSet { unknowns: new_pass.and_not(&trues), trues };
+            }
+        }
+        acc
+    }
+}
+
+/// The three-valued result of evaluating a condition (or a conjunction)
+/// over every physical row of one table, as a pair of bitmaps: the rows
+/// where it is TRUE and the rows where it is NULL (unknown). Every other
+/// row is FALSE.
+#[derive(Debug, Clone)]
+pub struct TriSet {
+    /// Rows where the evaluation is TRUE.
+    pub trues: RowSet,
+    /// Rows where the evaluation is NULL.
+    pub unknowns: RowSet,
+}
+
+impl TriSet {
+    /// Rows where the evaluation is TRUE *or* NULL — exactly the rows an
+    /// `AND NOT (predicate)` rewrite would drop from a WHERE clause.
+    pub fn passes_or_unknown(&self) -> RowSet {
+        self.trues.or(&self.unknowns)
     }
 }
 
@@ -585,6 +778,278 @@ impl<'t> CompiledCondition<'t> {
                 Some(contains_ignore_ascii_case(s, needle_lower))
             }
         }
+    }
+
+    /// Vectorized evaluation over every physical row: one tight loop over
+    /// the typed column slice instead of per-row dispatch. Produces exactly
+    /// the rows where [`CompiledCondition::eval`] yields `Some(true)`
+    /// (`trues`) and `None` (`unknowns`).
+    fn eval_column(&self, num_rows: usize) -> TriSet {
+        match self {
+            CompiledCondition::True => {
+                TriSet { trues: RowSet::full(num_rows), unknowns: RowSet::empty(num_rows) }
+            }
+            CompiledCondition::Unknown => {
+                TriSet { trues: RowSet::empty(num_rows), unknowns: RowSet::full(num_rows) }
+            }
+            CompiledCondition::NumEquals { column, value, negate } => {
+                scan_numeric(column, num_rows, false, |v| {
+                    (v.total_cmp(value) == Ordering::Equal) != *negate
+                })
+            }
+            CompiledCondition::StrEquals { column, value, negate } => {
+                scan_str(column, num_rows, false, |s| (s == value) != *negate)
+            }
+            CompiledCondition::NumRange { column, low, high } => {
+                scan_numeric(column, num_rows, false, |v| {
+                    let low_ok = low.map_or(true, |(lo, incl)| {
+                        let ord = v.total_cmp(&lo);
+                        ord == Ordering::Greater || (incl && ord == Ordering::Equal)
+                    });
+                    let high_ok = high.map_or(true, |(hi, incl)| {
+                        let ord = v.total_cmp(&hi);
+                        ord == Ordering::Less || (incl && ord == Ordering::Equal)
+                    });
+                    low_ok && high_ok
+                })
+            }
+            CompiledCondition::NumInSet { column, values, with_null } => {
+                scan_numeric(column, num_rows, *with_null, |v| {
+                    values.iter().any(|m| v.total_cmp(m) == Ordering::Equal)
+                })
+            }
+            CompiledCondition::StrInSet { column, values, with_null } => {
+                scan_str(column, num_rows, *with_null, |s| values.iter().any(|m| m == s))
+            }
+            CompiledCondition::StrContains { column, needle_lower } => {
+                scan_str(column, num_rows, false, |s| contains_ignore_ascii_case(s, needle_lower))
+            }
+        }
+    }
+}
+
+/// Word-at-a-time bitmap writer: the kernels append one bit per row and
+/// flush whole `u64` words, avoiding the per-row index arithmetic and
+/// bounds checks of [`RowSet::insert`].
+struct BitSink {
+    words: Vec<u64>,
+    cur: u64,
+    bit: u32,
+}
+
+impl BitSink {
+    fn new(num_rows: usize) -> Self {
+        BitSink { words: Vec::with_capacity(num_rows.div_ceil(64)), cur: 0, bit: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, set: bool) {
+        self.cur |= (set as u64) << self.bit;
+        self.bit += 1;
+        if self.bit == 64 {
+            self.words.push(self.cur);
+            self.cur = 0;
+            self.bit = 0;
+        }
+    }
+
+    fn finish(mut self, num_rows: usize) -> RowSet {
+        if self.bit > 0 {
+            self.words.push(self.cur);
+        }
+        RowSet::from_words(self.words, num_rows)
+    }
+}
+
+/// Columnar kernel for numeric tests: dispatches on the column's typed
+/// vector once, then runs a branch-light loop over the slice and the
+/// validity mask. `nonmatch_unknown` encodes `IN`-list semantics where a
+/// NULL set member turns non-matches into unknowns.
+fn scan_numeric(
+    column: &Column,
+    num_rows: usize,
+    nonmatch_unknown: bool,
+    test: impl Fn(f64) -> bool,
+) -> TriSet {
+    debug_assert_eq!(column.len(), num_rows);
+    let mut trues = BitSink::new(num_rows);
+    let mut unknowns = BitSink::new(num_rows);
+    let validity = column.validity();
+    macro_rules! scan {
+        ($data:expr, $conv:expr) => {
+            for (x, &valid) in $data.iter().zip(validity) {
+                let is_true = valid && test($conv(x));
+                trues.push(is_true);
+                unknowns.push(!valid || (nonmatch_unknown && !is_true));
+            }
+        };
+    }
+    match column.data() {
+        ColumnData::Int(v) => scan!(v, |x: &i64| *x as f64),
+        ColumnData::Float(v) => scan!(v, |x: &f64| *x),
+        ColumnData::Timestamp(v) => scan!(v, |x: &i64| *x as f64),
+        ColumnData::Bool(v) => scan!(v, |x: &bool| if *x { 1.0 } else { 0.0 }),
+        // A string column never yields a numeric value: every row is
+        // unknown, exactly like `Column::get_f64` returning `None`.
+        ColumnData::Str(_) => {
+            return TriSet { trues: RowSet::empty(num_rows), unknowns: RowSet::full(num_rows) }
+        }
+    }
+    TriSet { trues: trues.finish(num_rows), unknowns: unknowns.finish(num_rows) }
+}
+
+/// Columnar kernel for string tests; see [`scan_numeric`].
+fn scan_str(
+    column: &Column,
+    num_rows: usize,
+    nonmatch_unknown: bool,
+    test: impl Fn(&str) -> bool,
+) -> TriSet {
+    debug_assert_eq!(column.len(), num_rows);
+    let mut trues = BitSink::new(num_rows);
+    let mut unknowns = BitSink::new(num_rows);
+    let validity = column.validity();
+    match column.data() {
+        ColumnData::Str(v) => {
+            for (s, &valid) in v.iter().zip(validity) {
+                let is_true = valid && test(s);
+                trues.push(is_true);
+                unknowns.push(!valid || (nonmatch_unknown && !is_true));
+            }
+        }
+        // A non-string column never yields a string: every row is unknown,
+        // exactly like `Column::get_str` returning `None`.
+        _ => return TriSet { trues: RowSet::empty(num_rows), unknowns: RowSet::full(num_rows) },
+    }
+    TriSet { trues: trues.finish(num_rows), unknowns: unknowns.finish(num_rows) }
+}
+
+/// Process-wide hit counter of every [`ConditionBitmapCache`] (for the
+/// server's `stats` reply).
+static GLOBAL_BITMAP_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide miss counter of every [`ConditionBitmapCache`].
+static GLOBAL_BITMAP_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A per-table cache of condition-evaluation bitmaps.
+///
+/// The Predicate Enumerator produces hundreds of candidate conjunctions
+/// that heavily *share* conditions drawn from one pool (tree splits, mined
+/// text values, subgroup tests). Scoring each conjunction from scratch
+/// re-scans the table once per condition occurrence; this cache evaluates
+/// each **distinct** condition once through its columnar kernel and scores
+/// conjunctions by intersecting the cached bitmaps.
+///
+/// A cache is pinned to one `(table id, table version)` pair at
+/// construction — the same invalidation discipline as the engine's
+/// statement-fingerprint cache: any table mutation bumps the version, and
+/// lookups against a table with different stamps bypass the cache (fresh
+/// computation, nothing stored), so stale bitmaps can never be served.
+/// Conditions are keyed by [`Condition::cache_key`] (exact, not the
+/// rounded display form). The cache is `Sync`; parallel candidate scoring
+/// over one warmed cache is lock-cheap reads.
+#[derive(Debug)]
+pub struct ConditionBitmapCache {
+    table_id: u64,
+    table_version: u64,
+    num_rows: usize,
+    visible: RowSet,
+    /// `None` marks a condition the typed compiler cannot express, so the
+    /// fallback decision is cached too.
+    entries: Mutex<HashMap<String, Option<Arc<TriSet>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConditionBitmapCache {
+    /// An empty cache pinned to the current data version of `table`.
+    pub fn new(table: &Table) -> Self {
+        ConditionBitmapCache {
+            table_id: table.id(),
+            table_version: table.version(),
+            num_rows: table.num_rows(),
+            visible: table.visible_row_set(),
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache's stamps match the table's current data version
+    /// (lookups against any other table compute fresh, uncached results).
+    pub fn covers(&self, table: &Table) -> bool {
+        table.id() == self.table_id && table.version() == self.table_version
+    }
+
+    /// The visible-row mask captured at construction.
+    pub fn visible(&self) -> &RowSet {
+        &self.visible
+    }
+
+    /// Physical row count of the pinned table (the bitmap universe).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The condition's evaluation bitmaps over every physical row of
+    /// `table`, cached across calls. Returns `None` when the typed
+    /// compiler cannot express the condition against the table's schema
+    /// (callers fall back to the scalar expression walk).
+    pub fn condition(&self, table: &Table, cond: &Condition) -> Option<Arc<TriSet>> {
+        let evaluate = |table: &Table, cond: &Condition| {
+            CompiledCondition::compile(cond, table)
+                .ok()
+                .map(|compiled| Arc::new(compiled.eval_column(table.num_rows())))
+        };
+        if !self.covers(table) {
+            return evaluate(table, cond);
+        }
+        let key = cond.cache_key();
+        {
+            let entries = self.entries.lock().expect("bitmap cache poisoned");
+            if let Some(cached) = entries.get(&key) {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                GLOBAL_BITMAP_HITS.fetch_add(1, AtomicOrdering::Relaxed);
+                return cached.clone();
+            }
+        }
+        // Kernel-scan outside the lock so a miss never stalls concurrent
+        // scorers (racing threads may both compute; the first insert wins
+        // and both results are identical).
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        GLOBAL_BITMAP_MISSES.fetch_add(1, AtomicOrdering::Relaxed);
+        let computed = evaluate(table, cond);
+        let mut entries = self.entries.lock().expect("bitmap cache poisoned");
+        entries.entry(key).or_insert_with(|| computed.clone()).clone()
+    }
+
+    /// Evaluates a whole conjunction by intersecting the cached
+    /// per-condition bitmaps. Returns `None` as soon as any condition is
+    /// inexpressible (the caller's scalar fallback then handles the whole
+    /// predicate). The trivial predicate is TRUE on every row.
+    pub fn conjunction(&self, table: &Table, pred: &ConjunctivePredicate) -> Option<TriSet> {
+        let n = if self.covers(table) { self.num_rows } else { table.num_rows() };
+        let mut trues = RowSet::full(n);
+        let mut pass = RowSet::full(n);
+        for cond in pred.conditions() {
+            let tri = self.condition(table, cond)?;
+            pass.and_assign(&tri.passes_or_unknown());
+            trues.and_assign(&tri.trues);
+        }
+        Some(TriSet { unknowns: pass.and_not(&trues), trues })
+    }
+
+    /// This cache's `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(AtomicOrdering::Relaxed), self.misses.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Process-wide `(hits, misses)` across every cache instance — what
+    /// the server's `stats` protocol reply reports.
+    pub fn global_stats() -> (u64, u64) {
+        (
+            GLOBAL_BITMAP_HITS.load(AtomicOrdering::Relaxed),
+            GLOBAL_BITMAP_MISSES.load(AtomicOrdering::Relaxed),
+        )
     }
 }
 
@@ -806,6 +1271,132 @@ mod tests {
         // matching_rows falls back to the expression path and still answers.
         let p = ConjunctivePredicate::new(vec![Condition::equals("memo", 4)]);
         assert!(p.matching_rows(&t).is_empty());
+    }
+
+    #[test]
+    fn eval_columns_agrees_with_scalar_matches() {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("ok", DataType::Bool),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("r", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(15), Value::Float(122.0), Value::Bool(true), Value::str("fine")],
+            vec![Value::Int(15), Value::Null, Value::Bool(false), Value::str("REATTRIBUTION")],
+            vec![Value::Int(3), Value::Float(21.0), Value::Null, Value::Null],
+            vec![Value::Null, Value::Float(-0.0), Value::Bool(true), Value::str("Reattribution")],
+        ])
+        .unwrap();
+        let conditions = vec![
+            Condition::equals("sensorid", 15),
+            Condition::not_equals("memo", "fine"),
+            Condition::equals("sensorid", Value::Null),
+            Condition::between("temp", 0.0, 122.0),
+            Condition::in_set("sensorid", vec![Value::Int(3), Value::Null]),
+            Condition::in_set("memo", vec![Value::str("fine"), Value::Int(7)]),
+            Condition::contains("memo", "reattribution"),
+            Condition::equals("ok", true),
+        ];
+        let mut predicates: Vec<ConjunctivePredicate> = Vec::new();
+        for c in &conditions {
+            predicates.push(ConjunctivePredicate { conditions: vec![c.clone()] });
+            for d in &conditions {
+                predicates.push(ConjunctivePredicate { conditions: vec![c.clone(), d.clone()] });
+            }
+        }
+        let cache = ConditionBitmapCache::new(&t);
+        for p in &predicates {
+            let compiled = p.compile(&t).expect("well-typed");
+            let tri = compiled.eval_columns();
+            for r in t.all_row_ids() {
+                let scalar = compiled.matches(r);
+                assert_eq!(tri.trues.contains(r.index()), scalar == Some(true), "{p} on {r}");
+                assert_eq!(tri.unknowns.contains(r.index()), scalar.is_none(), "{p} on {r}");
+            }
+            // The cached conjunction agrees with direct evaluation.
+            let via_cache = cache.conjunction(&t, p).expect("well-typed");
+            assert!(via_cache.trues == tri.trues && via_cache.unknowns == tri.unknowns, "{p}");
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, conditions.len() as u64, "one kernel scan per distinct condition");
+        assert!(hits > misses, "conjunctions reuse cached bitmaps");
+    }
+
+    #[test]
+    fn bitmap_cache_bypasses_on_version_mismatch_and_rejects_mistyped() {
+        let t = table();
+        let cache = ConditionBitmapCache::new(&t);
+        assert!(cache.covers(&t));
+        assert_eq!(cache.num_rows(), t.num_rows());
+        assert_eq!(cache.visible().count_ones(), t.visible_rows());
+        // A mistyped condition is inexpressible: conjunction yields None.
+        let bad = ConjunctivePredicate::new(vec![Condition::equals("memo", 4)]);
+        assert!(cache.conjunction(&t, &bad).is_none());
+        // Mutating the table bumps the version: the stale cache computes
+        // fresh results (still correct) without serving stored bitmaps.
+        let mut t2 = t.clone();
+        t2.delete_row(RowId(0)).unwrap();
+        assert!(!cache.covers(&t2));
+        let p = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 15)]);
+        let (h0, m0) = cache.stats();
+        let tri = cache.conjunction(&t2, &p).expect("well-typed");
+        assert_eq!(cache.stats(), (h0, m0), "bypassed lookups leave the counters alone");
+        assert_eq!(tri.trues.to_row_ids(), vec![RowId(0), RowId(1)]);
+        // Global counters only ever grow.
+        let (gh, gm) = ConditionBitmapCache::global_stats();
+        let _ = cache.conjunction(&t, &p);
+        let (gh2, gm2) = ConditionBitmapCache::global_stats();
+        assert!(gh2 + gm2 > gh + gm);
+    }
+
+    #[test]
+    fn from_conjunctive_expr_round_trips_predicate_shapes() {
+        let t = table();
+        let shapes = vec![
+            ConjunctivePredicate::new(vec![Condition::equals("sensorid", 15)]),
+            ConjunctivePredicate::new(vec![
+                Condition::equals("sensorid", 15),
+                Condition::above("temp", 120.0),
+            ]),
+            ConjunctivePredicate::new(vec![
+                Condition::between("temp", 10.0, 130.0),
+                Condition::not_equals("memo", "ok"),
+            ]),
+            ConjunctivePredicate::new(vec![Condition::in_set(
+                "sensorid",
+                vec![Value::Int(3), Value::Int(7)],
+            )]),
+            ConjunctivePredicate::new(vec![Condition::contains("memo", "spouse")]),
+            ConjunctivePredicate::new(vec![Condition::at_most("voltage", 2.5)]),
+        ];
+        for p in shapes {
+            let recovered = ConjunctivePredicate::from_conjunctive_expr(&p.to_expr())
+                .unwrap_or_else(|| panic!("{p} should be recoverable"));
+            assert_eq!(recovered.matching_rows(&t), p.matching_rows(&t), "{p}");
+        }
+        // A mirrored comparison (literal on the left) flips the operator.
+        let mirrored = lit(120.0).lt(col("temp"));
+        let recovered = ConjunctivePredicate::from_conjunctive_expr(&mirrored).unwrap();
+        assert_eq!(
+            recovered.matching_rows(&t),
+            Condition::above("temp", 120.0).to_expr().filter(&t).unwrap()
+        );
+        // Constructs outside the conjunctive fragment are refused.
+        for expr in [
+            col("temp").gt(lit(1.0)).or(col("sensorid").eq(lit(3))),
+            col("temp").gt(lit(1.0)).not(),
+            col("temp").is_not_null(),
+            col("temp").gt(col("voltage")),
+            col("memo").lt(lit("z")),
+            Expr::InList { expr: Box::new(col("sensorid")), list: vec![lit(1)], negated: true },
+        ] {
+            assert!(
+                ConjunctivePredicate::from_conjunctive_expr(&expr).is_none(),
+                "{expr:?} must fall back to the scalar path"
+            );
+        }
     }
 
     #[test]

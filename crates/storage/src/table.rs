@@ -7,6 +7,7 @@
 
 use crate::column::Column;
 use crate::error::StorageError;
+use crate::rowset::RowSet;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
@@ -254,6 +255,19 @@ impl Table {
     /// Iterates over the ids of all rows ever inserted, deleted or not.
     pub fn all_row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
         (0..self.num_rows()).map(RowId)
+    }
+
+    /// The visible (non-soft-deleted) rows as a [`RowSet`] bitmap over the
+    /// table's physical rows — the mask the vectorized predicate kernels
+    /// intersect their full-column results with.
+    pub fn visible_row_set(&self) -> RowSet {
+        let mut set = RowSet::full(self.deleted.len());
+        for (i, &d) in self.deleted.iter().enumerate() {
+            if d {
+                set.remove(i);
+            }
+        }
+        set
     }
 
     /// Materialises a new table containing copies of the given rows

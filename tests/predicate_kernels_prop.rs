@@ -1,0 +1,197 @@
+//! Equivalence property tests for the vectorized predicate path.
+//!
+//! For random tables (NULLs, soft deletes, empty tables included) and
+//! random conditions (equality, ranges, `IN` sets with NULL members,
+//! substring containment), the columnar kernels
+//! (`CompiledPredicate::eval_columns`) must agree **row for row** with the
+//! scalar three-valued evaluator (`CompiledPredicate::matches`), and
+//! `matching_rows` must keep its contract: the visible matches, ascending
+//! by `RowId`, identical to the per-row expression walk. The `RowSet`
+//! bitmap algebra is pinned against a `BTreeSet` oracle.
+
+use dbwipes::storage::rowset::RowSet;
+use dbwipes::storage::{ConditionBitmapCache, DataType, Schema, Value};
+use dbwipes::{Condition, ConjunctivePredicate, RowId, Table};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random sensor-style table: nullable int / float / str columns, a few
+/// soft-deleted rows, possibly empty.
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let id = prop_oneof![Just(None), (0i64..6).prop_map(Some)];
+    let x = prop_oneof![Just(None), (-40i64..40).prop_map(|k| Some(k as f64 / 2.0))];
+    let memo = (0usize..5).prop_map(|k| ["", "ok", "REATTRIBUTION TO SPOUSE", "spouse", "Lab"][k]);
+    let row = (id, x, memo, proptest::collection::vec(0usize..10, 0..2));
+    proptest::collection::vec(row, 0..50).prop_map(|rows| {
+        let schema =
+            Schema::of(&[("id", DataType::Int), ("x", DataType::Float), ("memo", DataType::Str)]);
+        let mut t = Table::new("m", schema).unwrap();
+        let mut delete = Vec::new();
+        for (i, (id, x, memo, delete_marks)) in rows.into_iter().enumerate() {
+            t.push_row(vec![
+                id.map(Value::Int).unwrap_or(Value::Null),
+                x.map(Value::Float).unwrap_or(Value::Null),
+                if memo.is_empty() && i % 2 == 0 { Value::Null } else { Value::str(memo) },
+            ])
+            .unwrap();
+            if !delete_marks.is_empty() {
+                delete.push(RowId(i));
+            }
+        }
+        for r in delete {
+            t.delete_row(r).unwrap();
+        }
+        t
+    })
+}
+
+/// A random condition over the table's columns, covering every kernel:
+/// numeric and string equality (negated too), half-open and closed ranges,
+/// `IN` sets with and without NULL members, containment (empty needle
+/// included), and the unbounded range that compiles to `TRUE`.
+fn arbitrary_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (0i64..7).prop_map(|v| Condition::equals("id", v)),
+        (0i64..7).prop_map(|v| Condition::not_equals("id", v)),
+        Just(Condition::equals("id", Value::Null)),
+        (-30i64..30).prop_map(|v| Condition::above("x", v as f64 / 2.0)),
+        (-30i64..30).prop_map(|v| Condition::at_least("x", v as f64 / 2.0)),
+        (-30i64..30).prop_map(|v| Condition::at_most("x", v as f64 / 2.0)),
+        ((-30i64..0), (0i64..30)).prop_map(|(lo, hi)| Condition::between(
+            "x",
+            lo as f64 / 2.0,
+            hi as f64 / 2.0
+        )),
+        Just(Condition::Range {
+            column: "x".into(),
+            low: None,
+            low_inclusive: false,
+            high: None,
+            high_inclusive: false,
+        }),
+        (0i64..4).prop_map(|v| Condition::in_set("id", vec![Value::Int(v), Value::Int(v + 2)])),
+        (0i64..4).prop_map(|v| Condition::in_set("id", vec![Value::Int(v), Value::Null])),
+        Just(Condition::in_set("memo", vec![Value::str("ok"), Value::str("Lab"), Value::Int(3)])),
+        Just(Condition::in_set("memo", vec![Value::str("ok"), Value::Null])),
+        (0usize..4).prop_map(|k| Condition::contains("memo", ["", "SPOUSE", "lab", "zzz"][k])),
+        Just(Condition::equals("memo", Value::str("ok"))),
+        Just(Condition::not_equals("memo", Value::str("ok"))),
+    ]
+}
+
+/// One predicate's kernels against the scalar evaluator, on every physical
+/// row (deleted rows included — the bitmap universe is physical).
+fn assert_kernel_equivalence(table: &Table, pred: &ConjunctivePredicate) -> Result<(), String> {
+    let compiled = pred.compile(table).expect("generated conditions are well-typed");
+    let tri = compiled.eval_columns();
+    prop_assert_eq!(tri.trues.universe(), table.num_rows());
+    for i in 0..table.num_rows() {
+        let scalar = compiled.matches(RowId(i));
+        prop_assert!(
+            tri.trues.contains(i) == (scalar == Some(true)),
+            "trues diverged from scalar at row {} for {}",
+            i,
+            pred
+        );
+        prop_assert!(
+            tri.unknowns.contains(i) == scalar.is_none(),
+            "unknowns diverged from scalar at row {} for {}",
+            i,
+            pred
+        );
+        prop_assert!(!(tri.trues.contains(i) && tri.unknowns.contains(i)));
+    }
+    // matching_rows: identical output to the expression walk, ascending.
+    let via_expr: Vec<RowId> =
+        table.visible_row_ids().filter(|&r| pred.matches(table, r)).collect();
+    let rows = pred.matching_rows(table);
+    prop_assert!(rows == via_expr, "matching_rows diverged for {}", pred);
+    prop_assert!(rows.windows(2).all(|w| w[0] < w[1]), "matching_rows not ascending");
+    // selectivity / coverage agree with the materialized counts.
+    let total = table.visible_rows();
+    let selectivity = if total == 0 { 0.0 } else { rows.len() as f64 / total as f64 };
+    prop_assert!((pred.selectivity(table) - selectivity).abs() < 1e-12);
+    let all: Vec<RowId> = table.visible_row_ids().collect();
+    let coverage = if all.is_empty() { 0.0 } else { rows.len() as f64 / all.len() as f64 };
+    prop_assert!((pred.coverage(table, &all) - coverage).abs() < 1e-12);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernels ≡ scalar for single conditions and random conjunctions, and
+    /// the condition-bitmap cache agrees with direct evaluation (twice, so
+    /// the second pass exercises the hit path).
+    #[test]
+    fn vectorized_matches_scalar(
+        table in arbitrary_table(),
+        a in arbitrary_condition(),
+        b in arbitrary_condition(),
+        c in arbitrary_condition(),
+    ) {
+        let predicates = [
+            ConjunctivePredicate::new(vec![a.clone()]),
+            ConjunctivePredicate::new(vec![b.clone()]),
+            ConjunctivePredicate::new(vec![a.clone(), b.clone()]),
+            ConjunctivePredicate::new(vec![a.clone(), b.clone(), c.clone()]),
+            ConjunctivePredicate::always_true(),
+        ];
+        let cache = ConditionBitmapCache::new(&table);
+        for pred in &predicates {
+            assert_kernel_equivalence(&table, pred)?;
+            for _round in 0..2 {
+                let via_cache = cache.conjunction(&table, pred).expect("well-typed");
+                let direct = pred.compile(&table).unwrap().eval_columns();
+                prop_assert!(
+                    via_cache.trues == direct.trues && via_cache.unknowns == direct.unknowns,
+                    "cached bitmaps diverged for {}", pred
+                );
+            }
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert!(hits + misses > 0);
+    }
+
+    /// `RowSet` algebra laws against a `BTreeSet` oracle.
+    #[test]
+    fn rowset_algebra_matches_btreeset_oracle(
+        universe in 0usize..200,
+        xs in proptest::collection::vec(0usize..200, 0..60),
+        ys in proptest::collection::vec(0usize..200, 0..60),
+    ) {
+        let xs: Vec<usize> = xs.into_iter().filter(|&i| i < universe).collect();
+        let ys: Vec<usize> = ys.into_iter().filter(|&i| i < universe).collect();
+        let a = RowSet::from_indices(universe, xs.iter().copied());
+        let b = RowSet::from_indices(universe, ys.iter().copied());
+        let oa: BTreeSet<usize> = xs.into_iter().collect();
+        let ob: BTreeSet<usize> = ys.into_iter().collect();
+
+        let ordered = |s: &RowSet| -> Vec<usize> { s.iter().collect() };
+        prop_assert_eq!(ordered(&a), oa.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(a.count_ones(), oa.len());
+        prop_assert_eq!(
+            ordered(&a.and(&b)),
+            oa.intersection(&ob).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(ordered(&a.or(&b)), oa.union(&ob).copied().collect::<Vec<_>>());
+        prop_assert_eq!(
+            ordered(&a.and_not(&b)),
+            oa.difference(&ob).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(a.intersection_count(&b), oa.intersection(&ob).count());
+        for probe in [0usize, 1, 63, 64, 127, 199] {
+            prop_assert_eq!(a.contains(probe), oa.contains(&probe));
+        }
+        // Round trip through RowIds preserves the set.
+        let ids = a.to_row_ids();
+        prop_assert_eq!(ids.len(), a.count_ones());
+        let back = RowSet::from_rows(universe, ids.iter());
+        prop_assert!(back == a);
+        // Identities: A ∧ A = A, A ∨ ∅ = A, A \ A = ∅, A ∧ full = A.
+        prop_assert!(a.and(&a) == a);
+        prop_assert!(a.or(&RowSet::empty(universe)) == a);
+        prop_assert!(a.and_not(&a).is_empty());
+        prop_assert!(a.and(&RowSet::full(universe)) == a);
+    }
+}
