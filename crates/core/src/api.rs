@@ -14,11 +14,14 @@ use crate::influence::{metric_aggregate, rank_influence_with_cache, InfluenceRep
 use crate::metric::ErrorMetric;
 use crate::predicates::{enumerate_predicates, PredicateEnumConfig};
 use crate::ranker::{rank_predicates_with_cache, RankedPredicate, RankerConfig};
+use crate::sharded::rank_predicates_sharded;
 use dbwipes_engine::{
-    execute_on_catalog, parse_select, AggregateArg, ExecOptions, GroupedAggregateCache, QueryResult,
+    execute_on_catalog, parse_select, AggregateArg, ExecOptions, GroupedAggregateCache,
+    QueryResult, ShardedAggregateCache,
 };
 use dbwipes_learn::FeatureSpace;
 use dbwipes_storage::{Catalog, ConjunctivePredicate, RowId, Table};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// End-to-end configuration of an explanation request.
@@ -41,6 +44,12 @@ pub struct ExplainConfig {
     /// naming the suspicious group itself is not an explanation). Defaults
     /// to true.
     pub exclude_group_by_columns: bool,
+    /// Number of horizontal shards the Predicate Ranker partitions the
+    /// table into (hash on the table's first column). 1 (the default) uses
+    /// the single-table path; larger values run every condition kernel and
+    /// re-aggregation per shard, letting zone maps skip shards a condition
+    /// provably cannot match (see `docs/TUNING.md`).
+    pub shards: usize,
 }
 
 impl Default for ExplainConfig {
@@ -59,6 +68,7 @@ impl ExplainConfig {
             exclude_columns: Vec::new(),
             exclude_aggregate_column: true,
             exclude_group_by_columns: true,
+            shards: 1,
         }
     }
 }
@@ -326,17 +336,40 @@ pub fn explain_with_cache(
     }
     let predicates_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-    // 4. Predicate Ranker, reusing the Preprocessor's cache.
+    // 4. Predicate Ranker, reusing the Preprocessor's cache — or, when the
+    // config asks for more than one shard, partitioning the table and
+    // scoring shard-parallel (the per-shard cache build is charged to the
+    // ranker; it pays off when zone-map pruning lets equality candidates
+    // skip most shards' kernels).
     let start = Instant::now();
-    let ranked = rank_predicates_with_cache(
-        cache,
-        result,
-        &request.suspicious_outputs,
-        &examples,
-        &request.metric,
-        all_predicates,
-        &request.config.ranker,
-    )?;
+    let ranked = match (request.config.shards, table.schema().field_at(0)) {
+        (2.., Some(first)) => {
+            let sharded = Arc::new(dbwipes_storage::ShardedTable::hash(
+                table,
+                &first.name,
+                request.config.shards,
+            )?);
+            let shard_cache = ShardedAggregateCache::build(sharded, &result.statement)?;
+            rank_predicates_sharded(
+                &shard_cache,
+                result,
+                &request.suspicious_outputs,
+                &examples,
+                &request.metric,
+                all_predicates,
+                &request.config.ranker,
+            )?
+        }
+        _ => rank_predicates_with_cache(
+            cache,
+            result,
+            &request.suspicious_outputs,
+            &examples,
+            &request.metric,
+            all_predicates,
+            &request.config.ranker,
+        )?,
+    };
     let rank_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     Ok(Explanation {
@@ -443,6 +476,41 @@ mod tests {
         let other = db.query("SELECT sensorid, avg(temp) FROM readings GROUP BY sensorid").unwrap();
         let err = explain_with_cache(&cache, &other, &request).unwrap_err();
         assert!(err.to_string().contains("cache was built for"), "{err}");
+    }
+
+    #[test]
+    fn sharded_explain_matches_unsharded() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        let std_col = result.column_index("std_temp").unwrap();
+        let suspicious: Vec<usize> = (0..result.len())
+            .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
+            .collect();
+        let examples: Vec<RowId> = ds.error_rows().into_iter().take(8).collect();
+        let metric = ErrorMetric::too_high("std_temp", 4.0);
+        let flat = ExplanationRequest::new(suspicious.clone(), examples.clone(), metric.clone());
+        let mut request = ExplanationRequest::new(suspicious, examples, metric);
+        request.config.shards = 4;
+        let sharded = db.explain(&result, &request).unwrap();
+        let unsharded = db.explain(&result, &flat).unwrap();
+        // Same predicate set with matching evidence; scores may differ
+        // only in float round-off of merged partial sums (which could
+        // reorder exact ties, so compare sorted by rendering).
+        assert_eq!(sharded.predicates.len(), unsharded.predicates.len());
+        let by_name = |e: &Explanation| {
+            let mut v: Vec<_> = e
+                .predicates
+                .iter()
+                .map(|p| (p.predicate.to_string(), p.score, p.matched_rows))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        for (a, b) in by_name(&sharded).iter().zip(by_name(&unsharded).iter()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9, "{}: {} vs {}", a.0, a.1, b.1);
+            assert_eq!(a.2, b.2, "{}", a.0);
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod metric;
 pub mod parallel;
 pub mod predicates;
 pub mod ranker;
+pub mod sharded;
 
 pub use api::{
     explain_on_table, explain_with_cache, ComponentTimings, DbWipes, ExplainConfig, Explanation,
@@ -83,3 +84,4 @@ pub use metric::{suggest_metrics, Combine, ErrorMetric, MetricKind};
 pub use parallel::effective_parallelism;
 pub use predicates::{enumerate_predicates, PredicateEnumConfig};
 pub use ranker::{rank_predicates, rank_predicates_with_cache, RankedPredicate, RankerConfig};
+pub use sharded::rank_predicates_sharded;

@@ -10,8 +10,8 @@
 use crate::forms::{error_form_choices, ErrorFormChoice, QueryForm};
 use crate::scatter::{result_series, zoom_series, Brush, ScatterSeries};
 use dbwipes_core::{
-    CleaningSession, CoreError, DbWipes, ErrorMetric, Explanation, ExplanationRequest,
-    RankedPredicate,
+    CleaningSession, CoreError, DbWipes, ErrorMetric, ExplainConfig, Explanation,
+    ExplanationRequest, RankedPredicate,
 };
 use dbwipes_engine::{GroupedAggregateCache, QueryResult};
 use dbwipes_storage::{RowId, Table};
@@ -41,6 +41,7 @@ pub struct DashboardSession {
     selected_outputs: Vec<usize>,
     selected_inputs: Vec<RowId>,
     metric: Option<ErrorMetric>,
+    explain_config: ExplainConfig,
     explanation: Option<Explanation>,
 }
 
@@ -55,6 +56,7 @@ impl DashboardSession {
             selected_outputs: Vec::new(),
             selected_inputs: Vec::new(),
             metric: None,
+            explain_config: ExplainConfig::standard(),
             explanation: None,
         }
     }
@@ -193,6 +195,20 @@ impl DashboardSession {
         self.metric.as_ref()
     }
 
+    /// Replaces the pipeline configuration future `debug!` clicks run with
+    /// (ranker weights, enumerator parameters, shard count, ...). Any
+    /// previously computed explanation is discarded, since it no longer
+    /// reflects the configuration.
+    pub fn set_explain_config(&mut self, config: ExplainConfig) {
+        self.explain_config = config;
+        self.explanation = None;
+    }
+
+    /// The pipeline configuration `debug!` clicks run with.
+    pub fn explain_config(&self) -> &ExplainConfig {
+        &self.explain_config
+    }
+
     /// The "Query, S, D′, ε" request the next `debug!` click would send to
     /// the backend, validated against the current interaction state. This
     /// is the single source of truth for how a request is formed —
@@ -210,11 +226,13 @@ impl DashboardSession {
         if self.selected_outputs.is_empty() {
             return Err(CoreError::invalid("no suspicious outputs are selected"));
         }
-        Ok(ExplanationRequest::new(
+        let mut request = ExplanationRequest::new(
             self.selected_outputs.clone(),
             self.selected_inputs.clone(),
             metric,
-        ))
+        );
+        request.config = self.explain_config.clone();
+        Ok(request)
     }
 
     /// Runs the backend pipeline ("debug!") and returns the ranked
@@ -454,6 +472,34 @@ mod tests {
             s.debug().unwrap().predicates.iter().map(|p| (p.predicate.clone(), p.score)).collect();
         assert_eq!(cached, plain);
         assert_eq!(s.state(), SessionState::Explained);
+    }
+
+    #[test]
+    fn sharded_config_flows_into_debug() {
+        let (mut s, ds) = session();
+        s.run_query(&ds.window_query()).unwrap();
+        s.brush_outputs("window", "std_temp", Brush::above(8.0));
+        s.brush_inputs("sensorid", "temp", Brush::above(100.0));
+        let choices = s.metric_choices("std_temp");
+        s.set_metric(choices[0].metric.clone());
+        let baseline: Vec<_> =
+            s.debug().unwrap().predicates.iter().map(|p| p.predicate.clone()).collect();
+
+        let mut config = ExplainConfig::standard();
+        config.shards = 4;
+        s.set_explain_config(config);
+        // Changing the configuration discards the stale explanation...
+        assert!(s.ranked_predicates().is_empty());
+        assert_eq!(s.explain_config().shards, 4);
+        assert_eq!(s.explain_request().unwrap().config.shards, 4);
+        // ...and the sharded re-run finds the same predicate set.
+        let sharded: Vec<_> =
+            s.debug().unwrap().predicates.iter().map(|p| p.predicate.clone()).collect();
+        let mut a = baseline.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        let mut b = sharded.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -73,6 +73,6 @@ pub use json::Json;
 pub use manager::{DebugCacheReport, ServerSession, SessionId, SessionManager};
 pub use protocol::{
     error_response, error_response_value, ok_response, ok_response_value, parse_request,
-    parse_request_value, Command, Request, MAX_BATCH_COMMANDS,
+    parse_request_value, Command, Request, MAX_BATCH_COMMANDS, WIRE_COMMANDS,
 };
 pub use registry::{CacheRegistry, CacheStats, ExplainKey};

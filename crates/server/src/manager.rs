@@ -20,7 +20,7 @@
 
 use crate::executor::PoolStats;
 use crate::registry::{CacheRegistry, ExplainKey};
-use dbwipes_core::{ComponentTimings, CoreError, DbWipes, Explanation};
+use dbwipes_core::{ComponentTimings, CoreError, DbWipes, ExplainConfig, Explanation};
 use dbwipes_dashboard::DashboardSession;
 use dbwipes_engine::{CacheFingerprint, GroupedAggregateCache};
 use dbwipes_storage::{Catalog, Table};
@@ -49,13 +49,14 @@ pub struct ServerSession {
 }
 
 impl ServerSession {
-    fn new(catalog: Catalog) -> Self {
-        ServerSession {
-            dashboard: DashboardSession::new(DbWipes::with_catalog(catalog)),
-            commands: 0,
-            cache_hits: 0,
-            cache_misses: 0,
+    fn new(catalog: Catalog, shards: usize) -> Self {
+        let mut dashboard = DashboardSession::new(DbWipes::with_catalog(catalog));
+        if shards > 1 {
+            let mut config = ExplainConfig::standard();
+            config.shards = shards;
+            dashboard.set_explain_config(config);
         }
+        ServerSession { dashboard, commands: 0, cache_hits: 0, cache_misses: 0 }
     }
 
     /// The wrapped dashboard session.
@@ -181,7 +182,7 @@ pub struct DebugCacheReport {
 /// story.
 #[derive(Debug)]
 pub struct SessionManager {
-    base: Mutex<Catalog>,
+    base: RwLock<Catalog>,
     registry: Arc<CacheRegistry>,
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<ServerSession>>>>,
     next_id: AtomicU64,
@@ -203,7 +204,7 @@ impl SessionManager {
     /// caches.
     pub fn with_cache_capacity(catalog: Catalog, cache_capacity: usize) -> Self {
         SessionManager {
-            base: Mutex::new(catalog),
+            base: RwLock::new(catalog),
             registry: Arc::new(CacheRegistry::new(cache_capacity)),
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -241,11 +242,26 @@ impl SessionManager {
         self.pool.get()
     }
 
-    /// Opens a new session over the current base catalog.
+    /// The shard count newly opened sessions run their explain pipeline
+    /// with: `DBWIPES_SHARDS` when set to a positive integer, 1 (the
+    /// single-table path) otherwise. Read per call, like
+    /// `DBWIPES_THREADS`, so operators can retune a running service; open
+    /// sessions keep the configuration they were opened with.
+    pub fn default_shards() -> usize {
+        std::env::var("DBWIPES_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Opens a new session over the current base catalog. Opening takes
+    /// the catalog's read lock only — concurrent opens (and routing) never
+    /// serialize on each other, only on a concurrent `register_table`.
     pub fn open_session(&self) -> SessionId {
-        let catalog = self.base.lock().expect("catalog lock poisoned").clone();
+        let catalog = self.base.read().expect("catalog lock poisoned").clone();
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let session = Arc::new(Mutex::new(ServerSession::new(catalog)));
+        let session = Arc::new(Mutex::new(ServerSession::new(catalog, Self::default_shards())));
         self.sessions.write().expect("session map lock poisoned").insert(id, session);
         id
     }
@@ -281,13 +297,13 @@ impl SessionManager {
     /// sessions opened afterwards see the new table.
     pub fn register_table(&self, table: Table) {
         let name = table.name().to_string();
-        self.base.lock().expect("catalog lock poisoned").register_or_replace(table);
+        self.base.write().expect("catalog lock poisoned").register_or_replace(table);
         self.registry.invalidate_table(&name);
     }
 
     /// Names of the tables in the base catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.base.lock().expect("catalog lock poisoned").table_names()
+        self.base.read().expect("catalog lock poisoned").table_names()
     }
 }
 

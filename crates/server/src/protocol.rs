@@ -188,6 +188,32 @@ pub struct Request {
 /// time, so this is the per-request unit of admission control).
 pub const MAX_BATCH_COMMANDS: usize = 256;
 
+/// Every wire command the parser accepts, in the order the grammar lists
+/// them. This is the protocol's table of contents: `docs/PROTOCOL.md`
+/// documents each entry (enforced by a test), and adding a command
+/// without extending this list fails the parser's coverage test.
+pub const WIRE_COMMANDS: &[&str] = &[
+    "ping",
+    "tables",
+    "stats",
+    "sessions",
+    "open_session",
+    "close_session",
+    "shutdown",
+    "batch",
+    "run_query",
+    "plot",
+    "zoom",
+    "brush_outputs",
+    "brush_inputs",
+    "metric_choices",
+    "set_metric",
+    "debug",
+    "click_predicate",
+    "undo",
+    "state",
+];
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -506,6 +532,69 @@ mod tests {
             (0..=MAX_BATCH_COMMANDS).map(|_| r#"{"cmd":"ping"}"#.to_string()).collect();
         let line = format!(r#"{{"cmd":"batch","commands":[{}]}}"#, big.join(","));
         assert!(parse_request(&line).unwrap_err().contains("max"));
+    }
+
+    #[test]
+    fn wire_commands_list_is_exactly_what_the_parser_accepts() {
+        // Every listed command parses (with its minimal argument shape)...
+        for &cmd in WIRE_COMMANDS {
+            let line = match cmd {
+                "ping" | "tables" | "stats" | "sessions" | "open_session" | "shutdown" => {
+                    format!(r#"{{"cmd":"{cmd}"}}"#)
+                }
+                "close_session" | "debug" | "undo" | "state" => {
+                    format!(r#"{{"cmd":"{cmd}","session":1}}"#)
+                }
+                "batch" => r#"{"cmd":"batch","commands":[]}"#.to_string(),
+                "run_query" => {
+                    r#"{"cmd":"run_query","session":1,"sql":"SELECT count(*) FROM t"}"#.to_string()
+                }
+                "plot" | "zoom" | "brush_outputs" | "brush_inputs" => {
+                    format!(r#"{{"cmd":"{cmd}","session":1,"x":"a","y":"b"}}"#)
+                }
+                "metric_choices" => {
+                    r#"{"cmd":"metric_choices","session":1,"column":"a"}"#.to_string()
+                }
+                "set_metric" => {
+                    r#"{"cmd":"set_metric","session":1,"kind":"too_high","column":"a","value":1}"#
+                        .to_string()
+                }
+                "click_predicate" => {
+                    r#"{"cmd":"click_predicate","session":1,"index":0}"#.to_string()
+                }
+                other => panic!("WIRE_COMMANDS entry `{other}` has no minimal request shape"),
+            };
+            parse_request(&line).unwrap_or_else(|e| panic!("`{cmd}` must parse: {e}"));
+        }
+        // ...every listed command is distinct...
+        let mut sorted: Vec<&str> = WIRE_COMMANDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), WIRE_COMMANDS.len(), "duplicate WIRE_COMMANDS entry");
+        // ...and nothing else parses (probing a few near-misses; the
+        // parser's `unknown command` arm covers the rest by construction).
+        for unknown in ["pong", "query", "explain", "close", "open"] {
+            assert!(parse_request(&format!(r#"{{"cmd":"{unknown}"}}"#)).is_err());
+        }
+    }
+
+    #[test]
+    fn every_wire_command_is_documented_in_the_protocol_reference() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("docs/PROTOCOL.md must exist ({e})"));
+        for &cmd in WIRE_COMMANDS {
+            // Each command gets a heading of its own in the reference.
+            let heading = format!("### `{cmd}`");
+            assert!(
+                doc.contains(&heading),
+                "docs/PROTOCOL.md is missing a `{heading}` section for wire command `{cmd}`"
+            );
+        }
+        // The reply-shape contract fields are documented too.
+        for needle in ["`busy`", "`cache_hit`", "`cached`", "`shards`", "MAX_BATCH_COMMANDS"] {
+            assert!(doc.contains(needle), "docs/PROTOCOL.md must mention {needle}");
+        }
     }
 
     #[test]

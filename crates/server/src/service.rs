@@ -54,6 +54,9 @@ impl SessionManager {
                 let stats = self.registry().stats();
                 let mut fields = vec![
                     ("sessions", Json::num(self.session_count() as f64)),
+                    // The shard count sessions opened now would run their
+                    // explain pipeline with (the `DBWIPES_SHARDS` knob).
+                    ("shards", Json::num(SessionManager::default_shards() as f64)),
                     (
                         "cache",
                         Json::obj(vec![

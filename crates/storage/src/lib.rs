@@ -11,6 +11,51 @@
 //! with an embedded engine that supports exactly the aggregate group-by
 //! queries and predicate-based cleaning the demo needs, while exposing the
 //! row-level hooks the provenance layer requires.
+//!
+//! ## RowSets and shards
+//!
+//! The vectorized predicate path works in [`RowSet`] bitmaps: each
+//! condition kernel produces one bitmap over a table's physical rows,
+//! conjunctions are word-wise intersections, and match counting is a
+//! popcount. A [`ShardedTable`] partitions those universes horizontally —
+//! every shard is a full [`Table`] with its own contiguous `RowSet`
+//! universe, bridged to the base table by a global↔(shard, local) row-id
+//! mapping, with per-shard zone maps that let equality and range
+//! conditions skip shards that cannot contain a match:
+//!
+//! ```
+//! use dbwipes_storage::{
+//!     Condition, ConditionBitmapCache, DataType, RowSet, Schema, ShardedTable, Table, Value,
+//! };
+//!
+//! let mut t = Table::new(
+//!     "readings",
+//!     Schema::of(&[("sensorid", DataType::Int), ("temp", DataType::Float)]),
+//! )
+//! .unwrap();
+//! for i in 0..1000i64 {
+//!     t.push_row(vec![Value::Int(i % 10), Value::Float(20.0 + (i % 7) as f64)]).unwrap();
+//! }
+//!
+//! // Unsharded: one kernel scan over the full universe.
+//! let cache = ConditionBitmapCache::new(&t);
+//! let cond = Condition::equals("sensorid", 3);
+//! let full = cache.condition(&t, &cond).unwrap();
+//!
+//! // Sharded: the same condition pins to a single hash shard; scanning
+//! // the other three shards is provably unnecessary.
+//! let sharded = ShardedTable::hash(&t, "sensorid", 4).unwrap();
+//! let mut merged: Vec<RowSet> =
+//!     sharded.shards().iter().map(|s| RowSet::empty(s.num_rows())).collect();
+//! for (s, shard) in sharded.shards().iter().enumerate() {
+//!     if !sharded.condition_may_match(s, &cond) {
+//!         continue; // zone maps guarantee an empty result here
+//!     }
+//!     let local = ConditionBitmapCache::new(shard);
+//!     merged[s] = local.condition(shard, &cond).unwrap().trues.clone();
+//! }
+//! assert_eq!(sharded.merge_sets(&merged), full.trues);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -23,6 +68,7 @@ pub mod expr;
 pub mod predicate;
 pub mod rowset;
 pub mod schema;
+pub mod shard;
 pub mod table;
 pub mod value;
 
@@ -35,5 +81,6 @@ pub use predicate::{
 };
 pub use rowset::RowSet;
 pub use schema::{Field, Schema};
+pub use shard::ShardedTable;
 pub use table::{RowId, Table};
 pub use value::{DataType, Value};

@@ -142,6 +142,17 @@ impl Condition {
         format!("{self:?}")
     }
 
+    /// True when the typed columnar compiler can express this condition
+    /// against `table`'s schema — i.e. the vectorized kernel path applies.
+    /// When `false`, evaluation falls back to the scalar expression walk
+    /// (and [`ConditionBitmapCache::condition`] returns `None`).
+    ///
+    /// Expressibility depends only on the schema and the condition, so the
+    /// answer is identical for every shard of one table.
+    pub fn vectorizable(&self, table: &Table) -> bool {
+        CompiledCondition::compile(self, table).is_ok()
+    }
+
     /// The attribute this condition constrains.
     pub fn column(&self) -> &str {
         match self {

@@ -1,0 +1,218 @@
+//! Equivalence property tests for shard-parallel execution.
+//!
+//! For random tables, statements, partitionings (hash and range, over
+//! several columns, with shard counts from 1 up to far more shards than
+//! rows) and exclusion sets, the sharded path
+//! ([`ShardedAggregateCache`]) must produce results identical — group
+//! keys, aggregate values, order and schema — to the unsharded
+//! [`GroupedAggregateCache`] on the base table.
+//!
+//! Like `incremental_equivalence.rs`, values live on the half-integer
+//! grid so every partial sum is exactly representable in an `f64` and the
+//! per-shard partial aggregates merge without rounding: *bitwise*
+//! equality is the right assertion, and any disagreement is an
+//! algorithmic bug in the shard/merge path, never floating-point noise.
+
+use dbwipes::engine::{parse_select, GroupedAggregateCache, ShardedAggregateCache};
+use dbwipes::storage::{DataType, RowSet, Schema, ShardedTable, Value};
+use dbwipes::{Condition, ConjunctivePredicate, RowId, Table};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random sensor-style table whose `value` column lies on the
+/// half-integer grid (NULLs included).
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let value = prop_oneof![Just(None), (-100i64..300).prop_map(|k| Some(k as f64 / 2.0))];
+    let row = (0i64..4, 0i64..6, value);
+    proptest::collection::vec(row, 1..60).prop_map(|rows| {
+        let schema = Schema::of(&[
+            ("grp", DataType::Int),
+            ("device", DataType::Int),
+            ("value", DataType::Float),
+        ]);
+        let mut t = Table::new("m", schema).unwrap();
+        for (g, d, v) in rows {
+            t.push_row(vec![
+                Value::Int(g),
+                Value::Int(d),
+                v.map(Value::Float).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        t
+    })
+}
+
+/// A random statement drawn from shapes covering every aggregate,
+/// grouped and ungrouped queries, WHERE clauses, ORDER BY and LIMIT.
+fn arbitrary_statement() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SELECT grp, avg(value), sum(value), count(*), count(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, stddev(value), variance(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, min(value), max(value) FROM m GROUP BY grp".to_string()),
+        Just("SELECT grp, device, sum(value), max(value) FROM m GROUP BY grp, device".to_string()),
+        Just("SELECT avg(value), min(value), max(value), count(*) FROM m".to_string()),
+        (-40i64..120).prop_map(|t| format!(
+            "SELECT grp, avg(value), max(value) FROM m WHERE value > {} GROUP BY grp",
+            t as f64 / 2.0
+        )),
+        Just("SELECT grp, grp * 10 AS label, sum(value) FROM m GROUP BY grp ORDER BY sum_value DESC LIMIT 3".to_string()),
+        Just("SELECT grp, count(value) FROM m GROUP BY grp ORDER BY 2 DESC, grp LIMIT 2".to_string()),
+    ]
+}
+
+/// A random partitioning: hash or range, on any column (including the
+/// NULL-bearing float column), with shard counts covering the degenerate
+/// single shard, typical small counts, and far more shards than rows.
+fn arbitrary_partition() -> impl Strategy<Value = (bool, &'static str, usize)> {
+    (
+        any::<bool>(),
+        prop_oneof![Just("grp"), Just("device"), Just("value")],
+        prop_oneof![Just(1usize), 2usize..6, Just(100usize)],
+    )
+}
+
+/// A random exclusion set in base-table coordinates (some rows possibly
+/// out of range or duplicated — both paths must tolerate both).
+fn arbitrary_exclusions() -> impl Strategy<Value = Vec<RowId>> {
+    proptest::collection::vec((0usize..70).prop_map(RowId), 0..40)
+}
+
+fn build_partition(table: &Table, hash: bool, column: &str, shards: usize) -> Arc<ShardedTable> {
+    let sharded = if hash {
+        ShardedTable::hash(table, column, shards)
+    } else {
+        ShardedTable::range(table, column, shards)
+    };
+    Arc::new(sharded.unwrap())
+}
+
+/// The core assertion: for one (table, partition, statement, exclusions)
+/// tuple, the sharded cache's full and excluding results are bitwise
+/// identical to the unsharded cache's.
+fn assert_equivalent(
+    table: &Table,
+    sharded: &Arc<ShardedTable>,
+    sql: &str,
+    excluded: &[RowId],
+) -> Result<(), String> {
+    let stmt = parse_select(sql).unwrap();
+    let unsharded = GroupedAggregateCache::build(table, &stmt).unwrap();
+    let cache = ShardedAggregateCache::build(sharded.clone(), &stmt).unwrap();
+
+    let full_a = unsharded.full_result();
+    let full_b = cache.full_result();
+    prop_assert!(
+        full_a.rows == full_b.rows && full_a.group_keys == full_b.group_keys,
+        "full results diverged for {sql}: {:?} != {:?}",
+        full_a.rows,
+        full_b.rows
+    );
+    prop_assert_eq!(full_a.schema.names(), full_b.schema.names());
+
+    // Exclusion path: global rows split through the partition mapping.
+    let incremental = unsharded.result_excluding(excluded);
+    let split = sharded.split_rows(excluded);
+    let sets: Vec<RowSet> = split
+        .iter()
+        .zip(sharded.shards())
+        .map(|(rows, t)| RowSet::from_rows(t.num_rows(), rows.iter()))
+        .collect();
+    let merged = cache.result_excluding_local_sets(&sets);
+    prop_assert!(
+        incremental.rows == merged.rows && incremental.group_keys == merged.group_keys,
+        "excluding results diverged for {sql} excluding {excluded:?}: {:?} != {:?}",
+        incremental.rows,
+        merged.rows
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: random (table, partition, statement,
+    /// exclusion) tuples — hash and range, shard counts 1 / small / far
+    /// beyond the row count — answer bitwise identically to the
+    /// unsharded cache, full and under exclusion.
+    #[test]
+    fn sharded_matches_unsharded(
+        table in arbitrary_table(),
+        (hash, column, shards) in arbitrary_partition(),
+        excluded in arbitrary_exclusions(),
+        sql_a in arbitrary_statement(),
+        sql_b in arbitrary_statement(),
+    ) {
+        let sharded = build_partition(&table, hash, column, shards);
+        prop_assert_eq!(
+            sharded.shards().iter().map(|s| s.num_rows()).sum::<usize>(),
+            table.num_rows()
+        );
+        for sql in [&sql_a, &sql_b] {
+            assert_equivalent(&table, &sharded, sql, &excluded)?;
+        }
+    }
+
+    /// Boundary-straddling predicates: under *range* partitioning on the
+    /// aggregated column, exclusion sets drawn from threshold predicates
+    /// land on both sides of (and exactly on) the shard boundaries. The
+    /// per-key path must agree with the unsharded per-key path too.
+    #[test]
+    fn range_boundary_straddling_predicates_match(
+        table in arbitrary_table(),
+        shards in 2usize..5,
+        threshold in -50i64..150,
+    ) {
+        let sharded = build_partition(&table, false, "value", shards);
+        let stmt = parse_select("SELECT grp, avg(value), count(*) FROM m GROUP BY grp").unwrap();
+        let unsharded = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        let cache = ShardedAggregateCache::build(sharded.clone(), &stmt).unwrap();
+
+        // `value > t/2` straddles every boundary above the threshold; the
+        // exclusion set is exactly the ranker's TRUE-or-UNKNOWN rows.
+        let predicate =
+            ConjunctivePredicate::new(vec![Condition::above("value", threshold as f64 / 2.0)]);
+        let p_expr = predicate.to_expr();
+        let excluded: Vec<RowId> = table
+            .visible_row_ids()
+            .filter(|&r| {
+                unsharded.contains(r)
+                    && !matches!(p_expr.eval(&table, r), Ok(Value::Bool(false)))
+            })
+            .collect();
+
+        let keys: Vec<Vec<Value>> = (0..4).map(|g| vec![Value::Int(g)]).collect();
+        let a = unsharded.result_excluding_keys(&excluded, &keys);
+        let b = cache.result_excluding_keys_global(&excluded, &keys);
+        prop_assert!(
+            a.rows == b.rows && a.group_keys == b.group_keys,
+            "per-key results diverged at threshold {threshold}: {:?} != {:?}",
+            a.rows,
+            b.rows
+        );
+        assert_equivalent(&table, &sharded, "SELECT grp, sum(value), min(value) FROM m GROUP BY grp", &excluded)?;
+    }
+
+    /// Whole-group and whole-table exclusion across shard boundaries:
+    /// groups that vanish must vanish identically, and excluding every
+    /// row leaves both paths agreeing on the empty (or implicit-group)
+    /// answer.
+    #[test]
+    fn cross_shard_group_exclusion_matches(
+        table in arbitrary_table(),
+        (hash, column, shards) in arbitrary_partition(),
+        victim in 0i64..4,
+    ) {
+        let sharded = build_partition(&table, hash, column, shards);
+        let excluded: Vec<RowId> = (0..table.num_rows())
+            .map(RowId)
+            .filter(|&r| {
+                table.value_by_name(r, "grp").map(|v| v == Value::Int(victim)).unwrap_or(false)
+            })
+            .collect();
+        assert_equivalent(&table, &sharded, "SELECT grp, sum(value), count(*) FROM m GROUP BY grp", &excluded)?;
+        let all: Vec<RowId> = (0..table.num_rows()).map(RowId).collect();
+        assert_equivalent(&table, &sharded, "SELECT grp, avg(value) FROM m GROUP BY grp", &all)?;
+        assert_equivalent(&table, &sharded, "SELECT avg(value), count(*), min(value) FROM m", &all)?;
+    }
+}
