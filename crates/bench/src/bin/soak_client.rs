@@ -85,9 +85,15 @@ fn connect_admitted(addr: &str, busy_retries: &mut u64) -> Result<LineClient, St
             Ok(reply) if reply.get("pong") == Some(&Json::Bool(true)) => return Ok(conn),
             Ok(reply) if reply.get("busy") == Some(&Json::Bool(true)) => {
                 *busy_retries += 1;
-                // Exponential-ish backoff, capped: the pool signalled
-                // overload, so do not hammer it.
-                std::thread::sleep(Duration::from_millis(2 + (attempt as u64 % 20)));
+                // The protocol requires every busy reply to carry a
+                // server-derived backoff hint; a missing one is a
+                // protocol violation, not something to paper over.
+                let Some(hint) = reply.get("retry_after_ms").and_then(Json::as_u64) else {
+                    return Err(format!("busy reply without retry_after_ms: {reply}"));
+                };
+                // Honor the hint (capped so a soak run cannot stall), plus
+                // a little jitter so the fleet does not retry in lockstep.
+                std::thread::sleep(Duration::from_millis(hint.min(100) + (attempt as u64 % 7)));
             }
             Ok(reply) => return Err(format!("non-busy admission error: {reply}")),
             // The server may also close a rejected socket as we write the

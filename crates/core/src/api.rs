@@ -20,7 +20,7 @@ use dbwipes_engine::{
     QueryResult, ShardedAggregateCache,
 };
 use dbwipes_learn::FeatureSpace;
-use dbwipes_storage::{Catalog, ConjunctivePredicate, RowId, Table};
+use dbwipes_storage::{Catalog, Condition, ConjunctivePredicate, RowId, ShardedTable, Table};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -45,10 +45,11 @@ pub struct ExplainConfig {
     /// to true.
     pub exclude_group_by_columns: bool,
     /// Number of horizontal shards the Predicate Ranker partitions the
-    /// table into (hash on the table's first column). 1 (the default) uses
-    /// the single-table path; larger values run every condition kernel and
-    /// re-aggregation per shard, letting zone maps skip shards a condition
-    /// provably cannot match (see `docs/TUNING.md`).
+    /// table into (hash on an adaptively chosen column — see
+    /// [`choose_shard_column`]). 1 (the default) uses the single-table
+    /// path; larger values run every condition kernel and re-aggregation
+    /// per shard, letting zone maps skip shards a condition provably
+    /// cannot match (see `docs/TUNING.md`).
     pub shards: usize,
 }
 
@@ -249,6 +250,69 @@ pub fn explain_on_table(
     Ok(explanation)
 }
 
+/// How the explain pipeline obtains a [`ShardedTable`] partition when the
+/// config asks for more than one shard.
+///
+/// The default [`FreshPartitioner`] hash-partitions from scratch on every
+/// explain — correct but wasteful when the same table is explained
+/// repeatedly (every brush of the same result pays the full row-copy
+/// cost). A caching caller (the server's cross-brush registry) implements
+/// this trait to retain partitions keyed by table identity/version plus
+/// the partition parameters, and serve repeats from memory.
+pub trait ShardPartitioner {
+    /// A hash partition of `table` on `column` into `shards` shards —
+    /// freshly built or retrieved from a cache, but always covering the
+    /// table's *current* data version.
+    fn partition(
+        &self,
+        table: &Table,
+        column: &str,
+        shards: usize,
+    ) -> Result<Arc<ShardedTable>, CoreError>;
+}
+
+/// The default [`ShardPartitioner`]: builds a fresh partition every call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FreshPartitioner;
+
+impl ShardPartitioner for FreshPartitioner {
+    fn partition(
+        &self,
+        table: &Table,
+        column: &str,
+        shards: usize,
+    ) -> Result<Arc<ShardedTable>, CoreError> {
+        Ok(Arc::new(ShardedTable::hash(table, column, shards)?))
+    }
+}
+
+/// Picks the column the Predicate Ranker hash-partitions on, from the
+/// candidate pool itself: the first equality-tested column (`=` or `IN`)
+/// among the candidates, because hash zone maps can pin exactly those
+/// conditions to a single shard. Falls back to the first resolvable GROUP
+/// BY column (group-correlated rows tend to collocate), then to the
+/// table's first column. `None` only for a column-less schema.
+pub fn choose_shard_column(
+    table: &Table,
+    predicates: &[ConjunctivePredicate],
+    group_by: &[String],
+) -> Option<String> {
+    let resolvable = |name: &str| table.schema().resolve(name).is_ok();
+    for predicate in predicates {
+        for condition in predicate.conditions() {
+            if matches!(condition, Condition::Equals { .. } | Condition::InSet { .. })
+                && resolvable(condition.column())
+            {
+                return Some(condition.column().to_string());
+            }
+        }
+    }
+    if let Some(g) = group_by.iter().find(|g| resolvable(g)) {
+        return Some(g.clone());
+    }
+    table.schema().field_at(0).map(|f| f.name.clone())
+}
+
 /// Runs the full backend pipeline over an externally-owned
 /// [`GroupedAggregateCache`] (which carries the table it was built from).
 ///
@@ -257,10 +321,27 @@ pub fn explain_on_table(
 /// the wrong query, so the mismatch is rejected up front. On a cache hit
 /// the pipeline skips the one-full-execution build cost — the point of
 /// keeping caches alive across brushes and repeated explains.
+///
+/// Sharded rankings (config `shards >= 2`) build a fresh partition per
+/// call; see [`explain_with_partitioner`] for the retained-partition
+/// variant.
 pub fn explain_with_cache(
     cache: &GroupedAggregateCache<'_>,
     result: &QueryResult,
     request: &ExplanationRequest,
+) -> Result<Explanation, CoreError> {
+    explain_with_partitioner(cache, result, request, &FreshPartitioner)
+}
+
+/// [`explain_with_cache`] with an explicit [`ShardPartitioner`], so
+/// callers that explain the same table repeatedly (the server) can reuse
+/// retained [`ShardedTable`] partitions instead of rebuilding the
+/// row-copied shards on every explain.
+pub fn explain_with_partitioner(
+    cache: &GroupedAggregateCache<'_>,
+    result: &QueryResult,
+    request: &ExplanationRequest,
+    partitioner: &dyn ShardPartitioner,
 ) -> Result<Explanation, CoreError> {
     if cache.statement() != &result.statement {
         return Err(CoreError::invalid(format!(
@@ -337,18 +418,16 @@ pub fn explain_with_cache(
     let predicates_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     // 4. Predicate Ranker, reusing the Preprocessor's cache — or, when the
-    // config asks for more than one shard, partitioning the table and
-    // scoring shard-parallel (the per-shard cache build is charged to the
-    // ranker; it pays off when zone-map pruning lets equality candidates
-    // skip most shards' kernels).
+    // config asks for more than one shard, partitioning the table on an
+    // adaptively chosen column (via the caller's partitioner, which may
+    // serve a retained partition) and scoring shard-parallel. The
+    // per-shard cache build is charged to the ranker; it pays off when
+    // zone-map pruning lets equality candidates skip most shards' kernels.
     let start = Instant::now();
-    let ranked = match (request.config.shards, table.schema().field_at(0)) {
-        (2.., Some(first)) => {
-            let sharded = Arc::new(dbwipes_storage::ShardedTable::hash(
-                table,
-                &first.name,
-                request.config.shards,
-            )?);
+    let shard_column = choose_shard_column(table, &all_predicates, &result.statement.group_by);
+    let ranked = match (request.config.shards, shard_column) {
+        (2.., Some(column)) => {
+            let sharded = partitioner.partition(table, &column, request.config.shards)?;
             let shard_cache = ShardedAggregateCache::build(sharded, &result.statement)?;
             rank_predicates_sharded(
                 &shard_cache,
@@ -510,6 +589,105 @@ mod tests {
             assert_eq!(a.0, b.0);
             assert!((a.1 - b.1).abs() < 1e-9, "{}: {} vs {}", a.0, a.1, b.1);
             assert_eq!(a.2, b.2, "{}", a.0);
+        }
+    }
+
+    #[test]
+    fn shard_column_prefers_equality_tested_candidates() {
+        let (db, _) = sensor_dbwipes();
+        let table = db.catalog().table("readings").unwrap();
+
+        // First equality-tested candidate column wins, even when it is not
+        // the first condition of the first predicate.
+        let candidates = vec![
+            ConjunctivePredicate::new(vec![Condition::at_least("temp", 80.0)]),
+            ConjunctivePredicate::new(vec![
+                Condition::at_least("voltage", 2.0),
+                Condition::equals("sensorid", 15),
+            ]),
+        ];
+        assert_eq!(
+            choose_shard_column(table, &candidates, &["window".to_string()]),
+            Some("sensorid".to_string())
+        );
+
+        // No equality condition anywhere: fall back to the first resolvable
+        // GROUP BY column (skipping columns the table does not have).
+        let ranges = vec![ConjunctivePredicate::new(vec![Condition::at_least("temp", 80.0)])];
+        assert_eq!(
+            choose_shard_column(table, &ranges, &["nope".to_string(), "window".to_string()]),
+            Some("window".to_string())
+        );
+
+        // Nothing usable at all: first schema column.
+        let first = table.schema().field_at(0).unwrap().name.clone();
+        assert_eq!(choose_shard_column(table, &[], &[]), Some(first.clone()));
+
+        // Unresolvable equality columns are skipped, not blindly chosen.
+        let phantom = vec![ConjunctivePredicate::new(vec![Condition::equals("ghost", 1)])];
+        assert_eq!(choose_shard_column(table, &phantom, &[]), Some(first));
+    }
+
+    /// A [`ShardPartitioner`] that counts calls and retains partitions per
+    /// (column, shards) — the shape of the server's registry tier.
+    #[derive(Default)]
+    struct CountingPartitioner {
+        built: std::sync::atomic::AtomicUsize,
+        served: std::sync::Mutex<std::collections::HashMap<(String, usize), Arc<ShardedTable>>>,
+    }
+
+    impl ShardPartitioner for CountingPartitioner {
+        fn partition(
+            &self,
+            table: &Table,
+            column: &str,
+            shards: usize,
+        ) -> Result<Arc<ShardedTable>, CoreError> {
+            let mut served = self.served.lock().unwrap();
+            if let Some(p) = served.get(&(column.to_string(), shards)) {
+                if p.covers(table) {
+                    return Ok(Arc::clone(p));
+                }
+            }
+            self.built.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let fresh = Arc::new(ShardedTable::hash(table, column, shards)?);
+            served.insert((column.to_string(), shards), Arc::clone(&fresh));
+            Ok(fresh)
+        }
+    }
+
+    #[test]
+    fn repeated_sharded_explains_reuse_retained_partitions() {
+        let (db, ds) = sensor_dbwipes();
+        let result = db.query(&ds.window_query()).unwrap();
+        let std_col = result.column_index("std_temp").unwrap();
+        let suspicious: Vec<usize> = (0..result.len())
+            .filter(|&i| result.rows[i][std_col].as_f64().unwrap_or(0.0) > 8.0)
+            .collect();
+        let examples: Vec<RowId> = ds.error_rows().into_iter().take(8).collect();
+        let mut request =
+            ExplanationRequest::new(suspicious, examples, ErrorMetric::too_high("std_temp", 4.0));
+        request.config.shards = 4;
+
+        let table = db.catalog().table("readings").unwrap();
+        let cache = GroupedAggregateCache::build(table, &result.statement).unwrap();
+        let partitioner = CountingPartitioner::default();
+        let first = explain_with_partitioner(&cache, &result, &request, &partitioner).unwrap();
+        let second = explain_with_partitioner(&cache, &result, &request, &partitioner).unwrap();
+        // One build, served twice: the second explain reused the retained
+        // partition instead of re-hashing every row.
+        assert_eq!(partitioner.built.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(first.predicates.len(), second.predicates.len());
+        for (a, b) in first.predicates.iter().zip(&second.predicates) {
+            assert_eq!(a.predicate, b.predicate);
+            assert_eq!(a.score, b.score);
+        }
+
+        // And the partitioner path is identical to the fresh-build path.
+        let fresh = explain_with_cache(&cache, &result, &request).unwrap();
+        for (a, b) in first.predicates.iter().zip(&fresh.predicates) {
+            assert_eq!(a.predicate, b.predicate);
+            assert_eq!(a.score, b.score);
         }
     }
 

@@ -71,8 +71,9 @@ pub mod ranker;
 pub mod sharded;
 
 pub use api::{
-    explain_on_table, explain_with_cache, ComponentTimings, DbWipes, ExplainConfig, Explanation,
-    ExplanationRequest,
+    choose_shard_column, explain_on_table, explain_with_cache, explain_with_partitioner,
+    ComponentTimings, DbWipes, ExplainConfig, Explanation, ExplanationRequest, FreshPartitioner,
+    ShardPartitioner,
 };
 pub use cleaner::{delete_matching, restore_rows, CleaningSession};
 pub use enumerator::{

@@ -21,7 +21,7 @@ use crate::metric::ErrorMetric;
 use crate::parallel::map_chunked;
 use dbwipes_engine::{GroupedAggregateCache, QueryResult};
 use dbwipes_storage::{
-    ConditionBitmapCache, ConjunctivePredicate, DataType, RowId, RowSet, Table, Value,
+    Candidate, ConditionBitmapCache, ConjunctivePredicate, DataType, RowId, RowSet, Table, Value,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -52,10 +52,15 @@ impl Default for RankerConfig {
 
 /// A predicate together with its ranking evidence — one entry of the
 /// dashboard's "Ranked Predicates" panel (Figure 6).
+///
+/// Generic over the candidate shape: the classic conjunctive form is the
+/// default, but any [`Candidate`] (e.g. a
+/// [`PredicateTree`](dbwipes_storage::PredicateTree) with OR/NOT nodes)
+/// ranks through the same machinery.
 #[derive(Debug, Clone)]
-pub struct RankedPredicate {
+pub struct RankedPredicate<P = ConjunctivePredicate> {
     /// The human-readable predicate.
-    pub predicate: ConjunctivePredicate,
+    pub predicate: P,
     /// Combined ranking score (higher is better).
     pub score: f64,
     /// ε over the selected outputs before cleaning.
@@ -73,7 +78,7 @@ pub struct RankedPredicate {
     pub matched_rows: usize,
 }
 
-impl RankedPredicate {
+impl<P: std::fmt::Display> RankedPredicate<P> {
     /// One-line rendering used by examples and the report binaries.
     pub fn summary(&self) -> String {
         format!(
@@ -96,15 +101,15 @@ impl RankedPredicate {
 /// * `selected` — indices of the suspicious output rows S.
 /// * `examples` — the user's suspicious input tuples D′.
 /// * `metric` — the error metric ε.
-pub fn rank_predicates(
+pub fn rank_predicates<P: Candidate>(
     table: &Table,
     result: &QueryResult,
     selected: &[usize],
     examples: &[RowId],
     metric: &ErrorMetric,
-    predicates: Vec<ConjunctivePredicate>,
+    predicates: Vec<P>,
     config: &RankerConfig,
-) -> Result<Vec<RankedPredicate>, CoreError> {
+) -> Result<Vec<RankedPredicate<P>>, CoreError> {
     let cache = GroupedAggregateCache::build(table, &result.statement)?;
     rank_predicates_with_cache(&cache, result, selected, examples, metric, predicates, config)
 }
@@ -113,15 +118,15 @@ pub fn rank_predicates(
 /// table it was built from) — the explain pipeline builds one
 /// [`GroupedAggregateCache`] and shares it between the Preprocessor and the
 /// Ranker.
-pub fn rank_predicates_with_cache(
+pub fn rank_predicates_with_cache<P: Candidate>(
     cache: &GroupedAggregateCache,
     result: &QueryResult,
     selected: &[usize],
     examples: &[RowId],
     metric: &ErrorMetric,
-    predicates: Vec<ConjunctivePredicate>,
+    predicates: Vec<P>,
     config: &RankerConfig,
-) -> Result<Vec<RankedPredicate>, CoreError> {
+) -> Result<Vec<RankedPredicate<P>>, CoreError> {
     let error_before = metric.evaluate_result(result, selected);
     let f_rows: Vec<RowId> = result.inputs_of_rows(selected);
     let num_rows = cache.table().num_rows();
@@ -141,27 +146,27 @@ pub fn rank_predicates_with_cache(
         config,
     };
 
-    // Deduplicate on the canonical (sorted-conjunct) form, so `a AND b` and
-    // `b AND a` are scored once; first occurrence wins.
+    // Deduplicate on the canonical (commutativity-normalised) form, so
+    // `a AND b` and `b AND a` are scored once; first occurrence wins.
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    let candidates: Vec<ConjunctivePredicate> = predicates
+    let candidates: Vec<P> = predicates
         .into_iter()
         .filter(|p| !p.is_trivial() && seen.insert(p.canonical_key()))
         .collect();
 
-    // Warm the condition-bitmap cache serially: the candidate conjunctions
-    // share conditions drawn from one pool, so each distinct condition's
-    // column kernel runs exactly once here, and the parallel scoring pass
-    // below is pure bitmap intersections over cache hits.
+    // Warm the condition-bitmap cache serially: the candidates share leaf
+    // conditions drawn from one pool, so each distinct condition's column
+    // kernel runs exactly once here, and the parallel scoring pass below
+    // is pure bitmap combining over cache hits.
     for candidate in &candidates {
-        for condition in candidate.conditions() {
-            let _ = ctx.bitmaps.condition(ctx.cache.table(), condition);
+        for condition in candidate.leaf_conditions() {
+            let _ = ctx.bitmaps.condition(ctx.cache.table(), &condition);
         }
     }
 
     let mut ranked = map_chunked(&candidates, |_, predicate| score_candidate(&ctx, predicate))
         .into_iter()
-        .collect::<Result<Vec<RankedPredicate>, CoreError>>()?;
+        .collect::<Result<Vec<RankedPredicate<P>>, CoreError>>()?;
 
     ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.complexity.cmp(&b.complexity)));
     ranked.truncate(config.max_results);
@@ -204,17 +209,18 @@ struct CandidateEvidence {
 /// rewrite would drop them — then the cache re-derives only the touched
 /// groups.
 ///
-/// The default path is vectorized: each condition's cached bitmap (one
-/// columnar kernel scan per *distinct* condition per ranking) is
-/// intersected, match/agreement counts are popcounts, and the exclusion
-/// set flows into the aggregate cache as a bitmap. Conditions the typed
-/// compiler cannot express fall back to the per-row scalar walk.
-fn score_candidate(
+/// The default path is vectorized: each leaf condition's cached bitmap
+/// (one columnar kernel scan per *distinct* condition per ranking) is
+/// combined with word-level AND/OR/NOT, match/agreement counts are
+/// popcounts, and the exclusion set flows into the aggregate cache as a
+/// bitmap. Candidates the typed compiler cannot express fall back to the
+/// per-row scalar walk.
+fn score_candidate<P: Candidate>(
     ctx: &ScoreContext<'_, '_>,
-    predicate: &ConjunctivePredicate,
-) -> Result<RankedPredicate, CoreError> {
-    let evidence = match ctx.bitmaps.conjunction(ctx.cache.table(), predicate) {
-        // A compiled conjunction is well-typed by construction, so the
+    predicate: &P,
+) -> Result<RankedPredicate<P>, CoreError> {
+    let evidence = match predicate.tri_eval(&ctx.bitmaps, ctx.cache.table()) {
+        // A compiled candidate is well-typed by construction, so the
         // scalar path's expression validation cannot fail here.
         Some(tri) => score_bitmaps(ctx, tri),
         None => score_scalar(ctx, predicate)?,
@@ -275,9 +281,9 @@ fn score_bitmaps(ctx: &ScoreContext<'_, '_>, tri: dbwipes_storage::TriSet) -> Ca
 
 /// The scalar fallback for predicates outside the typed-kernel fragment:
 /// one expression walk per visible row.
-fn score_scalar(
+fn score_scalar<P: Candidate>(
     ctx: &ScoreContext<'_, '_>,
-    predicate: &ConjunctivePredicate,
+    predicate: &P,
 ) -> Result<CandidateEvidence, CoreError> {
     let cache = ctx.cache;
     let table = cache.table();

@@ -12,9 +12,13 @@
 //!
 //! * **Zone-map pruning** — [`ShardedTable::condition_may_match`]
 //!   guarantees that a pruned (shard, condition) pair's kernel would
-//!   produce no TRUE and no UNKNOWN rows, so the whole conjunction
-//!   contributes nothing on that shard and the kernel scan is skipped
-//!   outright. Hash-sharding on a frequently-equality-tested column pins
+//!   produce no TRUE and no UNKNOWN rows, so that leaf's kernel scan is
+//!   skipped outright and an all-FALSE bitmap substituted. For a
+//!   conjunction one pruned conjunct empties the whole shard;
+//!   for general [`Candidate`] trees the boolean prune rules fall out of
+//!   the exact substitution (an `OR` empties only when every branch is
+//!   pruned; a `NOT` over a pruned leaf turns all-TRUE and is never
+//!   pruned). Hash-sharding on a frequently-equality-tested column pins
 //!   each `col = v` candidate to a single shard.
 //! * **Determinism** — shards are always combined in ascending shard
 //!   order, and shard locals map back to base-table row ids, so the
@@ -31,7 +35,7 @@ use crate::parallel::map_chunked;
 use crate::ranker::{error_over_keys, RankedPredicate, RankerConfig};
 use dbwipes_engine::{QueryResult, ShardedAggregateCache};
 use dbwipes_storage::{
-    ConditionBitmapCache, ConjunctivePredicate, DataType, RowId, RowSet, ShardedTable, Value,
+    Candidate, Condition, ConditionBitmapCache, DataType, RowId, RowSet, ShardedTable, Value,
 };
 use std::collections::BTreeSet;
 
@@ -41,15 +45,15 @@ use std::collections::BTreeSet;
 /// argument-for-argument; `examples` and the selected outputs' input rows
 /// are given in *base-table* row ids and routed through the partition's
 /// row-id mapping internally.
-pub fn rank_predicates_sharded(
+pub fn rank_predicates_sharded<P: Candidate>(
     cache: &ShardedAggregateCache,
     result: &QueryResult,
     selected: &[usize],
     examples: &[RowId],
     metric: &ErrorMetric,
-    predicates: Vec<ConjunctivePredicate>,
+    predicates: Vec<P>,
     config: &RankerConfig,
-) -> Result<Vec<RankedPredicate>, CoreError> {
+) -> Result<Vec<RankedPredicate<P>>, CoreError> {
     let sharded = cache.sharded().clone();
     let error_before = metric.evaluate_result(result, selected);
     let f_rows: Vec<RowId> = result.inputs_of_rows(selected);
@@ -69,9 +73,9 @@ pub fn rank_predicates_sharded(
     };
 
     // Same dedup discipline as the unsharded ranker: canonical
-    // (sorted-conjunct) form, first occurrence wins.
+    // (commutativity-normalised) form, first occurrence wins.
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    let candidates: Vec<ConjunctivePredicate> = predicates
+    let candidates: Vec<P> = predicates
         .into_iter()
         .filter(|p| !p.is_trivial() && seen.insert(p.canonical_key()))
         .collect();
@@ -82,10 +86,10 @@ pub fn rank_predicates_sharded(
     // speedup comes from: each equality kernel scans one shard, not the
     // whole table.
     for candidate in &candidates {
-        for condition in candidate.conditions() {
+        for condition in candidate.leaf_conditions() {
             for (s, shard) in sharded.shards().iter().enumerate() {
-                if sharded.condition_may_match(s, condition) {
-                    let _ = ctx.bitmaps[s].condition(shard, condition);
+                if sharded.condition_may_match(s, &condition) {
+                    let _ = ctx.bitmaps[s].condition(shard, &condition);
                 }
             }
         }
@@ -93,7 +97,7 @@ pub fn rank_predicates_sharded(
 
     let mut ranked = map_chunked(&candidates, |_, predicate| score_candidate(&ctx, predicate))
         .into_iter()
-        .collect::<Result<Vec<RankedPredicate>, CoreError>>()?;
+        .collect::<Result<Vec<RankedPredicate<P>>, CoreError>>()?;
 
     ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.complexity.cmp(&b.complexity)));
     ranked.truncate(config.max_results);
@@ -144,14 +148,14 @@ struct ShardEvidence {
 }
 
 /// Scores one candidate: vectorized per-shard bitmaps when the whole
-/// conjunction compiles (expressibility is schema-only, so it is decided
+/// candidate compiles (expressibility is schema-only, so it is decided
 /// once globally, never per shard), scalar per-row walk otherwise.
-fn score_candidate(
+fn score_candidate<P: Candidate>(
     ctx: &ShardScoreContext<'_>,
-    predicate: &ConjunctivePredicate,
-) -> Result<RankedPredicate, CoreError> {
+    predicate: &P,
+) -> Result<RankedPredicate<P>, CoreError> {
     let shard0 = ctx.sharded.shard(0);
-    let vectorizable = predicate.conditions().iter().all(|c| c.vectorizable(shard0));
+    let vectorizable = predicate.vectorizable(shard0);
     let evidence =
         if vectorizable { score_bitmaps(ctx, predicate) } else { score_scalar(ctx, predicate)? };
     let ShardEvidence { matched_rows, matched_in_f, true_positives, cleaned } = evidence;
@@ -189,25 +193,24 @@ fn score_candidate(
     })
 }
 
-/// The vectorized path: per-shard bitmap intersections and popcounts,
-/// skipping pruned shards entirely (their kernels are provably empty).
-fn score_bitmaps(ctx: &ShardScoreContext<'_>, predicate: &ConjunctivePredicate) -> ShardEvidence {
+/// The vectorized path: per-shard bitmap combining and popcounts, with
+/// zone-pruned leaves substituted by all-FALSE bitmaps instead of kernel
+/// scans. The substitution is exact, so the boolean prune rules emerge
+/// from the fold itself: a conjunction with any pruned conjunct empties
+/// (and skips the shard's kernels entirely), an `OR` only empties when
+/// *every* branch is pruned, and `NOT` of a pruned leaf correctly turns
+/// all-TRUE — never pruned away.
+fn score_bitmaps<P: Candidate>(ctx: &ShardScoreContext<'_>, predicate: &P) -> ShardEvidence {
     let mut matched_rows = 0usize;
     let mut matched_in_f = 0usize;
     let mut true_positives = 0usize;
     let mut excluded: Vec<RowSet> = Vec::with_capacity(ctx.sharded.num_shards());
 
     for (s, shard) in ctx.sharded.shards().iter().enumerate() {
-        let pruned = predicate.conditions().iter().any(|c| !ctx.sharded.condition_may_match(s, c));
-        if pruned {
-            // Some condition matches nothing on this shard (zone maps), so
-            // the conjunction is all-FALSE here: no matches, no exclusions.
-            excluded.push(RowSet::empty(shard.num_rows()));
-            continue;
-        }
-        let tri = ctx.bitmaps[s]
-            .conjunction(shard, predicate)
-            .expect("globally vectorizable conjunction compiles on every shard");
+        let live = |c: &Condition| ctx.sharded.condition_may_match(s, c);
+        let tri = predicate
+            .tri_eval_pruned(&ctx.bitmaps[s], shard, &live)
+            .expect("globally vectorizable candidate compiles on every shard");
         let matched = tri.trues.and(ctx.bitmaps[s].visible());
         let mut exc = tri.passes_or_unknown();
         exc.and_assign(ctx.cache.shard_caches()[s].membership());
@@ -226,9 +229,9 @@ fn score_bitmaps(ctx: &ShardScoreContext<'_>, predicate: &ConjunctivePredicate) 
 /// shard, with base-table ids recovered through the partition mapping for
 /// the F/D′ agreement counts. Row-at-a-time evaluation is partition-safe,
 /// so walking shards in order visits exactly the base table's rows.
-fn score_scalar(
+fn score_scalar<P: Candidate>(
     ctx: &ShardScoreContext<'_>,
-    predicate: &ConjunctivePredicate,
+    predicate: &P,
 ) -> Result<ShardEvidence, CoreError> {
     let p_expr = predicate.to_expr();
     let t = p_expr.validate(ctx.sharded.shard(0).schema())?;
@@ -280,7 +283,9 @@ mod tests {
     use super::*;
     use crate::ranker::rank_predicates_with_cache;
     use dbwipes_engine::{execute_sql, GroupedAggregateCache};
-    use dbwipes_storage::{Catalog, Condition, DataType, Schema, Table};
+    use dbwipes_storage::{
+        Catalog, Condition, ConjunctivePredicate, DataType, PredicateTree, Schema, Table,
+    };
     use std::sync::Arc;
 
     /// Window 1 polluted by sensor 7 (dyadic temps → exact shard merges).
@@ -406,6 +411,98 @@ mod tests {
             .map(|s| cache.sharded().condition_may_match(s, &hot))
             .collect();
         assert!(may.iter().filter(|&&m| m).count() < cache.sharded().num_shards());
+    }
+
+    /// OR-of-conjunction and negated candidates: the disjunctive pool the
+    /// boolean-algebra layer exists for. Sharded scoring (with per-leaf
+    /// zone pruning) must agree exactly with the unsharded bitmap path on
+    /// hash *and* range partitions.
+    #[test]
+    fn sharded_tree_candidates_match_unsharded() {
+        let (c, broken) = setup();
+        let table = c.table("readings").unwrap();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let config = RankerConfig { max_results: 30, ..Default::default() };
+
+        let eq = |s: i64| ConjunctivePredicate::new(vec![Condition::equals("sensorid", s)]);
+        let hot = ConjunctivePredicate::new(vec![Condition::above("temp", 100.0)]);
+        let pool = || -> Vec<PredicateTree> {
+            let mut pool: Vec<PredicateTree> =
+                (0..12).map(|s| PredicateTree::any_of(vec![eq(s), hot.clone()])).collect();
+            pool.push(PredicateTree::negation(eq(7)));
+            pool.push(PredicateTree::negation(hot.clone()));
+            pool.push(PredicateTree::Not(Box::new(PredicateTree::any_of(vec![eq(7), eq(3)]))));
+            pool.push(PredicateTree::And(vec![
+                PredicateTree::any_of(vec![eq(7), eq(3)]),
+                PredicateTree::negation(ConjunctivePredicate::new(vec![Condition::between(
+                    "temp", 20.0, 21.0,
+                )])),
+            ]));
+            // An all-branches-prunable OR (sensors that do not exist).
+            pool.push(PredicateTree::any_of(vec![eq(777), eq(888)]));
+            pool
+        };
+
+        let flat_cache = GroupedAggregateCache::build(table, &r.statement).unwrap();
+        let baseline =
+            rank_predicates_with_cache(&flat_cache, &r, &[1], &broken, &metric, pool(), &config)
+                .unwrap();
+        assert!(!baseline.is_empty());
+        // The negated pollution predicate must not win (removing everything
+        // *but* the broken sensor leaves the inflated readings in place).
+        assert!(baseline[0].predicate.to_string().contains("OR"), "{}", baseline[0].predicate);
+
+        for (strategy, shards) in [("hash", 4usize), ("hash", 7), ("range", 3)] {
+            let st = Arc::new(match strategy {
+                "hash" => ShardedTable::hash(table, "sensorid", shards).unwrap(),
+                _ => ShardedTable::range(table, "temp", shards).unwrap(),
+            });
+            let cache = ShardedAggregateCache::build(st, &r.statement).unwrap();
+            let ranked =
+                rank_predicates_sharded(&cache, &r, &[1], &broken, &metric, pool(), &config)
+                    .unwrap();
+            assert_eq!(ranked.len(), baseline.len(), "{strategy}/{shards}");
+            for (a, b) in ranked.iter().zip(&baseline) {
+                assert_eq!(a.predicate, b.predicate, "{strategy}/{shards}");
+                assert_eq!(a.score, b.score, "{strategy}/{shards}: {}", a.predicate);
+                assert_eq!(a.error_after, b.error_after, "{strategy}/{shards}");
+                assert_eq!(a.matched_rows, b.matched_rows, "{strategy}/{shards}");
+                assert_eq!(a.example_f1, b.example_f1, "{strategy}/{shards}");
+            }
+        }
+    }
+
+    /// On a hash partition, a `NOT (sensorid = k)` candidate must stay
+    /// conservative: the shard holding sensor k is the only one where the
+    /// equality can match, but its *negation* matches rows on every shard.
+    #[test]
+    fn negated_equality_is_never_pruned_to_empty() {
+        let (c, broken) = setup();
+        let table = c.table("readings").unwrap();
+        let r = execute_sql(&c, "SELECT window, avg(temp) FROM readings GROUP BY window").unwrap();
+        let metric = ErrorMetric::too_high("avg_temp", 25.0);
+        let st = Arc::new(ShardedTable::hash(table, "sensorid", 4).unwrap());
+        let cache = ShardedAggregateCache::build(st, &r.statement).unwrap();
+        let eq7 = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 7)]);
+        // The positive equality prunes to one shard...
+        let live_shards = (0..4)
+            .filter(|&s| cache.sharded().condition_may_match(s, &Condition::equals("sensorid", 7)))
+            .count();
+        assert_eq!(live_shards, 1);
+        // ...while its negation still matches all 220 non-sensor-7 rows.
+        let ranked = rank_predicates_sharded(
+            &cache,
+            &r,
+            &[1],
+            &broken,
+            &metric,
+            vec![PredicateTree::negation(eq7)],
+            &RankerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].matched_rows, 220);
     }
 
     #[test]

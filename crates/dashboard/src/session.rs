@@ -255,9 +255,24 @@ impl DashboardSession {
         &mut self,
         cache: &GroupedAggregateCache<'_>,
     ) -> Result<&Explanation, CoreError> {
+        self.debug_with_cache_and_partitioner(cache, &dbwipes_core::FreshPartitioner)
+    }
+
+    /// [`DashboardSession::debug_with_cache`] with an explicit
+    /// [`ShardPartitioner`](dbwipes_core::ShardPartitioner): when the
+    /// explain config asks for a sharded ranking, the pipeline draws its
+    /// partition from `partitioner` — the server passes its registry here
+    /// so repeated sharded explains of an unchanged table reuse one
+    /// retained partition instead of re-hashing every row per explain.
+    pub fn debug_with_cache_and_partitioner(
+        &mut self,
+        cache: &GroupedAggregateCache<'_>,
+        partitioner: &dyn dbwipes_core::ShardPartitioner,
+    ) -> Result<&Explanation, CoreError> {
         let request = self.explain_request()?;
         let result = self.result.as_ref().expect("validated by explain_request");
-        let explanation = dbwipes_core::explain_with_cache(cache, result, &request)?;
+        let explanation =
+            dbwipes_core::explain_with_partitioner(cache, result, &request, partitioner)?;
         self.explanation = Some(explanation);
         Ok(self.explanation.as_ref().expect("just set"))
     }

@@ -290,6 +290,7 @@ impl fmt::Display for SelectStatement {
 mod tests {
     use super::*;
     use dbwipes_storage::{col, lit};
+    use std::ops::Not as _;
 
     fn stmt() -> SelectStatement {
         SelectStatement {

@@ -134,9 +134,13 @@ pub fn execute(
 /// (the shape parsed queries and predicate rewrites overwhelmingly take)
 /// are evaluated through the storage crate's vectorized condition kernels —
 /// one typed column scan per conjunct plus a bitmap intersection — instead
-/// of the per-row expression walk. Anything outside that fragment keeps
-/// the scalar path; both produce identical row sets under SQL three-valued
-/// logic (only rows where the clause is TRUE survive).
+/// of the per-row expression walk. Disjunctive and negated clauses
+/// (arbitrary `AND`/`OR`/`NOT` trees over those comparisons, the exclusion
+/// rewrites "clean as you query" emits) compile through
+/// [`dbwipes_storage::CompiledBoolExpr`] into the same kernels folded with
+/// word-level bitmap ops. Anything outside both fragments keeps the scalar
+/// path; all three produce identical row sets under SQL three-valued logic
+/// (only rows where the clause is TRUE survive).
 pub(crate) fn scan_filter(
     table: &Table,
     stmt: &SelectStatement,
@@ -149,6 +153,11 @@ pub(crate) fn scan_filter(
             return Ok(compiled.eval_columns().trues.and(&table.visible_row_set()).to_row_ids());
         }
     }
+    if let Ok(compiled) = dbwipes_storage::CompiledBoolExpr::compile(pred, table) {
+        dbwipes_storage::note_bool_vectorized();
+        return Ok(compiled.eval_columns().trues.and(&table.visible_row_set()).to_row_ids());
+    }
+    dbwipes_storage::note_bool_fallback();
     let mut filtered: Vec<RowId> = Vec::new();
     for rid in table.visible_row_ids() {
         if pred.matches(table, rid)? {
@@ -449,6 +458,7 @@ fn disambiguate(existing: &[Field], name: String) -> String {
 mod tests {
     use super::*;
     use dbwipes_storage::col;
+    use std::ops::Not as _;
 
     fn readings() -> Table {
         let schema = Schema::of(&[
@@ -644,6 +654,30 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r.inputs_of(0).is_empty());
         assert_eq!(r.value(0, "avg_temp").unwrap(), Value::Float(21.0));
+    }
+
+    #[test]
+    fn disjunctive_and_negated_where_vectorize_like_the_scalar_walk() {
+        let t = readings();
+        let stmt = |sql: &str| parse_select(sql).unwrap();
+        for sql in [
+            "SELECT hour, avg(temp) FROM readings WHERE sensorid = 3 OR temp < 21.5 GROUP BY hour",
+            "SELECT hour, avg(temp) FROM readings WHERE NOT (temp >= 100) GROUP BY hour",
+            "SELECT hour, avg(temp) FROM readings WHERE sensorid NOT IN (1, 2) GROUP BY hour",
+            "SELECT hour, avg(temp) FROM readings \
+             WHERE NOT (sensorid = 3 AND temp > 100) OR hour = 0 GROUP BY hour",
+        ] {
+            let s = stmt(sql);
+            let pred = s.where_clause.as_ref().unwrap();
+            assert!(
+                dbwipes_storage::CompiledBoolExpr::compile(pred, &t).is_ok(),
+                "{sql} should vectorize"
+            );
+            let vectorized = scan_filter(&t, &s).unwrap();
+            let scalar: Vec<RowId> =
+                t.visible_row_ids().filter(|&r| pred.matches(&t, r).unwrap()).collect();
+            assert_eq!(vectorized, scalar, "{sql}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::ast::{
 use crate::error::EngineError;
 use crate::lexer::{tokenize, Token, TokenKind};
 use dbwipes_storage::{Expr, Value};
+use std::ops::{Add as _, Div as _, Mul as _, Neg as _, Not as _, Sub as _};
 
 /// Parses a single SELECT statement.
 pub fn parse_select(sql: &str) -> Result<SelectStatement, EngineError> {

@@ -33,6 +33,17 @@ pub struct SubgroupConfig {
     pub covered_weight_decay: f64,
     /// Minimum (unweighted) number of positive examples a rule must cover.
     pub min_positive_coverage: usize,
+    /// Also offer negated category tests (`feature != category`) to the
+    /// beam search. Off by default: negations describe subgroups by what
+    /// they are *not*, which reads worse and doubles the categorical
+    /// branching factor — but they are the only way to describe an error
+    /// population like "every room except the lab" as one conjunct.
+    ///
+    /// Their coverage bitmaps are composed from the positive tests'
+    /// bitmaps (`has-a-category AND NOT eq`) instead of a second dataset
+    /// scan, mirroring how the storage layer's `TriSet` algebra negates
+    /// condition kernels.
+    pub negated_category_tests: bool,
 }
 
 impl Default for SubgroupConfig {
@@ -44,6 +55,7 @@ impl Default for SubgroupConfig {
             thresholds_per_feature: 16,
             covered_weight_decay: 0.5,
             min_positive_coverage: 2,
+            negated_category_tests: false,
         }
     }
 }
@@ -158,7 +170,7 @@ pub fn discover_subgroups(
     if n == 0 {
         return Vec::new();
     }
-    let candidates = candidate_tests(dataset, config);
+    let mut candidates = candidate_tests(dataset, config);
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -169,7 +181,7 @@ pub fn discover_subgroups(
     // never does) plus the positive-class bitmap. A rule's coverage is then
     // the intersection of its tests' bitmaps, and its class counts are
     // popcounts instead of a per-instance conjunction walk.
-    let candidate_sets: Vec<RowSet> = candidates
+    let mut candidate_sets: Vec<RowSet> = candidates
         .iter()
         .map(|(feature, test)| {
             let mut set = RowSet::empty(n);
@@ -181,6 +193,36 @@ pub fn discover_subgroups(
             set
         })
         .collect();
+    if config.negated_category_tests {
+        // `feature != c` covers exactly the instances that carry *some*
+        // category at the feature but not `c` — so its bitmap is composed
+        // from the already-built `Eq` bitmap by boolean algebra
+        // (has-category AND NOT eq) instead of another dataset scan.
+        let num_features = dataset.instances.first().map(|i| i.len()).unwrap_or(0);
+        let mut categorical: Vec<RowSet> = vec![RowSet::empty(n); num_features];
+        for (i, inst) in dataset.instances.iter().enumerate() {
+            for (f, v) in inst.iter().enumerate() {
+                if matches!(v, FeatureValue::Cat(_)) {
+                    categorical[f].insert(i);
+                }
+            }
+        }
+        let negated: Vec<((usize, PathTest), RowSet)> = candidates
+            .iter()
+            .zip(&candidate_sets)
+            .filter_map(|((feature, test), eq_set)| match test {
+                PathTest::Eq(c) => Some((
+                    (*feature, PathTest::NotEq(*c)),
+                    categorical[*feature].and(&eq_set.complement()),
+                )),
+                _ => None,
+            })
+            .collect();
+        for (test, set) in negated {
+            candidates.push(test);
+            candidate_sets.push(set);
+        }
+    }
     let pos_set = RowSet::from_indices(n, (0..n).filter(|&i| labels[i]));
 
     // CN2-SD weighted covering: every positive starts with weight 1.
@@ -364,6 +406,56 @@ mod tests {
         // Empty dataset.
         let empty = Dataset { instances: vec![], row_ids: vec![] };
         assert!(discover_subgroups(&empty, &[], &SubgroupConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn negated_category_tests_describe_everything_but_one_room() {
+        // Errors are every room EXCEPT the lab — one NotEq conjunct, but
+        // two Eq conjuncts (and max_conditions forbids two here).
+        let schema = Schema::of(&[("room", DataType::Str)]);
+        let mut t = Table::new("readings", schema).unwrap();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let room = match i % 3 {
+                0 => "lab",
+                1 => "office",
+                _ => "kitchen",
+            };
+            t.push_row(vec![Value::str(room)]).unwrap();
+            labels.push(room != "lab");
+        }
+        let rows: Vec<RowId> = t.visible_row_ids().collect();
+        let space = FeatureSpace::build_excluding(&t, &[], &rows);
+        let ds = space.extract(&t, &rows);
+
+        let base = SubgroupConfig { max_conditions: 1, ..Default::default() };
+        let with_neg = SubgroupConfig { negated_category_tests: true, ..base };
+        let positive_only = discover_subgroups(&ds, &labels, &base);
+        let negations = discover_subgroups(&ds, &labels, &with_neg);
+
+        // With negations on, the single best rule is `room != lab`,
+        // covering all 80 positives with perfect precision — something no
+        // single positive test can do.
+        let best = &negations[0];
+        assert!(matches!(best.tests[..], [(_, PathTest::NotEq(_))]), "{:?}", best.tests);
+        assert_eq!((best.covered_pos, best.covered_neg), (80, 0));
+        assert_eq!(best.to_predicate(&space).to_string(), "room <> 'lab'");
+        let best_positive = positive_only.iter().map(|s| s.wracc).fold(f64::NEG_INFINITY, f64::max);
+        assert!(best.wracc > best_positive, "{} vs {best_positive}", best.wracc);
+    }
+
+    #[test]
+    fn composed_negation_bitmaps_match_a_direct_scan() {
+        // The NotEq coverage bitmaps are built by complementing the Eq
+        // bitmaps; the discovered rules must therefore count coverage
+        // exactly as the scalar `covers` walk does.
+        let (_, labels, _, ds) = table();
+        let config = SubgroupConfig { negated_category_tests: true, ..Default::default() };
+        for sub in discover_subgroups(&ds, &labels, &config) {
+            let covered = sub.covered_indices(&ds);
+            let pos = covered.iter().filter(|&&i| labels[i]).count();
+            assert_eq!((pos, covered.len() - pos), (sub.covered_pos, sub.covered_neg));
+        }
     }
 
     #[test]

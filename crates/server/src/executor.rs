@@ -406,7 +406,11 @@ fn admit(
 ) {
     if stats.active_connections.load(Ordering::Relaxed) >= config.max_connections as u64 {
         stats.rejected.fetch_add(1, Ordering::Relaxed);
-        reject(stream, &format!("connection limit reached ({})", config.max_connections));
+        reject(
+            stream,
+            &format!("connection limit reached ({})", config.max_connections),
+            retry_after_ms(queue.len(), config.workers),
+        );
         return;
     }
     match queue.try_push(stream) {
@@ -419,17 +423,32 @@ fn admit(
         }
         Err(stream) => {
             stats.rejected.fetch_add(1, Ordering::Relaxed);
-            reject(stream, &format!("command queue full ({} waiting)", config.queue_depth));
+            reject(
+                stream,
+                &format!("command queue full ({} waiting)", config.queue_depth),
+                retry_after_ms(queue.len(), config.workers),
+            );
         }
     }
 }
 
-/// Writes a `busy` reply and closes the socket.
-fn reject(mut stream: TcpStream, reason: &str) {
+/// Backoff hint for a `busy` rejection, derived from the load the server
+/// actually sees: 10ms per connection already waiting *per worker*, so
+/// the hint grows with the expected time until a slot frees, bounded at
+/// one second so a deep queue never tells clients to go away for good.
+fn retry_after_ms(queued: usize, workers: usize) -> u64 {
+    let per_worker = (queued / workers.max(1)) as u64;
+    (10 * (1 + per_worker)).min(1_000)
+}
+
+/// Writes a `busy` reply — including the backoff hint — and closes the
+/// socket.
+fn reject(mut stream: TcpStream, reason: &str, retry_after_ms: u64) {
     let line = Json::obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::str(format!("busy: {reason}"))),
         ("busy", Json::Bool(true)),
+        ("retry_after_ms", Json::num(retry_after_ms as f64)),
     ])
     .to_string();
     let _ = writeln!(stream, "{line}");
@@ -688,6 +707,15 @@ mod tests {
         consumed.sort_unstable();
         consumed.dedup();
         assert_eq!(consumed.len(), total, "every pushed item must be popped exactly once");
+    }
+
+    #[test]
+    fn retry_hint_scales_with_queue_pressure_and_saturates() {
+        assert_eq!(retry_after_ms(0, 4), 10, "empty queue: minimal backoff");
+        assert_eq!(retry_after_ms(8, 4), 30, "two waiting per worker");
+        assert_eq!(retry_after_ms(64, 1), 650);
+        assert_eq!(retry_after_ms(10_000, 1), 1_000, "hint is capped");
+        assert_eq!(retry_after_ms(5, 0), 60, "zero workers must not divide by zero");
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl ServerSession {
         } else {
             self.cache_misses += 1;
         }
-        let explanation = self.dashboard.debug_with_cache(&cache)?;
+        // The registry doubles as the pipeline's shard partitioner, so a
+        // sharded explain of an unchanged table reuses one retained
+        // partition instead of re-hashing every row per explain.
+        let explanation = self.dashboard.debug_with_cache_and_partitioner(&cache, registry)?;
         registry.store_explanation(key, Arc::new(explanation.clone()));
         Ok((explanation, DebugCacheReport { cache_hit, memo_hit: false }))
     }
@@ -410,6 +413,37 @@ mod tests {
         assert_eq!((stats.misses, stats.hits), (1, 1));
         assert_eq!((stats.explanation_misses, stats.explanation_hits), (2, 0));
         assert_eq!(stats.explanation_entries, 2);
+    }
+
+    #[test]
+    fn repeated_sharded_debugs_reuse_one_retained_partition() {
+        let (m, query) = manager();
+        let a = m.open_session();
+        let sa = m.session(a).unwrap();
+        let mut s = sa.lock().unwrap();
+        let mut config = dbwipes_core::ExplainConfig::standard();
+        config.shards = 4;
+        s.dashboard_mut().set_explain_config(config);
+        s.dashboard_mut().run_query(&query).unwrap();
+        let outputs: Vec<usize> = (0..s.dashboard().result().unwrap().len()).collect();
+
+        // First sharded explain: the partition tier misses and builds.
+        s.dashboard_mut().select_outputs(outputs.clone());
+        s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+        s.debug_cached(m.registry()).unwrap();
+        let stats = m.registry().stats();
+        assert_eq!((stats.partition_hits, stats.partition_misses), (0, 1));
+
+        // A different ε is a different request (the explanation memo
+        // misses, the pipeline reruns) over the same table data — the
+        // sharded ranking must reuse the retained partition, not rebuild.
+        s.dashboard_mut().select_outputs(outputs);
+        s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 5.0));
+        s.debug_cached(m.registry()).unwrap();
+        let stats = m.registry().stats();
+        assert_eq!((stats.partition_hits, stats.partition_misses), (1, 1));
+        assert_eq!(stats.partition_entries, 1);
+        assert_eq!((stats.explanation_hits, stats.explanation_misses), (0, 2));
     }
 
     #[test]

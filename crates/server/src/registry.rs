@@ -37,14 +37,25 @@
 //! fingerprint inside every key pins the table data version, so no
 //! mutation can ever replay a stale answer.
 //!
+//! ## The partition tier
+//!
+//! Sharded explains (`shards >= 2`) need a [`ShardedTable`] — a full
+//! row-copied hash partition of the input. Rebuilding it per explain is
+//! pure waste: the partition depends only on the exact table data and the
+//! partition parameters, both of which repeat across brushes. The registry
+//! therefore implements [`ShardPartitioner`] with a third tier keyed by
+//! table identity/version + (column, shard count); the explain pipeline
+//! asks the registry instead of hashing every row again. Like the other
+//! tiers, version-stamped keys make staleness unfindable by construction.
+//!
 //! The registry is shared by every session of a
 //! [`SessionManager`](crate::SessionManager): two analysts debugging the
 //! same dashboard pay for one cache build — and one pipeline run, if they
 //! brushed the same selection — between them.
 
-use dbwipes_core::{Explanation, ExplanationRequest};
+use dbwipes_core::{CoreError, Explanation, ExplanationRequest, ShardPartitioner};
 use dbwipes_engine::{CacheFingerprint, EngineError, GroupedAggregateCache};
-use dbwipes_storage::RowId;
+use dbwipes_storage::{RowId, ShardedTable, Table};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -94,7 +105,8 @@ pub struct CacheRegistry {
 struct Inner {
     entries: HashMap<CacheFingerprint, Slot>,
     explanations: HashMap<ExplainKey, ExplanationEntry>,
-    /// Monotonic access clock backing both tiers' LRU order.
+    partitions: HashMap<PartitionKey, PartitionEntry>,
+    /// Monotonic access clock backing the tiers' LRU order.
     tick: u64,
     hits: u64,
     misses: u64,
@@ -103,6 +115,29 @@ struct Inner {
     explanation_hits: u64,
     explanation_misses: u64,
     explanation_evictions: u64,
+    partition_hits: u64,
+    partition_misses: u64,
+    partition_evictions: u64,
+}
+
+/// Identifies one retained [`ShardedTable`]: the exact table data (id +
+/// data version, so a mutated table can never be served a stale
+/// partition) plus the partition parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PartitionKey {
+    /// Lowercased, for [`CacheRegistry::invalidate_table`].
+    table_name: String,
+    table_id: u64,
+    table_version: u64,
+    /// Lowercased, like the schema's column resolution.
+    column: String,
+    shards: usize,
+}
+
+#[derive(Debug)]
+struct PartitionEntry {
+    partition: Arc<ShardedTable>,
+    last_used: u64,
 }
 
 #[derive(Debug)]
@@ -150,6 +185,14 @@ pub struct CacheStats {
     pub explanation_evictions: u64,
     /// Live memoized explanations right now.
     pub explanation_entries: usize,
+    /// Partition-tier lookups served from a retained [`ShardedTable`].
+    pub partition_hits: u64,
+    /// Partition-tier lookups that had to hash-partition the table.
+    pub partition_misses: u64,
+    /// Retained partitions dropped to respect the capacity bound.
+    pub partition_evictions: u64,
+    /// Live retained partitions right now.
+    pub partition_entries: usize,
 }
 
 impl CacheStats {
@@ -372,6 +415,62 @@ impl CacheRegistry {
         }
     }
 
+    /// Returns the retained partition of exactly this table data under
+    /// exactly these parameters, hash-partitioning (and retaining) on a
+    /// miss. Counting is per lookup: a hit means the explain skipped the
+    /// full row-copying rebuild.
+    ///
+    /// Unlike the aggregate-cache tier there is no build coordination:
+    /// partitioning is pure CPU over immutable data, so a rare racing
+    /// duplicate build is cheaper than parking threads (last write wins,
+    /// the results are identical).
+    pub fn get_or_partition(
+        &self,
+        table: &Table,
+        column: &str,
+        shards: usize,
+    ) -> Result<Arc<ShardedTable>, CoreError> {
+        let key = PartitionKey {
+            table_name: table.name().to_ascii_lowercase(),
+            table_id: table.id(),
+            table_version: table.version(),
+            column: column.to_ascii_lowercase(),
+            shards,
+        };
+        {
+            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.partitions.get_mut(&key) {
+                entry.last_used = tick;
+                let partition = Arc::clone(&entry.partition);
+                inner.partition_hits += 1;
+                return Ok(partition);
+            }
+            inner.partition_misses += 1;
+        }
+        // Build outside the lock; partitioning a large table must not
+        // stall unrelated lookups.
+        let partition = Arc::new(ShardedTable::hash(table, column, shards)?);
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .partitions
+            .insert(key, PartitionEntry { partition: Arc::clone(&partition), last_used: tick });
+        while inner.partitions.len() > self.capacity {
+            let oldest = inner
+                .partitions
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.partitions.remove(&oldest);
+            inner.partition_evictions += 1;
+        }
+        Ok(partition)
+    }
+
     /// Eagerly drops every finished cache of the named table
     /// (case-insensitive), returning how many entries were removed. Used
     /// when a table is re-registered: version-keyed lookups would already
@@ -382,20 +481,24 @@ impl CacheRegistry {
     pub fn invalidate_table(&self, table_name: &str) -> usize {
         let key = table_name.to_ascii_lowercase();
         let mut inner = self.inner.lock().expect("registry lock poisoned");
-        let before = inner.entries.len() + inner.explanations.len();
+        let before = inner.entries.len() + inner.explanations.len() + inner.partitions.len();
         inner.entries.retain(|fp, slot| matches!(slot, Slot::Building) || fp.table_name != key);
         inner.explanations.retain(|k, _| k.fingerprint.table_name != key);
-        let removed = before - inner.entries.len() - inner.explanations.len();
+        inner.partitions.retain(|k, _| k.table_name != key);
+        let removed =
+            before - inner.entries.len() - inner.explanations.len() - inner.partitions.len();
         inner.invalidations += removed as u64;
         removed
     }
 
-    /// Drops every finished cache and memoized explanation.
+    /// Drops every finished cache, memoized explanation and retained
+    /// partition.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("registry lock poisoned");
         let before = inner.entries.len() + inner.explanations.len();
         inner.entries.retain(|_, slot| matches!(slot, Slot::Building));
         inner.explanations.clear();
+        inner.partitions.clear();
         let removed = before - inner.entries.len();
         inner.invalidations += removed as u64;
     }
@@ -423,7 +526,24 @@ impl CacheRegistry {
             explanation_misses: inner.explanation_misses,
             explanation_evictions: inner.explanation_evictions,
             explanation_entries: inner.explanations.len(),
+            partition_hits: inner.partition_hits,
+            partition_misses: inner.partition_misses,
+            partition_evictions: inner.partition_evictions,
+            partition_entries: inner.partitions.len(),
         }
+    }
+}
+
+/// Lets the explain pipeline draw its [`ShardedTable`]s from the
+/// registry's partition tier instead of rebuilding one per explain.
+impl ShardPartitioner for CacheRegistry {
+    fn partition(
+        &self,
+        table: &Table,
+        column: &str,
+        shards: usize,
+    ) -> Result<Arc<ShardedTable>, CoreError> {
+        self.get_or_partition(table, column, shards)
     }
 }
 
@@ -567,6 +687,61 @@ mod tests {
         assert_eq!(registry.stats().invalidations, 1);
         registry.clear();
         assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn partition_tier_retains_by_data_version_and_parameters() {
+        let registry = CacheRegistry::new(2);
+        let t = table("r", 40);
+
+        // Same table + parameters: one build, then hits sharing the Arc.
+        let first = registry.get_or_partition(&t, "g", 4).unwrap();
+        let again = registry.get_or_partition(&t, "g", 4).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        // Column resolution is case-insensitive, so the key must be too.
+        let upper = registry.get_or_partition(&t, "G", 4).unwrap();
+        assert!(Arc::ptr_eq(&first, &upper));
+        let stats = registry.stats();
+        assert_eq!((stats.partition_hits, stats.partition_misses), (2, 1));
+        assert_eq!(stats.partition_entries, 1);
+
+        // Different parameters are different partitions.
+        let other = registry.get_or_partition(&t, "g", 2).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(registry.stats().partition_entries, 2);
+
+        // Mutated data gets a fresh partition (version-keyed): the stale
+        // one is unfindable, and capacity 2 evicts the LRU entry.
+        let mut mutated = (*t).clone();
+        mutated.delete_row(dbwipes_storage::RowId(0)).unwrap();
+        let fresh = registry.get_or_partition(&mutated, "g", 4).unwrap();
+        assert!(!Arc::ptr_eq(&first, &fresh));
+        assert!(fresh.covers(&mutated));
+        let stats = registry.stats();
+        assert_eq!(stats.partition_entries, 2);
+        assert_eq!(stats.partition_evictions, 1);
+
+        // Unknown columns surface the storage error instead of caching it.
+        assert!(registry.get_or_partition(&t, "missing", 4).is_err());
+    }
+
+    #[test]
+    fn invalidate_table_drops_retained_partitions() {
+        let registry = CacheRegistry::new(8);
+        let r = table("Readings", 12);
+        let d = table("donations", 12);
+        registry.get_or_partition(&r, "g", 2).unwrap();
+        registry.get_or_partition(&d, "g", 2).unwrap();
+        assert_eq!(registry.invalidate_table("readings"), 1);
+        let stats = registry.stats();
+        assert_eq!(stats.partition_entries, 1);
+        // The survivor still hits; the dropped table rebuilds.
+        registry.get_or_partition(&d, "g", 2).unwrap();
+        registry.get_or_partition(&r, "g", 2).unwrap();
+        let stats = registry.stats();
+        assert_eq!((stats.partition_hits, stats.partition_misses), (1, 3));
+        registry.clear();
+        assert_eq!(registry.stats().partition_entries, 0);
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl SessionManager {
                             ),
                             ("explanation_entries", Json::num(stats.explanation_entries as f64)),
                             ("explanation_hit_rate", Json::num(stats.explanation_hit_rate())),
+                            ("partition_hits", Json::num(stats.partition_hits as f64)),
+                            ("partition_misses", Json::num(stats.partition_misses as f64)),
+                            ("partition_evictions", Json::num(stats.partition_evictions as f64)),
+                            ("partition_entries", Json::num(stats.partition_entries as f64)),
                         ]),
                     ),
                     // Process-wide counters of the storage layer's
@@ -81,6 +85,11 @@ impl SessionManager {
                     // one per ranking; conditions shared across candidate
                     // conjunctions hit).
                     ("condition_bitmaps", condition_bitmaps_json()),
+                    // Process-wide counters of the vectorized boolean
+                    // predicate algebra: filters/WHERE clauses evaluated
+                    // through compiled bitmap DAGs vs. the scalar
+                    // row-walk fallback.
+                    ("bool_algebra", bool_algebra_json()),
                 ];
                 // Executor counters, when a pooled TCP front-end serves
                 // this manager (stdio mode has no pool to report).
@@ -310,6 +319,16 @@ fn condition_bitmaps_json() -> Json {
         ("hits", Json::num(hits as f64)),
         ("misses", Json::num(misses as f64)),
         ("hit_rate", Json::num(hit_rate)),
+    ])
+}
+
+/// Renders the storage layer's process-wide boolean-algebra vectorization
+/// counters for the `stats` reply.
+fn bool_algebra_json() -> Json {
+    let (vectorized, fallbacks) = dbwipes_storage::bool_vectorization_stats();
+    Json::obj(vec![
+        ("vectorized", Json::num(vectorized as f64)),
+        ("fallbacks", Json::num(fallbacks as f64)),
     ])
 }
 

@@ -167,10 +167,6 @@ pub fn lit(value: impl Into<Value>) -> Expr {
     Expr::Literal(value.into())
 }
 
-// The arithmetic builder methods (`add`, `sub`, `mul`, …) intentionally
-// shadow the std operator-trait names: they build AST nodes rather than
-// evaluate, and call sites read as SQL (`col("a").add(lit(1))`).
-#[allow(clippy::should_implement_trait)]
 impl Expr {
     fn binary(self, op: BinaryOp, rhs: Expr) -> Expr {
         Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
@@ -207,30 +203,6 @@ impl Expr {
     /// `self OR rhs`
     pub fn or(self, rhs: Expr) -> Expr {
         self.binary(BinaryOp::Or, rhs)
-    }
-    /// `self + rhs`
-    pub fn add(self, rhs: Expr) -> Expr {
-        self.binary(BinaryOp::Add, rhs)
-    }
-    /// `self - rhs`
-    pub fn sub(self, rhs: Expr) -> Expr {
-        self.binary(BinaryOp::Sub, rhs)
-    }
-    /// `self * rhs`
-    pub fn mul(self, rhs: Expr) -> Expr {
-        self.binary(BinaryOp::Mul, rhs)
-    }
-    /// `self / rhs`
-    pub fn div(self, rhs: Expr) -> Expr {
-        self.binary(BinaryOp::Div, rhs)
-    }
-    /// `NOT self`
-    pub fn not(self) -> Expr {
-        Expr::Unary { op: UnaryOp::Not, expr: Box::new(self) }
-    }
-    /// `-self`
-    pub fn neg(self) -> Expr {
-        Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self) }
     }
     /// `self IS NULL`
     pub fn is_null(self) -> Expr {
@@ -473,7 +445,26 @@ impl Expr {
     }
 
     /// Returns the ids of visible rows satisfying the filter.
+    ///
+    /// When the expression compiles as a boolean tree
+    /// ([`crate::predicate::CompiledBoolExpr`] — any nesting of
+    /// `AND`/`OR`/`NOT` over per-attribute comparisons), the filter runs
+    /// vectorized through the columnar kernels; a successful compile
+    /// guarantees the scalar walk could not have errored, so the result is
+    /// identical — bit for bit — to [`Expr::filter_scalar`].
     pub fn filter(&self, table: &Table) -> Result<Vec<RowId>, StorageError> {
+        if let Ok(compiled) = crate::predicate::CompiledBoolExpr::compile(self, table) {
+            crate::predicate::note_bool_vectorized();
+            return Ok(compiled.eval_columns().trues.and(&table.visible_row_set()).to_row_ids());
+        }
+        crate::predicate::note_bool_fallback();
+        self.filter_scalar(table)
+    }
+
+    /// The scalar reference path of [`Expr::filter`]: a per-row
+    /// three-valued expression walk. Public as the oracle the property
+    /// tests pin the vectorized path against.
+    pub fn filter_scalar(&self, table: &Table) -> Result<Vec<RowId>, StorageError> {
         let mut out = Vec::new();
         for rid in table.visible_row_ids() {
             if self.matches(table, rid)? {
@@ -486,6 +477,58 @@ impl Expr {
     /// Conjoins a list of expressions, returning `None` for an empty list.
     pub fn conjunction(exprs: Vec<Expr>) -> Option<Expr> {
         exprs.into_iter().reduce(|a, b| a.and(b))
+    }
+}
+
+// The arithmetic and logical-negation builders are real operator-trait
+// impls, so `col("a") + lit(1)` and `!expr` build AST nodes with plain
+// operator syntax.
+
+/// `self + rhs` (builds the AST node; SQL typing applies at eval time).
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinaryOp::Add, rhs)
+    }
+}
+
+/// `self - rhs`
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinaryOp::Sub, rhs)
+    }
+}
+
+/// `self * rhs`
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinaryOp::Mul, rhs)
+    }
+}
+
+/// `self / rhs`
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        self.binary(BinaryOp::Div, rhs)
+    }
+}
+
+/// `-self`
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self) }
+    }
+}
+
+/// `NOT self`
+impl std::ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Unary { op: UnaryOp::Not, expr: Box::new(self) }
     }
 }
 
@@ -624,6 +667,7 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::value::DataType;
+    use std::ops::{Add as _, Div as _, Mul as _, Neg as _, Not as _, Sub as _};
 
     fn table() -> Table {
         let schema = Schema::of(&[

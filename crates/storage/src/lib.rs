@@ -77,7 +77,9 @@ pub use column::Column;
 pub use error::StorageError;
 pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
 pub use predicate::{
-    CompiledPredicate, Condition, ConditionBitmapCache, ConjunctivePredicate, TriSet,
+    bool_vectorization_stats, note_bool_fallback, note_bool_vectorized, Candidate,
+    CompiledBoolExpr, CompiledPredicate, Condition, ConditionBitmapCache, ConjunctivePredicate,
+    PredicateTree, TriSet,
 };
 pub use rowset::RowSet;
 pub use schema::{Field, Schema};

@@ -9,7 +9,7 @@
 
 use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
-use crate::expr::{col, lit, BinaryOp, Expr};
+use crate::expr::{col, lit, BinaryOp, Expr, UnaryOp};
 use crate::rowset::RowSet;
 use crate::table::{RowId, Table};
 use crate::value::{DataType, Value};
@@ -355,7 +355,7 @@ impl ConjunctivePredicate {
 
     /// The exclusion form used by clean-as-you-query: `NOT (predicate)`.
     pub fn to_exclusion_expr(&self) -> Expr {
-        self.to_expr().not()
+        !self.to_expr()
     }
 
     /// Evaluates the predicate against one row.
@@ -435,6 +435,25 @@ impl ConjunctivePredicate {
 
 /// See [`ConjunctivePredicate::from_conjunctive_expr`].
 fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
+    match expr {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            collect_conjuncts(left, out)?;
+            collect_conjuncts(right, out)
+        }
+        _ => {
+            out.push(leaf_condition(expr)?);
+            Some(())
+        }
+    }
+}
+
+/// Recognizes one per-attribute comparison leaf (`column <op> literal`,
+/// `BETWEEN`, `IN`, `CONTAINS`) as a [`Condition`] — the shared leaf
+/// grammar of [`ConjunctivePredicate::from_conjunctive_expr`] and
+/// [`CompiledBoolExpr::compile`]. Returns `None` for anything outside that
+/// fragment (arithmetic, column-to-column comparison, `NOT IN`, string
+/// order comparisons, boolean connectives).
+fn leaf_condition(expr: &Expr) -> Option<Condition> {
     /// A numeric bound usable in a [`Condition::Range`] (bools and strings
     /// order-compare through their own paths, which the range kernel does
     /// not implement).
@@ -445,10 +464,6 @@ fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
         }
     }
     match expr {
-        Expr::Binary { op: BinaryOp::And, left, right } => {
-            collect_conjuncts(left, out)?;
-            collect_conjuncts(right, out)
-        }
         Expr::Binary { op, left, right } if op.is_comparison() => {
             // Normalize to `column <op> literal`, mirroring the operator
             // when the literal is on the left.
@@ -485,8 +500,7 @@ fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
                 }
                 _ => return None,
             };
-            out.push(cond);
-            Some(())
+            Some(cond)
         }
         Expr::Between { expr, low, high } => {
             let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
@@ -494,8 +508,7 @@ fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
             else {
                 return None;
             };
-            out.push(Condition::between(c.clone(), numeric_bound(lo)?, numeric_bound(hi)?));
-            Some(())
+            Some(Condition::between(c.clone(), numeric_bound(lo)?, numeric_bound(hi)?))
         }
         Expr::InList { expr, list, negated: false } => {
             let Expr::Column(c) = &**expr else { return None };
@@ -506,13 +519,11 @@ fn collect_conjuncts(expr: &Expr, out: &mut Vec<Condition>) -> Option<()> {
                     _ => None,
                 })
                 .collect::<Option<Vec<Value>>>()?;
-            out.push(Condition::in_set(c.clone(), values));
-            Some(())
+            Some(Condition::in_set(c.clone(), values))
         }
         Expr::Contains { expr, pattern } => {
             let Expr::Column(c) = &**expr else { return None };
-            out.push(Condition::contains(c.clone(), pattern.clone()));
-            Some(())
+            Some(Condition::contains(c.clone(), pattern.clone()))
         }
         _ => None,
     }
@@ -525,6 +536,273 @@ impl fmt::Display for ConjunctivePredicate {
         }
         let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
         f.write_str(&parts.join(" AND "))
+    }
+}
+
+/// An arbitrary boolean combination of [`ConjunctivePredicate`]s — the
+/// predicate-tree shape produced by OR-ing decision-tree leaf rules
+/// together or negating a learned description. Where the conjunctive form
+/// is the paper's "compact predicate", trees are what the broader cleaning
+/// workloads (probabilistic cleaning, denial-constraint repair) emit, and
+/// the whole vectorized stack — [`CompiledBoolExpr`], the
+/// [`ConditionBitmapCache`], the sharded zone-map pruner — scores them
+/// through bitmaps rather than per-row walks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateTree {
+    /// A conjunction leaf (possibly the trivial always-true one).
+    Leaf(ConjunctivePredicate),
+    /// Every branch must match; the empty `And` matches every row.
+    And(Vec<PredicateTree>),
+    /// Any branch matching keeps the row; the empty `Or` matches no row.
+    Or(Vec<PredicateTree>),
+    /// Kleene negation of the child (`NOT UNKNOWN = UNKNOWN`).
+    Not(Box<PredicateTree>),
+}
+
+impl From<ConjunctivePredicate> for PredicateTree {
+    fn from(p: ConjunctivePredicate) -> PredicateTree {
+        PredicateTree::Leaf(p)
+    }
+}
+
+impl PredicateTree {
+    /// OR of conjunctions — the union of several decision-tree leaf rules.
+    pub fn any_of(predicates: Vec<ConjunctivePredicate>) -> PredicateTree {
+        PredicateTree::Or(predicates.into_iter().map(PredicateTree::Leaf).collect())
+    }
+
+    /// The negation of a conjunction.
+    pub fn negation(predicate: ConjunctivePredicate) -> PredicateTree {
+        PredicateTree::Not(Box::new(PredicateTree::Leaf(predicate)))
+    }
+
+    /// Collects the distinct leaf conditions of the tree (by
+    /// [`Condition::cache_key`]), in first-appearance order — the set a
+    /// bitmap cache warms once regardless of how often each condition
+    /// recurs in the tree.
+    pub fn distinct_conditions(&self) -> Vec<Condition> {
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        let mut out = Vec::new();
+        self.collect_conditions(&mut seen, &mut out);
+        out
+    }
+
+    fn collect_conditions(&self, seen: &mut HashMap<String, ()>, out: &mut Vec<Condition>) {
+        match self {
+            PredicateTree::Leaf(p) => {
+                for c in p.conditions() {
+                    if seen.insert(c.cache_key(), ()).is_none() {
+                        out.push(c.clone());
+                    }
+                }
+            }
+            PredicateTree::And(bs) | PredicateTree::Or(bs) => {
+                for b in bs {
+                    b.collect_conditions(seen, out);
+                }
+            }
+            PredicateTree::Not(b) => b.collect_conditions(seen, out),
+        }
+    }
+}
+
+impl fmt::Display for PredicateTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn branch(t: &PredicateTree) -> String {
+            match t {
+                PredicateTree::Leaf(p) if p.complexity() <= 1 => p.to_string(),
+                other => format!("({other})"),
+            }
+        }
+        match self {
+            PredicateTree::Leaf(p) => fmt::Display::fmt(p, f),
+            PredicateTree::And(bs) if bs.is_empty() => f.write_str("TRUE"),
+            PredicateTree::Or(bs) if bs.is_empty() => f.write_str("FALSE"),
+            PredicateTree::And(bs) => {
+                f.write_str(&bs.iter().map(branch).collect::<Vec<_>>().join(" AND "))
+            }
+            PredicateTree::Or(bs) => {
+                f.write_str(&bs.iter().map(branch).collect::<Vec<_>>().join(" OR "))
+            }
+            PredicateTree::Not(b) => write!(f, "NOT {}", branch(b)),
+        }
+    }
+}
+
+/// What the Predicate Ranker needs from a scoreable candidate, satisfied
+/// by both the classic [`ConjunctivePredicate`] and the general
+/// [`PredicateTree`]. The two evaluation entry points keep every candidate
+/// shape on the popcount path: `tri_eval` folds cached per-condition
+/// bitmaps, and `tri_eval_pruned` additionally substitutes an all-FALSE
+/// bitmap for every leaf a zone map proved empty on the shard at hand —
+/// exact, not approximate, because a pruned leaf's kernel is *guaranteed*
+/// to produce the empty [`TriSet`] (so `NOT leaf` correctly folds to
+/// all-TRUE, and an `OR` only empties when every branch does).
+pub trait Candidate: fmt::Display + Clone + Send + Sync {
+    /// Canonical dedup key: commutative renderings share one key.
+    fn canonical_key(&self) -> String;
+    /// Condition-count complexity penalised by the ranker (a negation
+    /// counts one extra unit).
+    fn complexity(&self) -> usize;
+    /// Degenerate candidates the ranker refuses to score (provably
+    /// matching every row, or no row at all).
+    fn is_trivial(&self) -> bool;
+    /// The evaluable expression form (also the scalar-oracle input).
+    fn to_expr(&self) -> Expr;
+    /// Distinct leaf conditions, for bitmap-cache warm-up and adaptive
+    /// shard-column choice.
+    fn leaf_conditions(&self) -> Vec<Condition>;
+    /// True when every leaf compiles against `table`'s schema, i.e. the
+    /// whole candidate evaluates through columnar kernels.
+    fn vectorizable(&self, table: &Table) -> bool;
+    /// Vectorized three-valued evaluation through the bitmap cache;
+    /// `None` falls back to the scalar walk.
+    fn tri_eval(&self, cache: &ConditionBitmapCache, table: &Table) -> Option<TriSet>;
+    /// [`Candidate::tri_eval`] with zone-map pruning: leaves for which
+    /// `live` returns `false` skip their kernel and contribute all-FALSE.
+    /// Callers must only pass `live` functions backed by a sound pruning
+    /// oracle (`ShardedTable::condition_may_match`).
+    fn tri_eval_pruned(
+        &self,
+        cache: &ConditionBitmapCache,
+        table: &Table,
+        live: &dyn Fn(&Condition) -> bool,
+    ) -> Option<TriSet>;
+}
+
+impl Candidate for ConjunctivePredicate {
+    fn canonical_key(&self) -> String {
+        ConjunctivePredicate::canonical_key(self)
+    }
+
+    fn complexity(&self) -> usize {
+        ConjunctivePredicate::complexity(self)
+    }
+
+    fn is_trivial(&self) -> bool {
+        ConjunctivePredicate::is_trivial(self)
+    }
+
+    fn to_expr(&self) -> Expr {
+        ConjunctivePredicate::to_expr(self)
+    }
+
+    fn leaf_conditions(&self) -> Vec<Condition> {
+        self.conditions().to_vec()
+    }
+
+    fn vectorizable(&self, table: &Table) -> bool {
+        self.conditions().iter().all(|c| c.vectorizable(table))
+    }
+
+    fn tri_eval(&self, cache: &ConditionBitmapCache, table: &Table) -> Option<TriSet> {
+        cache.conjunction(table, self)
+    }
+
+    fn tri_eval_pruned(
+        &self,
+        cache: &ConditionBitmapCache,
+        table: &Table,
+        live: &dyn Fn(&Condition) -> bool,
+    ) -> Option<TriSet> {
+        // Any pruned conjunct empties the whole conjunction: skip every
+        // kernel on this shard.
+        if self.conditions().iter().any(|c| !live(c)) {
+            return Some(TriSet::all_false(table.num_rows()));
+        }
+        cache.conjunction(table, self)
+    }
+}
+
+impl Candidate for PredicateTree {
+    fn canonical_key(&self) -> String {
+        match self {
+            PredicateTree::Leaf(p) => p.canonical_key(),
+            PredicateTree::And(bs) if bs.is_empty() => "TRUE".to_string(),
+            PredicateTree::Or(bs) if bs.is_empty() => "FALSE".to_string(),
+            PredicateTree::And(bs) | PredicateTree::Or(bs) => {
+                let mut keys: Vec<String> =
+                    bs.iter().map(|b| format!("({})", Candidate::canonical_key(b))).collect();
+                keys.sort_unstable();
+                let sep = if matches!(self, PredicateTree::And(_)) { " AND " } else { " OR " };
+                keys.join(sep)
+            }
+            PredicateTree::Not(b) => format!("NOT ({})", Candidate::canonical_key(&**b)),
+        }
+    }
+
+    fn complexity(&self) -> usize {
+        match self {
+            PredicateTree::Leaf(p) => p.complexity(),
+            PredicateTree::And(bs) | PredicateTree::Or(bs) => {
+                bs.iter().map(Candidate::complexity).sum()
+            }
+            PredicateTree::Not(b) => 1 + Candidate::complexity(&**b),
+        }
+    }
+
+    fn is_trivial(&self) -> bool {
+        match self {
+            PredicateTree::Leaf(p) => p.is_trivial(),
+            // The empty AND matches every row; an AND of trivial branches
+            // does too.
+            PredicateTree::And(bs) => bs.iter().all(Candidate::is_trivial),
+            // The empty OR matches no row (equally useless); any trivial
+            // branch makes the OR match everything.
+            PredicateTree::Or(bs) => bs.is_empty() || bs.iter().any(Candidate::is_trivial),
+            // NOT of an everything-matcher provably matches nothing.
+            PredicateTree::Not(b) => Candidate::is_trivial(&**b),
+        }
+    }
+
+    fn to_expr(&self) -> Expr {
+        match self {
+            PredicateTree::Leaf(p) => p.to_expr(),
+            PredicateTree::And(bs) => bs
+                .iter()
+                .map(Candidate::to_expr)
+                .reduce(|a, b| a.and(b))
+                .unwrap_or_else(|| lit(true)),
+            PredicateTree::Or(bs) => bs
+                .iter()
+                .map(Candidate::to_expr)
+                .reduce(|a, b| a.or(b))
+                .unwrap_or_else(|| lit(false)),
+            PredicateTree::Not(b) => !Candidate::to_expr(&**b),
+        }
+    }
+
+    fn leaf_conditions(&self) -> Vec<Condition> {
+        self.distinct_conditions()
+    }
+
+    fn vectorizable(&self, table: &Table) -> bool {
+        CompiledBoolExpr::compile(&Candidate::to_expr(self), table).is_ok()
+    }
+
+    fn tri_eval(&self, cache: &ConditionBitmapCache, table: &Table) -> Option<TriSet> {
+        cache.bool_expr(table, &Candidate::to_expr(self))
+    }
+
+    fn tri_eval_pruned(
+        &self,
+        cache: &ConditionBitmapCache,
+        table: &Table,
+        live: &dyn Fn(&Condition) -> bool,
+    ) -> Option<TriSet> {
+        let compiled = CompiledBoolExpr::compile(&Candidate::to_expr(self), table).ok()?;
+        let leaves: Vec<Arc<TriSet>> = compiled
+            .leaf_conditions()
+            .iter()
+            .map(|c| {
+                if live(c) {
+                    cache.condition(table, c)
+                } else {
+                    Some(Arc::new(TriSet::all_false(table.num_rows())))
+                }
+            })
+            .collect::<Option<_>>()?;
+        Some(compiled.combine(&leaves))
     }
 }
 
@@ -623,10 +901,229 @@ pub struct TriSet {
 }
 
 impl TriSet {
+    /// The everywhere-TRUE result over the universe `0..len`.
+    pub fn all_true(len: usize) -> TriSet {
+        TriSet { trues: RowSet::full(len), unknowns: RowSet::empty(len) }
+    }
+
+    /// The everywhere-FALSE result over the universe `0..len`.
+    pub fn all_false(len: usize) -> TriSet {
+        TriSet { trues: RowSet::empty(len), unknowns: RowSet::empty(len) }
+    }
+
+    /// The everywhere-NULL result over the universe `0..len`.
+    pub fn all_unknown(len: usize) -> TriSet {
+        TriSet { trues: RowSet::empty(len), unknowns: RowSet::full(len) }
+    }
+
+    /// The universe size shared by both bitmaps.
+    pub fn universe(&self) -> usize {
+        self.trues.universe()
+    }
+
     /// Rows where the evaluation is TRUE *or* NULL — exactly the rows an
     /// `AND NOT (predicate)` rewrite would drop from a WHERE clause.
     pub fn passes_or_unknown(&self) -> RowSet {
         self.trues.or(&self.unknowns)
+    }
+
+    /// The three-valued result of this row's evaluation (`None` = NULL).
+    pub fn value(&self, row: usize) -> Option<bool> {
+        if self.trues.contains(row) {
+            Some(true)
+        } else if self.unknowns.contains(row) {
+            None
+        } else {
+            Some(false)
+        }
+    }
+}
+
+/// Word-level Kleene `AND`: TRUE where both sides are TRUE, FALSE where
+/// either side is FALSE, NULL otherwise.
+impl std::ops::BitAnd for &TriSet {
+    type Output = TriSet;
+
+    fn bitand(self, rhs: &TriSet) -> TriSet {
+        let trues = self.trues.and(&rhs.trues);
+        let pass = self.passes_or_unknown().and(&rhs.passes_or_unknown());
+        TriSet { unknowns: pass.and_not(&trues), trues }
+    }
+}
+
+/// Word-level Kleene `OR`: TRUE where either side is TRUE (so
+/// `UNKNOWN OR TRUE = TRUE`), FALSE where both sides are FALSE, NULL
+/// otherwise.
+impl std::ops::BitOr for &TriSet {
+    type Output = TriSet;
+
+    fn bitor(self, rhs: &TriSet) -> TriSet {
+        let trues = self.trues.or(&rhs.trues);
+        let unknowns = self.unknowns.or(&rhs.unknowns).and_not(&trues);
+        TriSet { trues, unknowns }
+    }
+}
+
+/// Word-level Kleene `NOT`: swaps TRUE and FALSE, keeps NULL in place
+/// (`NOT UNKNOWN = UNKNOWN`).
+impl std::ops::Not for &TriSet {
+    type Output = TriSet;
+
+    fn not(self) -> TriSet {
+        TriSet { trues: self.passes_or_unknown().complement(), unknowns: self.unknowns.clone() }
+    }
+}
+
+/// An arbitrary boolean [`Expr`] tree compiled against one table for
+/// vectorized evaluation — the generalization of [`CompiledPredicate`]
+/// beyond conjunctions. `AND` / `OR` / `NOT` nodes become word-level
+/// [`TriSet`] operations; leaves are the per-attribute conditions of the
+/// conjunctive fragment, deduplicated so a condition appearing several
+/// times in the tree (or served by a [`ConditionBitmapCache`]) is scanned
+/// once. Evaluation is bit-identical to the scalar three-valued walk of
+/// [`Expr::eval`].
+///
+/// Compilation fails for any construct the kernels cannot express —
+/// arithmetic, column-to-column comparisons, `IS NULL` / `IS NOT NULL`,
+/// string order comparisons, bare boolean columns, mistyped literals —
+/// and callers fall back to the scalar walk. A successful compile also
+/// guarantees the scalar walk cannot error on any row, so the vectorized
+/// result needs no per-row error channel.
+#[derive(Debug, Clone)]
+pub struct CompiledBoolExpr<'t> {
+    root: BoolNode,
+    /// Distinct leaf conditions in first-appearance order.
+    conditions: Vec<Condition>,
+    /// Typed kernels, parallel to `conditions`.
+    compiled: Vec<CompiledCondition<'t>>,
+    num_rows: usize,
+}
+
+/// One node of a compiled boolean tree; leaves index into the
+/// deduplicated condition list.
+#[derive(Debug, Clone)]
+enum BoolNode {
+    Leaf(usize),
+    Not(Box<BoolNode>),
+    And(Box<BoolNode>, Box<BoolNode>),
+    Or(Box<BoolNode>, Box<BoolNode>),
+    /// A boolean (or NULL) literal in logical position.
+    Const(Option<bool>),
+}
+
+impl<'t> CompiledBoolExpr<'t> {
+    /// Compiles a boolean expression tree against `table`, resolving and
+    /// type-checking every leaf once. Fails where the typed kernels cannot
+    /// reproduce the scalar walk (callers keep the scalar path then).
+    pub fn compile(expr: &Expr, table: &'t Table) -> Result<Self, StorageError> {
+        let mut out = CompiledBoolExpr {
+            root: BoolNode::Const(Some(false)),
+            conditions: Vec::new(),
+            compiled: Vec::new(),
+            num_rows: table.num_rows(),
+        };
+        let mut keys: HashMap<String, usize> = HashMap::new();
+        out.root = out.build(expr, table, &mut keys)?;
+        Ok(out)
+    }
+
+    fn build(
+        &mut self,
+        expr: &Expr,
+        table: &'t Table,
+        keys: &mut HashMap<String, usize>,
+    ) -> Result<BoolNode, StorageError> {
+        match expr {
+            Expr::Binary { op: BinaryOp::And, left, right } => Ok(BoolNode::And(
+                Box::new(self.build(left, table, keys)?),
+                Box::new(self.build(right, table, keys)?),
+            )),
+            Expr::Binary { op: BinaryOp::Or, left, right } => Ok(BoolNode::Or(
+                Box::new(self.build(left, table, keys)?),
+                Box::new(self.build(right, table, keys)?),
+            )),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                Ok(BoolNode::Not(Box::new(self.build(expr, table, keys)?)))
+            }
+            Expr::Literal(Value::Bool(b)) => Ok(BoolNode::Const(Some(*b))),
+            Expr::Literal(Value::Null) => Ok(BoolNode::Const(None)),
+            // `NOT IN` is the Kleene negation of `IN` (a NULL member keeps
+            // the result NULL either way), so it vectorizes even though
+            // the conjunctive fragment refuses it.
+            Expr::InList { expr: inner, list, negated: true } => {
+                let positive =
+                    Expr::InList { expr: inner.clone(), list: list.clone(), negated: false };
+                Ok(BoolNode::Not(Box::new(self.leaf(&positive, table, keys)?)))
+            }
+            other => self.leaf(other, table, keys),
+        }
+    }
+
+    fn leaf(
+        &mut self,
+        expr: &Expr,
+        table: &'t Table,
+        keys: &mut HashMap<String, usize>,
+    ) -> Result<BoolNode, StorageError> {
+        let cond = leaf_condition(expr)
+            .ok_or_else(|| StorageError::Eval(format!("not vectorizable: {expr}")))?;
+        let key = cond.cache_key();
+        if let Some(&i) = keys.get(&key) {
+            return Ok(BoolNode::Leaf(i));
+        }
+        let compiled = CompiledCondition::compile(&cond, table)?;
+        let i = self.conditions.len();
+        self.conditions.push(cond);
+        self.compiled.push(compiled);
+        keys.insert(key, i);
+        Ok(BoolNode::Leaf(i))
+    }
+
+    /// Physical row count of the table the tree was compiled against (the
+    /// bitmap universe).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The distinct leaf conditions, in first-appearance order. Leaf `i`
+    /// pairs with `leaves[i]` in [`CompiledBoolExpr::combine`].
+    pub fn leaf_conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// Vectorized three-valued evaluation over **every physical row** of
+    /// the table (soft-deleted rows included — intersect with
+    /// [`Table::visible_row_set`] to restrict): each distinct leaf runs
+    /// its columnar kernel once, then the tree folds word-level
+    /// AND/OR/NOT. Identical, row for row, to evaluating the source
+    /// expression with [`Expr::eval`].
+    pub fn eval_columns(&self) -> TriSet {
+        let leaves: Vec<Arc<TriSet>> =
+            self.compiled.iter().map(|c| Arc::new(c.eval_column(self.num_rows))).collect();
+        self.combine(&leaves)
+    }
+
+    /// Folds the tree over externally supplied per-leaf bitmaps (parallel
+    /// to [`CompiledBoolExpr::leaf_conditions`]) — the hook the
+    /// [`ConditionBitmapCache`] and the sharded zone-map pruner use to
+    /// substitute cached or pruned leaf results.
+    ///
+    /// Panics when `leaves` does not line up with the leaf list.
+    pub fn combine(&self, leaves: &[Arc<TriSet>]) -> TriSet {
+        assert_eq!(leaves.len(), self.conditions.len(), "one bitmap per distinct leaf");
+        self.fold(&self.root, leaves)
+    }
+
+    fn fold(&self, node: &BoolNode, leaves: &[Arc<TriSet>]) -> TriSet {
+        match node {
+            BoolNode::Leaf(i) => leaves[*i].as_ref().clone(),
+            BoolNode::Not(c) => !&self.fold(c, leaves),
+            BoolNode::And(a, b) => &self.fold(a, leaves) & &self.fold(b, leaves),
+            BoolNode::Or(a, b) => &self.fold(a, leaves) | &self.fold(b, leaves),
+            BoolNode::Const(Some(true)) => TriSet::all_true(self.num_rows),
+            BoolNode::Const(Some(false)) => TriSet::all_false(self.num_rows),
+            BoolNode::Const(None) => TriSet::all_unknown(self.num_rows),
+        }
     }
 }
 
@@ -940,6 +1437,34 @@ fn scan_str(
 static GLOBAL_BITMAP_HITS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide miss counter of every [`ConditionBitmapCache`].
 static GLOBAL_BITMAP_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of boolean filters served end-to-end by the
+/// vectorized tree path.
+static GLOBAL_BOOL_VECTORIZED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of boolean filters that fell back to the scalar
+/// expression walk.
+static GLOBAL_BOOL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one boolean filter served by the vectorized
+/// [`CompiledBoolExpr`] path (the server's `stats` reply reports the
+/// process-wide totals).
+pub fn note_bool_vectorized() {
+    GLOBAL_BOOL_VECTORIZED.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// Records one boolean filter that fell back to the scalar expression
+/// walk because its tree did not compile.
+pub fn note_bool_fallback() {
+    GLOBAL_BOOL_FALLBACKS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// Process-wide `(vectorized, fallback)` boolean-filter counts — see
+/// [`note_bool_vectorized`] / [`note_bool_fallback`].
+pub fn bool_vectorization_stats() -> (u64, u64) {
+    (
+        GLOBAL_BOOL_VECTORIZED.load(AtomicOrdering::Relaxed),
+        GLOBAL_BOOL_FALLBACKS.load(AtomicOrdering::Relaxed),
+    )
+}
 
 /// A per-table cache of condition-evaluation bitmaps.
 ///
@@ -1049,6 +1574,23 @@ impl ConditionBitmapCache {
         Some(TriSet { unknowns: pass.and_not(&trues), trues })
     }
 
+    /// Evaluates an arbitrary boolean expression tree by folding the
+    /// cached per-condition bitmaps with word-level AND/OR/NOT — the
+    /// disjunctive/negated generalization of
+    /// [`ConditionBitmapCache::conjunction`]. Each **distinct** leaf costs
+    /// one cache lookup (a kernel scan on first sight, a hit afterwards).
+    /// Returns `None` when the tree does not compile against `table`
+    /// (the caller's scalar fallback then handles the whole expression).
+    pub fn bool_expr(&self, table: &Table, expr: &Expr) -> Option<TriSet> {
+        let compiled = CompiledBoolExpr::compile(expr, table).ok()?;
+        let leaves: Vec<Arc<TriSet>> = compiled
+            .leaf_conditions()
+            .iter()
+            .map(|c| self.condition(table, c))
+            .collect::<Option<_>>()?;
+        Some(compiled.combine(&leaves))
+    }
+
     /// This cache's `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits.load(AtomicOrdering::Relaxed), self.misses.load(AtomicOrdering::Relaxed))
@@ -1084,6 +1626,7 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::value::DataType;
+    use std::ops::{Add, Not as _};
 
     fn table() -> Table {
         let schema = Schema::of(&[
@@ -1333,6 +1876,308 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, conditions.len() as u64, "one kernel scan per distinct condition");
         assert!(hits > misses, "conjunctions reuse cached bitmaps");
+    }
+
+    #[test]
+    fn triset_ops_follow_kleene_truth_tables() {
+        // One row per (left, right) combination of {TRUE, FALSE, NULL}.
+        let values = [Some(true), Some(false), None];
+        let mut left = TriSet::all_false(9);
+        let mut right = TriSet::all_false(9);
+        for (i, (l, r)) in
+            values.iter().flat_map(|l| values.iter().map(move |r| (*l, *r))).enumerate()
+        {
+            match l {
+                Some(true) => left.trues.insert(i),
+                None => left.unknowns.insert(i),
+                Some(false) => {}
+            }
+            match r {
+                Some(true) => right.trues.insert(i),
+                None => right.unknowns.insert(i),
+                Some(false) => {}
+            }
+        }
+        let kleene_and = |l: Option<bool>, r: Option<bool>| match (l, r) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        };
+        let kleene_or = |l: Option<bool>, r: Option<bool>| match (l, r) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        let anded = &left & &right;
+        let ored = &left | &right;
+        let negated = !&left;
+        for (i, (l, r)) in
+            values.iter().flat_map(|l| values.iter().map(move |r| (*l, *r))).enumerate()
+        {
+            assert_eq!(anded.value(i), kleene_and(l, r), "{l:?} AND {r:?}");
+            assert_eq!(ored.value(i), kleene_or(l, r), "{l:?} OR {r:?}");
+            assert_eq!(negated.value(i), l.map(|b| !b), "NOT {l:?}");
+        }
+        // trues and unknowns stay disjoint and tail-masked.
+        assert!(anded.trues.and(&anded.unknowns).is_empty());
+        assert!(ored.trues.and(&ored.unknowns).is_empty());
+        assert!(negated.trues.and(&negated.unknowns).is_empty());
+        assert_eq!(negated.universe(), 9);
+    }
+
+    fn null_heavy_table() -> Table {
+        let schema = Schema::of(&[
+            ("sensorid", DataType::Int),
+            ("temp", DataType::Float),
+            ("ok", DataType::Bool),
+            ("memo", DataType::Str),
+        ]);
+        let mut t = Table::new("r", schema).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(15), Value::Float(122.0), Value::Bool(true), Value::str("fine")],
+            vec![Value::Int(15), Value::Null, Value::Bool(false), Value::str("REATTRIBUTION")],
+            vec![Value::Int(3), Value::Float(21.0), Value::Null, Value::Null],
+            vec![Value::Null, Value::Float(-0.0), Value::Bool(true), Value::str("Reattribution")],
+            vec![Value::Int(7), Value::Float(50.0), Value::Bool(false), Value::Null],
+        ])
+        .unwrap();
+        t
+    }
+
+    /// Boolean trees exercising NOT/OR/AND nesting, NOT IN, and literal
+    /// constants over a NULL-heavy table.
+    fn bool_trees() -> Vec<Expr> {
+        let eq15 = || col("sensorid").eq(lit(15));
+        let hot = || col("temp").gt(lit(100.0));
+        let reattr = || col("memo").contains("reattribution");
+        vec![
+            eq15().or(hot()),
+            eq15().or(hot()).not(),
+            hot().not(),
+            eq15().and(hot().not()).or(reattr()),
+            eq15().not().and(hot().or(reattr()).not()),
+            eq15().or(lit(Value::Null)),
+            hot().and(lit(Value::Null)),
+            hot().or(lit(true)),
+            hot().and(lit(false)).or(reattr()),
+            col("sensorid").not_in_list(vec![lit(3), lit(15)]),
+            col("sensorid").not_in_list(vec![lit(3), lit(Value::Null)]),
+            col("sensorid").in_list(vec![lit(3), lit(Value::Null)]).not(),
+            col("temp").between(lit(0.0), lit(60.0)).or(col("ok").eq(lit(true))).not(),
+            // A repeated leaf: the tree must still agree while scanning it
+            // once.
+            hot().or(hot().not()),
+            eq15().and(eq15()).or(eq15().not()),
+        ]
+    }
+
+    #[test]
+    fn compiled_bool_expr_agrees_with_scalar_walk() {
+        let t = null_heavy_table();
+        for expr in bool_trees() {
+            let compiled = CompiledBoolExpr::compile(&expr, &t)
+                .unwrap_or_else(|e| panic!("{expr} should vectorize: {e:?}"));
+            let tri = compiled.eval_columns();
+            assert_eq!(tri.universe(), t.num_rows());
+            assert!(tri.trues.and(&tri.unknowns).is_empty(), "{expr}: overlapping bitmaps");
+            for r in t.all_row_ids() {
+                let scalar = match expr.eval(&t, r).unwrap() {
+                    Value::Bool(b) => Some(b),
+                    Value::Null => None,
+                    other => panic!("non-boolean tree value {other:?}"),
+                };
+                assert_eq!(tri.value(r.index()), scalar, "{expr} on {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_cache_bool_expr_agrees_and_dedups_leaves() {
+        let t = null_heavy_table();
+        let cache = ConditionBitmapCache::new(&t);
+        for expr in bool_trees() {
+            let via_cache = cache.bool_expr(&t, &expr).expect("vectorizable");
+            let direct = CompiledBoolExpr::compile(&expr, &t).unwrap().eval_columns();
+            assert!(
+                via_cache.trues == direct.trues && via_cache.unknowns == direct.unknowns,
+                "{expr}"
+            );
+        }
+        let (hits, misses) = cache.stats();
+        // The trees draw on a handful of distinct conditions; each costs
+        // one kernel scan ever, and repeats (across and within trees) hit.
+        assert!(misses <= 8, "distinct leaves only: {misses}");
+        assert!(hits > misses, "repeated leaves served from cache");
+    }
+
+    #[test]
+    fn compiled_bool_expr_handles_empty_tables() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let t = Table::new("empty", schema).unwrap();
+        let expr = col("a").eq(lit(1)).or(col("a").gt(lit(2)).not());
+        let tri = CompiledBoolExpr::compile(&expr, &t).unwrap().eval_columns();
+        assert_eq!(tri.universe(), 0);
+        assert!(tri.trues.is_empty() && tri.unknowns.is_empty());
+    }
+
+    #[test]
+    fn predicate_tree_shape_accessors() {
+        let eq15 = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 15)]);
+        let hot = ConjunctivePredicate::new(vec![Condition::above("temp", 100.0)]);
+        let both = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::above("temp", 100.0),
+        ]);
+
+        let or = PredicateTree::any_of(vec![eq15.clone(), hot.clone()]);
+        assert_eq!(or.to_string(), "sensorid = 15 OR temp > 100.0000");
+        assert_eq!(Candidate::complexity(&or), 2);
+        assert!(!Candidate::is_trivial(&or));
+
+        let not = PredicateTree::negation(both.clone());
+        assert_eq!(not.to_string(), "NOT (sensorid = 15 AND temp > 100.0000)");
+        assert_eq!(Candidate::complexity(&not), 3);
+        assert!(!Candidate::is_trivial(&not));
+
+        // Commutative OR branches share one canonical key.
+        let flipped = PredicateTree::any_of(vec![hot.clone(), eq15.clone()]);
+        assert_ne!(or.to_string(), flipped.to_string());
+        assert_eq!(Candidate::canonical_key(&or), Candidate::canonical_key(&flipped));
+        assert_ne!(Candidate::canonical_key(&or), Candidate::canonical_key(&not));
+
+        // Degenerate shapes are trivial: empty OR, OR with an always-true
+        // branch, NOT of always-true, the bare trivial leaf.
+        assert!(Candidate::is_trivial(&PredicateTree::Or(vec![])));
+        assert!(Candidate::is_trivial(&PredicateTree::any_of(vec![
+            eq15.clone(),
+            ConjunctivePredicate::always_true(),
+        ])));
+        assert!(Candidate::is_trivial(&PredicateTree::negation(
+            ConjunctivePredicate::always_true()
+        )));
+        assert!(Candidate::is_trivial(&PredicateTree::And(vec![])));
+        assert!(!Candidate::is_trivial(&PredicateTree::And(vec![or.clone(), not.clone()])));
+
+        // Distinct conditions dedup across branches.
+        let nested = PredicateTree::And(vec![or, PredicateTree::negation(both)]);
+        assert_eq!(nested.distinct_conditions().len(), 2);
+    }
+
+    #[test]
+    fn predicate_tree_tri_eval_matches_scalar_walk() {
+        let t = null_heavy_table();
+        let eq15 = ConjunctivePredicate::new(vec![Condition::equals("sensorid", 15)]);
+        let hot = ConjunctivePredicate::new(vec![Condition::above("temp", 100.0)]);
+        let both = ConjunctivePredicate::new(vec![
+            Condition::equals("sensorid", 15),
+            Condition::above("temp", 100.0),
+        ]);
+        let trees = vec![
+            PredicateTree::Leaf(both.clone()),
+            PredicateTree::any_of(vec![eq15.clone(), hot.clone()]),
+            PredicateTree::negation(both.clone()),
+            PredicateTree::And(vec![
+                PredicateTree::any_of(vec![eq15.clone(), hot.clone()]),
+                PredicateTree::negation(hot.clone()),
+            ]),
+            PredicateTree::Not(Box::new(PredicateTree::any_of(vec![eq15, hot]))),
+        ];
+        let cache = ConditionBitmapCache::new(&t);
+        for tree in &trees {
+            assert!(Candidate::vectorizable(tree, &t), "{tree}");
+            let expr = Candidate::to_expr(tree);
+            let tri = Candidate::tri_eval(tree, &cache, &t).expect("vectorizable");
+            let via_pruned =
+                Candidate::tri_eval_pruned(tree, &cache, &t, &|_| true).expect("vectorizable");
+            for r in t.all_row_ids() {
+                let scalar = match expr.eval(&t, r).unwrap() {
+                    Value::Bool(b) => Some(b),
+                    Value::Null => None,
+                    other => panic!("non-boolean value {other:?}"),
+                };
+                assert_eq!(tri.value(r.index()), scalar, "{tree} on {r}");
+                assert_eq!(via_pruned.value(r.index()), scalar, "{tree} on {r} (pruned path)");
+            }
+        }
+        // A tree with an inexpressible leaf declines vectorization.
+        let bad =
+            PredicateTree::negation(ConjunctivePredicate::new(vec![Condition::equals("memo", 4)]));
+        assert!(!Candidate::vectorizable(&bad, &t));
+        assert!(Candidate::tri_eval(&bad, &cache, &t).is_none());
+    }
+
+    /// Pruned-leaf substitution is *exact*: a leaf whose kernel provably
+    /// produces the empty TriSet can be swapped for all-FALSE without
+    /// changing any fold — including under NOT, where the fold correctly
+    /// turns all-TRUE rather than pruning the candidate away.
+    #[test]
+    fn tri_eval_pruned_substitution_is_exact() {
+        // No NULLs: `sensorid = 777` genuinely yields the empty TriSet.
+        let schema = Schema::of(&[("sensorid", DataType::Int), ("temp", DataType::Float)]);
+        let mut t = Table::new("r", schema).unwrap();
+        for i in 0..10i64 {
+            t.push_row(vec![Value::Int(i % 4), Value::Float(i as f64)]).unwrap();
+        }
+        let missing = Condition::equals("sensorid", 777);
+        let present = Condition::above("temp", 4.5);
+        let live = |c: &Condition| c.cache_key() != missing.cache_key();
+
+        let leaf_m = ConjunctivePredicate::new(vec![missing.clone()]);
+        let leaf_p = ConjunctivePredicate::new(vec![present.clone()]);
+        let both = ConjunctivePredicate::new(vec![missing.clone(), present.clone()]);
+        let trees = vec![
+            PredicateTree::Leaf(both.clone()),
+            PredicateTree::any_of(vec![leaf_m.clone(), leaf_p.clone()]),
+            PredicateTree::negation(leaf_m.clone()),
+            PredicateTree::Not(Box::new(PredicateTree::any_of(vec![leaf_m.clone(), leaf_p]))),
+            PredicateTree::Or(vec![PredicateTree::Leaf(leaf_m.clone())]),
+        ];
+        for tree in &trees {
+            // Fresh caches per path so the pruned evaluation can't borrow
+            // the unpruned evaluation's bitmaps.
+            let full = Candidate::tri_eval(tree, &ConditionBitmapCache::new(&t), &t).unwrap();
+            let pruned_cache = ConditionBitmapCache::new(&t);
+            let pruned = Candidate::tri_eval_pruned(tree, &pruned_cache, &t, &live).unwrap();
+            assert!(full.trues == pruned.trues && full.unknowns == pruned.unknowns, "{tree}");
+            // The pruned leaf never reached a kernel.
+            let (_, misses) = pruned_cache.stats();
+            assert!(
+                (misses as usize) < Candidate::leaf_conditions(tree).len() + 1,
+                "{tree}: pruned leaf should skip its scan"
+            );
+        }
+        // The conjunctive impl short-circuits the whole shard.
+        let pruned_cache = ConditionBitmapCache::new(&t);
+        let tri = Candidate::tri_eval_pruned(&both, &pruned_cache, &t, &live).unwrap();
+        assert!(tri.trues.is_empty() && tri.unknowns.is_empty());
+        assert_eq!(pruned_cache.stats(), (0, 0), "no kernel ran at all");
+    }
+
+    #[test]
+    fn compiled_bool_expr_rejects_non_vectorizable_trees() {
+        let t = null_heavy_table();
+        for expr in [
+            col("temp").is_null(),
+            col("temp").is_not_null().or(col("sensorid").eq(lit(15))),
+            col("temp").add(lit(1.0)).gt(lit(2.0)),
+            col("temp").gt(col("sensorid")),
+            col("memo").lt(lit("z")).not(),
+            Expr::Column("ok".into()),
+            col("sensorid").eq(lit(15)).or(lit(7)),
+            col("memo").eq(lit(4)).or(col("sensorid").eq(lit(15))),
+        ] {
+            assert!(
+                CompiledBoolExpr::compile(&expr, &t).is_err(),
+                "{expr} must fall back to the scalar walk"
+            );
+            assert!(ConditionBitmapCache::new(&t).bool_expr(&t, &expr).is_none(), "{expr}");
+        }
+        // Fallback counters are monotone.
+        let (v0, f0) = bool_vectorization_stats();
+        note_bool_vectorized();
+        note_bool_fallback();
+        let (v1, f1) = bool_vectorization_stats();
+        assert!(v1 > v0 && f1 > f0);
     }
 
     #[test]

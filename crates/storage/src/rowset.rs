@@ -170,6 +170,22 @@ impl RowSet {
         out
     }
 
+    /// In-place complement with respect to the universe `0..len`.
+    pub fn complement_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Complement with respect to the universe `0..len` — the word-level
+    /// negation that backs vectorized `NOT`.
+    pub fn complement(&self) -> RowSet {
+        let mut out = self.clone();
+        out.complement_assign();
+        out
+    }
+
     /// `|self ∩ other|` without materializing the intersection.
     pub fn intersection_count(&self, other: &RowSet) -> usize {
         self.check_universe(other);
@@ -268,6 +284,21 @@ mod tests {
         c.or_assign(&b);
         c.and_not_assign(&a);
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn complement_respects_the_universe() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let a = RowSet::from_indices(len, (0..len).filter(|i| i % 3 == 0));
+            let c = a.complement();
+            assert_eq!(c.count_ones(), len - a.count_ones(), "len {len}");
+            for i in 0..len {
+                assert_eq!(c.contains(i), !a.contains(i), "len {len} row {i}");
+            }
+            assert!(!c.contains(len));
+            assert_eq!(c.complement(), a, "double complement, len {len}");
+            assert_eq!(RowSet::empty(len).complement(), RowSet::full(len));
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! bitmap algebra is pinned against a `BTreeSet` oracle.
 
 use dbwipes::storage::rowset::RowSet;
-use dbwipes::storage::{ConditionBitmapCache, DataType, Schema, Value};
-use dbwipes::{Condition, ConjunctivePredicate, RowId, Table};
+use dbwipes::storage::{Candidate, ConditionBitmapCache, DataType, PredicateTree, Schema, Value};
+use dbwipes::{Condition, ConjunctivePredicate, RowId, ShardedTable, Table};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -117,8 +117,118 @@ fn assert_kernel_equivalence(table: &Table, pred: &ConjunctivePredicate) -> Resu
     Ok(())
 }
 
+/// A random boolean predicate tree over four random conditions: flat
+/// disjunctions, negations, and nested AND-OR-NOT shapes up to depth 3,
+/// plus the degenerate empty connectives (`TRUE` / `FALSE`).
+fn arbitrary_tree() -> impl Strategy<Value = PredicateTree> {
+    let leaf = |c: Condition| PredicateTree::from(ConjunctivePredicate::new(vec![c]));
+    (
+        arbitrary_condition(),
+        arbitrary_condition(),
+        arbitrary_condition(),
+        arbitrary_condition(),
+        0usize..9,
+    )
+        .prop_map(move |(a, b, c, d, shape)| match shape {
+            0 => PredicateTree::Or(vec![leaf(a), leaf(b)]),
+            1 => PredicateTree::negation(ConjunctivePredicate::new(vec![a])),
+            2 => PredicateTree::Not(Box::new(PredicateTree::Or(vec![leaf(a), leaf(b)]))),
+            3 => PredicateTree::And(vec![
+                PredicateTree::Or(vec![leaf(a), leaf(b)]),
+                PredicateTree::Not(Box::new(leaf(c))),
+            ]),
+            4 => PredicateTree::any_of(vec![
+                ConjunctivePredicate::new(vec![a, b]),
+                ConjunctivePredicate::new(vec![c, d]),
+            ]),
+            5 => PredicateTree::Or(vec![
+                PredicateTree::Not(Box::new(leaf(a))),
+                PredicateTree::And(vec![leaf(b), PredicateTree::Not(Box::new(leaf(c)))]),
+            ]),
+            6 => PredicateTree::Not(Box::new(PredicateTree::Not(Box::new(leaf(a))))),
+            7 => PredicateTree::And(vec![]),
+            _ => PredicateTree::Or(vec![]),
+        })
+}
+
+/// The scalar three-valued verdict of a tree's expression on one row.
+fn scalar_verdict(tree: &PredicateTree, table: &Table, row: RowId) -> Option<bool> {
+    match Candidate::to_expr(tree).eval(table, row).expect("well-typed") {
+        Value::Bool(b) => Some(b),
+        Value::Null => None,
+        other => panic!("boolean tree evaluated to {other:?}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's headline property: vectorized NOT/OR/nested boolean
+    /// trees agree with the scalar three-valued walk row for row —
+    /// UNKNOWN propagation through the Kleene connectives included — on
+    /// random tables (empty and soft-deleted rows too), and the vectorized
+    /// `Expr::filter` fast path returns exactly the scalar oracle's rows.
+    #[test]
+    fn boolean_trees_match_scalar_walk(
+        table in arbitrary_table(),
+        tree in arbitrary_tree(),
+    ) {
+        let cache = ConditionBitmapCache::new(&table);
+        let tri = tree.tri_eval(&cache, &table).expect("generated trees are vectorizable");
+        prop_assert_eq!(tri.trues.universe(), table.num_rows());
+        for i in 0..table.num_rows() {
+            let scalar = scalar_verdict(&tree, &table, RowId(i));
+            prop_assert!(
+                tri.trues.contains(i) == (scalar == Some(true)),
+                "trues diverged from scalar at row {} for {}", i, tree
+            );
+            prop_assert!(
+                tri.unknowns.contains(i) == scalar.is_none(),
+                "unknowns diverged from scalar at row {} for {}", i, tree
+            );
+        }
+        // The user-facing filter paths: vectorized == scalar oracle.
+        let expr = Candidate::to_expr(&tree);
+        prop_assert_eq!(expr.filter(&table).unwrap(), expr.filter_scalar(&table).unwrap());
+    }
+
+    /// Sharded zone-map pruning is *exact* for boolean trees: evaluating a
+    /// tree per shard with pruned leaves substituted by all-FALSE (the
+    /// `tri_eval_pruned` path the sharded ranker uses) and merging must
+    /// reproduce the unsharded bitmaps bit for bit — disjunctions prune
+    /// only when every branch prunes, and a NOT over a pruned equality
+    /// still contributes its complement.
+    #[test]
+    fn sharded_tree_pruning_is_exact(
+        table in arbitrary_table(),
+        tree in arbitrary_tree(),
+        column in prop_oneof![Just("id"), Just("x"), Just("memo")],
+        shards in prop_oneof![Just(1usize), 2usize..5, Just(19usize)],
+    ) {
+        let full = ConditionBitmapCache::new(&table)
+            .bool_expr(&table, &Candidate::to_expr(&tree))
+            .expect("generated trees are vectorizable");
+        let sharded = ShardedTable::hash(&table, column, shards).unwrap();
+        let mut trues = Vec::new();
+        let mut unknowns = Vec::new();
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            let cache = ConditionBitmapCache::new(shard);
+            let live = |c: &Condition| sharded.condition_may_match(s, c);
+            let tri = tree
+                .tri_eval_pruned(&cache, shard, &live)
+                .expect("vectorizable on every shard");
+            trues.push(tri.trues.clone());
+            unknowns.push(tri.unknowns.clone());
+        }
+        prop_assert!(
+            sharded.merge_sets(&trues) == full.trues,
+            "pruned TRUE bitmaps diverged for {} sharded {}x on {}", tree, shards, column
+        );
+        prop_assert!(
+            sharded.merge_sets(&unknowns) == full.unknowns,
+            "pruned UNKNOWN bitmaps diverged for {} sharded {}x on {}", tree, shards, column
+        );
+    }
 
     /// Kernels ≡ scalar for single conditions and random conjunctions, and
     /// the condition-bitmap cache agrees with direct evaluation (twice, so
