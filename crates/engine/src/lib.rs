@@ -73,6 +73,7 @@ pub mod lexer;
 pub mod parser;
 pub mod result;
 pub mod sharded;
+pub mod snapshot;
 
 pub use aggregate::AggregateState;
 pub use ast::{
@@ -85,3 +86,4 @@ pub use incremental::{CacheFingerprint, GroupedAggregateCache};
 pub use parser::{parse_expr, parse_select};
 pub use result::QueryResult;
 pub use sharded::ShardedAggregateCache;
+pub use snapshot::{decode_cache, encode_cache};

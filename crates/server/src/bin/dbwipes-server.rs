@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dbwipes-server [--listen 127.0.0.1:7433] [--dataset sensor|fec|both]
-//!                [--readings N] [--cache-capacity N]
+//!                [--readings N] [--cache-capacity N] [--data-dir DIR]
 //!                [--workers N] [--queue-depth N] [--max-connections N]
 //!                [--idle-timeout-ms N] [--thread-per-conn]
 //! ```
@@ -21,9 +21,19 @@
 //! the unbounded pre-pool accept loop (the measured baseline). Sessions
 //! live in the shared [`SessionManager`], so a client may reconnect and
 //! resume its session by id.
+//!
+//! With `--data-dir DIR` (or `DBWIPES_DATA_DIR`; the flag wins) the
+//! server runs durably: a fresh directory is seeded with the demo catalog
+//! and snapshotted, a non-empty one restores the persisted catalog —
+//! skipping demo generation entirely — and rehydrates the cache registry
+//! and warm condition bitmaps from the last flush, so a restarted server
+//! answers repeated explains at registry-hit speed. Registered tables are
+//! snapshotted eagerly; warm state is flushed on graceful shutdown.
 
 use dbwipes_data::{generate_fec, generate_sensor, FecConfig, SensorConfig};
-use dbwipes_server::{serve_pooled, serve_thread_per_connection, PoolConfig, SessionManager};
+use dbwipes_server::{
+    serve_pooled, serve_thread_per_connection, PoolConfig, SessionManager, StorageRuntime,
+};
 use dbwipes_storage::Catalog;
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -36,6 +46,7 @@ struct Options {
     dataset: String,
     readings: usize,
     cache_capacity: usize,
+    data_dir: Option<String>,
     pool: PoolConfig,
     thread_per_conn: bool,
 }
@@ -46,6 +57,8 @@ fn parse_args() -> Result<Options, String> {
         dataset: "sensor".to_string(),
         readings: 5_400,
         cache_capacity: 32,
+        // The flag below overrides the environment knob.
+        data_dir: std::env::var("DBWIPES_DATA_DIR").ok().filter(|d| !d.trim().is_empty()),
         pool: PoolConfig::default(),
         thread_per_conn: false,
     };
@@ -83,12 +96,14 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
                 options.pool.idle_timeout = Duration::from_millis(ms);
             }
+            "--data-dir" => options.data_dir = Some(value("--data-dir")?),
             "--thread-per-conn" => options.thread_per_conn = true,
             "--help" | "-h" => {
                 println!(
                     "usage: dbwipes-server [--listen ADDR] [--dataset sensor|fec|both] \
-                     [--readings N] [--cache-capacity N] [--workers N] [--queue-depth N] \
-                     [--max-connections N] [--idle-timeout-ms N] [--thread-per-conn]"
+                     [--readings N] [--cache-capacity N] [--data-dir DIR] [--workers N] \
+                     [--queue-depth N] [--max-connections N] [--idle-timeout-ms N] \
+                     [--thread-per-conn]"
                 );
                 std::process::exit(0);
             }
@@ -180,18 +195,71 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let catalog = match demo_catalog(&options) {
-        Ok(catalog) => catalog,
-        Err(e) => {
-            eprintln!("dbwipes-server: {e}");
-            return ExitCode::FAILURE;
+    // Open durable storage *before* any table is created: opening
+    // advances the identity-stamp floor past everything in the manifest,
+    // so freshly generated tables can never collide with restored ones.
+    let runtime = match &options.data_dir {
+        Some(dir) => match StorageRuntime::open(dir) {
+            Ok(runtime) => Some(Arc::new(runtime)),
+            Err(e) => {
+                eprintln!("dbwipes-server: opening data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let restored = match &runtime {
+        Some(runtime) => match runtime.is_empty() {
+            Ok(empty) => !empty,
+            Err(e) => {
+                eprintln!("dbwipes-server: reading manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => false,
+    };
+    let catalog = if restored {
+        match runtime.as_ref().expect("restored implies runtime").restore_catalog() {
+            Ok(catalog) => catalog,
+            Err(e) => {
+                eprintln!("dbwipes-server: restoring catalog: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match demo_catalog(&options) {
+            Ok(catalog) => catalog,
+            Err(e) => {
+                eprintln!("dbwipes-server: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let manager = Arc::new(SessionManager::with_cache_capacity(catalog, options.cache_capacity));
+    if let Some(runtime) = &runtime {
+        manager.attach_storage(Arc::clone(runtime));
+        if restored {
+            let (caches, bitmaps) = manager.rehydrate_warm_state();
+            eprintln!(
+                "dbwipes-server: restored {} tables from {} ({} aggregate caches, \
+                 {} condition bitmaps rehydrated)",
+                manager.table_names().len(),
+                options.data_dir.as_deref().unwrap_or("?"),
+                caches,
+                bitmaps
+            );
+        } else {
+            // Seed run: make the demo catalog durable before serving.
+            manager.flush_storage();
+        }
+    }
     let served = match &options.listen {
-        Some(addr) => serve_tcp(manager, addr, &options),
+        Some(addr) => serve_tcp(manager.clone(), addr, &options),
         None => serve_stdio(&manager),
     };
+    // Idempotent final flush (the executor's drain already flushed on a
+    // graceful TCP shutdown; stdio mode flushes here).
+    manager.flush_storage();
     if let Err(e) = served {
         eprintln!("dbwipes-server: {e}");
         return ExitCode::FAILURE;

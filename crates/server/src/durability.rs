@@ -1,0 +1,200 @@
+//! Durable storage behind the service: snapshot-on-register, flush-on-
+//! shutdown, restore-on-startup, and warm-cache rehydration.
+//!
+//! A [`StorageRuntime`] wraps the storage crate's [`FsBackend`] with the
+//! service-level policy and counters the `stats` command reports:
+//!
+//! * **Table snapshots are written eagerly** — `register` persists the
+//!   table before the reply is sent, so a kill at any later point still
+//!   recovers to the registered data. Saves are version-gated: flushing a
+//!   table whose exact (id, version) is already in the manifest is a
+//!   no-op, which makes the shutdown flush idempotent and cheap.
+//! * **Warm state is written opportunistically** — at flush time the
+//!   [`CacheRegistry`]'s finished aggregate caches and the process's
+//!   donated condition bitmaps are serialized into per-table sidecars.
+//!   Sidecars are best-effort by design: they only accelerate recovery,
+//!   so a corrupt or missing sidecar degrades to a cold rebuild, never to
+//!   an error.
+//! * **Restore inverts both steps** — the manifest rebuilds the
+//!   [`Catalog`] with every table's persisted identity stamps, then the
+//!   sidecars reseed the registry ([`CacheRegistry::insert_prebuilt`])
+//!   and the warm bitmap store, so the first explain after a restart hits
+//!   the same tiers a long-running server would.
+//!
+//! The decode path trusts nothing: every snapshot and sidecar is
+//! checksummed by the storage layer, and a cache image is only installed
+//! when its stamped table identity matches the restored table exactly.
+
+use crate::registry::CacheRegistry;
+use dbwipes_engine::{decode_cache, encode_cache, GroupedAggregateCache};
+use dbwipes_storage::persist::{ByteReader, ByteWriter};
+use dbwipes_storage::{
+    export_warm_bitmaps, seed_warm_bitmaps, Catalog, FsBackend, StorageBackend, StorageError, Table,
+};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sidecar kind holding a table's serialized aggregate caches.
+const AGGS_KIND: &str = "aggs";
+/// Sidecar kind holding a table's donated condition bitmaps.
+const BITS_KIND: &str = "bits";
+
+/// The service's handle on durable storage: a filesystem backend plus the
+/// counters surfaced by the `stats` command. See the module docs for the
+/// save/restore policy.
+#[derive(Debug)]
+pub struct StorageRuntime {
+    backend: FsBackend,
+    snapshot_saves: AtomicU64,
+    snapshot_loads: AtomicU64,
+    rehydrated_caches: AtomicU64,
+}
+
+/// Point-in-time reading of the runtime's counters, as reported by the
+/// `stats` command's `storage` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageCounters {
+    /// Table snapshots written (version-gated: unchanged tables skip).
+    pub snapshot_saves: u64,
+    /// Table snapshots loaded during catalog restore.
+    pub snapshot_loads: u64,
+    /// Bytes the data directory currently occupies.
+    pub bytes_on_disk: u64,
+    /// Warm entries reloaded instead of recomputed: registry aggregate
+    /// caches plus donated condition bitmaps.
+    pub rehydrated_caches: u64,
+}
+
+impl StorageRuntime {
+    /// Opens (creating if needed) the data directory at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Ok(StorageRuntime {
+            backend: FsBackend::open(dir.as_ref())?,
+            snapshot_saves: AtomicU64::new(0),
+            snapshot_loads: AtomicU64::new(0),
+            rehydrated_caches: AtomicU64::new(0),
+        })
+    }
+
+    /// True when the manifest lists no tables — a fresh data directory
+    /// that should be seeded rather than restored.
+    pub fn is_empty(&self) -> Result<bool, StorageError> {
+        Ok(self.backend.list_manifest()?.entries.is_empty())
+    }
+
+    /// Rebuilds the full catalog from the manifest. Every restored table
+    /// keeps its persisted identity and version stamps, so cache
+    /// fingerprints minted before the restart still match.
+    pub fn restore_catalog(&self) -> Result<Catalog, StorageError> {
+        let manifest = self.backend.list_manifest()?;
+        let mut catalog = Catalog::new();
+        for entry in &manifest.entries {
+            let table = self.backend.load_table(entry.table_id)?;
+            self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+            catalog.register_or_replace(table);
+        }
+        Ok(catalog)
+    }
+
+    /// Persists `table` unless its exact (id, version) is already durable.
+    /// Re-registration under the same name gets a fresh table id, so any
+    /// manifest entry holding the *name* under an older id is evicted —
+    /// otherwise dead snapshots would accumulate and be restored as
+    /// duplicate tables.
+    pub fn save_table(&self, table: &Table) -> Result<bool, StorageError> {
+        let manifest = self.backend.list_manifest()?;
+        let lower = table.name().to_ascii_lowercase();
+        for entry in &manifest.entries {
+            if entry.table_id != table.id() && entry.name.to_ascii_lowercase() == lower {
+                self.backend.evict(entry.table_id)?;
+            }
+        }
+        if let Some(entry) = manifest.entry(table.id()) {
+            if entry.version == table.version() {
+                return Ok(false);
+            }
+        }
+        self.backend.save_table(table)?;
+        self.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Serializes `table`'s warm state into its sidecars: the registry's
+    /// finished aggregate caches built over exactly this table data, and
+    /// the process's donated condition bitmaps. Empty state writes
+    /// nothing.
+    pub fn save_warm_state(
+        &self,
+        table: &Arc<Table>,
+        caches: &[Arc<GroupedAggregateCache<'static>>],
+    ) -> Result<(), StorageError> {
+        let matching: Vec<&Arc<GroupedAggregateCache<'static>>> = caches
+            .iter()
+            .filter(|c| c.table().id() == table.id() && c.table().version() == table.version())
+            .collect();
+        if !matching.is_empty() {
+            let mut w = ByteWriter::new();
+            w.put_u64(matching.len() as u64);
+            for cache in &matching {
+                let image = encode_cache(cache);
+                w.put_u64(image.len() as u64);
+                w.put_bytes(&image);
+            }
+            self.backend.save_sidecar(table.id(), table.version(), AGGS_KIND, w.bytes())?;
+        }
+        let bitmaps = export_warm_bitmaps(table.id(), table.version());
+        if !bitmaps.is_empty() {
+            let encoded = dbwipes_storage::persist::encode_warm_bitmaps(&bitmaps);
+            self.backend.save_sidecar(table.id(), table.version(), BITS_KIND, &encoded)?;
+        }
+        Ok(())
+    }
+
+    /// Reloads `table`'s warm state: aggregate caches are decoded and
+    /// published to `registry` ([`CacheRegistry::insert_prebuilt`]),
+    /// donated bitmaps reseed the process-wide warm store. Returns how
+    /// many entries of each kind were rehydrated. Best-effort: a missing,
+    /// corrupt, or mismatched sidecar contributes zero entries rather
+    /// than failing the restore.
+    pub fn load_warm_state(&self, table: &Arc<Table>, registry: &CacheRegistry) -> (usize, usize) {
+        let mut caches = 0usize;
+        if let Ok(Some(bytes)) = self.backend.load_sidecar(table.id(), table.version(), AGGS_KIND) {
+            let mut r = ByteReader::new(&bytes);
+            if let Ok(count) = r.get_len(8) {
+                for _ in 0..count {
+                    let Ok(len) = r.get_len(1) else { break };
+                    let Ok(image) = r.take(len) else { break };
+                    let Ok(cache) = decode_cache(image, Arc::clone(table)) else { continue };
+                    if registry.insert_prebuilt(cache.fingerprint(), Arc::new(cache)) {
+                        caches += 1;
+                    }
+                }
+            }
+        }
+        let mut bitmaps = 0usize;
+        if let Ok(Some(bytes)) = self.backend.load_sidecar(table.id(), table.version(), BITS_KIND) {
+            if let Ok(entries) = dbwipes_storage::persist::decode_warm_bitmaps(&bytes) {
+                bitmaps = seed_warm_bitmaps(table.id(), table.version(), entries);
+            }
+        }
+        self.rehydrated_caches.fetch_add((caches + bitmaps) as u64, Ordering::Relaxed);
+        (caches, bitmaps)
+    }
+
+    /// The counters the `stats` command reports. `bytes_on_disk` is read
+    /// live from the data directory (0 if it cannot be listed).
+    pub fn counters(&self) -> StorageCounters {
+        StorageCounters {
+            snapshot_saves: self.snapshot_saves.load(Ordering::Relaxed),
+            snapshot_loads: self.snapshot_loads.load(Ordering::Relaxed),
+            bytes_on_disk: self.backend.bytes_on_disk().unwrap_or(0),
+            rehydrated_caches: self.rehydrated_caches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The underlying backend (tests inspect the manifest through it).
+    pub fn backend(&self) -> &FsBackend {
+        &self.backend
+    }
+}

@@ -58,6 +58,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
+pub mod durability;
 pub mod executor;
 pub mod json;
 pub mod manager;
@@ -66,6 +67,7 @@ pub mod registry;
 mod service;
 
 pub use client::LineClient;
+pub use durability::{StorageCounters, StorageRuntime};
 pub use executor::{
     serve_pooled, serve_thread_per_connection, BoundedQueue, PoolConfig, PoolSnapshot, PoolStats,
 };

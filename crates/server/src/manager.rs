@@ -18,6 +18,7 @@
 //!   within one session or across sessions brushing the same dashboard —
 //!   skips the full statement execution that dominates explain latency.
 
+use crate::durability::StorageRuntime;
 use crate::executor::PoolStats;
 use crate::registry::{CacheRegistry, ExplainKey};
 use dbwipes_core::{ComponentTimings, CoreError, DbWipes, ExplainConfig, Explanation};
@@ -195,6 +196,10 @@ pub struct SessionManager {
     /// Executor counters, attached by the pooled TCP front-end so the
     /// `stats` command can report them. Never set in stdio mode.
     pool: OnceLock<Arc<PoolStats>>,
+    /// Durable storage, attached when the server runs with a data
+    /// directory. Unset managers (embedded use, most tests) behave
+    /// exactly as before: nothing is persisted.
+    storage: OnceLock<Arc<StorageRuntime>>,
 }
 
 impl SessionManager {
@@ -213,6 +218,7 @@ impl SessionManager {
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             pool: OnceLock::new(),
+            storage: OnceLock::new(),
         }
     }
 
@@ -243,6 +249,76 @@ impl SessionManager {
     /// pooled TCP front-end.
     pub fn pool_stats(&self) -> Option<&Arc<PoolStats>> {
         self.pool.get()
+    }
+
+    /// Attaches durable storage: from now on `register_table` snapshots
+    /// eagerly and [`SessionManager::flush_storage`] persists warm state.
+    /// Also enables the process-wide warm bitmap store so dropped
+    /// [`ConditionBitmapCache`](dbwipes_storage::ConditionBitmapCache)s
+    /// donate their bitmaps for the next flush. The first attach wins;
+    /// returns false when storage was already attached.
+    pub fn attach_storage(&self, runtime: Arc<StorageRuntime>) -> bool {
+        let attached = self.storage.set(runtime).is_ok();
+        if attached {
+            dbwipes_storage::enable_warm_bitmap_store();
+        }
+        attached
+    }
+
+    /// The attached storage runtime, if this manager persists to a data
+    /// directory.
+    pub fn storage(&self) -> Option<&Arc<StorageRuntime>> {
+        self.storage.get()
+    }
+
+    /// Reseeds the shared registry and the warm bitmap store from the
+    /// attached storage's sidecars, one table at a time. Returns
+    /// `(aggregate caches, bitmap entries)` rehydrated; `(0, 0)` without
+    /// attached storage. Best-effort by construction — see
+    /// [`StorageRuntime::load_warm_state`].
+    pub fn rehydrate_warm_state(&self) -> (usize, usize) {
+        let Some(runtime) = self.storage.get() else { return (0, 0) };
+        let catalog = self.base.read().expect("catalog lock poisoned").clone();
+        let (mut caches, mut bitmaps) = (0, 0);
+        for name in catalog.table_names() {
+            if let Ok(table) = catalog.table_arc(&name) {
+                let (c, b) = runtime.load_warm_state(&table, &self.registry);
+                caches += c;
+                bitmaps += b;
+            }
+        }
+        (caches, bitmaps)
+    }
+
+    /// Flushes every base-catalog table (version-gated, so unchanged
+    /// tables cost one manifest lookup) and each table's warm state to the
+    /// attached storage. A no-op without attached storage. Returns the
+    /// number of table snapshots actually written.
+    ///
+    /// Errors are reported per table on stderr rather than propagated: a
+    /// flush runs during shutdown, where aborting half-way would lose
+    /// *more* state than skipping one failed table.
+    pub fn flush_storage(&self) -> usize {
+        let Some(runtime) = self.storage.get() else { return 0 };
+        let catalog = self.base.read().expect("catalog lock poisoned").clone();
+        let ready = self.registry.export_ready();
+        let caches: Vec<_> = ready.into_iter().map(|(_, cache)| cache).collect();
+        let mut saved = 0;
+        for name in catalog.table_names() {
+            let Ok(table) = catalog.table_arc(&name) else { continue };
+            match runtime.save_table(&table) {
+                Ok(true) => saved += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("dbwipes-server: flushing table {name}: {e}");
+                    continue;
+                }
+            }
+            if let Err(e) = runtime.save_warm_state(&table, &caches) {
+                eprintln!("dbwipes-server: flushing warm state of {name}: {e}");
+            }
+        }
+        saved
     }
 
     /// The shard count newly opened sessions run their explain pipeline
@@ -302,6 +378,16 @@ impl SessionManager {
         let name = table.name().to_string();
         self.base.write().expect("catalog lock poisoned").register_or_replace(table);
         self.registry.invalidate_table(&name);
+        // With storage attached, the registration is durable before the
+        // reply goes out: a kill right after this call recovers the table.
+        if let Some(runtime) = self.storage.get() {
+            let arc = self.base.read().expect("catalog lock poisoned").table_arc(&name).ok();
+            if let Some(arc) = arc {
+                if let Err(e) = runtime.save_table(&arc) {
+                    eprintln!("dbwipes-server: persisting table {name}: {e}");
+                }
+            }
+        }
     }
 
     /// Names of the tables in the base catalog.

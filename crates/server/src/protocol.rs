@@ -592,7 +592,17 @@ mod tests {
             );
         }
         // The reply-shape contract fields are documented too.
-        for needle in ["`busy`", "`cache_hit`", "`cached`", "`shards`", "MAX_BATCH_COMMANDS"] {
+        for needle in [
+            "`busy`",
+            "`cache_hit`",
+            "`cached`",
+            "`shards`",
+            "MAX_BATCH_COMMANDS",
+            "`snapshot_loads`",
+            "`snapshot_saves`",
+            "`bytes_on_disk`",
+            "`rehydrated_caches`",
+        ] {
             assert!(doc.contains(needle), "docs/PROTOCOL.md must mention {needle}");
         }
     }

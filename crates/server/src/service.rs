@@ -91,6 +91,20 @@ impl SessionManager {
                     // row-walk fallback.
                     ("bool_algebra", bool_algebra_json()),
                 ];
+                // Durable-storage counters. Always present so dashboards
+                // can probe durability uniformly: an unattached manager
+                // (no --data-dir) reports all-zero counters.
+                let storage = self.storage().map(|r| r.counters()).unwrap_or_default();
+                fields.push((
+                    "storage",
+                    Json::obj(vec![
+                        ("attached", Json::Bool(self.storage().is_some())),
+                        ("snapshot_saves", Json::num(storage.snapshot_saves as f64)),
+                        ("snapshot_loads", Json::num(storage.snapshot_loads as f64)),
+                        ("bytes_on_disk", Json::num(storage.bytes_on_disk as f64)),
+                        ("rehydrated_caches", Json::num(storage.rehydrated_caches as f64)),
+                    ]),
+                ));
                 // Executor counters, when a pooled TCP front-end serves
                 // this manager (stdio mode has no pool to report).
                 if let Some(pool) = self.pool_stats() {

@@ -47,6 +47,13 @@ pub enum StorageError {
     Eval(String),
     /// CSV parsing or serialization failure.
     Csv(String),
+    /// An operating-system I/O failure in the persistence layer. Carries
+    /// the rendered message (not the `std::io::Error` itself) so the error
+    /// type stays `Clone + PartialEq`.
+    Io(String),
+    /// A persisted snapshot failed structural validation: bad magic bytes,
+    /// unsupported format version, truncated data, or a checksum mismatch.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -69,6 +76,8 @@ impl fmt::Display for StorageError {
             StorageError::TableExists(name) => write!(f, "table already exists: {name}"),
             StorageError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             StorageError::Csv(msg) => write!(f, "csv error: {msg}"),
+            StorageError::Io(msg) => write!(f, "io error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
 }
@@ -105,5 +114,7 @@ mod tests {
         assert!(StorageError::Eval("bad".into()).to_string().contains("bad"));
         assert!(StorageError::Csv("bad".into()).to_string().contains("csv"));
         assert!(StorageError::DuplicateColumn("c".into()).to_string().contains("c"));
+        assert!(StorageError::Io("disk full".into()).to_string().contains("disk full"));
+        assert!(StorageError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
     }
 }

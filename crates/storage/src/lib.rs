@@ -65,6 +65,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod expr;
+pub mod persist;
 pub mod predicate;
 pub mod rowset;
 pub mod schema;
@@ -76,8 +77,10 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
 pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
+pub use persist::{FsBackend, Manifest, ManifestEntry, StorageBackend};
 pub use predicate::{
-    bool_vectorization_stats, note_bool_fallback, note_bool_vectorized, Candidate,
+    bool_vectorization_stats, enable_warm_bitmap_store, export_warm_bitmaps, note_bool_fallback,
+    note_bool_vectorized, seed_warm_bitmaps, warm_bitmap_rehydrated_count, Candidate,
     CompiledBoolExpr, CompiledPredicate, Condition, ConditionBitmapCache, ConjunctivePredicate,
     PredicateTree, TriSet,
 };

@@ -1,0 +1,1332 @@
+//! Durable columnar snapshots: the on-disk segment format, the versioned
+//! [`Manifest`], and the [`StorageBackend`] trait with its filesystem
+//! implementation.
+//!
+//! Everything in memory is columnar, so the snapshot format is too: a
+//! table file holds one *segment* per column (typed values plus the
+//! validity vector, serialized exactly as laid out in memory; string
+//! columns are dictionary-encoded) plus one segment for the soft-deletion
+//! mask. Every segment carries an FNV-1a 64 checksum, and the whole
+//! catalog is described by a versioned manifest keyed by stable
+//! [`Table::id`]s and the mutation-stamped [`Table::version`]. All files
+//! are written via temp-file + atomic rename, so a crash mid-write leaves
+//! the previous durable snapshot intact — recovery always sees either the
+//! old file or the new one, never a torn mix.
+//!
+//! The [`ByteWriter`] / [`ByteReader`] pair is the shared wire codec:
+//! little-endian fixed-width integers, IEEE-754 bit patterns for floats,
+//! length-prefixed UTF-8 strings and bit-packed boolean vectors. Readers
+//! never panic on malformed input — truncation, bad magic bytes, an
+//! unsupported format version or a checksum mismatch all surface as
+//! [`StorageError::Corrupt`] (I/O failures as [`StorageError::Io`]).
+//!
+//! ```
+//! use dbwipes_storage::{DataType, FsBackend, Schema, StorageBackend, Table, Value};
+//!
+//! let dir = std::env::temp_dir().join(format!("dbwipes-doc-{}", std::process::id()));
+//! let backend = FsBackend::open(&dir).unwrap();
+//!
+//! let mut t = Table::new("readings", Schema::of(&[("temp", DataType::Float)])).unwrap();
+//! t.push_row(vec![Value::Float(21.5)]).unwrap();
+//! backend.save_table(&t).unwrap();
+//!
+//! let restored = backend.load_table(t.id()).unwrap();
+//! assert_eq!(restored.id(), t.id());
+//! assert_eq!(restored.version(), t.version());
+//! assert_eq!(restored.row(0.into()).unwrap(), t.row(0.into()).unwrap());
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::column::{Column, ColumnData};
+use crate::error::StorageError;
+use crate::predicate::TriSet;
+use crate::rowset::RowSet;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version stamp written into every snapshot file; readers reject any
+/// other value rather than guessing at layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes of a table segment file.
+const TABLE_MAGIC: &[u8; 4] = b"DBWT";
+/// Magic bytes of the manifest file.
+const MANIFEST_MAGIC: &[u8; 4] = b"DBWM";
+/// Magic bytes of a warm-state sidecar file.
+const SIDECAR_MAGIC: &[u8; 4] = b"DBWX";
+/// Magic bytes of a serialized warm-bitmap set.
+const BITMAP_MAGIC: &[u8; 4] = b"DBWB";
+
+/// FNV-1a 64 over a byte slice — the snapshot format's per-segment
+/// checksum. Small, stable, dependency-free; the same function the shard
+/// layer uses for hash partitioning.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian byte-stream writer: the encoding half of the snapshot
+/// wire codec, also used by the engine's cache serializer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The bytes written so far (for trailing checksums).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-for-bit, NaN
+    /// payloads and signed zeros included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed, bit-packed boolean vector.
+    pub fn put_bool_vec(&mut self, bits: &[bool]) {
+        self.put_u64(bits.len() as u64);
+        let mut packed = vec![0u8; bits.len().div_ceil(8)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        self.buf.extend_from_slice(&packed);
+    }
+}
+
+/// Checked little-endian byte-stream reader: the decoding half of the
+/// snapshot wire codec. Every accessor validates bounds and returns
+/// [`StorageError::Corrupt`] on truncated input instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, starting at offset zero.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, or a corruption error when fewer remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if n > self.remaining() {
+            return Err(StorageError::Corrupt(format!(
+                "truncated snapshot: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, StorageError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, StorageError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads one byte as a boolean (any non-zero value is true).
+    pub fn get_bool(&mut self) -> Result<bool, StorageError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a `u64` length prefix and validates it against the bytes that
+    /// actually remain (at `per_item` bytes each), so a corrupted length
+    /// can never trigger a huge allocation.
+    pub fn get_len(&mut self, per_item: usize) -> Result<usize, StorageError> {
+        let raw = self.get_u64()?;
+        let len = usize::try_from(raw)
+            .map_err(|_| StorageError::Corrupt(format!("length {raw} overflows this platform")))?;
+        let need = len.checked_mul(per_item).ok_or_else(|| {
+            StorageError::Corrupt(format!("length {len} x {per_item} bytes overflows"))
+        })?;
+        if need > self.remaining() {
+            return Err(StorageError::Corrupt(format!(
+                "truncated snapshot: length {len} needs {need} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StorageError> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Corrupt("string segment is not valid UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed, bit-packed boolean vector.
+    pub fn get_bool_vec(&mut self) -> Result<Vec<bool>, StorageError> {
+        let raw = self.get_u64()?;
+        let len = usize::try_from(raw)
+            .map_err(|_| StorageError::Corrupt(format!("length {raw} overflows this platform")))?;
+        let packed_len = len.div_ceil(8);
+        if packed_len > self.remaining() {
+            return Err(StorageError::Corrupt(format!(
+                "truncated snapshot: {len} packed bits need {packed_len} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let packed = self.take(packed_len)?;
+        Ok((0..len).map(|i| packed[i / 8] & (1 << (i % 8)) != 0).collect())
+    }
+}
+
+/// The wire tag of a [`DataType`] (0 is reserved so a zeroed byte never
+/// decodes as a valid type).
+fn dtype_code(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Null => 0,
+        DataType::Bool => 1,
+        DataType::Int => 2,
+        DataType::Float => 3,
+        DataType::Str => 4,
+        DataType::Timestamp => 5,
+    }
+}
+
+fn dtype_from_code(code: u8) -> Result<DataType, StorageError> {
+    Ok(match code {
+        1 => DataType::Bool,
+        2 => DataType::Int,
+        3 => DataType::Float,
+        4 => DataType::Str,
+        5 => DataType::Timestamp,
+        other => {
+            return Err(StorageError::Corrupt(format!("unknown data type code {other}")));
+        }
+    })
+}
+
+/// Appends a [`Value`] (tag byte + payload) — the shared scalar codec the
+/// engine's cache serializer uses for group keys and output templates.
+pub fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Bool(b) => {
+            w.put_u8(1);
+            w.put_bool(*b);
+        }
+        Value::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(3);
+            w.put_f64(*f);
+        }
+        Value::Str(s) => {
+            w.put_u8(4);
+            w.put_str(s);
+        }
+        Value::Timestamp(t) => {
+            w.put_u8(5);
+            w.put_i64(*t);
+        }
+    }
+}
+
+/// Reads a [`Value`] written by [`put_value`].
+pub fn get_value(r: &mut ByteReader<'_>) -> Result<Value, StorageError> {
+    Ok(match r.get_u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.get_bool()?),
+        2 => Value::Int(r.get_i64()?),
+        3 => Value::Float(r.get_f64()?),
+        4 => Value::Str(r.get_str()?),
+        5 => Value::Timestamp(r.get_i64()?),
+        other => {
+            return Err(StorageError::Corrupt(format!("unknown value tag {other}")));
+        }
+    })
+}
+
+/// Encodes one column as a segment body: dtype tag, row count, validity
+/// vector, then the typed values (strings dictionary-encoded).
+fn encode_column(col: &Column) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(dtype_code(col.dtype()));
+    w.put_u64(col.len() as u64);
+    w.put_bool_vec(col.validity());
+    match col.data() {
+        ColumnData::Bool(v) => w.put_bool_vec(v),
+        ColumnData::Int(v) | ColumnData::Timestamp(v) => {
+            w.put_u64(v.len() as u64);
+            for &x in v {
+                w.put_i64(x);
+            }
+        }
+        ColumnData::Float(v) => {
+            w.put_u64(v.len() as u64);
+            for &x in v {
+                w.put_f64(x);
+            }
+        }
+        ColumnData::Str(v) => {
+            // Dictionary encoding: unique strings in first-appearance
+            // order, then one u32 code per row.
+            let mut index: HashMap<&str, u32> = HashMap::new();
+            let mut dict: Vec<&str> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(v.len());
+            for s in v {
+                let code = *index.entry(s.as_str()).or_insert_with(|| {
+                    dict.push(s.as_str());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            w.put_u64(dict.len() as u64);
+            for s in &dict {
+                w.put_str(s);
+            }
+            w.put_u64(codes.len() as u64);
+            for &c in &codes {
+                w.put_u32(c);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a segment body written by [`encode_column`].
+fn decode_column(body: &[u8]) -> Result<Column, StorageError> {
+    let mut r = ByteReader::new(body);
+    let dtype = dtype_from_code(r.get_u8()?)?;
+    let declared = r.get_u64()? as usize;
+    let validity = r.get_bool_vec()?;
+    if validity.len() != declared {
+        return Err(StorageError::Corrupt(format!(
+            "segment declares {declared} rows but has {} validity bits",
+            validity.len()
+        )));
+    }
+    let data = match dtype {
+        DataType::Bool => ColumnData::Bool(r.get_bool_vec()?),
+        DataType::Int | DataType::Timestamp => {
+            let len = r.get_len(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.get_i64()?);
+            }
+            if dtype == DataType::Int {
+                ColumnData::Int(v)
+            } else {
+                ColumnData::Timestamp(v)
+            }
+        }
+        DataType::Float => {
+            let len = r.get_len(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.get_f64()?);
+            }
+            ColumnData::Float(v)
+        }
+        DataType::Str => {
+            let dict_len = r.get_len(8)?;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(r.get_str()?);
+            }
+            let code_count = r.get_len(4)?;
+            let mut v = Vec::with_capacity(code_count);
+            for _ in 0..code_count {
+                let code = r.get_u32()? as usize;
+                let s = dict.get(code).ok_or_else(|| {
+                    StorageError::Corrupt(format!(
+                        "dictionary code {code} out of range (dictionary has {dict_len} entries)"
+                    ))
+                })?;
+                v.push(s.clone());
+            }
+            ColumnData::Str(v)
+        }
+        DataType::Null => unreachable!("dtype_from_code rejects the null code"),
+    };
+    Column::from_parts(dtype, data, validity)
+}
+
+/// Appends a segment with the standard framing: body length, body bytes,
+/// FNV-1a checksum of the body.
+fn put_segment(w: &mut ByteWriter, body: &[u8]) {
+    w.put_u64(body.len() as u64);
+    w.put_bytes(body);
+    w.put_u64(fnv1a64(body));
+}
+
+/// Reads one framed segment, verifying its checksum.
+fn get_segment<'a>(r: &mut ByteReader<'a>, what: &str) -> Result<&'a [u8], StorageError> {
+    let len = r.get_len(1)?;
+    let body = r.take(len)?;
+    let stored = r.get_u64()?;
+    let actual = fnv1a64(body);
+    if stored != actual {
+        return Err(StorageError::Corrupt(format!(
+            "{what} checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(body)
+}
+
+/// Serializes a whole table (identity stamps, schema, one segment per
+/// column plus the soft-deletion mask) into a snapshot file image.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(TABLE_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_str(table.name());
+    w.put_u64(table.id());
+    w.put_u64(table.version());
+    let schema = table.schema();
+    w.put_u64(schema.len() as u64);
+    for field in schema.fields() {
+        w.put_str(&field.name);
+        w.put_u8(dtype_code(field.dtype));
+        w.put_bool(field.nullable);
+    }
+    w.put_u64(table.num_rows() as u64);
+    for idx in 0..schema.len() {
+        let col = table.column(idx).expect("schema-aligned column");
+        put_segment(&mut w, &encode_column(col));
+    }
+    let mut deleted = ByteWriter::new();
+    deleted.put_bool_vec(table.deleted_slice());
+    put_segment(&mut w, deleted.bytes());
+    w.into_bytes()
+}
+
+/// Decodes a snapshot file image written by [`encode_table`], restoring
+/// the persisted identity and version stamps. All segment checksums are
+/// verified; any structural problem yields [`StorageError::Corrupt`].
+pub fn decode_table(bytes: &[u8]) -> Result<Table, StorageError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != TABLE_MAGIC {
+        return Err(StorageError::Corrupt("not a dbwipes table snapshot (bad magic)".into()));
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported table snapshot format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let name = r.get_str()?;
+    let table_id = r.get_u64()?;
+    let table_version = r.get_u64()?;
+    let field_count = r.get_len(10)?;
+    let mut fields = Vec::with_capacity(field_count);
+    for _ in 0..field_count {
+        let fname = r.get_str()?;
+        let dtype = dtype_from_code(r.get_u8()?)?;
+        let nullable = r.get_bool()?;
+        fields.push(Field { name: fname, dtype, nullable });
+    }
+    let schema = Schema::new(fields)?;
+    let num_rows = r.get_u64()? as usize;
+    let mut columns = Vec::with_capacity(schema.len());
+    for idx in 0..schema.len() {
+        let body = get_segment(&mut r, &format!("column segment {idx}"))?;
+        columns.push(decode_column(body)?);
+    }
+    let deleted_body = get_segment(&mut r, "deletion-mask segment")?;
+    let deleted = ByteReader::new(deleted_body).get_bool_vec()?;
+    if deleted.len() != num_rows {
+        return Err(StorageError::Corrupt(format!(
+            "deletion mask has {} rows but the table declares {num_rows}",
+            deleted.len()
+        )));
+    }
+    Table::restore(name, schema, columns, deleted, table_id, table_version)
+}
+
+/// Serializes a set of named condition bitmaps (a table's warm
+/// [`TriSet`]s, keyed by condition cache key) for sidecar persistence.
+pub fn encode_warm_bitmaps(entries: &[(String, TriSet)]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(BITMAP_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u64(entries.len() as u64);
+    for (key, tri) in entries {
+        w.put_str(key);
+        put_rowset(&mut w, &tri.trues);
+        put_rowset(&mut w, &tri.unknowns);
+    }
+    let checksum = fnv1a64(w.bytes());
+    w.put_u64(checksum);
+    w.into_bytes()
+}
+
+/// Decodes a warm-bitmap set written by [`encode_warm_bitmaps`].
+pub fn decode_warm_bitmaps(bytes: &[u8]) -> Result<Vec<(String, TriSet)>, StorageError> {
+    if bytes.len() < 8 {
+        return Err(StorageError::Corrupt("warm-bitmap sidecar too short".into()));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let actual = fnv1a64(body);
+    if stored != actual {
+        return Err(StorageError::Corrupt(format!(
+            "warm-bitmap checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let mut r = ByteReader::new(body);
+    if r.take(4)? != BITMAP_MAGIC {
+        return Err(StorageError::Corrupt("not a warm-bitmap sidecar (bad magic)".into()));
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported warm-bitmap format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let count = r.get_len(1)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.get_str()?;
+        let trues = get_rowset(&mut r)?;
+        let unknowns = get_rowset(&mut r)?;
+        if trues.universe() != unknowns.universe() {
+            return Err(StorageError::Corrupt(
+                "warm bitmap halves disagree on their universe".into(),
+            ));
+        }
+        entries.push((key, TriSet { trues, unknowns }));
+    }
+    Ok(entries)
+}
+
+fn put_rowset(w: &mut ByteWriter, set: &RowSet) {
+    w.put_u64(set.universe() as u64);
+    let words = set.word_slice();
+    w.put_u64(words.len() as u64);
+    for &word in words {
+        w.put_u64(word);
+    }
+}
+
+fn get_rowset(r: &mut ByteReader<'_>) -> Result<RowSet, StorageError> {
+    let universe = r.get_u64()? as usize;
+    let word_count = r.get_len(8)?;
+    if word_count != universe.div_ceil(64) {
+        return Err(StorageError::Corrupt(format!(
+            "rowset over universe {universe} has {word_count} words, expected {}",
+            universe.div_ceil(64)
+        )));
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(r.get_u64()?);
+    }
+    Ok(RowSet::from_words(words, universe))
+}
+
+/// One table's entry in the [`Manifest`]: the durable identity the
+/// recovery path keys on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The table name (as registered).
+    pub name: String,
+    /// The persisted [`Table::id`] stamp.
+    pub table_id: u64,
+    /// The persisted [`Table::version`] stamp of the snapshot on disk.
+    pub version: u64,
+    /// Physical row count of the snapshot (soft-deleted rows included).
+    pub num_rows: u64,
+    /// Snapshot file name, relative to the backend's data directory.
+    pub file: String,
+    /// Size of the snapshot file in bytes.
+    pub bytes: u64,
+}
+
+/// The catalog-level index of a data directory: one [`ManifestEntry`] per
+/// persisted table, keyed by stable table id. Written atomically after
+/// every save so recovery always reads a consistent catalog description.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entries in no particular order; table ids are unique.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// A manifest with no tables.
+    pub fn empty() -> Self {
+        Manifest::default()
+    }
+
+    /// Number of persisted tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no table has been persisted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the entry for `table_id`.
+    pub fn entry(&self, table_id: u64) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.table_id == table_id)
+    }
+
+    /// Total bytes of all table snapshot files.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Serializes the manifest (magic, format version, entries, trailing
+    /// checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MANIFEST_MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.put_str(&e.name);
+            w.put_u64(e.table_id);
+            w.put_u64(e.version);
+            w.put_u64(e.num_rows);
+            w.put_str(&e.file);
+            w.put_u64(e.bytes);
+        }
+        let checksum = fnv1a64(w.bytes());
+        w.put_u64(checksum);
+        w.into_bytes()
+    }
+
+    /// Decodes a manifest written by [`Manifest::encode`], verifying magic
+    /// bytes, format version and the trailing checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() < 8 {
+            return Err(StorageError::Corrupt("manifest too short".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(StorageError::Corrupt(format!(
+                "manifest checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+        let mut r = ByteReader::new(body);
+        if r.take(4)? != MANIFEST_MAGIC {
+            return Err(StorageError::Corrupt("not a dbwipes manifest (bad magic)".into()));
+        }
+        let version = r.get_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported manifest format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let count = r.get_len(1)?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(ManifestEntry {
+                name: r.get_str()?,
+                table_id: r.get_u64()?,
+                version: r.get_u64()?,
+                num_rows: r.get_u64()?,
+                file: r.get_str()?,
+                bytes: r.get_u64()?,
+            });
+        }
+        Ok(Manifest { entries })
+    }
+}
+
+/// A durable home for tables and their warm derived state. The filesystem
+/// implementation is [`FsBackend`]; the trait exists so alternative
+/// backends (object stores, test doubles) can slot in behind the server
+/// without touching the recovery flow.
+pub trait StorageBackend: Send + Sync {
+    /// Persists a snapshot of `table` (data plus identity stamps) and
+    /// updates the manifest, both via atomic rename. Returns the snapshot
+    /// size in bytes.
+    fn save_table(&self, table: &Table) -> Result<u64, StorageError>;
+
+    /// Loads the persisted snapshot of `table_id`, restoring its stable
+    /// identity and version stamps.
+    fn load_table(&self, table_id: u64) -> Result<Table, StorageError>;
+
+    /// The current manifest. An empty data directory yields an empty
+    /// manifest, not an error.
+    fn list_manifest(&self) -> Result<Manifest, StorageError>;
+
+    /// Removes `table_id`'s snapshot and any warm-state sidecars from the
+    /// backend and the manifest. Evicting an unknown id is a no-op.
+    fn evict(&self, table_id: u64) -> Result<(), StorageError>;
+
+    /// Persists a warm-state sidecar blob (serialized caches) keyed by
+    /// table id + version + kind. Returns the bytes written. Sidecars are
+    /// best-effort: they accelerate recovery but are never required.
+    fn save_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+        bytes: &[u8],
+    ) -> Result<u64, StorageError>;
+
+    /// Loads a warm-state sidecar, or `None` when no sidecar was persisted
+    /// for that exact table id + version + kind.
+    fn load_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+    ) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Total bytes the backend currently occupies on disk (snapshots,
+    /// sidecars and the manifest).
+    fn bytes_on_disk(&self) -> Result<u64, StorageError>;
+}
+
+/// Filesystem [`StorageBackend`]: one directory holding `t<id>.tbl`
+/// snapshots, `s<id>-<version>-<kind>.bin` sidecars and a `MANIFEST.bin`
+/// index, every file written via temp-file + atomic rename.
+#[derive(Debug)]
+pub struct FsBackend {
+    dir: PathBuf,
+    /// Serializes read-modify-write cycles on the manifest within this
+    /// process (cross-process safety comes from the atomic rename).
+    manifest_lock: Mutex<()>,
+}
+
+/// Manifest file name inside a data directory.
+const MANIFEST_FILE: &str = "MANIFEST.bin";
+
+fn io_err(context: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{context}: {e}"))
+}
+
+impl FsBackend {
+    /// Opens (creating if needed) a data directory. Reading the manifest
+    /// here also advances the process-global stamp counter past every
+    /// persisted id/version, so tables created later in this process can
+    /// never collide with restored identities.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| io_err(&format!("creating data dir {}", dir.display()), e))?;
+        let backend = FsBackend { dir, manifest_lock: Mutex::new(()) };
+        let manifest = backend.read_manifest()?;
+        for e in &manifest.entries {
+            crate::table::advance_stamp_floor(e.table_id.max(e.version));
+        }
+        Ok(backend)
+    }
+
+    /// The data directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn table_file(table_id: u64) -> String {
+        format!("t{table_id}.tbl")
+    }
+
+    fn sidecar_file(table_id: u64, version: u64, kind: &str) -> String {
+        format!("s{table_id}-{version}-{kind}.bin")
+    }
+
+    /// Writes `bytes` to `name` under the data directory via temp-file +
+    /// atomic rename: a crash mid-write leaves the old file intact.
+    fn atomic_write(&self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let path = self.dir.join(name);
+        let tmp = self.dir.join(format!("{name}.tmp{}", std::process::id()));
+        fs::write(&tmp, bytes).map_err(|e| io_err(&format!("writing {}", tmp.display()), e))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err(&format!("renaming {} into place", path.display()), e)
+        })
+    }
+
+    fn read_manifest(&self) -> Result<Manifest, StorageError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        match fs::read(&path) {
+            Ok(bytes) => Manifest::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::empty()),
+            Err(e) => Err(io_err(&format!("reading {}", path.display()), e)),
+        }
+    }
+
+    /// Removes every sidecar of `table_id` except those stamped with
+    /// `keep_version` (pass `None` to remove them all).
+    fn remove_stale_sidecars(&self, table_id: u64, keep_version: Option<u64>) {
+        let keep_prefix = keep_version.map(|v| format!("s{table_id}-{v}-"));
+        let all_prefix = format!("s{table_id}-");
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for entry in dir.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let kept = match &keep_prefix {
+                    Some(keep) => name.starts_with(keep.as_str()),
+                    None => false,
+                };
+                if name.starts_with(&all_prefix) && !kept {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn save_table(&self, table: &Table) -> Result<u64, StorageError> {
+        let bytes = encode_table(table);
+        let file = Self::table_file(table.id());
+        self.atomic_write(&file, &bytes)?;
+        // A new data version makes every older sidecar of this table
+        // unreloadable; reclaim the space eagerly.
+        self.remove_stale_sidecars(table.id(), Some(table.version()));
+        let _guard = self.manifest_lock.lock().expect("manifest lock poisoned");
+        let mut manifest = self.read_manifest()?;
+        let entry = ManifestEntry {
+            name: table.name().to_string(),
+            table_id: table.id(),
+            version: table.version(),
+            num_rows: table.num_rows() as u64,
+            file,
+            bytes: bytes.len() as u64,
+        };
+        match manifest.entries.iter_mut().find(|e| e.table_id == table.id()) {
+            Some(slot) => *slot = entry,
+            None => manifest.entries.push(entry),
+        }
+        self.atomic_write(MANIFEST_FILE, &manifest.encode())?;
+        Ok(bytes.len() as u64)
+    }
+
+    fn load_table(&self, table_id: u64) -> Result<Table, StorageError> {
+        let manifest = self.read_manifest()?;
+        let entry = manifest
+            .entry(table_id)
+            .ok_or_else(|| StorageError::UnknownTable(format!("#{table_id}")))?;
+        let path = self.dir.join(&entry.file);
+        let bytes =
+            fs::read(&path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+        let table = decode_table(&bytes)?;
+        if table.id() != entry.table_id || table.version() != entry.version {
+            return Err(StorageError::Corrupt(format!(
+                "snapshot {} is stamped ({}, {}) but the manifest expects ({}, {})",
+                entry.file,
+                table.id(),
+                table.version(),
+                entry.table_id,
+                entry.version
+            )));
+        }
+        Ok(table)
+    }
+
+    fn list_manifest(&self) -> Result<Manifest, StorageError> {
+        self.read_manifest()
+    }
+
+    fn evict(&self, table_id: u64) -> Result<(), StorageError> {
+        let _guard = self.manifest_lock.lock().expect("manifest lock poisoned");
+        let mut manifest = self.read_manifest()?;
+        let before = manifest.entries.len();
+        manifest.entries.retain(|e| e.table_id != table_id);
+        if manifest.entries.len() != before {
+            self.atomic_write(MANIFEST_FILE, &manifest.encode())?;
+        }
+        let _ = fs::remove_file(self.dir.join(Self::table_file(table_id)));
+        self.remove_stale_sidecars(table_id, None);
+        Ok(())
+    }
+
+    fn save_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+        bytes: &[u8],
+    ) -> Result<u64, StorageError> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(SIDECAR_MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u64(bytes.len() as u64);
+        w.put_bytes(bytes);
+        w.put_u64(fnv1a64(bytes));
+        let framed = w.into_bytes();
+        self.atomic_write(&Self::sidecar_file(table_id, version, kind), &framed)?;
+        Ok(framed.len() as u64)
+    }
+
+    fn load_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        let path = self.dir.join(Self::sidecar_file(table_id, version, kind));
+        let framed = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&format!("reading {}", path.display()), e)),
+        };
+        let mut r = ByteReader::new(&framed);
+        if r.take(4)? != SIDECAR_MAGIC {
+            return Err(StorageError::Corrupt("not a dbwipes sidecar (bad magic)".into()));
+        }
+        let fversion = r.get_u32()?;
+        if fversion != FORMAT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported sidecar format version {fversion} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let len = r.get_len(1)?;
+        let body = r.take(len)?.to_vec();
+        let stored = r.get_u64()?;
+        let actual = fnv1a64(&body);
+        if stored != actual {
+            return Err(StorageError::Corrupt(format!(
+                "sidecar checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+        Ok(Some(body))
+    }
+
+    fn bytes_on_disk(&self) -> Result<u64, StorageError> {
+        let mut total = 0u64;
+        let dir = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("listing {}", self.dir.display()), e))?;
+        for entry in dir.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    total += meta.len();
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// A fresh per-test directory under the OS temp dir; removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("dbwipes-persist-{}-{n}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn every_type_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::nullable("flag", DataType::Bool),
+            Field::nullable("count", DataType::Int),
+            Field::nullable("temp", DataType::Float),
+            Field::nullable("room", DataType::Str),
+            Field::nullable("at", DataType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::new("everything", schema).unwrap();
+        t.push_rows(vec![
+            vec![
+                Value::Bool(true),
+                Value::Int(-7),
+                Value::Float(1.5),
+                Value::str("lab"),
+                Value::Timestamp(99),
+            ],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null],
+            vec![
+                Value::Bool(false),
+                Value::Int(i64::MAX),
+                Value::Float(-0.0),
+                Value::str("lab"),
+                Value::Timestamp(-1),
+            ],
+            vec![
+                Value::Bool(true),
+                Value::Int(0),
+                Value::Float(f64::INFINITY),
+                Value::str(""),
+                Value::Timestamp(0),
+            ],
+        ])
+        .unwrap();
+        t.delete_row(crate::table::RowId(2)).unwrap();
+        t
+    }
+
+    fn assert_tables_identical(a: &Table, b: &Table) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.version(), b.version());
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.num_rows(), b.num_rows());
+        for rid in a.all_row_ids() {
+            assert_eq!(a.row(rid).unwrap(), b.row(rid).unwrap(), "row {rid}");
+            assert_eq!(a.is_deleted(rid), b.is_deleted(rid), "deletion flag of {rid}");
+        }
+    }
+
+    #[test]
+    fn table_image_round_trips_every_column_type() {
+        let t = every_type_table();
+        let restored = decode_table(&encode_table(&t)).unwrap();
+        assert_tables_identical(&t, &restored);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new("empty", Schema::of(&[("x", DataType::Int)])).unwrap();
+        let restored = decode_table(&encode_table(&t)).unwrap();
+        assert_tables_identical(&t, &restored);
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_corrupted_images_are_rejected_cleanly() {
+        let t = every_type_table();
+        let bytes = encode_table(&t);
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_table(&bytes[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+        // A flipped byte anywhere in a segment body trips its checksum (or
+        // an earlier structural check); headers fail structurally.
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xff;
+            assert!(decode_table(&bad).is_err(), "flipped byte at {pos}");
+        }
+    }
+
+    #[test]
+    fn unsupported_format_version_is_rejected() {
+        let t = every_type_table();
+        let mut bytes = encode_table(&t);
+        bytes[4] = 0xee; // the u32 format version follows the 4-byte magic
+        let err = decode_table(&bytes).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn fs_backend_saves_loads_and_evicts() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let t = every_type_table();
+        let written = backend.save_table(&t).unwrap();
+        assert!(written > 0);
+
+        let manifest = backend.list_manifest().unwrap();
+        assert_eq!(manifest.len(), 1);
+        let entry = manifest.entry(t.id()).unwrap();
+        assert_eq!(entry.name, "everything");
+        assert_eq!(entry.version, t.version());
+        assert_eq!(entry.num_rows, t.num_rows() as u64);
+        assert_eq!(entry.bytes, written);
+        assert!(backend.bytes_on_disk().unwrap() >= written);
+
+        let restored = backend.load_table(t.id()).unwrap();
+        assert_tables_identical(&t, &restored);
+
+        backend.evict(t.id()).unwrap();
+        assert!(backend.list_manifest().unwrap().is_empty());
+        assert!(matches!(backend.load_table(t.id()), Err(StorageError::UnknownTable(_))));
+        // Evicting an unknown id is a no-op.
+        backend.evict(t.id()).unwrap();
+    }
+
+    #[test]
+    fn resaving_a_mutated_table_replaces_its_manifest_entry() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let mut t = every_type_table();
+        backend.save_table(&t).unwrap();
+        let v1 = t.version();
+        t.delete_row(crate::table::RowId(0)).unwrap();
+        backend.save_table(&t).unwrap();
+        let manifest = backend.list_manifest().unwrap();
+        assert_eq!(manifest.len(), 1, "same table id replaces, never duplicates");
+        assert_ne!(manifest.entry(t.id()).unwrap().version, v1);
+        let restored = backend.load_table(t.id()).unwrap();
+        assert!(restored.is_deleted(crate::table::RowId(0)));
+    }
+
+    #[test]
+    fn corrupted_snapshot_file_fails_checksum_on_load() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let t = every_type_table();
+        backend.save_table(&t).unwrap();
+        let file = dir.path().join(format!("t{}.tbl", t.id()));
+        let mut bytes = fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&file, bytes).unwrap();
+        assert!(matches!(backend.load_table(t.id()), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stamp_floor_prevents_identity_collisions_after_restore() {
+        let t = every_type_table();
+        let restored = decode_table(&encode_table(&t)).unwrap();
+        let fresh = Table::new("fresh", Schema::of(&[("x", DataType::Int)])).unwrap();
+        assert!(fresh.id() > restored.id());
+        assert!(fresh.id() > restored.version());
+    }
+
+    #[test]
+    fn sidecars_round_trip_and_miss_on_version_mismatch() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let payload = b"warm state".to_vec();
+        backend.save_sidecar(7, 40, "aggs", &payload).unwrap();
+        assert_eq!(backend.load_sidecar(7, 40, "aggs").unwrap(), Some(payload));
+        assert_eq!(backend.load_sidecar(7, 41, "aggs").unwrap(), None);
+        assert_eq!(backend.load_sidecar(8, 40, "aggs").unwrap(), None);
+        // A tampered sidecar is rejected, not returned.
+        let path = dir.path().join("s7-40-aggs.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        assert!(backend.load_sidecar(7, 40, "aggs").is_err());
+    }
+
+    #[test]
+    fn saving_a_new_version_drops_stale_sidecars() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let mut t = every_type_table();
+        backend.save_table(&t).unwrap();
+        backend.save_sidecar(t.id(), t.version(), "aggs", b"v1").unwrap();
+        let old_version = t.version();
+        t.restore_all();
+        backend.save_table(&t).unwrap();
+        assert_eq!(backend.load_sidecar(t.id(), old_version, "aggs").unwrap(), None);
+    }
+
+    #[test]
+    fn manifest_decode_rejects_corruption() {
+        let manifest = Manifest {
+            entries: vec![ManifestEntry {
+                name: "t".into(),
+                table_id: 3,
+                version: 4,
+                num_rows: 5,
+                file: "t3.tbl".into(),
+                bytes: 128,
+            }],
+        };
+        let bytes = manifest.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), manifest);
+        assert!(Manifest::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[6] ^= 0x10;
+        assert!(Manifest::decode(&bad).is_err());
+        assert!(Manifest::decode(b"nope").is_err());
+    }
+
+    #[test]
+    fn manifest_read_modify_write_is_keyed_by_table_id() {
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let a = every_type_table();
+        let b = Table::new("other", Schema::of(&[("x", DataType::Int)])).unwrap();
+        backend.save_table(&a).unwrap();
+        backend.save_table(&b).unwrap();
+        let manifest = backend.list_manifest().unwrap();
+        assert_eq!(manifest.len(), 2);
+        assert_eq!(manifest.total_bytes(), manifest.entries.iter().map(|e| e.bytes).sum::<u64>());
+        assert!(manifest.entry(a.id()).is_some());
+        assert!(manifest.entry(b.id()).is_some());
+    }
+
+    #[test]
+    fn reopening_a_data_dir_advances_the_stamp_floor() {
+        let dir = TempDir::new();
+        {
+            let backend = FsBackend::open(dir.path()).unwrap();
+            backend.save_table(&every_type_table()).unwrap();
+        }
+        let manifest_max = {
+            let backend = FsBackend::open(dir.path()).unwrap();
+            let m = backend.list_manifest().unwrap();
+            m.entries.iter().map(|e| e.table_id.max(e.version)).max().unwrap()
+        };
+        let fresh = Table::new("fresh", Schema::of(&[("x", DataType::Int)])).unwrap();
+        assert!(fresh.id() > manifest_max, "open() must advance the stamp floor");
+    }
+
+    #[test]
+    fn warm_bitmaps_round_trip_and_reject_corruption() {
+        let trues = RowSet::from_indices(100, [0, 63, 64, 99]);
+        let unknowns = RowSet::from_indices(100, [5]);
+        let entries = vec![("temp >= 100".to_string(), TriSet { trues: trues.clone(), unknowns })];
+        let bytes = encode_warm_bitmaps(&entries);
+        let decoded = decode_warm_bitmaps(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].0, "temp >= 100");
+        assert_eq!(decoded[0].1.trues, trues);
+        assert_eq!(decoded[0].1.trues.universe(), 100);
+
+        let mut bad = bytes.clone();
+        bad[10] ^= 0xff;
+        assert!(decode_warm_bitmaps(&bad).is_err());
+        assert!(decode_warm_bitmaps(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn value_codec_round_trips_every_variant() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::str("héllo"),
+            Value::Timestamp(1234567890),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &values {
+            put_value(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for v in &values {
+            let got = get_value(&mut r).unwrap();
+            match (v, &got) {
+                // -0.0 == 0.0 under PartialEq; compare floats by bits.
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(*v, got),
+            }
+        }
+        assert!(r.is_done());
+        assert!(get_value(&mut ByteReader::new(&[9])).is_err());
+        assert!(get_value(&mut ByteReader::new(&[])).is_err());
+    }
+}

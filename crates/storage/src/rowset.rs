@@ -64,6 +64,11 @@ impl RowSet {
         s
     }
 
+    /// The raw bitmap words (for the persistence layer's snapshot codec).
+    pub(crate) fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Zeroes the bits beyond `len` in the last word (the invariant all
     /// constructors and mutators maintain).
     fn mask_tail(&mut self) {

@@ -25,6 +25,13 @@ fn next_stamp() -> u64 {
     NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Advances the process-global stamp counter past `stamp`, so stamps drawn
+/// in this process can never collide with identities or versions restored
+/// from a durable snapshot written by an earlier process.
+pub(crate) fn advance_stamp_floor(stamp: u64) {
+    NEXT_STAMP.fetch_max(stamp.saturating_add(1), Ordering::Relaxed);
+}
+
 /// A stable identifier of a row within one table.
 ///
 /// Row ids are assigned densely in insertion order and never reused; they
@@ -74,6 +81,48 @@ impl Table {
             schema.fields().iter().map(|f| Column::new(f.dtype)).collect::<Result<Vec<_>, _>>()?;
         let id = next_stamp();
         Ok(Table { name: name.into(), schema, columns, deleted: Vec::new(), id, version: id })
+    }
+
+    /// Reassembles a table from decoded snapshot parts, preserving the
+    /// persisted identity and version stamps so cache fingerprints keyed on
+    /// `(id, version)` survive a process restart. Advances the global stamp
+    /// floor past both stamps so freshly created tables can never collide
+    /// with restored ones.
+    pub(crate) fn restore(
+        name: String,
+        schema: Schema,
+        columns: Vec<Column>,
+        deleted: Vec<bool>,
+        id: u64,
+        version: u64,
+    ) -> Result<Self, StorageError> {
+        if columns.len() != schema.len() {
+            return Err(StorageError::Corrupt(format!(
+                "snapshot has {} column segments but the schema declares {} columns",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        for (col, field) in columns.iter().zip(schema.fields()) {
+            if col.dtype() != field.dtype {
+                return Err(StorageError::Corrupt(format!(
+                    "column '{}' segment is {} but the schema declares {}",
+                    field.name,
+                    col.dtype().name(),
+                    field.dtype.name()
+                )));
+            }
+            if col.len() != deleted.len() {
+                return Err(StorageError::Corrupt(format!(
+                    "column '{}' has {} rows but the table has {}",
+                    field.name,
+                    col.len(),
+                    deleted.len()
+                )));
+            }
+        }
+        advance_stamp_floor(id.max(version));
+        Ok(Table { name, schema, columns, deleted, id, version })
     }
 
     /// The table name.
@@ -255,6 +304,12 @@ impl Table {
     /// Iterates over the ids of all rows ever inserted, deleted or not.
     pub fn all_row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
         (0..self.num_rows()).map(RowId)
+    }
+
+    /// The raw soft-deletion mask, one flag per physical row (for the
+    /// persistence layer's snapshot codec).
+    pub(crate) fn deleted_slice(&self) -> &[bool] {
+        &self.deleted
     }
 
     /// The visible (non-soft-deleted) rows as a [`RowSet`] bitmap over the

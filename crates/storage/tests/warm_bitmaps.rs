@@ -1,0 +1,60 @@
+//! The process-wide warm bitmap store: publish-on-drop, preload, and the
+//! snapshot round trip behind restart rehydration.
+//!
+//! Lives in its own integration-test binary because
+//! [`enable_warm_bitmap_store`] flips a sticky process-global switch that
+//! would change cache-stat expectations of the unit tests.
+
+use dbwipes_storage::persist::{decode_warm_bitmaps, encode_warm_bitmaps};
+use dbwipes_storage::{
+    enable_warm_bitmap_store, export_warm_bitmaps, seed_warm_bitmaps, warm_bitmap_rehydrated_count,
+    Condition, ConditionBitmapCache, DataType, Schema, Table, Value,
+};
+
+fn table() -> Table {
+    let schema = Schema::of(&[("sensorid", DataType::Int), ("temp", DataType::Float)]);
+    let mut t = Table::new("readings", schema).unwrap();
+    for i in 0..100i64 {
+        t.push_row(vec![Value::Int(i % 10), Value::Float(20.0 + (i % 7) as f64)]).unwrap();
+    }
+    t
+}
+
+#[test]
+fn dropped_caches_warm_their_successors_and_survive_the_snapshot_codec() {
+    enable_warm_bitmap_store();
+    let t = table();
+    let cond = Condition::equals("sensorid", 3);
+
+    // A first cache computes the bitmap (one miss), then donates it on drop.
+    let first = ConditionBitmapCache::new(&t);
+    let expected = first.condition(&t, &cond).unwrap();
+    assert_eq!(first.stats(), (0, 1));
+    drop(first);
+
+    // A successor over the same table data starts preloaded: pure hit.
+    let second = ConditionBitmapCache::new(&t);
+    let warmed = second.condition(&t, &cond).unwrap();
+    assert_eq!(second.stats(), (1, 0), "preloaded bitmap must score as a hit");
+    assert_eq!(warmed.trues, expected.trues);
+
+    // Export → encode → decode → seed models the restart path: the seeded
+    // store warms caches over a table with the *restored* stamps.
+    let exported = export_warm_bitmaps(t.id(), t.version());
+    assert!(!exported.is_empty());
+    let decoded = decode_warm_bitmaps(&encode_warm_bitmaps(&exported)).unwrap();
+    assert_eq!(decoded.len(), exported.len());
+
+    let before = warm_bitmap_rehydrated_count();
+    let fake_id = t.id() + 1_000_000;
+    let seeded = seed_warm_bitmaps(fake_id, t.version(), decoded);
+    assert_eq!(seeded, exported.len());
+    assert_eq!(warm_bitmap_rehydrated_count(), before + seeded as u64);
+
+    // A mutated table (new version) must not see the donated bitmaps.
+    let mut t2 = t.clone();
+    t2.delete_row(0.into()).unwrap();
+    let stale = ConditionBitmapCache::new(&t2);
+    stale.condition(&t2, &cond).unwrap();
+    assert_eq!(stale.stats(), (0, 1), "a new data version starts cold");
+}
