@@ -17,7 +17,9 @@
 //! point of the subsystem: restoring must beat rebuilding.
 
 use criterion::{criterion_group, Criterion};
-use dbwipes_engine::{decode_cache, encode_cache, parse_select, GroupedAggregateCache};
+use dbwipes_engine::{
+    decode_cache, encode_cache, parse_select, ExclusionQuery, GroupedAggregateCache,
+};
 use dbwipes_storage::persist::{decode_table, encode_table};
 use dbwipes_storage::{DataType, RowId, Schema, Table, Value};
 use std::hint::black_box;
@@ -77,8 +79,8 @@ fn bench_snapshot_recovery(c: &mut Criterion) {
     assert_eq!(restored.full_result().rows, cold.full_result().rows);
     let excluded: Vec<RowId> = (0..1000).map(RowId).collect();
     assert_eq!(
-        restored.result_excluding(&excluded).rows,
-        cold.result_excluding(&excluded).rows,
+        restored.result(&ExclusionQuery::new().excluding_rows(&excluded)).rows,
+        cold.result(&ExclusionQuery::new().excluding_rows(&excluded)).rows,
         "restored cache must answer exclusions bit-identically"
     );
 

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! soak_client --addr HOST:PORT [--clients 64] [--commands 50]
+//!             [--appenders 0] [--append-rows 32]
 //!             [--stats-out PATH] [--expect-busy] [--shutdown]
 //! ```
 //!
@@ -13,6 +14,17 @@
 //! cap) is *not* a failure — the client backs off and reconnects, exactly
 //! as the protocol intends — but every command sent on an admitted
 //! connection must be answered `ok:true`, in order, with its echoed id.
+//!
+//! With `--appenders N` (the streaming-ingestion phase), N additional
+//! writer clients run *concurrently* with the readers, each sending
+//! `--commands` `stream_append` batches of `--append-rows` sensor rows.
+//! A witness session opened before the fleet holds a displayed query
+//! result across every append; after the fleet drains the client asserts
+//! the post-soak equality gate: the witness's re-run query and row count
+//! must be identical to a session opened cold after the soak, the total
+//! row count must equal the seed plus exactly `appenders x commands x
+//! append_rows` (no batch lost, none double-applied), and the server's
+//! cache counters must show the appends were absorbed, not rebuilt.
 //!
 //! After the fleet drains, one control connection captures the server's
 //! `stats` reply (written to `--stats-out` for the job's artifact upload),
@@ -29,6 +41,8 @@ struct Options {
     addr: String,
     clients: usize,
     commands: usize,
+    appenders: usize,
+    append_rows: usize,
     stats_out: Option<String>,
     expect_busy: bool,
     shutdown: bool,
@@ -39,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
         addr: String::new(),
         clients: 64,
         commands: 50,
+        appenders: 0,
+        append_rows: 32,
         stats_out: None,
         expect_busy: false,
         shutdown: false,
@@ -56,12 +72,21 @@ fn parse_args() -> Result<Options, String> {
                 options.commands =
                     value("--commands")?.parse().map_err(|e| format!("--commands: {e}"))?
             }
+            "--appenders" => {
+                options.appenders =
+                    value("--appenders")?.parse().map_err(|e| format!("--appenders: {e}"))?
+            }
+            "--append-rows" => {
+                options.append_rows =
+                    value("--append-rows")?.parse().map_err(|e| format!("--append-rows: {e}"))?
+            }
             "--stats-out" => options.stats_out = Some(value("--stats-out")?),
             "--expect-busy" => options.expect_busy = true,
             "--shutdown" => options.shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: soak_client --addr HOST:PORT [--clients N] [--commands N] \
+                     [--appenders N] [--append-rows N] \
                      [--stats-out PATH] [--expect-busy] [--shutdown]"
                 );
                 std::process::exit(0);
@@ -135,6 +160,131 @@ fn run_client(addr: &str, commands: usize) -> Result<u64, String> {
     Ok(busy_retries)
 }
 
+/// The demo sensor table's window query — the statement the witness
+/// session keeps displayed across every concurrent append, and the one a
+/// cold post-soak session must answer identically.
+const WINDOW_SQL: &str = "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS std_temp \
+                          FROM readings GROUP BY window ORDER BY window";
+const COUNT_SQL: &str = "SELECT count(*) FROM readings";
+
+fn open_session(conn: &mut LineClient) -> Result<u64, String> {
+    conn.roundtrip(r#"{"cmd":"open_session"}"#)?
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "open_session carried no id".to_string())
+}
+
+/// Runs `sql` in `session` and returns the reply's `rows` array.
+fn query_rows(conn: &mut LineClient, session: u64, sql: &str) -> Result<Json, String> {
+    let reply =
+        conn.roundtrip(&format!(r#"{{"cmd":"run_query","session":{session},"sql":"{sql}"}}"#))?;
+    if reply.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("run_query failed: {reply}"));
+    }
+    reply.get("rows").cloned().ok_or_else(|| format!("run_query reply carried no rows: {reply}"))
+}
+
+/// Extracts the single scalar of a `count(*)` result.
+fn single_count(rows: &Json) -> Result<u64, String> {
+    rows.as_array()
+        .and_then(|rows| rows.first())
+        .and_then(Json::as_array)
+        .and_then(|row| row.first())
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("not a count(*) result: {rows}"))
+}
+
+/// One writer's script: `--commands` `stream_append` batches of
+/// `rows_per_batch` sensor readings, every reply checked for the echoed
+/// id and the exact per-batch row count.
+fn run_appender(
+    addr: &str,
+    batches: usize,
+    rows_per_batch: usize,
+    seed: usize,
+) -> Result<u64, String> {
+    let mut busy_retries = 0;
+    let mut conn = connect_admitted(addr, &mut busy_retries)?;
+    for i in 0..batches {
+        let rows: Vec<String> = (0..rows_per_batch)
+            .map(|r| {
+                // Valid against the demo sensor schema: sensorid, epoch,
+                // hour, window, temp, humidity, light, voltage.
+                let sensor = (seed * 31 + i * 7 + r) % 24;
+                let temp = 40.0 + ((seed + i + r) % 32) as f64 / 2.0;
+                format!("[{sensor},0,0,0,{temp:.1},40.0,300.0,2.5]")
+            })
+            .collect();
+        let line = format!(
+            r#"{{"cmd":"stream_append","table":"readings","rows":[{}],"id":{i}}}"#,
+            rows.join(",")
+        );
+        let reply = conn.roundtrip(&line)?;
+        if reply.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("append batch {i} failed: {reply}"));
+        }
+        if reply.get("id").and_then(Json::as_u64) != Some(i as u64) {
+            return Err(format!("append batch {i} lost its id: {reply}"));
+        }
+        if reply.get("appended").and_then(Json::as_u64) != Some(rows_per_batch as u64) {
+            return Err(format!("append batch {i} applied the wrong row count: {reply}"));
+        }
+    }
+    Ok(busy_retries)
+}
+
+/// Opens the witness before any appender runs: a session holding the
+/// window query displayed, so every concurrent `stream_append` must
+/// refresh it in place. The connection is dropped (sessions outlive
+/// connections; an idle one would hog a pool worker for the whole fleet
+/// run) — only the session id and the seed row count come back.
+fn witness_open(addr: &str) -> Result<(u64, u64), String> {
+    let mut busy = 0;
+    let mut conn = connect_admitted(addr, &mut busy)?;
+    let session = open_session(&mut conn)?;
+    let seed_count = single_count(&query_rows(&mut conn, session, COUNT_SQL)?)?;
+    query_rows(&mut conn, session, WINDOW_SQL)?;
+    Ok((session, seed_count))
+}
+
+/// The post-soak equality gate: the witness (refreshed in place across
+/// every append) and a session opened cold after the soak must agree on
+/// the window query bit for bit and on the exact row count — seed plus
+/// `expected_appended`, proving no batch was lost or double-applied.
+fn witness_verify(
+    addr: &str,
+    session: u64,
+    seed_count: u64,
+    expected_appended: u64,
+) -> Result<(), String> {
+    let mut busy = 0;
+    let mut witness = connect_admitted(addr, &mut busy)?;
+    let witness_rows = query_rows(&mut witness, session, WINDOW_SQL)?;
+    let witness_count = single_count(&query_rows(&mut witness, session, COUNT_SQL)?)?;
+    drop(witness);
+    let mut cold = connect_admitted(addr, &mut busy)?;
+    let cold_session = open_session(&mut cold)?;
+    let cold_rows = query_rows(&mut cold, cold_session, WINDOW_SQL)?;
+    let cold_count = single_count(&query_rows(&mut cold, cold_session, COUNT_SQL)?)?;
+    let expected = seed_count + expected_appended;
+    if witness_count != expected || cold_count != expected {
+        return Err(format!(
+            "row counts diverged: witness {witness_count}, cold {cold_count}, expected {expected}"
+        ));
+    }
+    if witness_rows != cold_rows {
+        return Err(format!(
+            "window query diverged between the refreshed witness and a cold session:\n\
+             witness: {witness_rows}\ncold:    {cold_rows}"
+        ));
+    }
+    println!(
+        "soak_client: append gate ok — witness and cold sessions agree on {expected} rows \
+         ({expected_appended} streamed)"
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(options) => options,
@@ -145,19 +295,45 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "soak_client: {} clients x {} commands against {}",
-        options.clients, options.commands, options.addr
+        "soak_client: {} clients x {} commands (+{} appenders x {} rows) against {}",
+        options.clients, options.commands, options.appenders, options.append_rows, options.addr
     );
+
+    // The streaming phase's witness must be live *before* any appender:
+    // its displayed result is what every stream_append refreshes.
+    let witness = if options.appenders > 0 {
+        match witness_open(&options.addr) {
+            Ok(witness) => Some(witness),
+            Err(e) => {
+                eprintln!("soak_client: witness session failed to open: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let start = Instant::now();
     let results: Vec<Result<u64, String>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..options.clients)
+        let readers: Vec<_> = (0..options.clients)
             .map(|_| {
                 let addr = options.addr.as_str();
                 let commands = options.commands;
                 scope.spawn(move || run_client(addr, commands))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        let appenders: Vec<_> = (0..options.appenders)
+            .map(|seed| {
+                let addr = options.addr.as_str();
+                let (commands, rows) = (options.commands, options.append_rows);
+                scope.spawn(move || run_appender(addr, commands, rows, seed))
+            })
+            .collect();
+        readers
+            .into_iter()
+            .chain(appenders)
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
     });
     let elapsed = start.elapsed();
 
@@ -172,15 +348,25 @@ fn main() -> ExitCode {
             }
         }
     }
-    let total_commands = options.clients * (options.commands + 2); // + open/close
+    let fleet = options.clients + options.appenders;
+    let total_commands = options.clients * (options.commands + 2) // + open/close
+        + options.appenders * options.commands;
     println!(
         "soak_client: {} clients done in {elapsed:.2?} ({:.0} commands/s), \
          {busy_retries} busy admission retries, {failures} failures",
-        options.clients - failures,
+        fleet - failures,
         total_commands as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
     );
     if failures > 0 {
         return ExitCode::FAILURE;
+    }
+
+    if let Some((session, seed_count)) = witness {
+        let streamed = (options.appenders * options.commands * options.append_rows) as u64;
+        if let Err(e) = witness_verify(&options.addr, session, seed_count, streamed) {
+            eprintln!("soak_client: append equality gate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // Fleet drained: capture the server's stats for the job artifact.
@@ -206,6 +392,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("soak_client: stats written to {path}");
+    }
+    if options.appenders > 0 && options.appenders * options.commands >= 2 {
+        // With a witness result displayed, the first append builds its
+        // cache and every later one must fast-forward it — the counter
+        // staying at zero would mean appends rebuild instead of absorb.
+        let absorbs = stats
+            .get("cache")
+            .and_then(|c| c.get("append_absorbs"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if absorbs == 0 {
+            eprintln!(
+                "soak_client: {} appends streamed but cache.append_absorbs is 0 — \
+                 the append path rebuilt instead of absorbing",
+                options.appenders * options.commands
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("soak_client: {absorbs} cache absorbs across the append phase");
     }
     if options.expect_busy {
         let rejected =

@@ -19,7 +19,7 @@
 use crate::error::CoreError;
 use crate::metric::ErrorMetric;
 use crate::parallel::map_chunked;
-use dbwipes_engine::{GroupedAggregateCache, QueryResult};
+use dbwipes_engine::{ExclusionQuery, GroupedAggregateCache, QueryResult};
 use dbwipes_storage::{
     Candidate, ConditionBitmapCache, ConjunctivePredicate, DataType, RowId, RowSet, Table, Value,
 };
@@ -269,7 +269,9 @@ fn score_bitmaps(ctx: &ScoreContext<'_, '_>, tri: dbwipes_storage::TriSet) -> Ca
     excluded.and_assign(ctx.cache.membership());
     // Only the brushed groups matter for ε: ask the cache for exactly
     // those keys instead of materialising (and re-sorting) every group.
-    let cleaned = ctx.cache.result_excluding_keys_set(&excluded, &ctx.selected_keys);
+    let cleaned = ctx
+        .cache
+        .result(&ExclusionQuery::new().excluding_set(&excluded).for_keys(&ctx.selected_keys));
     let matched_in_f = matched.and(&ctx.f_rowset);
     CandidateEvidence {
         matched_rows: matched.count_ones(),
@@ -315,7 +317,8 @@ fn score_scalar<P: Candidate>(
         }
     }
 
-    let cleaned = cache.result_excluding_keys(&excluded, &ctx.selected_keys);
+    let cleaned =
+        cache.result(&ExclusionQuery::new().excluding_rows(&excluded).for_keys(&ctx.selected_keys));
     let matched_in_f: Vec<&RowId> = matched.iter().filter(|r| ctx.f_set.contains(r)).collect();
     let true_positives = matched_in_f.iter().filter(|r| ctx.example_set.contains(r)).count();
     Ok(CandidateEvidence {

@@ -15,6 +15,7 @@ use dbwipes_core::{
 };
 use dbwipes_engine::{GroupedAggregateCache, QueryResult};
 use dbwipes_storage::{RowId, Table};
+use std::sync::Arc;
 
 /// Where the user is in the Figure-1 interaction loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +116,55 @@ impl DashboardSession {
         self.metric = None;
         self.explanation = None;
         Ok(self.result.as_ref().expect("just set"))
+    }
+
+    /// Adopts a freshly appended snapshot of the current query's table
+    /// (streaming ingestion): installs `table` into the session's catalog
+    /// and replaces the displayed result with `refreshed`, which the
+    /// caller computed over the new snapshot — typically via an
+    /// append-absorbed cache's
+    /// [`full_result_with_lineage`](GroupedAggregateCache::full_result_with_lineage).
+    ///
+    /// The user's in-flight investigation survives the refresh where it
+    /// still makes sense:
+    ///
+    /// * selected outputs (S) are remapped by **group key**, so a group
+    ///   that changed position keeps its selection while a vanished group
+    ///   is dropped;
+    /// * selected input rows (D′) are kept verbatim — appends never
+    ///   renumber existing [`RowId`]s;
+    /// * the error metric ε is kept;
+    /// * a computed explanation is discarded: it described the old data,
+    ///   and the next `debug!` recomputes it over the grown table.
+    pub fn refresh_after_append(
+        &mut self,
+        table: Arc<Table>,
+        refreshed: QueryResult,
+    ) -> Result<(), CoreError> {
+        let current =
+            self.result.as_ref().ok_or_else(|| CoreError::invalid("no query result to refresh"))?;
+        if refreshed.statement != current.statement {
+            return Err(CoreError::invalid(
+                "refreshed result was computed for a different statement",
+            ));
+        }
+        if !table.name().eq_ignore_ascii_case(&refreshed.statement.table) {
+            return Err(CoreError::invalid("snapshot is not the refreshed statement's table"));
+        }
+        let remapped: Vec<usize> = self
+            .selected_outputs
+            .iter()
+            .filter_map(|&i| {
+                let key = current.group_keys.get(i)?;
+                refreshed.group_keys.iter().position(|k| k == key)
+            })
+            .collect();
+        self.db.catalog_mut().install_snapshot(table);
+        self.query_form.show_statement(&refreshed.statement);
+        self.result = Some(refreshed);
+        self.selected_outputs = remapped;
+        self.explanation = None;
+        Ok(())
     }
 
     /// The group-level scatter series (step 2: visualize results).
@@ -515,6 +565,65 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refresh_after_append_keeps_selections_and_drops_the_stale_explanation() {
+        let (mut s, ds) = session();
+        s.run_query(&ds.window_query()).unwrap();
+        s.brush_outputs("window", "std_temp", Brush::above(8.0));
+        s.brush_inputs("sensorid", "temp", Brush::above(100.0));
+        let choices = s.metric_choices("std_temp");
+        s.set_metric(choices[0].metric.clone());
+        s.debug().unwrap();
+        assert_eq!(s.state(), SessionState::Explained);
+        let selected_keys: Vec<Vec<dbwipes_storage::Value>> = s
+            .selected_outputs()
+            .iter()
+            .map(|&i| s.result().unwrap().group_keys[i].clone())
+            .collect();
+        let inputs_before = s.selected_inputs().to_vec();
+
+        // Grow a snapshot of the table (same identity, appended epoch) and
+        // compute the refreshed result the way the server would: through
+        // an absorbed cache.
+        let mut grown = s.current_table().unwrap().clone();
+        let row = |sensor: i64, temp: f64| {
+            let mut r = Vec::new();
+            for field in grown.schema().fields() {
+                r.push(match field.name.as_str() {
+                    "sensorid" => dbwipes_storage::Value::Int(sensor),
+                    "temp" => dbwipes_storage::Value::Float(temp),
+                    _ => dbwipes_storage::Value::Int(0),
+                });
+            }
+            r
+        };
+        grown.push_rows(vec![row(3, 55.0), row(15, 140.0)]).unwrap();
+        let grown = Arc::new(grown);
+        let stmt = s.result().unwrap().statement.clone();
+        let cache = GroupedAggregateCache::build_shared(Arc::clone(&grown), &stmt).unwrap();
+        let refreshed = cache.full_result_with_lineage();
+
+        // A mismatched statement is rejected before anything mutates.
+        let other = s.backend().query("SELECT count(*) FROM readings").unwrap();
+        assert!(s.refresh_after_append(Arc::clone(&grown), other).is_err());
+
+        s.refresh_after_append(Arc::clone(&grown), refreshed).unwrap();
+        // The session now reads the grown snapshot...
+        assert_eq!(s.current_table().unwrap().epoch(), grown.epoch());
+        // ...selections survived (remapped by key / kept verbatim)...
+        let keys_after: Vec<Vec<dbwipes_storage::Value>> = s
+            .selected_outputs()
+            .iter()
+            .map(|&i| s.result().unwrap().group_keys[i].clone())
+            .collect();
+        assert_eq!(keys_after, selected_keys);
+        assert_eq!(s.selected_inputs(), inputs_before.as_slice());
+        assert!(s.metric().is_some());
+        // ...and the stale explanation is gone but recomputable.
+        assert_eq!(s.state(), SessionState::InputsSelected);
+        assert!(!s.debug().unwrap().predicates.is_empty());
     }
 
     #[test]

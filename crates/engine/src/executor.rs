@@ -167,6 +167,32 @@ pub(crate) fn scan_filter(
     Ok(filtered)
 }
 
+/// [`scan_filter`] restricted to the row suffix starting at physical index
+/// `from` — the shape of the append-absorb path, where everything before
+/// `from` is already retained and only the streamed suffix needs
+/// filtering. Evaluates the scalar predicate walk over the suffix, which
+/// produces exactly the rows the vectorized kernels would admit (see
+/// [`scan_filter`]'s equivalence note), so absorbing stays bit-identical
+/// to a fresh build while the scan cost is O(appended), not O(table).
+pub(crate) fn scan_filter_suffix(
+    table: &Table,
+    stmt: &SelectStatement,
+    from: usize,
+) -> Result<Vec<RowId>, EngineError> {
+    let mut filtered: Vec<RowId> = Vec::new();
+    for i in from..table.num_rows() {
+        let rid = RowId(i);
+        if table.is_deleted(rid) {
+            continue;
+        }
+        match &stmt.where_clause {
+            Some(pred) if !pred.matches(table, rid)? => {}
+            _ => filtered.push(rid),
+        }
+    }
+    Ok(filtered)
+}
+
 /// Group stage: partitions `filtered` by the GROUP BY key, keeping groups in
 /// first-seen (scan) order. A query without GROUP BY produces exactly one
 /// group, even when no rows survive the filter (PostgreSQL semantics).

@@ -19,9 +19,10 @@
 //!   the recompute fallback), and
 //! * a row → (group, position) index over the filtered input rows.
 //!
-//! [`GroupedAggregateCache::result_excluding`] then clones only the
-//! *touched* groups' states and calls [`AggregateState::remove`] for the
-//! excluded tuples' contributions — O(touched) instead of O(|D|).
+//! [`GroupedAggregateCache::result`] (driven by an [`ExclusionQuery`])
+//! then clones only the *touched* groups' states and calls
+//! [`AggregateState::remove`] for the excluded tuples' contributions —
+//! O(touched) instead of O(|D|).
 //!
 //! ## Removable vs. non-removable aggregates
 //!
@@ -50,11 +51,11 @@ use crate::ast::{AggregateCall, SelectExpr, SelectStatement};
 use crate::error::EngineError;
 use crate::executor::{
     build_groups, for_each_arg_value, output_order, output_schema, project_row, scan_filter,
-    validate,
+    scan_filter_suffix, validate,
 };
 use crate::result::QueryResult;
 use dbwipes_provenance::{Lineage, OperatorGraph, OperatorKind};
-use dbwipes_storage::{RowId, RowSet, Schema, Table, Value};
+use dbwipes_storage::{RowId, RowSet, Schema, Table, TableEpoch, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -97,8 +98,11 @@ pub struct CacheFingerprint {
     pub table_name: String,
     /// [`Table::id`] of the table.
     pub table_id: u64,
-    /// [`Table::version`] of the table.
-    pub table_version: u64,
+    /// Full [`Table::epoch`] of the table. Equality is exact, so lookups
+    /// stay correct by construction; append-tolerant registries
+    /// additionally match on [`CacheFingerprint::append_variant_of`] to
+    /// find an older sibling worth absorbing instead of rebuilding.
+    pub epoch: TableEpoch,
     /// The statement's canonical SQL rendering.
     pub statement: String,
 }
@@ -109,9 +113,77 @@ impl CacheFingerprint {
         CacheFingerprint {
             table_name: table.name().to_ascii_lowercase(),
             table_id: table.id(),
-            table_version: table.version(),
+            epoch: table.epoch(),
             statement: stmt.to_sql(),
         }
+    }
+
+    /// True when `self` and `other` describe the same statement over
+    /// append-related data states of the same table: everything matches
+    /// except the appended epoch stamp. A cache under either fingerprint
+    /// can serve the other after [`GroupedAggregateCache::absorb_append`]
+    /// (only forward, older → newer).
+    pub fn append_variant_of(&self, other: &CacheFingerprint) -> bool {
+        self.table_id == other.table_id
+            && self.epoch.structural == other.epoch.structural
+            && self.table_name == other.table_name
+            && self.statement == other.statement
+    }
+}
+
+/// Which input rows an [`ExclusionQuery`] excludes — either shape the
+/// ranker produces, borrowed rather than copied.
+#[derive(Debug, Clone, Copy, Default)]
+enum Excluded<'q> {
+    /// Exclude nothing (the full cached result).
+    #[default]
+    None,
+    /// An explicit row list (duplicates and non-matching rows ignored).
+    Rows(&'q [RowId]),
+    /// A [`RowSet`] bitmap over the cache's row universe — the vectorized
+    /// ranker's shape; set bits are consumed directly.
+    Set(&'q RowSet),
+}
+
+/// A "what if these rows were deleted?" question for
+/// [`GroupedAggregateCache::result`]: an exclusion selector (row list or
+/// [`RowSet`] bitmap) optionally restricted to specific GROUP BY keys.
+/// Borrowing builder — construct with [`ExclusionQuery::new`], chain
+/// `excluding_rows` / `excluding_set` / `for_keys`, then pass to
+/// [`GroupedAggregateCache::result`]:
+///
+/// ```ignore
+/// cache.result(&ExclusionQuery::new().excluding_set(&bits).for_keys(&keys))
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExclusionQuery<'q> {
+    excluded: Excluded<'q>,
+    keys: Option<&'q [Vec<Value>]>,
+}
+
+impl<'q> ExclusionQuery<'q> {
+    /// A query excluding nothing, over every group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Excludes the given rows (replacing any prior exclusion selector).
+    pub fn excluding_rows(mut self, rows: &'q [RowId]) -> Self {
+        self.excluded = Excluded::Rows(rows);
+        self
+    }
+
+    /// Excludes the set bits of `set` (replacing any prior selector).
+    pub fn excluding_set(mut self, set: &'q RowSet) -> Self {
+        self.excluded = Excluded::Set(set);
+        self
+    }
+
+    /// Restricts the answer to the groups whose GROUP BY key appears in
+    /// `keys`, without materialising any other group.
+    pub fn for_keys(mut self, keys: &'q [Vec<Value>]) -> Self {
+        self.keys = Some(keys);
+        self
     }
 }
 
@@ -355,6 +427,149 @@ impl<'t> GroupedAggregateCache<'t> {
         })
     }
 
+    /// Absorbs the rows appended to the table since this cache was built,
+    /// without touching any retained state for pre-existing rows. `table`
+    /// must be an append descendant of the cache's table: same table id,
+    /// same structural epoch (no deletions or restores in between), equal
+    /// or newer appended epoch. Appended rows are filtered, grouped and
+    /// folded into the retained aggregate states exactly as a fresh
+    /// [`GroupedAggregateCache::build`] over the grown table would —
+    /// insertion is exact for every aggregate including MIN/MAX (only
+    /// *removal* needs their rescan fallback) — so an absorbed cache is
+    /// indistinguishable from a rebuilt one: same groups in the same
+    /// first-seen order (new groups append after all old ones), same
+    /// states, same answers to every exclusion query. Returns the number
+    /// of appended rows that passed the statement's filter.
+    pub fn absorb_append(&mut self, table: &'t Table) -> Result<usize, EngineError> {
+        self.absorb_from(TableStore::Borrowed(table))
+    }
+
+    /// [`GroupedAggregateCache::absorb_append`] over a shared table
+    /// snapshot — the registry's shape: the cache drops its old snapshot
+    /// and co-owns the grown one.
+    pub fn absorb_append_shared(&mut self, table: Arc<Table>) -> Result<usize, EngineError> {
+        self.absorb_from(TableStore::Shared(table))
+    }
+
+    fn absorb_from(&mut self, store: TableStore<'t>) -> Result<usize, EngineError> {
+        let old_rows = self.table.num_rows();
+        let absorbed;
+        {
+            let table: &Table = &store;
+            if table.id() != self.table.id() {
+                return Err(EngineError::plan(format!(
+                    "cannot absorb appends from table '{}' into a cache built over '{}'",
+                    table.name(),
+                    self.table.name()
+                )));
+            }
+            if !table.epoch().is_append_descendant_of(self.table.epoch()) {
+                return Err(EngineError::plan(format!(
+                    "table '{}' at {:?} is not an append descendant of the cached epoch {:?}",
+                    table.name(),
+                    table.epoch(),
+                    self.table.epoch()
+                )));
+            }
+            if table.num_rows() < old_rows {
+                return Err(EngineError::plan(format!(
+                    "append descendant of '{}' lost rows: {} -> {}",
+                    table.name(),
+                    old_rows,
+                    table.num_rows()
+                )));
+            }
+            if table.epoch() == self.table.epoch() {
+                return Ok(0);
+            }
+
+            // The retained indexes must match the grown row universe even
+            // when no appended row passes the filter: exclusion bitmaps
+            // arrive sized to the new table.
+            self.membership.grow(table.num_rows());
+            self.row_slots.resize(table.num_rows(), (0u32, 0u32));
+
+            // Filter only the appended suffix — the old region is unchanged
+            // (same structural epoch), so its rows are already retained and
+            // re-scanning them would make every absorb O(table). The suffix
+            // scan admits exactly the rows a full vectorized filter would.
+            let appended = scan_filter_suffix(table, &self.stmt, old_rows)?;
+            absorbed = appended.len();
+            let (new_keys, new_group_rows) = build_groups(table, &self.stmt, appended)?;
+
+            let agg_calls: Vec<&AggregateCall> = self
+                .agg_item_indices
+                .iter()
+                .map(|&i| match &self.stmt.items[i].expr {
+                    SelectExpr::Aggregate(call) => call,
+                    _ => unreachable!("agg_item_indices only holds aggregate items"),
+                })
+                .collect();
+
+            let mut touched: Vec<u32> = Vec::new();
+            for (key, rows) in new_keys.into_iter().zip(new_group_rows) {
+                if rows.is_empty() {
+                    // The implicit group of a GROUP BY-less statement when
+                    // no appended row matched: nothing to fold in.
+                    continue;
+                }
+                let gi = match self.key_index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        let gi = u32::try_from(self.groups.len()).map_err(|_| {
+                            EngineError::plan("group count overflows the group index")
+                        })?;
+                        self.key_index.insert(key.clone(), gi);
+                        self.groups.push(CachedGroup {
+                            key,
+                            rows: Vec::new(),
+                            states: agg_calls
+                                .iter()
+                                .map(|call| AggregateState::new(call.func))
+                                .collect(),
+                            arg_values: vec![Vec::new(); agg_calls.len()],
+                            template: Vec::new(),
+                        });
+                        gi
+                    }
+                };
+                touched.push(gi);
+                let group = &mut self.groups[gi as usize];
+                for (slot, call) in agg_calls.iter().enumerate() {
+                    let state = &mut group.states[slot];
+                    let values = &mut group.arg_values[slot];
+                    for_each_arg_value(table, call, &rows, |v| {
+                        state.add(v);
+                        values.push(v);
+                    })?;
+                }
+                for &rid in &rows {
+                    let pos = u32::try_from(group.rows.len()).map_err(|_| {
+                        EngineError::plan("group row list overflows the slot index")
+                    })?;
+                    group.rows.push(rid);
+                    self.membership.insert(rid.index());
+                    self.row_slots[rid.index()] = (gi, pos);
+                }
+            }
+
+            // Re-project the output row of every group that gained rows
+            // (new groups included). Untouched groups keep their template:
+            // their states, rows and representative first row are
+            // unchanged.
+            touched.sort_unstable();
+            touched.dedup();
+            for gi in touched {
+                let group = &mut self.groups[gi as usize];
+                let agg_outputs: Vec<Value> = group.states.iter().map(|s| s.finish()).collect();
+                group.template =
+                    project_row(table, &self.stmt, &group.key, &group.rows, &agg_outputs)?;
+            }
+        }
+        self.table = store;
+        Ok(absorbed)
+    }
+
     /// The table this cache was built from.
     pub fn table(&self) -> &Table {
         &self.table
@@ -424,87 +639,116 @@ impl<'t> GroupedAggregateCache<'t> {
 
     /// The result of the statement with no rows excluded (lineage-free).
     pub fn full_result(&self) -> QueryResult {
-        self.result_excluding(&[])
+        self.result(&ExclusionQuery::new())
     }
 
-    /// The exact result the statement would produce if `excluded` were
-    /// deleted from the table: touched groups subtract the excluded tuples'
-    /// contributions via [`AggregateState::remove`] (falling back to an
-    /// in-order rebuild for MIN/MAX), untouched groups reuse their cached
-    /// output row verbatim. Rows that did not pass the filter (or appear
-    /// multiple times) are ignored.
-    pub fn result_excluding(&self, excluded: &[RowId]) -> QueryResult {
+    /// [`GroupedAggregateCache::full_result`] with fine-grained lineage:
+    /// every output group records exactly the input rows the executor
+    /// would have recorded, so the result is indistinguishable from
+    /// [`crate::execute`] on the same table (timing aside). This is the
+    /// streaming-append refresh path: a session whose table only gained
+    /// rows replaces its displayed result from the absorbed cache instead
+    /// of re-executing, and downstream lineage consumers (the influence
+    /// preprocessor's fallback) keep working.
+    pub fn full_result_with_lineage(&self) -> QueryResult {
         let start = Instant::now();
-        let touched = self.touched_positions(excluded, None);
-
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
         let mut keys: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
-        for (gi, group) in self.groups.iter().enumerate() {
-            let Some(row) = self.cleaned_group_row(group, touched.get(&(gi as u32))) else {
-                continue;
-            };
-            rows.push(row);
+        for group in &self.groups {
+            rows.push(group.template.clone());
             keys.push(group.key.clone());
         }
-
         let order = output_order(&self.stmt, &rows, &keys).expect("validated at build time");
-
         let mut final_rows = Vec::with_capacity(order.len());
         let mut final_keys = Vec::with_capacity(order.len());
+        let mut lineage = Lineage::new(self.table.name());
         for &i in &order {
             final_rows.push(std::mem::take(&mut rows[i]));
             final_keys.push(std::mem::take(&mut keys[i]));
+            let g = lineage.add_group();
+            lineage.record_all(g, self.groups[i].rows.iter().copied());
         }
-        self.finish_result(final_rows, final_keys, start)
+        let mut result = self.finish_result(final_rows, final_keys, start);
+        result.lineage = lineage;
+        result
     }
 
-    /// The rows of [`GroupedAggregateCache::result_excluding`] restricted
-    /// to the groups whose GROUP BY key appears in `keys` — without
+    /// The single exclusion-query entry point: the exact result the
+    /// statement would produce if the query's excluded rows were deleted
+    /// from the table. Touched groups subtract the excluded tuples'
+    /// contributions via [`AggregateState::remove`] (falling back to an
+    /// in-order rebuild for MIN/MAX), untouched groups reuse their cached
+    /// output row verbatim. Excluded rows that did not pass the filter (or
+    /// appear multiple times) are ignored.
+    ///
+    /// With [`ExclusionQuery::for_keys`], the result is restricted to the
+    /// groups whose GROUP BY key appears in the requested set — without
     /// materialising (cloning, re-aggregating or sorting) any other group.
-    ///
-    /// This is the Predicate Ranker's shape of question: a brush selects a
+    /// That is the Predicate Ranker's shape of question: a brush selects a
     /// handful of suspicious groups, and every candidate predicate only
-    /// needs ε re-evaluated over *those* groups; on a query with hundreds
-    /// of windows the full result would be >95% wasted work.
-    ///
-    /// The returned partial result contains one row per distinct requested
-    /// key that (still) exists after the exclusion, in the cache's
-    /// first-seen group order — ORDER BY is not applied, since rows are
-    /// identified by their group key. The per-group values are exactly the
-    /// corresponding rows of `result_excluding`. A statement with LIMIT
-    /// falls back internally to the full path (which groups survive the
-    /// limit depends on every other group) and then filters, so results
-    /// remain exact.
-    pub fn result_excluding_keys(&self, excluded: &[RowId], keys: &[Vec<Value>]) -> QueryResult {
-        if self.stmt.limit.is_some() {
-            return self.limited_keys_result(excluded, keys);
-        }
+    /// needs ε re-evaluated over *those* groups. The by-key result
+    /// contains one row per distinct requested key that (still) exists
+    /// after the exclusion, in the cache's first-seen group order — ORDER
+    /// BY is not applied, since rows are identified by their group key. A
+    /// statement with LIMIT falls back internally to the full path (which
+    /// groups survive the limit depends on every other group) and then
+    /// filters, so results remain exact.
+    pub fn result(&self, q: &ExclusionQuery<'_>) -> QueryResult {
         let start = Instant::now();
-        let (wanted, wanted_set) = self.resolve_wanted(keys);
-        let touched = self.touched_positions(excluded, Some(&wanted_set));
-        self.keys_result(&wanted, &touched, start)
+        match q.keys {
+            None => {
+                let touched = self.touched_of(q.excluded, None);
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
+                let mut keys: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
+                for (gi, group) in self.groups.iter().enumerate() {
+                    let Some(row) = self.cleaned_group_row(group, touched.get(&(gi as u32))) else {
+                        continue;
+                    };
+                    rows.push(row);
+                    keys.push(group.key.clone());
+                }
+                let order =
+                    output_order(&self.stmt, &rows, &keys).expect("validated at build time");
+                let mut final_rows = Vec::with_capacity(order.len());
+                let mut final_keys = Vec::with_capacity(order.len());
+                for &i in &order {
+                    final_rows.push(std::mem::take(&mut rows[i]));
+                    final_keys.push(std::mem::take(&mut keys[i]));
+                }
+                self.finish_result(final_rows, final_keys, start)
+            }
+            Some(keys) => {
+                if self.stmt.limit.is_some() {
+                    return self.limited_keys_result(q.excluded, keys);
+                }
+                let (wanted, wanted_set) = self.resolve_wanted(keys);
+                let touched = self.touched_of(q.excluded, Some(&wanted_set));
+                self.keys_result(&wanted, &touched, start)
+            }
+        }
     }
 
-    /// [`GroupedAggregateCache::result_excluding_keys`] for an exclusion
-    /// set given as a [`RowSet`] bitmap — the vectorized ranker's shape of
-    /// question. The set bits are consumed directly; no `Vec<RowId>` is
-    /// materialized on the fast (un-LIMITed) path.
-    pub fn result_excluding_keys_set(&self, excluded: &RowSet, keys: &[Vec<Value>]) -> QueryResult {
-        if self.stmt.limit.is_some() {
-            return self.limited_keys_result(&excluded.to_row_ids(), keys);
+    /// Excluded positions per touched group for whichever selector shape
+    /// the query carries — bitmap bits are consumed directly (no
+    /// `Vec<RowId>` materialised on the un-LIMITed path).
+    fn touched_of(
+        &self,
+        excluded: Excluded<'_>,
+        wanted: Option<&HashSet<u32>>,
+    ) -> HashMap<u32, Vec<u32>> {
+        match excluded {
+            Excluded::None => HashMap::new(),
+            Excluded::Rows(rows) => self.touched_positions(rows, wanted),
+            Excluded::Set(set) => self.touched_positions_of(set.iter(), wanted),
         }
-        let start = Instant::now();
-        let (wanted, wanted_set) = self.resolve_wanted(keys);
-        let touched = self.touched_positions_of(excluded.iter(), Some(&wanted_set));
-        self.keys_result(&wanted, &touched, start)
     }
 
     /// The LIMIT fallback of the by-key paths: which groups survive the
     /// limit depends on every other group, so compute the full result and
     /// filter it down to the requested keys.
-    fn limited_keys_result(&self, excluded: &[RowId], keys: &[Vec<Value>]) -> QueryResult {
+    fn limited_keys_result(&self, excluded: Excluded<'_>, keys: &[Vec<Value>]) -> QueryResult {
         let wanted: HashSet<&[Value]> = keys.iter().map(|k| k.as_slice()).collect();
-        let full = self.result_excluding(excluded);
+        let full = self.result(&ExclusionQuery { excluded, keys: None });
         let start = Instant::now();
         let mut rows = Vec::new();
         let mut out_keys = Vec::new();
@@ -694,8 +938,8 @@ impl<'t> GroupedAggregateCache<'t> {
 
     /// The per-slot aggregate states of group `g` after excluding the rows
     /// at `positions` (sorted, deduplicated) — the state-level counterpart
-    /// of [`GroupedAggregateCache::result_excluding`], exposed so partial
-    /// shard states can be merged *before* finishing.
+    /// of [`GroupedAggregateCache::result`] over an [`ExclusionQuery`],
+    /// exposed so partial shard states can be merged *before* finishing.
     pub(crate) fn states_excluding(&self, g: usize, positions: &[u32]) -> Vec<AggregateState> {
         let group = &self.groups[g];
         (0..group.states.len()).map(|slot| self.reaggregate(group, slot, positions)).collect()
@@ -751,7 +995,7 @@ mod tests {
     }
 
     /// Full re-execution with the rows physically deleted — the ground
-    /// truth `result_excluding` must reproduce.
+    /// truth an exclusion query must reproduce.
     fn reference(table: &Table, stmt: &SelectStatement, excluded: &[RowId]) -> QueryResult {
         let mut t = table.clone();
         for &r in excluded {
@@ -764,7 +1008,7 @@ mod tests {
         let table = readings();
         let stmt = parse_select(sql).unwrap();
         let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
-        let incremental = cache.result_excluding(excluded);
+        let incremental = cache.result(&ExclusionQuery::new().excluding_rows(excluded));
         let full = reference(&table, &stmt, excluded);
         assert_eq!(incremental.rows, full.rows, "{sql} excluding {excluded:?}");
         assert_eq!(incremental.group_keys, full.group_keys, "{sql}");
@@ -852,15 +1096,15 @@ mod tests {
         assert!(cache.find_group(&[Value::Int(9)]).is_none());
     }
 
-    /// `result_excluding_keys` must agree row-for-row with filtering the
+    /// The by-key path must agree row-for-row with filtering the
     /// full result down to the requested keys (ignoring row order, which
     /// the by-key path does not promise).
     fn check_keys(sql: &str, excluded: &[RowId], keys: &[Vec<Value>]) {
         let table = readings();
         let stmt = parse_select(sql).unwrap();
         let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
-        let partial = cache.result_excluding_keys(excluded, keys);
-        let full = cache.result_excluding(excluded);
+        let partial = cache.result(&ExclusionQuery::new().excluding_rows(excluded).for_keys(keys));
+        let full = cache.result(&ExclusionQuery::new().excluding_rows(excluded));
         let mut expected: Vec<(&Vec<Value>, &Vec<Value>)> =
             full.group_keys.iter().zip(&full.rows).filter(|(k, _)| keys.contains(k)).collect();
         let mut got: Vec<(&Vec<Value>, &Vec<Value>)> =
@@ -926,8 +1170,10 @@ mod tests {
             let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
             for excluded in [&[][..], &[RowId(3)][..], &[RowId(0), RowId(1), RowId(4)][..]] {
                 let as_set = RowSet::from_rows(table.num_rows(), excluded.iter());
-                let via_set = cache.result_excluding_keys_set(&as_set, &all_keys);
-                let via_list = cache.result_excluding_keys(excluded, &all_keys);
+                let via_set =
+                    cache.result(&ExclusionQuery::new().excluding_set(&as_set).for_keys(&all_keys));
+                let via_list = cache
+                    .result(&ExclusionQuery::new().excluding_rows(excluded).for_keys(&all_keys));
                 assert_eq!(via_set.rows, via_list.rows, "{sql} excluding {excluded:?}");
                 assert_eq!(via_set.group_keys, via_list.group_keys, "{sql}");
             }
@@ -959,12 +1205,17 @@ mod tests {
         let cache = GroupedAggregateCache::build(&table, &stmt).unwrap();
         // Excluded rows live in hour 0, but only hour 1 is requested: the
         // answer is hour 1's untouched template row.
-        let partial = cache.result_excluding_keys(&[RowId(0), RowId(1)], &[vec![Value::Int(1)]]);
+        let excluded = [RowId(0), RowId(1)];
+        let keys = [vec![Value::Int(1)]];
+        let partial =
+            cache.result(&ExclusionQuery::new().excluding_rows(&excluded).for_keys(&keys));
         assert_eq!(partial.len(), 1);
         assert_eq!(partial.group_keys[0], vec![Value::Int(1)]);
         assert_eq!(partial.rows[0], cache.full_result().rows[1]);
         // Empty key set → empty result, regardless of exclusions.
-        assert!(cache.result_excluding_keys(&[RowId(0)], &[]).is_empty());
+        assert!(cache
+            .result(&ExclusionQuery::new().excluding_rows(&excluded[..1]).for_keys(&[]))
+            .is_empty());
     }
 
     #[test]
@@ -977,17 +1228,15 @@ mod tests {
         // reference to the table it was built from.
         let shared: GroupedAggregateCache<'static> =
             GroupedAggregateCache::build_shared(arc.clone(), &stmt).unwrap();
-        assert_eq!(
-            shared.result_excluding(&[RowId(3)]).rows,
-            borrowed.result_excluding(&[RowId(3)]).rows
-        );
+        let q = ExclusionQuery::new().excluding_rows(&[RowId(3)]);
+        assert_eq!(shared.result(&q).rows, borrowed.result(&q).rows);
         assert_eq!(shared.fingerprint(), borrowed.fingerprint());
         assert_eq!(shared.table().id(), table.id());
 
         let fp = shared.fingerprint();
         assert_eq!(fp.table_name, "readings");
         assert_eq!(fp.table_id, table.id());
-        assert_eq!(fp.table_version, table.version());
+        assert_eq!(fp.epoch, table.epoch());
         // Equivalent SQL spellings (whitespace, keyword case) canonicalise
         // to the same fingerprint...
         let respelled =
@@ -1006,5 +1255,119 @@ mod tests {
         let table = readings();
         let stmt = parse_select("SELECT sensorid, avg(temp) FROM readings GROUP BY hour").unwrap();
         assert!(GroupedAggregateCache::build(&table, &stmt).is_err());
+    }
+
+    /// Appended rows touching an old group, creating a new group, and
+    /// (partly) failing the WHERE clause — the absorbed cache must be
+    /// indistinguishable from a fresh build over the grown table.
+    fn check_absorb(sql: &str, appended: &[(i64, i64, Value)]) {
+        let mut table = readings();
+        let stmt = parse_select(sql).unwrap();
+        // Build over a snapshot of the pre-append data — the shape every
+        // real caller has (COW catalogs and Arc snapshots), since a
+        // borrowed table cannot be mutated while the cache holds it.
+        let snapshot = table.clone();
+        let mut cache = GroupedAggregateCache::build(&snapshot, &stmt).unwrap();
+        table
+            .push_rows(
+                appended
+                    .iter()
+                    .map(|(s, h, v)| vec![Value::Int(*s), Value::Int(*h), v.clone()])
+                    .collect(),
+            )
+            .unwrap();
+        cache.absorb_append(&table).unwrap();
+        let fresh = GroupedAggregateCache::build(&table, &stmt).unwrap();
+
+        assert_eq!(cache.fingerprint(), fresh.fingerprint(), "{sql}");
+        assert_eq!(cache.num_groups(), fresh.num_groups(), "{sql}");
+        assert_eq!(cache.num_rows(), fresh.num_rows(), "{sql}");
+        let full_a = cache.full_result();
+        let full_b = fresh.full_result();
+        assert_eq!(full_a.rows, full_b.rows, "{sql}");
+        assert_eq!(full_a.group_keys, full_b.group_keys, "{sql}");
+        // Exclusion queries over old rows, new rows and both agree too.
+        let n = table.num_rows();
+        for excluded in [vec![RowId(0)], vec![RowId(n - 1)], vec![RowId(1), RowId(n - 2)]] {
+            let q = ExclusionQuery::new().excluding_rows(&excluded);
+            assert_eq!(cache.result(&q).rows, fresh.result(&q).rows, "{sql} {excluded:?}");
+        }
+    }
+
+    #[test]
+    fn absorb_append_is_indistinguishable_from_a_fresh_build() {
+        let appended: &[(i64, i64, Value)] = &[
+            (1, 0, Value::Float(99.0)),  // old group, new maximum
+            (2, 7, Value::Float(-40.0)), // brand-new group
+            (3, 1, Value::Float(55.0)),  // filtered out under sensorid <> 3
+            (1, 7, Value::Null),         // NULL contribution to the new group
+        ];
+        check_absorb(
+            "SELECT hour, avg(temp), sum(temp), count(*), count(temp) FROM readings \
+             GROUP BY hour",
+            appended,
+        );
+        check_absorb("SELECT hour, min(temp), max(temp) FROM readings GROUP BY hour", appended);
+        check_absorb("SELECT avg(temp), min(temp), max(temp), count(*) FROM readings", appended);
+        check_absorb(
+            "SELECT hour, avg(temp) FROM readings WHERE sensorid <> 3 GROUP BY hour",
+            appended,
+        );
+        check_absorb(
+            "SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC LIMIT 2",
+            appended,
+        );
+    }
+
+    #[test]
+    fn absorb_append_batches_compose() {
+        // Absorbing twice (batch by batch) equals absorbing once.
+        let mut table = readings();
+        let stmt =
+            parse_select("SELECT hour, sum(temp), max(temp) FROM readings GROUP BY hour").unwrap();
+        let mut cache =
+            GroupedAggregateCache::build_shared(Arc::new(table.clone()), &stmt).unwrap();
+        table.push_row(vec![Value::Int(1), Value::Int(0), Value::Float(1.5)]).unwrap();
+        assert_eq!(cache.absorb_append_shared(Arc::new(table.clone())).unwrap(), 1);
+        table.push_row(vec![Value::Int(2), Value::Int(9), Value::Float(-3.0)]).unwrap();
+        assert_eq!(cache.absorb_append_shared(Arc::new(table.clone())).unwrap(), 1);
+        // Re-absorbing at the same epoch is a no-op.
+        assert_eq!(cache.absorb_append_shared(Arc::new(table.clone())).unwrap(), 0);
+        let fresh = GroupedAggregateCache::build(&table, &stmt).unwrap();
+        assert_eq!(cache.full_result().rows, fresh.full_result().rows);
+        assert_eq!(cache.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn absorb_append_rejects_structural_descendants_and_foreign_tables() {
+        let mut table = readings();
+        let stmt = parse_select("SELECT hour, avg(temp) FROM readings GROUP BY hour").unwrap();
+        let snapshot = table.clone();
+        let mut cache = GroupedAggregateCache::build(&snapshot, &stmt).unwrap();
+        // A deletion bumps the structural epoch: not an append descendant.
+        table.delete_row(RowId(0)).unwrap();
+        assert!(cache.absorb_append(&table).is_err());
+        // A different table entirely (fresh id) is rejected outright.
+        let other = readings();
+        assert!(cache.absorb_append(&other).is_err());
+    }
+
+    #[test]
+    fn full_result_with_lineage_matches_execution() {
+        let mut table = readings();
+        let stmt =
+            parse_select("SELECT hour, avg(temp) AS a FROM readings GROUP BY hour ORDER BY a DESC")
+                .unwrap();
+        let snapshot = table.clone();
+        let mut cache = GroupedAggregateCache::build(&snapshot, &stmt).unwrap();
+        table.push_row(vec![Value::Int(2), Value::Int(7), Value::Float(80.0)]).unwrap();
+        cache.absorb_append(&table).unwrap();
+        let got = cache.full_result_with_lineage();
+        let want = execute(&table, &stmt, ExecOptions { capture_lineage: true }).unwrap();
+        assert_eq!(got.rows, want.rows);
+        assert_eq!(got.group_keys, want.group_keys);
+        for s in 0..want.len() {
+            assert_eq!(got.inputs_of(s), want.inputs_of(s), "group {s}");
+        }
     }
 }

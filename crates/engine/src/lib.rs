@@ -82,7 +82,7 @@ pub use ast::{
 };
 pub use error::EngineError;
 pub use executor::{execute, execute_on_catalog, execute_sql, ExecOptions};
-pub use incremental::{CacheFingerprint, GroupedAggregateCache};
+pub use incremental::{CacheFingerprint, ExclusionQuery, GroupedAggregateCache};
 pub use parser::{parse_expr, parse_select};
 pub use result::QueryResult;
 pub use sharded::ShardedAggregateCache;

@@ -19,7 +19,7 @@
 //!   partition is *bit-identical* to the unsharded path;
 //! * exclusion queries re-derive only the touched per-shard states (the
 //!   same subtract-or-rescan discipline as
-//!   [`GroupedAggregateCache::result_excluding`]) and re-merge.
+//!   [`GroupedAggregateCache::result`]) and re-merge.
 //!
 //! With more than one shard, sums accumulate per shard before merging, so
 //! float results agree with unsharded execution exactly whenever the
@@ -224,7 +224,7 @@ impl ShardedAggregateCache {
 
     /// The exact full result (ORDER BY / LIMIT applied) after excluding
     /// the given per-shard local row sets — the sharded counterpart of
-    /// [`GroupedAggregateCache::result_excluding`].
+    /// [`GroupedAggregateCache::result`] with the same exclusion.
     ///
     /// Panics when `excluded` does not hold one set per shard in that
     /// shard's universe.
@@ -254,7 +254,7 @@ impl ShardedAggregateCache {
     }
 
     /// The sharded counterpart of
-    /// [`GroupedAggregateCache::result_excluding_keys_set`]: the cleaned
+    /// [`GroupedAggregateCache::result`] restricted by key: the cleaned
     /// rows of exactly the requested groups, in merged first-seen order
     /// (ORDER BY not applied; LIMIT falls back to the full path and
     /// filters). Exclusions are per-shard local row sets.
@@ -304,7 +304,7 @@ impl ShardedAggregateCache {
     /// Convenience bridge from base-table rows: splits `excluded` through
     /// the partition's row-id mapping and answers per-key exclusion —
     /// directly comparable with
-    /// [`GroupedAggregateCache::result_excluding_keys`] on the base table.
+    /// a by-key [`crate::ExclusionQuery`] on the base table.
     pub fn result_excluding_keys_global(
         &self,
         excluded: &[RowId],
@@ -488,6 +488,7 @@ fn merge_full_states(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::incremental::ExclusionQuery;
     use crate::parser::parse_select;
     use dbwipes_storage::{DataType, Schema, Table};
 
@@ -536,7 +537,7 @@ mod tests {
             let keys: Vec<Vec<Value>> = vec![vec![Value::Int(1)], vec![Value::Int(3)]];
             assert_same(
                 &cache.result_excluding_keys_global(&excluded, &keys),
-                &unsharded.result_excluding_keys(&excluded, &keys),
+                &unsharded.result(&ExclusionQuery::new().excluding_rows(&excluded).for_keys(&keys)),
                 &format!("{sql} by-key, {shards} shards"),
             );
 
@@ -549,7 +550,7 @@ mod tests {
                 .collect();
             assert_same(
                 &cache.result_excluding_local_sets(&sets),
-                &unsharded.result_excluding(&excluded),
+                &unsharded.result(&ExclusionQuery::new().excluding_rows(&excluded)),
                 &format!("{sql} full-excluding, {shards} shards"),
             );
         }
@@ -591,7 +592,7 @@ mod tests {
         let all: Vec<RowId> = (0..40usize).map(RowId).collect();
         assert_same(
             &cache.result_excluding_keys_global(&all, &[vec![]]),
-            &unsharded.result_excluding_keys(&all, &[vec![]]),
+            &unsharded.result(&ExclusionQuery::new().excluding_rows(&all).for_keys(&[vec![]])),
             "implicit group total exclusion",
         );
     }
@@ -607,7 +608,11 @@ mod tests {
         let excluded: Vec<RowId> = (0..100usize).filter(|i| i % 5 == 2).map(RowId).collect();
         let keys = vec![vec![Value::Int(2)], vec![Value::Int(4)]];
         let got = cache.result_excluding_keys_global(&excluded, &keys);
-        assert_same(&got, &unsharded.result_excluding_keys(&excluded, &keys), "vanished group");
+        assert_same(
+            &got,
+            &unsharded.result(&ExclusionQuery::new().excluding_rows(&excluded).for_keys(&keys)),
+            "vanished group",
+        );
         assert_eq!(got.len(), 1, "window 2 must disappear");
     }
 

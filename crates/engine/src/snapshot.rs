@@ -248,6 +248,7 @@ fn get_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, EngineError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::incremental::ExclusionQuery;
     use dbwipes_storage::{DataType, Schema, Value};
 
     fn table() -> Arc<Table> {
@@ -292,8 +293,8 @@ mod tests {
             // Exclusions exercise the retained states and arg values.
             let excluded: Vec<_> = (0..50).map(dbwipes_storage::RowId).collect();
             assert_eq!(
-                cold.result_excluding(&excluded).rows,
-                restored.result_excluding(&excluded).rows,
+                cold.result(&ExclusionQuery::new().excluding_rows(&excluded)).rows,
+                restored.result(&ExclusionQuery::new().excluding_rows(&excluded)).rows,
                 "{sql}"
             );
         }

@@ -111,7 +111,7 @@ impl StorageRuntime {
             }
         }
         if let Some(entry) = manifest.entry(table.id()) {
-            if entry.version == table.version() {
+            if entry.epoch == table.epoch() {
                 return Ok(false);
             }
         }

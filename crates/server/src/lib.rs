@@ -72,9 +72,10 @@ pub use executor::{
     serve_pooled, serve_thread_per_connection, BoundedQueue, PoolConfig, PoolSnapshot, PoolStats,
 };
 pub use json::Json;
-pub use manager::{DebugCacheReport, ServerSession, SessionId, SessionManager};
+pub use manager::{DebugCacheReport, ServerSession, SessionId, SessionManager, StreamAppendReport};
 pub use protocol::{
     error_response, error_response_value, ok_response, ok_response_value, parse_request,
-    parse_request_value, Command, Request, MAX_BATCH_COMMANDS, WIRE_COMMANDS,
+    parse_request_value, Command, Request, MAX_BATCH_COMMANDS, MAX_STREAM_APPEND_ROWS,
+    PROTOCOL_VERSION, WIRE_COMMANDS,
 };
 pub use registry::{CacheRegistry, CacheStats, ExplainKey};

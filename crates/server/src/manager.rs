@@ -24,7 +24,7 @@ use crate::registry::{CacheRegistry, ExplainKey};
 use dbwipes_core::{ComponentTimings, CoreError, DbWipes, ExplainConfig, Explanation};
 use dbwipes_dashboard::DashboardSession;
 use dbwipes_engine::{CacheFingerprint, GroupedAggregateCache};
-use dbwipes_storage::{Catalog, Table};
+use dbwipes_storage::{Catalog, Table, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -147,10 +147,12 @@ impl ServerSession {
             return Ok((explanation, DebugCacheReport { cache_hit: true, memo_hit: true }));
         }
 
-        // Tier 1: reuse (or build) the statement-level aggregate cache,
-        // run the pipeline, memoize the answer.
+        // Tier 1: reuse the statement-level aggregate cache — fast-
+        // forwarding a retained sibling through `absorb_append` when the
+        // only difference is streamed appends — and build it cold only
+        // when neither exists. Then run the pipeline and memoize.
         let (cache, cache_hit) = registry
-            .get_or_build(fingerprint, || {
+            .get_or_absorb_or_build(fingerprint, &table, || {
                 GroupedAggregateCache::build_shared(Arc::clone(&table), &stmt)
             })
             .map_err(CoreError::from)?;
@@ -166,6 +168,58 @@ impl ServerSession {
         registry.store_explanation(key, Arc::new(explanation.clone()));
         Ok((explanation, DebugCacheReport { cache_hit, memo_hit: false }))
     }
+
+    /// Adopts a freshly appended snapshot of `table` (streaming
+    /// ingestion). The adoption is deliberately conservative — the
+    /// session only follows an append that is a pure fast-forward of what
+    /// it is currently reading:
+    ///
+    /// * a different table id means the session reads an older
+    ///   incarnation of the name (the table was re-registered) — skip;
+    /// * a non-append-descendant epoch means the session privately
+    ///   copied-on-write (cleaning, deletes) — skip, exactly like
+    ///   in-flight transactions keep their snapshot;
+    /// * an equal epoch means the session already reads this data — skip.
+    ///
+    /// When the session displays a result over the appended table, the
+    /// result is recomputed through `registry` — absorbing the retained
+    /// aggregate cache instead of re-executing the statement — and
+    /// installed via [`DashboardSession::refresh_after_append`], so the
+    /// analyst's brushes survive. Otherwise only the catalog snapshot is
+    /// swapped. Returns true when the session adopted the snapshot.
+    pub fn adopt_append(
+        &mut self,
+        table: &Arc<Table>,
+        registry: &CacheRegistry,
+    ) -> Result<bool, CoreError> {
+        let Ok(current) = self.dashboard.backend().catalog().table_arc(table.name()) else {
+            return Ok(false);
+        };
+        if current.id() != table.id()
+            || current.epoch() == table.epoch()
+            || !table.epoch().is_append_descendant_of(current.epoch())
+        {
+            return Ok(false);
+        }
+        let displayed = self
+            .dashboard
+            .result()
+            .map(|r| r.statement.clone())
+            .filter(|stmt| stmt.table.eq_ignore_ascii_case(table.name()));
+        let Some(stmt) = displayed else {
+            self.dashboard.backend_mut().catalog_mut().install_snapshot(Arc::clone(table));
+            return Ok(true);
+        };
+        let fingerprint = CacheFingerprint::of(table, &stmt);
+        let (cache, _) = registry
+            .get_or_absorb_or_build(fingerprint, table, || {
+                GroupedAggregateCache::build_shared(Arc::clone(table), &stmt)
+            })
+            .map_err(CoreError::from)?;
+        let refreshed = cache.full_result_with_lineage();
+        self.dashboard.refresh_after_append(Arc::clone(table), refreshed)?;
+        Ok(true)
+    }
 }
 
 /// Which shared registry tier served a [`ServerSession::debug_cached`]
@@ -179,6 +233,26 @@ pub struct DebugCacheReport {
     /// The explanation tier replayed a memoized answer outright (no
     /// pipeline ran) — the protocol's `cached` marker.
     pub memo_hit: bool,
+}
+
+/// What one [`SessionManager::stream_append`] call did — the payload of
+/// the `stream_append` wire reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamAppendReport {
+    /// Rows appended to the base table. All-or-nothing: on any validation
+    /// error the command appends zero rows.
+    pub appended: usize,
+    /// Number of [`Table::push_rows`] batches the rows were applied in;
+    /// each batch advances the appended epoch component once (see
+    /// [`SessionManager::append_batch_size`]).
+    pub batches: usize,
+    /// Total rows in the base table after the append.
+    pub total_rows: usize,
+    /// Open sessions that adopted the new snapshot. Sessions reading a
+    /// private copy-on-write snapshot or an older incarnation of the
+    /// table keep what they were reading (see
+    /// [`ServerSession::adopt_append`]).
+    pub sessions_refreshed: usize,
 }
 
 /// Hosts many concurrent [`ServerSession`]s over one shared catalog and
@@ -394,6 +468,94 @@ impl SessionManager {
     pub fn table_names(&self) -> Vec<String> {
         self.base.read().expect("catalog lock poisoned").table_names()
     }
+
+    /// How many rows one [`Table::push_rows`] batch of a streamed append
+    /// carries: `DBWIPES_APPEND_BATCH` when set to a positive integer,
+    /// 1024 otherwise. Each batch advances the table's appended epoch
+    /// once, so larger batches amortize per-stamp bookkeeping while
+    /// smaller ones bound how much data a partially-delivered stream can
+    /// sit on. Read per call, like `DBWIPES_SHARDS`, so operators can
+    /// retune a running service.
+    pub fn append_batch_size() -> usize {
+        std::env::var("DBWIPES_APPEND_BATCH")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1024)
+    }
+
+    /// Streams `rows` into the base table `name` — the service side of the
+    /// `stream_append` wire command.
+    ///
+    /// The append is **command-level all-or-nothing**: every row is
+    /// validated against the schema up front, so a malformed row anywhere
+    /// in the payload rejects the whole command without mutating anything.
+    /// Valid rows are applied in [`SessionManager::append_batch_size`]-row
+    /// batches under one catalog write lock (each batch advances the
+    /// appended epoch once, never the structural epoch), persisted to the
+    /// attached storage, and then fanned out to every open session via
+    /// [`ServerSession::adopt_append`] — sessions brushing the appended
+    /// table see their result refresh through the absorbed cache instead
+    /// of a cold re-execution. Fan-out and persistence are best-effort:
+    /// a session that cannot refresh keeps its old snapshot.
+    pub fn stream_append(
+        &self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<StreamAppendReport, CoreError> {
+        let batch_size = Self::append_batch_size();
+        let appended = rows.len();
+        let mut batches = 0usize;
+        let table = {
+            let mut base = self.base.write().expect("catalog lock poisoned");
+            let current = base.table(name).map_err(CoreError::from)?;
+            for row in &rows {
+                current.validate_row(row).map_err(CoreError::from)?;
+            }
+            if appended > 0 {
+                let table = base.table_mut(name).map_err(CoreError::from)?;
+                let mut pending = rows;
+                while !pending.is_empty() {
+                    let rest = pending.split_off(pending.len().min(batch_size));
+                    let chunk = std::mem::replace(&mut pending, rest);
+                    table.push_rows(chunk).map_err(CoreError::from)?;
+                    batches += 1;
+                }
+            }
+            base.table_arc(name).map_err(CoreError::from)?
+        };
+        if appended == 0 {
+            return Ok(StreamAppendReport {
+                appended,
+                batches,
+                total_rows: table.num_rows(),
+                sessions_refreshed: 0,
+            });
+        }
+        // Durable before the reply goes out, like `register_table`.
+        if let Some(runtime) = self.storage.get() {
+            if let Err(e) = runtime.save_table(&table) {
+                eprintln!("dbwipes-server: persisting appended table {name}: {e}");
+            }
+        }
+        let sessions: Vec<Arc<Mutex<ServerSession>>> =
+            self.sessions.read().expect("session map lock poisoned").values().cloned().collect();
+        let mut sessions_refreshed = 0usize;
+        for session in sessions {
+            let mut s = session.lock().expect("session lock poisoned");
+            match s.adopt_append(&table, &self.registry) {
+                Ok(true) => sessions_refreshed += 1,
+                Ok(false) => {}
+                Err(e) => eprintln!("dbwipes-server: refreshing session after append: {e}"),
+            }
+        }
+        Ok(StreamAppendReport {
+            appended,
+            batches,
+            total_rows: table.num_rows(),
+            sessions_refreshed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +692,153 @@ mod tests {
         assert_eq!((stats.partition_hits, stats.partition_misses), (1, 1));
         assert_eq!(stats.partition_entries, 1);
         assert_eq!((stats.explanation_hits, stats.explanation_misses), (0, 2));
+    }
+
+    fn reading(sensor: i64, temp: f64) -> Vec<Value> {
+        // Schema: sensorid, epoch, hour, window, temp, humidity, light,
+        // voltage. Everything lands in window 0.
+        vec![
+            Value::Int(sensor),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Float(temp),
+            Value::Float(40.0),
+            Value::Float(300.0),
+            Value::Float(2.5),
+        ]
+    }
+
+    #[test]
+    fn stream_append_is_all_or_nothing_and_advances_only_the_appended_epoch() {
+        let (m, _) = manager();
+        let before = {
+            let base = m.session(m.open_session()).unwrap();
+            let s = base.lock().unwrap();
+            let t = s.dashboard().backend().catalog().table_arc("readings").unwrap();
+            (t.num_rows(), t.epoch())
+        };
+
+        // A malformed row anywhere in the payload rejects the whole command.
+        let mut bad = reading(1, 50.0);
+        bad.truncate(3);
+        assert!(m.stream_append("readings", vec![reading(1, 50.0), bad]).is_err());
+        assert!(m.stream_append("missing", vec![reading(1, 50.0)]).is_err());
+        let t = {
+            let base = m.session(m.open_session()).unwrap();
+            let s = base.lock().unwrap();
+            s.dashboard().backend().catalog().table_arc("readings").unwrap()
+        };
+        assert_eq!((t.num_rows(), t.epoch()), before, "failed appends must not mutate");
+
+        // A valid stream lands in batch-size chunks, appended-epoch only.
+        std::env::set_var("DBWIPES_APPEND_BATCH", "2");
+        let rows: Vec<Vec<Value>> = (0..5).map(|i| reading(i, 50.0)).collect();
+        let report = m.stream_append("readings", rows).unwrap();
+        std::env::remove_var("DBWIPES_APPEND_BATCH");
+        assert_eq!(report.appended, 5);
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.total_rows, before.0 + 5);
+        let base = m.base.read().unwrap().table_arc("readings").unwrap();
+        assert_eq!(base.epoch().structural, before.1.structural);
+        assert!(base.epoch().appended > before.1.appended);
+        assert!(base.epoch().is_append_descendant_of(before.1));
+
+        // The empty stream is a validated no-op.
+        let report = m.stream_append("readings", Vec::new()).unwrap();
+        assert_eq!((report.appended, report.batches, report.sessions_refreshed), (0, 0, 0));
+    }
+
+    #[test]
+    fn stream_append_refreshes_brushing_sessions_through_absorbed_caches() {
+        let (m, query) = manager();
+        // Session A is mid-investigation: brushed outputs, picked ε,
+        // explained once. Session B is idle (no query).
+        let a = m.open_session();
+        let b = m.open_session();
+        let sa = m.session(a).unwrap();
+        {
+            let mut s = sa.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap();
+            let outputs: Vec<usize> = (0..s.dashboard().result().unwrap().len()).collect();
+            s.dashboard_mut().select_outputs(outputs);
+            s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.0));
+            s.debug_cached(m.registry()).unwrap();
+        }
+        let stats = m.registry().stats();
+        assert_eq!((stats.misses, stats.append_absorbs), (1, 0));
+
+        let rows: Vec<Vec<Value>> = (0..64).map(|i| reading(i % 20, 60.0)).collect();
+        let report = m.stream_append("readings", rows).unwrap();
+        assert_eq!(report.appended, 64);
+        assert_eq!(report.sessions_refreshed, 2, "both open sessions adopt the snapshot");
+
+        // The retained tier-1 cache was fast-forwarded, not rebuilt: the
+        // refresh accounts as an absorb, never as a miss.
+        let stats = m.registry().stats();
+        assert_eq!((stats.misses, stats.append_absorbs), (1, 1));
+        assert_eq!(stats.entries, 1);
+
+        // Session A's displayed result is bit-identical to a cold
+        // execution over the grown table, selections intact.
+        let grown = m.base.read().unwrap().table_arc("readings").unwrap();
+        {
+            let s = sa.lock().unwrap();
+            let shown = s.dashboard().result().unwrap();
+            assert_eq!(
+                s.dashboard().backend().catalog().table("readings").unwrap().epoch(),
+                grown.epoch()
+            );
+            let mut fresh_catalog = Catalog::new();
+            fresh_catalog.register((*grown).clone()).unwrap();
+            let fresh = dbwipes_core::DbWipes::with_catalog(fresh_catalog).query(&query).unwrap();
+            assert_eq!(shown.rows, fresh.rows);
+            assert_eq!(shown.group_keys, fresh.group_keys);
+            assert!(!s.dashboard().selected_outputs().is_empty());
+            assert_eq!(s.dashboard().state(), dbwipes_dashboard::SessionState::OutputsSelected);
+        }
+        // Session B silently follows the snapshot.
+        let sb = m.session(b).unwrap();
+        let s = sb.lock().unwrap();
+        let tb = s.dashboard().backend().catalog().table_arc("readings").unwrap();
+        assert!(Arc::ptr_eq(&tb, &grown));
+
+        // A follow-up debug in session A runs over the absorbed cache: no
+        // new tier-1 miss appears.
+        drop(s);
+        {
+            let mut s = sa.lock().unwrap();
+            s.dashboard_mut().set_metric(dbwipes_core::ErrorMetric::too_high("std_temp", 4.5));
+            s.debug_cached(m.registry()).unwrap();
+        }
+        let stats = m.registry().stats();
+        assert_eq!(stats.misses, 1, "appends must not cause tier-1 rebuilds");
+    }
+
+    #[test]
+    fn sessions_on_private_copies_keep_their_snapshot_across_appends() {
+        let (m, query) = manager();
+        let a = m.open_session();
+        let sa = m.session(a).unwrap();
+        {
+            let mut s = sa.lock().unwrap();
+            s.dashboard_mut().run_query(&query).unwrap();
+            // The session privately soft-deletes a row: its snapshot is no
+            // longer an append-ancestor of anything the base produces.
+            s.dashboard_mut()
+                .backend_mut()
+                .catalog_mut()
+                .table_mut("readings")
+                .unwrap()
+                .delete_row(dbwipes_storage::RowId(0))
+                .unwrap();
+        }
+        let report = m.stream_append("readings", vec![reading(1, 50.0)]).unwrap();
+        assert_eq!(report.appended, 1);
+        assert_eq!(report.sessions_refreshed, 0, "a diverged session keeps its private copy");
+        let s = sa.lock().unwrap();
+        let t = s.dashboard().backend().catalog().table_arc("readings").unwrap();
+        assert_eq!(t.visible_rows(), t.num_rows() - 1, "private delete still in effect");
     }
 
     #[test]

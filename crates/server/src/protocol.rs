@@ -26,6 +26,7 @@
 //!           | "click_predicate" (session, index)
 //!           | "undo"            (session)
 //!           | "state"           (session)
+//!           | "stream_append"   (table, rows: [[<scalar>...]...])
 //!
 //! brush    := { "x_min"?: <num>, "x_max"?: <num>, "y_min"?: <num>, "y_max"?: <num> }
 //!             (omitted edges are unbounded)
@@ -49,6 +50,21 @@
 use crate::json::Json;
 use dbwipes_core::ErrorMetric;
 use dbwipes_dashboard::Brush;
+use dbwipes_storage::Value;
+
+/// The protocol revision this server speaks, reported in every `ping` and
+/// `stats` reply as `protocol_version`.
+///
+/// Compatibility rule: the protocol only ever changes **additively** —
+/// new commands, new optional request fields, new reply fields — and every
+/// such addition bumps this number. A client therefore (a) ignores reply
+/// fields it does not know, and (b) gates use of newer commands on the
+/// `protocol_version` it read from `ping`; a server never changes the
+/// meaning or shape of an existing field under the same version.
+///
+/// History: 1 = the Figure-1 command set through durable storage;
+/// 2 = streaming ingestion (`stream_append`, `protocol_version` markers).
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +162,15 @@ pub enum Command {
     Undo(u64),
     /// The session's interaction state and counters.
     State(u64),
+    /// Streams rows into a base table. Service-level (no session): the
+    /// append is validated all-or-nothing, applied in batches, and fanned
+    /// out to every open session whose snapshot it fast-forwards.
+    StreamAppend {
+        /// The (case-insensitive) table name.
+        table: String,
+        /// The rows, one array of scalar cells per row, in schema order.
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 impl Command {
@@ -158,7 +183,8 @@ impl Command {
             | Command::Sessions
             | Command::OpenSession
             | Command::Shutdown
-            | Command::Batch(_) => None,
+            | Command::Batch(_)
+            | Command::StreamAppend { .. } => None,
             Command::CloseSession(s) | Command::Debug(s) | Command::Undo(s) | Command::State(s) => {
                 Some(*s)
             }
@@ -188,6 +214,12 @@ pub struct Request {
 /// time, so this is the per-request unit of admission control).
 pub const MAX_BATCH_COMMANDS: usize = 256;
 
+/// The most rows one `stream_append` request may carry — the same
+/// admission-control role [`MAX_BATCH_COMMANDS`] plays for `batch`. A
+/// producer with more rows sends several commands; the appended epoch
+/// makes each one a cheap fast-forward for the caches either way.
+pub const MAX_STREAM_APPEND_ROWS: usize = 65_536;
+
 /// Every wire command the parser accepts, in the order the grammar lists
 /// them. This is the protocol's table of contents: `docs/PROTOCOL.md`
 /// documents each entry (enforced by a test), and adding a command
@@ -212,6 +244,7 @@ pub const WIRE_COMMANDS: &[&str] = &[
     "click_predicate",
     "undo",
     "state",
+    "stream_append",
 ];
 
 /// Parses one request line.
@@ -322,9 +355,52 @@ pub fn parse_request_value(value: &Json) -> Result<Request, String> {
         }
         "undo" => Command::Undo(session()?),
         "state" => Command::State(session()?),
+        "stream_append" => {
+            let table = string_field("table")?;
+            let Some(Json::Arr(items)) = value.get("rows") else {
+                return Err("`stream_append` requires an array `rows`".to_string());
+            };
+            if items.len() > MAX_STREAM_APPEND_ROWS {
+                return Err(format!(
+                    "`stream_append` carries {} rows (max {MAX_STREAM_APPEND_ROWS})",
+                    items.len()
+                ));
+            }
+            let mut rows = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let Json::Arr(cells) = item else {
+                    return Err(format!("`stream_append` row {i} must be an array of cells"));
+                };
+                let row: Result<Vec<Value>, String> = cells
+                    .iter()
+                    .map(|c| {
+                        parse_cell(c).ok_or_else(|| {
+                            format!("`stream_append` row {i}: cells must be scalars")
+                        })
+                    })
+                    .collect();
+                rows.push(row?);
+            }
+            Command::StreamAppend { table, rows }
+        }
         other => return Err(format!("unknown command `{other}`")),
     };
     Ok(Request { id, command })
+}
+
+/// Decodes one `stream_append` cell. Integral numbers become [`Value::Int`]
+/// (the column layer coerces them into float and timestamp columns as
+/// needed — the inverse of how replies render values); non-scalars are
+/// rejected.
+fn parse_cell(cell: &Json) -> Option<Value> {
+    Some(match cell {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Value::Int(*n as i64),
+        Json::Num(n) => Value::Float(*n),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Arr(_) | Json::Obj(_) => return None,
+    })
 }
 
 fn parse_brush(value: &Json) -> Result<Brush, String> {
@@ -442,6 +518,19 @@ mod tests {
             (r#"{"cmd":"undo","session":1}"#, Command::Undo(1)),
             (r#"{"cmd":"state","session":1}"#, Command::State(1)),
             (r#"{"cmd":"shutdown"}"#, Command::Shutdown),
+            (
+                r#"{"cmd":"stream_append","table":"t","rows":[[1,2.5,"x",true,null]]}"#,
+                Command::StreamAppend {
+                    table: "t".into(),
+                    rows: vec![vec![
+                        Value::Int(1),
+                        Value::Float(2.5),
+                        Value::Str("x".into()),
+                        Value::Bool(true),
+                        Value::Null,
+                    ]],
+                },
+            ),
         ];
         for (line, expected) in cases {
             let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -492,6 +581,11 @@ mod tests {
                 "numeric `value`",
             ),
             (r#"{"cmd":"click_predicate","session":1}"#, "integer `index`"),
+            (r#"{"cmd":"stream_append","rows":[]}"#, "requires a string `table`"),
+            (r#"{"cmd":"stream_append","table":"t"}"#, "requires an array `rows`"),
+            (r#"{"cmd":"stream_append","table":"t","rows":[3]}"#, "must be an array of cells"),
+            (r#"{"cmd":"stream_append","table":"t","rows":[[[1]]]}"#, "cells must be scalars"),
+            (r#"{"cmd":"stream_append","table":"t","rows":[[{"a":1}]]}"#, "cells must be scalars"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
@@ -535,6 +629,13 @@ mod tests {
     }
 
     #[test]
+    fn stream_append_rows_are_capped() {
+        let big: Vec<&str> = (0..=MAX_STREAM_APPEND_ROWS).map(|_| "[1]").collect();
+        let line = format!(r#"{{"cmd":"stream_append","table":"t","rows":[{}]}}"#, big.join(","));
+        assert!(parse_request(&line).unwrap_err().contains("max"));
+    }
+
+    #[test]
     fn wire_commands_list_is_exactly_what_the_parser_accepts() {
         // Every listed command parses (with its minimal argument shape)...
         for &cmd in WIRE_COMMANDS {
@@ -561,6 +662,9 @@ mod tests {
                 }
                 "click_predicate" => {
                     r#"{"cmd":"click_predicate","session":1,"index":0}"#.to_string()
+                }
+                "stream_append" => {
+                    r#"{"cmd":"stream_append","table":"t","rows":[[1]]}"#.to_string()
                 }
                 other => panic!("WIRE_COMMANDS entry `{other}` has no minimal request shape"),
             };
@@ -602,6 +706,10 @@ mod tests {
             "`snapshot_saves`",
             "`bytes_on_disk`",
             "`rehydrated_caches`",
+            "`protocol_version`",
+            "`sessions_refreshed`",
+            "MAX_STREAM_APPEND_ROWS",
+            "DBWIPES_APPEND_BATCH",
         ] {
             assert!(doc.contains(needle), "docs/PROTOCOL.md must mention {needle}");
         }

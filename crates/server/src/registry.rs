@@ -55,7 +55,7 @@
 
 use dbwipes_core::{CoreError, Explanation, ExplanationRequest, ShardPartitioner};
 use dbwipes_engine::{CacheFingerprint, EngineError, GroupedAggregateCache};
-use dbwipes_storage::{RowId, ShardedTable, Table};
+use dbwipes_storage::{RowId, ShardedTable, Table, TableEpoch};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -112,26 +112,41 @@ struct Inner {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    append_absorbs: u64,
     explanation_hits: u64,
     explanation_misses: u64,
     explanation_evictions: u64,
     partition_hits: u64,
     partition_misses: u64,
     partition_evictions: u64,
+    partition_absorbs: u64,
 }
 
 /// Identifies one retained [`ShardedTable`]: the exact table data (id +
-/// data version, so a mutated table can never be served a stale
-/// partition) plus the partition parameters.
+/// full epoch, so a mutated table can never be served a stale partition)
+/// plus the partition parameters.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PartitionKey {
     /// Lowercased, for [`CacheRegistry::invalidate_table`].
     table_name: String,
     table_id: u64,
-    table_version: u64,
+    epoch: TableEpoch,
     /// Lowercased, like the schema's column resolution.
     column: String,
     shards: usize,
+}
+
+impl PartitionKey {
+    /// True when `self` keys the same partition parameters as `other` over
+    /// an append-related state of the same table — the tier-3 analogue of
+    /// [`CacheFingerprint::append_variant_of`].
+    fn append_variant_of(&self, other: &PartitionKey) -> bool {
+        self.table_id == other.table_id
+            && self.epoch.structural == other.epoch.structural
+            && self.table_name == other.table_name
+            && self.column == other.column
+            && self.shards == other.shards
+    }
 }
 
 #[derive(Debug)]
@@ -175,6 +190,12 @@ pub struct CacheStats {
     /// Entries (either tier) dropped by
     /// [`CacheRegistry::invalidate_table`] or [`CacheRegistry::clear`].
     pub invalidations: u64,
+    /// Aggregate-cache lookups served by fast-forwarding an append-variant
+    /// sibling through [`GroupedAggregateCache::absorb_append`] instead of
+    /// rebuilding — neither a hit nor a miss: no statement was executed,
+    /// but the answer was not served verbatim either. Streamed appends
+    /// should move *this* counter, never `misses`.
+    pub append_absorbs: u64,
     /// Live aggregate-cache entries right now.
     pub entries: usize,
     /// Explanation-tier lookups replayed from a memoized answer.
@@ -191,6 +212,10 @@ pub struct CacheStats {
     pub partition_misses: u64,
     /// Retained partitions dropped to respect the capacity bound.
     pub partition_evictions: u64,
+    /// Partition-tier lookups served by growing an append-variant
+    /// partition in place ([`ShardedTable::absorb_append`]) instead of
+    /// re-hashing every row — the tier-3 analogue of `append_absorbs`.
+    pub partition_absorbs: u64,
     /// Live retained partitions right now.
     pub partition_entries: usize,
 }
@@ -292,7 +317,44 @@ impl CacheRegistry {
     where
         F: FnOnce() -> Result<GroupedAggregateCache<'static>, EngineError>,
     {
-        // Phase 1: hit, wait, or reserve the build.
+        self.lookup_or_build(fingerprint, None, build)
+    }
+
+    /// [`CacheRegistry::get_or_build`] with append awareness: on a miss,
+    /// before falling back to `build`, the registry looks for a retained
+    /// cache of the *same statement over the same structural epoch* with an
+    /// older appended stamp (see [`CacheFingerprint::append_variant_of`])
+    /// and fast-forwards it through
+    /// [`GroupedAggregateCache::absorb_append`] — O(appended rows) instead
+    /// of a full statement execution. `table` must be the table the
+    /// fingerprint was taken of. Absorbs are counted under
+    /// [`CacheStats::append_absorbs`], not as hits or misses, so streamed
+    /// appends are observable as "zero rebuilds" in the stats.
+    pub fn get_or_absorb_or_build<F>(
+        &self,
+        fingerprint: CacheFingerprint,
+        table: &Arc<Table>,
+        build: F,
+    ) -> Result<(Arc<GroupedAggregateCache<'static>>, bool), EngineError>
+    where
+        F: FnOnce() -> Result<GroupedAggregateCache<'static>, EngineError>,
+    {
+        self.lookup_or_build(fingerprint, Some(table), build)
+    }
+
+    fn lookup_or_build<F>(
+        &self,
+        fingerprint: CacheFingerprint,
+        table: Option<&Arc<Table>>,
+        build: F,
+    ) -> Result<(Arc<GroupedAggregateCache<'static>>, bool), EngineError>
+    where
+        F: FnOnce() -> Result<GroupedAggregateCache<'static>, EngineError>,
+    {
+        // Phase 1: hit, wait, or reserve the build — possibly withdrawing
+        // an absorbable append-variant sibling while the lock is held (so
+        // no other lookup can race us to it).
+        let mut absorb_source: Option<Arc<GroupedAggregateCache<'static>>> = None;
         {
             let mut inner = self.inner.lock().expect("registry lock poisoned");
             loop {
@@ -309,6 +371,36 @@ impl CacheRegistry {
                         inner = self.build_done.wait(inner).expect("registry lock poisoned");
                     }
                     None => {
+                        if table.is_some() {
+                            // Only strictly older siblings qualify: absorb
+                            // is forward-only, and a *newer* sibling means
+                            // the caller asked about data that no longer
+                            // exists anywhere (plain miss).
+                            let sibling = inner
+                                .entries
+                                .iter()
+                                .filter_map(|(k, s)| match s {
+                                    Slot::Ready { .. }
+                                        if fingerprint.append_variant_of(k)
+                                            && k.epoch.appended < fingerprint.epoch.appended =>
+                                    {
+                                        Some(k.clone())
+                                    }
+                                    _ => None,
+                                })
+                                .next();
+                            if let Some(old_key) = sibling {
+                                let Some(Slot::Ready { cache, .. }) =
+                                    inner.entries.remove(&old_key)
+                                else {
+                                    unreachable!("sibling selected among Ready slots");
+                                };
+                                absorb_source = Some(cache);
+                                inner.append_absorbs += 1;
+                                inner.entries.insert(fingerprint.clone(), Slot::Building);
+                                break;
+                            }
+                        }
                         inner.misses += 1;
                         inner.entries.insert(fingerprint.clone(), Slot::Building);
                         break;
@@ -336,7 +428,17 @@ impl CacheRegistry {
             }
         }
         let mut guard = ReservationGuard { registry: self, fingerprint: Some(fingerprint.clone()) };
-        let built = build();
+        let built = match absorb_source.take() {
+            Some(old) => {
+                let table = table.expect("absorb source only selected when a table was given");
+                // Fast-forward in place when this registry held the only
+                // reference; otherwise clone-and-absorb (sessions may still
+                // hold the old cache for a pre-append snapshot).
+                let mut cache = Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone());
+                cache.absorb_append_shared(Arc::clone(table)).map(|_| cache)
+            }
+            None => build(),
+        };
         guard.fingerprint = None; // build returned; phases below settle the slot.
 
         // Phase 3: publish (or withdraw the reservation on failure).
@@ -488,10 +590,11 @@ impl CacheRegistry {
         let key = PartitionKey {
             table_name: table.name().to_ascii_lowercase(),
             table_id: table.id(),
-            table_version: table.version(),
+            epoch: table.epoch(),
             column: column.to_ascii_lowercase(),
             shards,
         };
+        let mut absorb_source: Option<Arc<ShardedTable>> = None;
         {
             let mut inner = self.inner.lock().expect("registry lock poisoned");
             inner.tick += 1;
@@ -502,11 +605,33 @@ impl CacheRegistry {
                 inner.partition_hits += 1;
                 return Ok(partition);
             }
-            inner.partition_misses += 1;
+            // An append-variant sibling with an older appended stamp can be
+            // grown in place (new rows land in their shard) instead of
+            // re-hashing every row. Withdraw it under the lock so no other
+            // lookup serves the stale partition meanwhile.
+            let sibling = inner
+                .partitions
+                .keys()
+                .find(|k| key.append_variant_of(k) && k.epoch.appended < key.epoch.appended)
+                .cloned();
+            if let Some(old_key) = sibling {
+                let entry = inner.partitions.remove(&old_key).expect("key taken from map");
+                absorb_source = Some(entry.partition);
+                inner.partition_absorbs += 1;
+            } else {
+                inner.partition_misses += 1;
+            }
         }
-        // Build outside the lock; partitioning a large table must not
-        // stall unrelated lookups.
-        let partition = Arc::new(ShardedTable::hash(table, column, shards)?);
+        // Build (or absorb) outside the lock; partitioning a large table
+        // must not stall unrelated lookups.
+        let partition = match absorb_source.take() {
+            Some(old) => {
+                let mut grown = Arc::try_unwrap(old).unwrap_or_else(|shared| (*shared).clone());
+                grown.absorb_append(table)?;
+                Arc::new(grown)
+            }
+            None => Arc::new(ShardedTable::hash(table, column, shards)?),
+        };
         let mut inner = self.inner.lock().expect("registry lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -576,6 +701,7 @@ impl CacheRegistry {
             misses: inner.misses,
             evictions: inner.evictions,
             invalidations: inner.invalidations,
+            append_absorbs: inner.append_absorbs,
             entries: inner.ready_len(),
             explanation_hits: inner.explanation_hits,
             explanation_misses: inner.explanation_misses,
@@ -584,6 +710,7 @@ impl CacheRegistry {
             partition_hits: inner.partition_hits,
             partition_misses: inner.partition_misses,
             partition_evictions: inner.partition_evictions,
+            partition_absorbs: inner.partition_absorbs,
             partition_entries: inner.partitions.len(),
         }
     }
@@ -839,5 +966,99 @@ mod tests {
         let registry = CacheRegistry::new(0);
         assert_eq!(registry.capacity(), 1);
         assert_eq!(CacheRegistry::default().capacity(), CacheRegistry::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn appends_fast_forward_the_retained_cache_instead_of_rebuilding() {
+        let registry = CacheRegistry::new(4);
+        let t = table("r", 30);
+        let (fp, cache) = build_for(&t, "SELECT g, avg(v) FROM r GROUP BY g");
+        registry.get_or_absorb_or_build(fp, &t, || Ok(cache)).unwrap();
+        assert_eq!(registry.stats().misses, 1);
+
+        // Stream a batch of appended rows (as the manager's COW catalog
+        // would: clone, push, re-share).
+        let mut grown = (*t).clone();
+        grown.push_row(vec![Value::Int(1), Value::Float(500.0)]).unwrap();
+        let grown = Arc::new(grown);
+        let stmt = parse_select("SELECT g, avg(v) FROM r GROUP BY g").unwrap();
+        let fp2 = CacheFingerprint::of(&grown, &stmt);
+        let (absorbed, served) = registry
+            .get_or_absorb_or_build(fp2.clone(), &grown, || panic!("append must not rebuild"))
+            .unwrap();
+        assert!(!served, "an absorb is not a verbatim hit");
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.misses, stats.append_absorbs, stats.entries),
+            (1, 1, 1),
+            "the old entry is re-keyed, not duplicated"
+        );
+
+        // The absorbed cache answers exactly like a fresh build.
+        let fresh = GroupedAggregateCache::build_shared(Arc::clone(&grown), &stmt).unwrap();
+        assert_eq!(absorbed.full_result().rows, fresh.full_result().rows);
+        // And the new fingerprint now hits verbatim.
+        assert!(registry.get(&fp2).is_some());
+
+        // A second appended batch fast-forwards again.
+        let mut grown2 = (*grown).clone();
+        grown2.push_row(vec![Value::Int(7), Value::Float(-2.0)]).unwrap();
+        let grown2 = Arc::new(grown2);
+        let fp3 = CacheFingerprint::of(&grown2, &stmt);
+        registry
+            .get_or_absorb_or_build(fp3, &grown2, || panic!("append must not rebuild"))
+            .unwrap();
+        assert_eq!(registry.stats().append_absorbs, 2);
+        assert_eq!(registry.stats().misses, 1);
+    }
+
+    #[test]
+    fn structural_mutations_still_miss_and_rebuild() {
+        let registry = CacheRegistry::new(4);
+        let t = table("r", 30);
+        let (fp, cache) = build_for(&t, "SELECT g, avg(v) FROM r GROUP BY g");
+        registry.get_or_absorb_or_build(fp, &t, || Ok(cache)).unwrap();
+
+        // A deletion is structural: no absorb, a plain miss + rebuild.
+        let mut mutated = (*t).clone();
+        mutated.delete_row(dbwipes_storage::RowId(0)).unwrap();
+        let mutated = Arc::new(mutated);
+        let (fp2, cache2) = build_for(&mutated, "SELECT g, avg(v) FROM r GROUP BY g");
+        registry.get_or_absorb_or_build(fp2, &mutated, || Ok(cache2)).unwrap();
+        let stats = registry.stats();
+        assert_eq!((stats.misses, stats.append_absorbs), (2, 0));
+    }
+
+    #[test]
+    fn partition_tier_absorbs_appends_in_place() {
+        let registry = CacheRegistry::new(4);
+        let t = table("r", 40);
+        let first = registry.get_or_partition(&t, "g", 4).unwrap();
+
+        let mut grown = (*t).clone();
+        grown.push_row(vec![Value::Int(2), Value::Float(123.0)]).unwrap();
+        grown.push_row(vec![Value::Int(0), Value::Float(-9.0)]).unwrap();
+        let absorbed = registry.get_or_partition(&grown, "g", 4).unwrap();
+        assert!(absorbed.covers(&grown));
+        assert_eq!(absorbed.shards().iter().map(|s| s.num_rows()).sum::<usize>(), 42);
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.partition_misses, stats.partition_absorbs, stats.partition_entries),
+            (1, 1, 1),
+            "append growth must not re-hash the table"
+        );
+        // Grown placement equals a fresh hash partition of the grown table.
+        let fresh = ShardedTable::hash(&grown, "g", 4).unwrap();
+        for (a, b) in absorbed.shards().iter().zip(fresh.shards()) {
+            assert_eq!(a.num_rows(), b.num_rows());
+        }
+        drop(first);
+
+        // Structural mutations still re-partition from scratch.
+        let mut mutated = grown.clone();
+        mutated.delete_row(dbwipes_storage::RowId(0)).unwrap();
+        registry.get_or_partition(&mutated, "g", 4).unwrap();
+        let stats = registry.stats();
+        assert_eq!((stats.partition_misses, stats.partition_absorbs), (2, 1));
     }
 }

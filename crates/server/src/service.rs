@@ -9,7 +9,7 @@ use crate::executor::PoolStats;
 use crate::json::Json;
 use crate::manager::{ServerSession, SessionId, SessionManager};
 use crate::protocol::{error_response, error_response_value, ok_response_value, parse_request};
-use crate::protocol::{Command, Request};
+use crate::protocol::{Command, Request, PROTOCOL_VERSION};
 use dbwipes_core::{ComponentTimings, CoreError, Explanation, MetricKind};
 use dbwipes_dashboard::{PointRef, ScatterSeries};
 use dbwipes_engine::QueryResult;
@@ -41,7 +41,10 @@ impl SessionManager {
 
     fn dispatch(&self, request: Request) -> Result<Vec<(&'static str, Json)>, String> {
         match request.command {
-            Command::Ping => Ok(vec![("pong", Json::Bool(true))]),
+            Command::Ping => Ok(vec![
+                ("pong", Json::Bool(true)),
+                ("protocol_version", Json::num(PROTOCOL_VERSION as f64)),
+            ]),
             Command::Tables => Ok(vec![(
                 "tables",
                 Json::Arr(self.table_names().into_iter().map(Json::Str).collect()),
@@ -53,6 +56,7 @@ impl SessionManager {
             Command::Stats => {
                 let stats = self.registry().stats();
                 let mut fields = vec![
+                    ("protocol_version", Json::num(PROTOCOL_VERSION as f64)),
                     ("sessions", Json::num(self.session_count() as f64)),
                     // The shard count sessions opened now would run their
                     // explain pipeline with (the `DBWIPES_SHARDS` knob).
@@ -62,6 +66,7 @@ impl SessionManager {
                         Json::obj(vec![
                             ("hits", Json::num(stats.hits as f64)),
                             ("misses", Json::num(stats.misses as f64)),
+                            ("append_absorbs", Json::num(stats.append_absorbs as f64)),
                             ("evictions", Json::num(stats.evictions as f64)),
                             ("invalidations", Json::num(stats.invalidations as f64)),
                             ("entries", Json::num(stats.entries as f64)),
@@ -76,6 +81,7 @@ impl SessionManager {
                             ("explanation_hit_rate", Json::num(stats.explanation_hit_rate())),
                             ("partition_hits", Json::num(stats.partition_hits as f64)),
                             ("partition_misses", Json::num(stats.partition_misses as f64)),
+                            ("partition_absorbs", Json::num(stats.partition_absorbs as f64)),
                             ("partition_evictions", Json::num(stats.partition_evictions as f64)),
                             ("partition_entries", Json::num(stats.partition_entries as f64)),
                         ]),
@@ -132,6 +138,16 @@ impl SessionManager {
                     pool.record_batch();
                 }
                 Ok(self.run_batch(commands))
+            }
+            Command::StreamAppend { table, rows } => {
+                let report = self.stream_append(&table, rows).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("table", Json::str(table)),
+                    ("appended", Json::num(report.appended as f64)),
+                    ("batches", Json::num(report.batches as f64)),
+                    ("total_rows", Json::num(report.total_rows as f64)),
+                    ("sessions_refreshed", Json::num(report.sessions_refreshed as f64)),
+                ])
             }
             command => {
                 let s = command.session().expect("all remaining commands address a session");
@@ -306,7 +322,8 @@ impl SessionManager {
             | Command::OpenSession
             | Command::CloseSession(_)
             | Command::Shutdown
-            | Command::Batch(_) => unreachable!("handled by dispatch"),
+            | Command::Batch(_)
+            | Command::StreamAppend { .. } => unreachable!("handled by dispatch"),
         }
     }
 }

@@ -72,6 +72,17 @@ impl Catalog {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
+    /// Installs an already-shared table snapshot, replacing any existing
+    /// entry of the same (case-insensitive) name without cloning the data.
+    ///
+    /// This is the streaming-append fan-out path: after the base catalog
+    /// grows a table, every open session adopts the new snapshot by
+    /// installing the same [`Arc`], so all readers converge on one shared
+    /// copy instead of each session copy-on-writing its own.
+    pub fn install_snapshot(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
+    }
+
     /// Looks up a table mutably, copying-on-write when the snapshot is
     /// shared with other catalog clones or outstanding [`Catalog::table_arc`]
     /// handles.
@@ -169,6 +180,20 @@ mod tests {
         let owned = base.deregister("t").unwrap();
         assert_eq!(owned.visible_rows(), 1);
         assert_eq!(snapshot.visible_rows(), 1);
+    }
+
+    #[test]
+    fn install_snapshot_shares_the_arc() {
+        let mut base = Catalog::new();
+        base.register(table("t")).unwrap();
+        let mut session = base.clone();
+
+        base.table_mut("t").unwrap().push_row(vec![crate::value::Value::Int(7)]).unwrap();
+        let grown = base.table_arc("t").unwrap();
+        session.install_snapshot(Arc::clone(&grown));
+
+        assert!(Arc::ptr_eq(&grown, &session.table_arc("t").unwrap()));
+        assert_eq!(session.table("t").unwrap().num_rows(), 1);
     }
 
     #[test]

@@ -87,5 +87,5 @@ pub use predicate::{
 pub use rowset::RowSet;
 pub use schema::{Field, Schema};
 pub use shard::ShardedTable;
-pub use table::{RowId, Table};
+pub use table::{EpochTolerance, RowId, Table, TableEpoch};
 pub use value::{DataType, Value};

@@ -42,7 +42,7 @@ use crate::error::StorageError;
 use crate::predicate::TriSet;
 use crate::rowset::RowSet;
 use crate::schema::{Field, Schema};
-use crate::table::Table;
+use crate::table::{Table, TableEpoch};
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
 use std::fs;
@@ -50,8 +50,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Version stamp written into every snapshot file; readers reject any
-/// other value rather than guessing at layout changes.
-pub const FORMAT_VERSION: u32 = 1;
+/// other value rather than guessing at layout changes. Version 2 replaced
+/// the single table version stamp with the two-part epoch (structural +
+/// appended stamps) in table snapshots and manifest entries.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes of a table segment file.
 const TABLE_MAGIC: &[u8; 4] = b"DBWT";
@@ -484,7 +486,8 @@ pub fn encode_table(table: &Table) -> Vec<u8> {
     w.put_u32(FORMAT_VERSION);
     w.put_str(table.name());
     w.put_u64(table.id());
-    w.put_u64(table.version());
+    w.put_u64(table.epoch().structural);
+    w.put_u64(table.epoch().appended);
     let schema = table.schema();
     w.put_u64(schema.len() as u64);
     for field in schema.fields() {
@@ -519,7 +522,7 @@ pub fn decode_table(bytes: &[u8]) -> Result<Table, StorageError> {
     }
     let name = r.get_str()?;
     let table_id = r.get_u64()?;
-    let table_version = r.get_u64()?;
+    let epoch = TableEpoch { structural: r.get_u64()?, appended: r.get_u64()? };
     let field_count = r.get_len(10)?;
     let mut fields = Vec::with_capacity(field_count);
     for _ in 0..field_count {
@@ -543,7 +546,7 @@ pub fn decode_table(bytes: &[u8]) -> Result<Table, StorageError> {
             deleted.len()
         )));
     }
-    Table::restore(name, schema, columns, deleted, table_id, table_version)
+    Table::restore(name, schema, columns, deleted, table_id, epoch)
 }
 
 /// Serializes a set of named condition bitmaps (a table's warm
@@ -635,14 +638,24 @@ pub struct ManifestEntry {
     pub name: String,
     /// The persisted [`Table::id`] stamp.
     pub table_id: u64,
-    /// The persisted [`Table::version`] stamp of the snapshot on disk.
-    pub version: u64,
+    /// The persisted [`Table::epoch`] of the snapshot on disk. Recovery
+    /// compares the full epoch, so a manifest written before an append can
+    /// never masquerade as covering the appended rows.
+    pub epoch: TableEpoch,
     /// Physical row count of the snapshot (soft-deleted rows included).
     pub num_rows: u64,
     /// Snapshot file name, relative to the backend's data directory.
     pub file: String,
     /// Size of the snapshot file in bytes.
     pub bytes: u64,
+}
+
+impl ManifestEntry {
+    /// The scalar [`Table::version`] view of the persisted epoch (sidecar
+    /// file names and stamp-floor recovery key on it).
+    pub fn version(&self) -> u64 {
+        self.epoch.version()
+    }
 }
 
 /// The catalog-level index of a data directory: one [`ManifestEntry`] per
@@ -690,7 +703,8 @@ impl Manifest {
         for e in &self.entries {
             w.put_str(&e.name);
             w.put_u64(e.table_id);
-            w.put_u64(e.version);
+            w.put_u64(e.epoch.structural);
+            w.put_u64(e.epoch.appended);
             w.put_u64(e.num_rows);
             w.put_str(&e.file);
             w.put_u64(e.bytes);
@@ -730,7 +744,7 @@ impl Manifest {
             entries.push(ManifestEntry {
                 name: r.get_str()?,
                 table_id: r.get_u64()?,
-                version: r.get_u64()?,
+                epoch: TableEpoch { structural: r.get_u64()?, appended: r.get_u64()? },
                 num_rows: r.get_u64()?,
                 file: r.get_str()?,
                 bytes: r.get_u64()?,
@@ -817,7 +831,7 @@ impl FsBackend {
         let backend = FsBackend { dir, manifest_lock: Mutex::new(()) };
         let manifest = backend.read_manifest()?;
         for e in &manifest.entries {
-            crate::table::advance_stamp_floor(e.table_id.max(e.version));
+            crate::table::advance_stamp_floor(e.table_id.max(e.version()));
         }
         Ok(backend)
     }
@@ -890,7 +904,7 @@ impl StorageBackend for FsBackend {
         let entry = ManifestEntry {
             name: table.name().to_string(),
             table_id: table.id(),
-            version: table.version(),
+            epoch: table.epoch(),
             num_rows: table.num_rows() as u64,
             file,
             bytes: bytes.len() as u64,
@@ -912,14 +926,14 @@ impl StorageBackend for FsBackend {
         let bytes =
             fs::read(&path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
         let table = decode_table(&bytes)?;
-        if table.id() != entry.table_id || table.version() != entry.version {
+        if table.id() != entry.table_id || table.epoch() != entry.epoch {
             return Err(StorageError::Corrupt(format!(
-                "snapshot {} is stamped ({}, {}) but the manifest expects ({}, {})",
+                "snapshot {} is stamped ({}, {:?}) but the manifest expects ({}, {:?})",
                 entry.file,
                 table.id(),
-                table.version(),
+                table.epoch(),
                 entry.table_id,
-                entry.version
+                entry.epoch
             )));
         }
         Ok(table)
@@ -1145,7 +1159,7 @@ mod tests {
         assert_eq!(manifest.len(), 1);
         let entry = manifest.entry(t.id()).unwrap();
         assert_eq!(entry.name, "everything");
-        assert_eq!(entry.version, t.version());
+        assert_eq!(entry.epoch, t.epoch());
         assert_eq!(entry.num_rows, t.num_rows() as u64);
         assert_eq!(entry.bytes, written);
         assert!(backend.bytes_on_disk().unwrap() >= written);
@@ -1171,7 +1185,7 @@ mod tests {
         backend.save_table(&t).unwrap();
         let manifest = backend.list_manifest().unwrap();
         assert_eq!(manifest.len(), 1, "same table id replaces, never duplicates");
-        assert_ne!(manifest.entry(t.id()).unwrap().version, v1);
+        assert_ne!(manifest.entry(t.id()).unwrap().version(), v1);
         let restored = backend.load_table(t.id()).unwrap();
         assert!(restored.is_deleted(crate::table::RowId(0)));
     }
@@ -1236,7 +1250,7 @@ mod tests {
             entries: vec![ManifestEntry {
                 name: "t".into(),
                 table_id: 3,
-                version: 4,
+                epoch: TableEpoch { structural: 4, appended: 6 },
                 num_rows: 5,
                 file: "t3.tbl".into(),
                 bytes: 128,
@@ -1276,7 +1290,7 @@ mod tests {
         let manifest_max = {
             let backend = FsBackend::open(dir.path()).unwrap();
             let m = backend.list_manifest().unwrap();
-            m.entries.iter().map(|e| e.table_id.max(e.version)).max().unwrap()
+            m.entries.iter().map(|e| e.table_id.max(e.version())).max().unwrap()
         };
         let fresh = Table::new("fresh", Schema::of(&[("x", DataType::Int)])).unwrap();
         assert!(fresh.id() > manifest_max, "open() must advance the stamp floor");

@@ -11,7 +11,7 @@ use crate::column::{Column, ColumnData};
 use crate::error::StorageError;
 use crate::expr::{col, lit, BinaryOp, Expr, UnaryOp};
 use crate::rowset::RowSet;
-use crate::table::{RowId, Table};
+use crate::table::{EpochTolerance, RowId, Table, TableEpoch};
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -1582,7 +1582,14 @@ pub fn warm_bitmap_rehydrated_count() -> u64 {
 #[derive(Debug)]
 pub struct ConditionBitmapCache {
     table_id: u64,
-    table_version: u64,
+    /// Full epoch of the pinned table. Bitmaps are dense over the table's
+    /// physical row universe, so this cache declares
+    /// [`EpochTolerance::Exact`]: even a pure append changes the universe
+    /// every bitmap was sized for, and absorbing would mean re-running
+    /// every kernel over the new rows — at which point the warm-store
+    /// donation path already rebuilds cheaper. Appends therefore miss
+    /// here by design, unlike the append-tolerant aggregate caches.
+    table_epoch: TableEpoch,
     num_rows: usize,
     visible: RowSet,
     /// `None` marks a condition the typed compiler cannot express, so the
@@ -1613,7 +1620,7 @@ impl ConditionBitmapCache {
         }
         ConditionBitmapCache {
             table_id: table.id(),
-            table_version: table.version(),
+            table_epoch: table.epoch(),
             num_rows: table.num_rows(),
             visible: table.visible_row_set(),
             entries: Mutex::new(entries),
@@ -1622,10 +1629,13 @@ impl ConditionBitmapCache {
         }
     }
 
-    /// True when the cache's stamps match the table's current data version
-    /// (lookups against any other table compute fresh, uncached results).
+    /// True when the cache's pinned epoch exactly matches the table's
+    /// current epoch (lookups against any other table compute fresh,
+    /// uncached results). Bitmap caches tolerate no appends — see the
+    /// field docs on [`ConditionBitmapCache`] — so this is an
+    /// [`EpochTolerance::Exact`] check.
     pub fn covers(&self, table: &Table) -> bool {
-        table.id() == self.table_id && table.version() == self.table_version
+        table.id() == self.table_id && self.table_epoch.covers(table.epoch(), EpochTolerance::Exact)
     }
 
     /// The visible-row mask captured at construction.
@@ -1733,7 +1743,7 @@ impl Drop for ConditionBitmapCache {
             return;
         }
         let Ok(mut store) = warm_store().lock() else { return };
-        let slot = warm_slot(&mut store, (self.table_id, self.table_version));
+        let slot = warm_slot(&mut store, (self.table_id, self.table_epoch.version()));
         for (key, tri) in entries.drain() {
             if slot.len() >= WARM_STORE_MAX_PER_TABLE {
                 break;

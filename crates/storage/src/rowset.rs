@@ -85,6 +85,24 @@ impl RowSet {
         self.len
     }
 
+    /// Grows the universe to `new_len` in place, preserving membership: the
+    /// appended row indices `len..new_len` start absent. This is the
+    /// streaming-append path's counterpart to constructing a fresh set — a
+    /// table that only gained rows keeps its existing bitmaps and grows
+    /// them instead of rebuilding.
+    ///
+    /// Panics when `new_len` would shrink the universe (dropping rows is a
+    /// structural change, not an append).
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(
+            new_len >= self.len,
+            "RowSet universe cannot shrink ({} -> {new_len}): only appends grow in place",
+            self.len
+        );
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
+    }
+
     /// Number of rows in the set.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -316,6 +334,34 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn out_of_universe_insert_panics() {
         RowSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn grow_preserves_membership_and_tail_invariant() {
+        for (len, new_len) in
+            [(0usize, 5usize), (10, 64), (63, 64), (64, 65), (100, 100), (65, 130)]
+        {
+            let mut s = RowSet::from_indices(len, (0..len).filter(|i| i % 2 == 0));
+            let before: Vec<usize> = s.iter().collect();
+            s.grow(new_len);
+            assert_eq!(s.universe(), new_len, "{len} -> {new_len}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), before, "{len} -> {new_len}");
+            // New rows are absent but insertable; universes now match a
+            // same-sized set (the mixing panic is gone after growth).
+            if new_len > len {
+                assert!(!s.contains(new_len - 1));
+                s.insert(new_len - 1);
+                assert!(s.contains(new_len - 1));
+            }
+            let _ = s.and(&RowSet::full(new_len));
+            assert_eq!(s.complement().count_ones(), new_len - s.count_ones());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        RowSet::empty(10).grow(9);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use crate::error::StorageError;
 use crate::predicate::Condition;
 use crate::rowset::RowSet;
-use crate::table::{RowId, Table};
+use crate::table::{EpochTolerance, RowId, Table, TableEpoch};
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -122,7 +122,7 @@ enum Key<'a> {
 #[derive(Debug, Clone)]
 pub struct ShardedTable {
     base_id: u64,
-    base_version: u64,
+    base_epoch: TableEpoch,
     base_rows: usize,
     shard_column: usize,
     strategy: Strategy,
@@ -223,7 +223,7 @@ impl ShardedTable {
 
         Ok(ShardedTable {
             base_id: table.id(),
-            base_version: table.version(),
+            base_epoch: table.epoch(),
             base_rows,
             shard_column,
             strategy,
@@ -261,9 +261,85 @@ impl ShardedTable {
     }
 
     /// True when this partition was built from exactly `table`'s current
-    /// data ([`Table::id`] and [`Table::version`] both match).
+    /// data ([`Table::id`] and the full [`Table::epoch`] both match).
     pub fn covers(&self, table: &Table) -> bool {
-        table.id() == self.base_id && table.version() == self.base_version
+        self.covers_with(table, EpochTolerance::Exact)
+    }
+
+    /// Epoch comparison under an explicit tolerance: with
+    /// [`EpochTolerance::TolerateAppends`], a partition also covers a
+    /// table that has only gained rows since it was built — callers must
+    /// then [`ShardedTable::absorb_append`] the delta before querying.
+    pub fn covers_with(&self, table: &Table, tolerance: EpochTolerance) -> bool {
+        table.id() == self.base_id && self.base_epoch.covers(table.epoch(), tolerance)
+    }
+
+    /// The [`Table::epoch`] of the base table this partition currently
+    /// mirrors (advanced by [`ShardedTable::absorb_append`]).
+    pub fn base_epoch(&self) -> TableEpoch {
+        self.base_epoch
+    }
+
+    /// Grows the partition in place to mirror `table`, which must be an
+    /// append-only descendant of the base this partition was built from
+    /// (same id, same structural epoch, appended epoch at or past ours).
+    /// Each new row lands in the shard its key partitions to — hash rows
+    /// by key bits, range rows by the existing quantile boundaries — with
+    /// zone maps and both row-id maps updated incrementally; nothing
+    /// already partitioned is rebuilt. Returns the number of rows
+    /// absorbed.
+    pub fn absorb_append(&mut self, table: &Table) -> Result<usize, StorageError> {
+        if table.id() != self.base_id {
+            return Err(StorageError::Eval(format!(
+                "cannot absorb appends from table id {} into a partition of id {}",
+                table.id(),
+                self.base_id
+            )));
+        }
+        if !table.epoch().is_append_descendant_of(self.base_epoch)
+            || table.num_rows() < self.base_rows
+        {
+            return Err(StorageError::Eval(format!(
+                "table epoch {:?} is not an append-only descendant of the partition's {:?}",
+                table.epoch(),
+                self.base_epoch
+            )));
+        }
+        if table.num_rows() > u32::MAX as usize {
+            return Err(StorageError::Eval(format!(
+                "cannot shard a table with {} rows (> u32::MAX)",
+                table.num_rows()
+            )));
+        }
+        if table.epoch() == self.base_epoch {
+            return Ok(0);
+        }
+        let col = table.column(self.shard_column).expect("schema unchanged by appends");
+        let dtype = table.schema().field_at(self.shard_column).expect("resolved").dtype;
+        let absorbed = table.num_rows() - self.base_rows;
+        for row in self.base_rows..table.num_rows() {
+            let key = if dtype == DataType::Str {
+                col.get_str(row).map(Key::Str)
+            } else {
+                col.get_f64(row).map(Key::Num)
+            };
+            let s = match key {
+                None => 0, // NULL shard key, as at build time
+                Some(key) => shard_of_key(&self.strategy, self.num_shards(), &key),
+            };
+            let shard = Arc::make_mut(&mut self.shards[s]);
+            let local = shard.num_rows();
+            let values = table.row(RowId(row))?;
+            shard.push_row(values)?;
+            // Appended rows are visible by definition (appends cannot
+            // soft-delete), so no delete flag to mirror.
+            self.to_local.push((s as u32, local as u32));
+            self.to_global[s].push(row as u32);
+            extend_zones(&mut self.zones[s], shard, local);
+        }
+        self.base_rows = table.num_rows();
+        self.base_epoch = table.epoch();
+        Ok(absorbed)
     }
 
     /// Maps a base-table row to its `(shard, local row)` address, or
@@ -497,6 +573,26 @@ fn literal_key<'a>(dtype: DataType, value: &'a Value) -> Option<Key<'a>> {
             _ => None,
         },
         _ => None,
+    }
+}
+
+/// Folds shard row `local` into every column's zone — the incremental
+/// counterpart of [`column_zones`], applied per absorbed append row.
+fn extend_zones(zones: &mut [ColumnZone], shard: &Table, local: usize) {
+    for (c, zone) in zones.iter_mut().enumerate() {
+        let col = shard.column(c).expect("in schema");
+        if col.is_null(local) {
+            zone.has_null = true;
+            continue;
+        }
+        let Some(v) = col.get_f64(local) else { continue };
+        zone.range = Some(match zone.range {
+            None => (v, v),
+            Some((lo, hi)) => (
+                if v.total_cmp(&lo) == Ordering::Less { v } else { lo },
+                if v.total_cmp(&hi) == Ordering::Greater { v } else { hi },
+            ),
+        });
     }
 }
 
@@ -796,6 +892,77 @@ mod tests {
         let eq_nan = Condition::equals("x", f64::NAN);
         let live: Vec<usize> = (0..3).filter(|&s| st.condition_may_match(s, &eq_nan)).collect();
         assert_eq!(live.len(), 1, "NaN equality pins via bit hashing");
+    }
+
+    #[test]
+    fn absorb_append_matches_a_fresh_hash_partition() {
+        let mut t = sensor_table();
+        let st0 = ShardedTable::hash(&t, "sensorid", 4).unwrap();
+        let mut grown = st0.clone();
+        t.push_rows(vec![
+            vec![Value::Int(3), Value::Float(99.0), Value::str("room1"), Value::Bool(true)],
+            vec![Value::Int(11), Value::Float(-0.0), Value::Null, Value::Bool(false)],
+            vec![Value::Null, Value::Float(f64::NAN), Value::str("room9"), Value::Bool(true)],
+        ])
+        .unwrap();
+        assert!(!st0.covers(&t));
+        assert!(st0.covers_with(&t, EpochTolerance::TolerateAppends));
+        assert_eq!(grown.absorb_append(&t).unwrap(), 3);
+        assert!(grown.covers(&t));
+        check_partition(&t, &grown, 4);
+        // Hash placement is a pure function of the key, so the grown
+        // partition places every row exactly where a fresh build would.
+        let fresh = ShardedTable::hash(&t, "sensorid", 4).unwrap();
+        for row in t.all_row_ids() {
+            assert_eq!(grown.locate(row), fresh.locate(row), "row {row}");
+        }
+        assert_prune_sound(&grown, &probe_conditions());
+        // The original partition is untouched (shards are copy-on-write).
+        assert_eq!(st0.base_rows(), 60);
+        assert_eq!(st0.shards().iter().map(|s| s.num_rows()).sum::<usize>(), 60);
+        // Absorbing again is a no-op.
+        assert_eq!(grown.absorb_append(&t).unwrap(), 0);
+    }
+
+    #[test]
+    fn absorb_append_routes_range_rows_by_existing_boundaries() {
+        let mut t = sensor_table();
+        let mut st = ShardedTable::range(&t, "temp", 3).unwrap();
+        t.push_rows(vec![
+            vec![Value::Int(1), Value::Float(-50.0), Value::str("cold"), Value::Bool(true)],
+            vec![Value::Int(2), Value::Float(500.0), Value::str("hot"), Value::Bool(false)],
+            vec![Value::Int(3), Value::Null, Value::str("null-key"), Value::Bool(true)],
+        ])
+        .unwrap();
+        assert_eq!(st.absorb_append(&t).unwrap(), 3);
+        check_partition(&t, &st, 3);
+        // Extremes route to the boundary shards, NULL keys to shard 0.
+        let (cold_shard, _) = st.locate(RowId(60)).unwrap();
+        let (hot_shard, _) = st.locate(RowId(61)).unwrap();
+        let (null_shard, _) = st.locate(RowId(62)).unwrap();
+        assert_eq!(cold_shard, 0);
+        assert_eq!(hot_shard, 2);
+        assert_eq!(null_shard, 0);
+        // Zone maps grew to keep pruning sound over the new extremes.
+        assert!(st.condition_may_match(0, &Condition::at_most("temp", -40.0)));
+        assert!(st.condition_may_match(2, &Condition::above("temp", 400.0)));
+        assert_prune_sound(&st, &probe_conditions());
+    }
+
+    #[test]
+    fn absorb_append_rejects_non_append_descendants() {
+        let t = sensor_table();
+        let mut st = ShardedTable::hash(&t, "sensorid", 2).unwrap();
+        // A different table entirely.
+        let other = sensor_table();
+        assert!(st.absorb_append(&other).is_err());
+        // A structural mutation breaks append lineage.
+        let mut deleted = t.clone();
+        deleted.delete_row(RowId(3)).unwrap();
+        assert!(st.absorb_append(&deleted).is_err());
+        assert!(!st.covers_with(&deleted, EpochTolerance::TolerateAppends));
+        // The partition itself is untouched by the failed absorbs.
+        assert!(st.covers(&t));
     }
 
     #[test]

@@ -32,6 +32,79 @@ pub(crate) fn advance_stamp_floor(stamp: u64) {
     NEXT_STAMP.fetch_max(stamp.saturating_add(1), Ordering::Relaxed);
 }
 
+/// How strictly a consumer of a table's [`TableEpoch`] must match the
+/// table's current epoch for a derived artifact (cache, bitmap, partition,
+/// manifest) to remain usable.
+///
+/// The two-part epoch exists so streaming appends do not invalidate the
+/// world: artifacts that can *absorb* appended rows declare
+/// [`EpochTolerance::TolerateAppends`] and stay alive across append-only
+/// epochs, while artifacts pinned to an exact row universe (dense bitmaps,
+/// memoized explanations) declare [`EpochTolerance::Exact`] and are
+/// invalidated by any mutation, exactly as under the old single `version()`
+/// stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochTolerance {
+    /// The artifact is only valid for a bit-identical table: both epoch
+    /// components must match.
+    Exact,
+    /// The artifact survives appends (it can absorb the delta before
+    /// answering): the structural component must match, and the table's
+    /// appended component must be at or past the artifact's.
+    TolerateAppends,
+}
+
+/// A table's two-part data version: a `structural` stamp re-drawn by
+/// mutations that can change or hide existing rows (soft delete, restore),
+/// and an `appended` stamp re-drawn by row appends.
+///
+/// Both stamps come from the same process-global counter as [`Table::id`],
+/// so every `(id, version())` pair still pins bit-identical data: each
+/// mutation draws a globally unique stamp into one of the two components,
+/// and [`TableEpoch::version`] is the most recent stamp drawn. The split
+/// lets append-aware consumers distinguish "rows were added after yours"
+/// (absorbable) from "rows you indexed changed" (rebuild required).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableEpoch {
+    /// Stamp of the last structure-changing mutation (creation, soft
+    /// delete, restore). Caches keyed on existing rows survive only while
+    /// this is unchanged.
+    pub structural: u64,
+    /// Stamp of the last append (`push_row` / `push_rows`). A batch append
+    /// draws one stamp for the whole batch.
+    pub appended: u64,
+}
+
+impl TableEpoch {
+    /// The single-stamp view of the epoch: the most recent mutation stamp.
+    /// Two tables with equal id and equal `version()` hold identical data —
+    /// the same invariant the old scalar version carried.
+    pub fn version(&self) -> u64 {
+        self.structural.max(self.appended)
+    }
+
+    /// True when an artifact built at epoch `self` may serve a table now at
+    /// `current`, under the artifact's declared tolerance. `Exact` demands
+    /// identical epochs; `TolerateAppends` additionally accepts a table
+    /// that has only gained rows since (the artifact is expected to absorb
+    /// the appended delta before answering).
+    pub fn covers(&self, current: TableEpoch, tolerance: EpochTolerance) -> bool {
+        match tolerance {
+            EpochTolerance::Exact => *self == current,
+            EpochTolerance::TolerateAppends => {
+                self.structural == current.structural && self.appended <= current.appended
+            }
+        }
+    }
+
+    /// True when `self` is reachable from `older` by appends alone: the
+    /// structural stamp is unchanged and the appended stamp is at or past
+    /// `older`'s. This is the precondition every `absorb_append` checks.
+    pub fn is_append_descendant_of(&self, older: TableEpoch) -> bool {
+        self.structural == older.structural && self.appended >= older.appended
+    }
+}
+
 /// A stable identifier of a row within one table.
 ///
 /// Row ids are assigned densely in insertion order and never reused; they
@@ -69,9 +142,10 @@ pub struct Table {
     /// Identity stamp: unique per `Table::new` call, preserved by `clone()`
     /// (a clone is a snapshot of the *same* logical table).
     id: u64,
-    /// Data version: re-stamped on every mutation, so any two tables with
-    /// equal `(id, version)` hold identical data.
-    version: u64,
+    /// Two-part data version: every mutation re-stamps one component (see
+    /// [`TableEpoch`]), so any two tables with equal `(id, version())` hold
+    /// identical data.
+    epoch: TableEpoch,
 }
 
 impl Table {
@@ -80,7 +154,8 @@ impl Table {
         let columns =
             schema.fields().iter().map(|f| Column::new(f.dtype)).collect::<Result<Vec<_>, _>>()?;
         let id = next_stamp();
-        Ok(Table { name: name.into(), schema, columns, deleted: Vec::new(), id, version: id })
+        let epoch = TableEpoch { structural: id, appended: id };
+        Ok(Table { name: name.into(), schema, columns, deleted: Vec::new(), id, epoch })
     }
 
     /// Reassembles a table from decoded snapshot parts, preserving the
@@ -94,7 +169,7 @@ impl Table {
         columns: Vec<Column>,
         deleted: Vec<bool>,
         id: u64,
-        version: u64,
+        epoch: TableEpoch,
     ) -> Result<Self, StorageError> {
         if columns.len() != schema.len() {
             return Err(StorageError::Corrupt(format!(
@@ -121,8 +196,8 @@ impl Table {
                 )));
             }
         }
-        advance_stamp_floor(id.max(version));
-        Ok(Table { name, schema, columns, deleted, id, version })
+        advance_stamp_floor(id.max(epoch.version()));
+        Ok(Table { name, schema, columns, deleted, id, epoch })
     }
 
     /// The table name.
@@ -137,18 +212,33 @@ impl Table {
         self.id
     }
 
-    /// The table's data version. Every mutation (insert, soft delete,
-    /// restore) re-stamps the version from a process-global counter, so
-    /// diverged clones of one table also get distinct versions. Two tables
-    /// with equal [`Table::id`] and equal version are guaranteed to hold
-    /// identical data — the invariant behind cross-brush cache reuse.
+    /// The table's data version — the scalar view of [`Table::epoch`].
+    /// Every mutation (insert, soft delete, restore) re-stamps one epoch
+    /// component from a process-global counter, so diverged clones of one
+    /// table also get distinct versions. Two tables with equal
+    /// [`Table::id`] and equal version are guaranteed to hold identical
+    /// data — the invariant behind cross-brush cache reuse.
     pub fn version(&self) -> u64 {
-        self.version
+        self.epoch.version()
     }
 
-    /// Re-stamps the data version; called by every mutating method.
-    fn touch(&mut self) {
-        self.version = next_stamp();
+    /// The table's two-part data version. Append-aware consumers compare
+    /// epochs under an explicit [`EpochTolerance`] instead of the scalar
+    /// [`Table::version`] so appends do not invalidate them wholesale.
+    pub fn epoch(&self) -> TableEpoch {
+        self.epoch
+    }
+
+    /// Re-stamps the structural epoch component; called by mutations that
+    /// change or hide existing rows (soft delete, restore).
+    fn touch_structural(&mut self) {
+        self.epoch.structural = next_stamp();
+    }
+
+    /// Re-stamps the appended epoch component; called by appends. One call
+    /// covers a whole batch.
+    fn touch_appended(&mut self) {
+        self.epoch.appended = next_stamp();
     }
 
     /// The table schema.
@@ -175,36 +265,57 @@ impl Table {
     ///
     /// Returns the new row's [`RowId`].
     pub fn push_row(&mut self, values: Vec<Value>) -> Result<RowId, StorageError> {
+        self.validate_row(&values)?;
+        self.apply_row(values);
+        let id = RowId(self.deleted.len() - 1);
+        self.touch_appended();
+        Ok(id)
+    }
+
+    /// Appends many rows, all-or-nothing: the entire batch is validated
+    /// against the schema before any column is mutated, so a bad row k
+    /// leaves neither rows `0..k` applied nor the version stamp advanced.
+    /// The whole batch lands under a single appended-epoch stamp.
+    pub fn push_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<Vec<RowId>, StorageError> {
+        for row in &rows {
+            self.validate_row(row)?;
+        }
+        let first = self.deleted.len();
+        let ids = (first..first + rows.len()).map(RowId).collect();
+        for row in rows {
+            self.apply_row(row);
+        }
+        self.touch_appended();
+        Ok(ids)
+    }
+
+    /// Validates one row against the schema (arity and per-column type)
+    /// without mutating anything. Public so callers batching rows across
+    /// several [`Table::push_rows`] calls can pre-validate the whole input
+    /// and keep command-level all-or-nothing semantics.
+    pub fn validate_row(&self, values: &[Value]) -> Result<(), StorageError> {
         if values.len() != self.schema.len() {
             return Err(StorageError::ArityMismatch {
                 expected: self.schema.len(),
                 found: values.len(),
             });
         }
-        // Validate all values before mutating any column so a failed push
-        // cannot leave columns with uneven lengths.
         for (col, value) in self.columns.iter().zip(values.iter()) {
             if !value.is_null() {
                 let mut probe = col.clone_empty();
                 probe.push(value.clone())?;
             }
         }
-        for (col, value) in self.columns.iter_mut().zip(values) {
-            col.push(value).expect("validated above");
-        }
-        let id = RowId(self.deleted.len());
-        self.deleted.push(false);
-        self.touch();
-        Ok(id)
+        Ok(())
     }
 
-    /// Appends many rows.
-    pub fn push_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<Vec<RowId>, StorageError> {
-        let mut ids = Vec::with_capacity(rows.len());
-        for row in rows {
-            ids.push(self.push_row(row)?);
+    /// Appends one pre-validated row to every column. Does not re-stamp the
+    /// epoch; callers do, once per logical append.
+    fn apply_row(&mut self, values: Vec<Value>) {
+        for (col, value) in self.columns.iter_mut().zip(values) {
+            col.push(value).expect("validated by validate_row");
         }
-        Ok(ids)
+        self.deleted.push(false);
     }
 
     /// Returns the value at (`row`, `col`) or an error when out of bounds.
@@ -250,7 +361,7 @@ impl Table {
         match self.deleted.get_mut(row.0) {
             Some(d) => {
                 *d = true;
-                self.touch();
+                self.touch_structural();
                 Ok(())
             }
             None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
@@ -271,7 +382,7 @@ impl Table {
             }
         }
         if changed > 0 {
-            self.touch();
+            self.touch_structural();
         }
         Ok(changed)
     }
@@ -281,7 +392,7 @@ impl Table {
         match self.deleted.get_mut(row.0) {
             Some(d) => {
                 *d = false;
-                self.touch();
+                self.touch_structural();
                 Ok(())
             }
             None => Err(StorageError::RowOutOfBounds { row: row.0, len: self.num_rows() }),
@@ -293,7 +404,7 @@ impl Table {
         for d in &mut self.deleted {
             *d = false;
         }
-        self.touch();
+        self.touch_structural();
     }
 
     /// Iterates over the ids of all visible (non-deleted) rows.
@@ -518,6 +629,60 @@ mod tests {
         // A no-op delete_rows (all already visible/deleted as-is) does not bump.
         assert_eq!(t.delete_rows(&[]).unwrap(), 0);
         assert_eq!(t.version(), v);
+    }
+
+    #[test]
+    fn appends_and_structural_mutations_stamp_different_epoch_components() {
+        let mut t = sensor_table();
+        let e0 = t.epoch();
+        t.push_row(vec![Value::Int(4), Value::Float(19.0), Value::str("hall")]).unwrap();
+        let e1 = t.epoch();
+        assert_eq!(e1.structural, e0.structural, "an append leaves the structural stamp alone");
+        assert!(e1.appended > e0.appended, "an append re-stamps the appended component");
+        assert!(e1.is_append_descendant_of(e0));
+        assert!(!e0.is_append_descendant_of(e1));
+        assert!(e0.covers(e1, EpochTolerance::TolerateAppends));
+        assert!(!e0.covers(e1, EpochTolerance::Exact));
+        assert_eq!(t.version(), e1.appended, "version() is the most recent stamp");
+
+        t.delete_row(RowId(0)).unwrap();
+        let e2 = t.epoch();
+        assert!(e2.structural > e1.structural, "a delete re-stamps the structural component");
+        assert_eq!(e2.appended, e1.appended);
+        assert!(!e2.is_append_descendant_of(e1), "a structural change breaks append lineage");
+        assert!(!e1.covers(e2, EpochTolerance::TolerateAppends));
+        assert!(e2.covers(e2, EpochTolerance::Exact));
+        assert_eq!(t.version(), e2.structural);
+    }
+
+    #[test]
+    fn push_rows_batch_is_all_or_nothing() {
+        let mut t = sensor_table();
+        let e = t.epoch();
+        // Row 1 of the batch is bad: nothing may be applied, no stamp drawn.
+        let err = t
+            .push_rows(vec![
+                vec![Value::Int(4), Value::Float(19.0), Value::str("hall")],
+                vec![Value::Int(5), Value::str("oops"), Value::str("hall")],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert_eq!(t.num_rows(), 3, "no row of a failing batch is applied");
+        assert_eq!(t.epoch(), e, "a failing batch leaves the epoch alone");
+        for c in 0..3 {
+            assert_eq!(t.column(c).unwrap().len(), 3);
+        }
+
+        // A good batch lands under one appended stamp.
+        let ids = t
+            .push_rows(vec![
+                vec![Value::Int(4), Value::Float(19.0), Value::str("hall")],
+                vec![Value::Int(5), Value::Float(18.5), Value::str("hall")],
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![RowId(3), RowId(4)]);
+        assert_eq!(t.epoch().structural, e.structural);
+        assert!(t.epoch().appended > e.appended);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Continuous ingestion while a session brushes: the streaming half of the
+//! Intel-sensor demo. An analyst opens a session, plots per-window
+//! temperature aggregates, brushes the suspicious windows and asks for an
+//! explanation — and while they are looking at it, the sensor network
+//! keeps reporting. Each arriving `stream_append` batch is absorbed by the
+//! session's retained aggregate cache (filter + fold of just the new rows,
+//! never a cold re-execution), so the displayed result and the next
+//! explanation are always computed over the table as it is *now*.
+//!
+//! ```sh
+//! cargo run --example streaming_sensor
+//! ```
+//!
+//! Watch two things in the transcript:
+//!
+//! * the brushed window's `avg_temp`/`std_temp` climb wave after wave as a
+//!   failing sensor streams hot readings into it, without the session ever
+//!   re-running its query from scratch;
+//! * the final `stats` reply: `cache.misses` stays at 1 (the original
+//!   query) while `cache.append_absorbs` counts every streamed wave.
+
+use dbwipes_server::{Json, SessionManager};
+use std::fmt::Write as _;
+
+const WINDOW_SQL: &str = "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS std_temp \
+                          FROM readings GROUP BY window ORDER BY window";
+
+/// The window the failing sensor floods; its row of the GROUP BY result is
+/// the one to watch.
+const HOT_WINDOW: f64 = 0.0;
+
+fn send(manager: &SessionManager, line: &str) -> Json {
+    let reply = manager.handle_line(line);
+    let json = Json::parse(&reply).expect("server replies are JSON");
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "command failed: {reply}");
+    json
+}
+
+/// Reads one y-value for [`HOT_WINDOW`] off a `plot` reply — the way a
+/// frontend tracks the displayed result without restarting the analysis
+/// (a new `run_query` would begin a fresh session state, dropping the
+/// brush and metric; `plot` just renders what is already displayed).
+fn plotted_hot_window(manager: &SessionManager, y: &str) -> f64 {
+    let reply = send(manager, &format!(r#"{{"cmd":"plot","session":1,"x":"window","y":"{y}"}}"#));
+    reply
+        .get("series")
+        .and_then(|s| s.get("points"))
+        .and_then(Json::as_array)
+        .and_then(|points| {
+            points
+                .iter()
+                .find(|p| p.get("x").and_then(Json::as_f64) == Some(HOT_WINDOW))
+                .and_then(|p| p.get("y"))
+                .and_then(Json::as_f64)
+        })
+        .unwrap_or(f64::NAN)
+}
+
+/// Renders the brushed window's displayed aggregates.
+fn hot_window_row(manager: &SessionManager) -> String {
+    let avg = plotted_hot_window(manager, "avg_temp");
+    let std = plotted_hot_window(manager, "std_temp");
+    format!("window {HOT_WINDOW}: avg_temp {avg:.2}, std_temp {std:.2}")
+}
+
+/// One wave of hot readings from sensor 15, as a `stream_append` line.
+/// Row layout matches the demo schema: sensorid, epoch, hour, window,
+/// temp, humidity, light, voltage.
+fn wave_line(wave: usize, rows: usize) -> String {
+    let mut payload = String::from(r#"{"cmd":"stream_append","table":"readings","rows":["#);
+    for r in 0..rows {
+        if r > 0 {
+            payload.push(',');
+        }
+        let temp = 88.0 + wave as f64 * 4.0 + (r % 8) as f64 / 2.0;
+        write!(payload, "[15,0,0,{HOT_WINDOW},{temp:.1},35.0,250.0,2.3]").expect("string write");
+    }
+    write!(payload, r#"],"id":{wave}}}"#).expect("string write");
+    payload
+}
+
+fn main() {
+    let ds = dbwipes_data::generate_sensor(&dbwipes_data::SensorConfig {
+        num_readings: 2_700,
+        failing_sensors: vec![15],
+        ..dbwipes_data::SensorConfig::small()
+    });
+    let mut catalog = dbwipes_storage::Catalog::new();
+    catalog.register(ds.table.clone()).expect("register demo table");
+    let manager = SessionManager::new(catalog);
+
+    // The analyst's session: query, brush the high-variance windows, pick
+    // an error metric. From here on the session has a displayed result a
+    // live frontend would be rendering.
+    send(&manager, r#"{"cmd":"open_session"}"#);
+    send(&manager, &format!(r#"{{"cmd":"run_query","session":1,"sql":"{WINDOW_SQL}"}}"#));
+    println!("before streaming   → {}", hot_window_row(&manager));
+    send(
+        &manager,
+        r#"{"cmd":"brush_outputs","session":1,"x":"window","y":"std_temp","brush":{"y_min":8}}"#,
+    );
+    send(
+        &manager,
+        r#"{"cmd":"set_metric","session":1,"kind":"too_high","column":"std_temp","value":4}"#,
+    );
+    send(&manager, r#"{"cmd":"debug","session":1}"#);
+
+    // The sensor network keeps reporting: three waves of hot readings land
+    // while the brush is up. Every wave refreshes the open session through
+    // cache absorption — note `sessions_refreshed` in each reply.
+    for wave in 0..3usize {
+        let reply = send(&manager, &wave_line(wave, 64));
+        println!(
+            "wave {wave}: appended {} rows (table now {}), sessions refreshed: {}",
+            reply.get("appended").and_then(Json::as_u64).unwrap_or(0),
+            reply.get("total_rows").and_then(Json::as_u64).unwrap_or(0),
+            reply.get("sessions_refreshed").and_then(Json::as_u64).unwrap_or(0),
+        );
+        println!("after wave {wave}       → {}", hot_window_row(&manager));
+    }
+
+    // The next explanation runs over the grown table: the streamed-in
+    // readings are part of the evidence, not a stale snapshot.
+    let debug = send(&manager, r#"{"cmd":"debug","session":1}"#);
+    if let Some(first) = debug
+        .get("predicates")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::first)
+        .and_then(|p| p.get("predicate"))
+        .and_then(Json::as_str)
+    {
+        println!("top explanation over the live table: {first}");
+    }
+
+    let stats = send(&manager, r#"{"cmd":"stats"}"#);
+    let cache = stats.get("cache").expect("stats reply carries cache counters");
+    println!(
+        "cache counters: misses {}, append absorbs {}",
+        cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("append_absorbs").and_then(Json::as_u64).unwrap_or(0),
+    );
+    send(&manager, r#"{"cmd":"close_session","session":1}"#);
+}

@@ -1,10 +1,10 @@
 //! Equivalence property tests for the incremental re-aggregation subsystem.
 //!
 //! For random tables, statements and exclusion sets, the incremental path
-//! (`GroupedAggregateCache::result_excluding`) must produce results
-//! identical — group keys, aggregate values and schema, lineage aside — to
-//! full re-execution of the statement on a table with the excluded rows
-//! deleted.
+//! (`GroupedAggregateCache::result` with an `ExclusionQuery`) must produce
+//! results identical — group keys, aggregate values and schema, lineage
+//! aside — to full re-execution of the statement on a table with the
+//! excluded rows deleted.
 //!
 //! Values are drawn from a half-integer grid (`k/2` for small integer `k`),
 //! so every partial sum and sum-of-squares is exactly representable in an
@@ -15,7 +15,9 @@
 //! values can drift from re-summation by FP-rounding ulps, which the ranker
 //! tolerates; exactness of the *algebra* is what these tests pin down.)
 
-use dbwipes::engine::{execute, parse_select, ExecOptions, GroupedAggregateCache, QueryResult};
+use dbwipes::engine::{
+    execute, parse_select, ExclusionQuery, ExecOptions, GroupedAggregateCache, QueryResult,
+};
 use dbwipes::storage::{DataType, Schema, Value};
 use dbwipes::{RowId, Table};
 use proptest::prelude::*;
@@ -86,7 +88,7 @@ fn reference(table: &Table, sql: &str, excluded: &[RowId]) -> QueryResult {
 fn assert_equivalent(table: &Table, sql: &str, excluded: &[RowId]) -> Result<(), String> {
     let stmt = parse_select(sql).unwrap();
     let cache = GroupedAggregateCache::build(table, &stmt).unwrap();
-    let incremental = cache.result_excluding(excluded);
+    let incremental = cache.result(&ExclusionQuery::new().excluding_rows(excluded));
     let full = reference(table, sql, excluded);
     prop_assert!(
         incremental.group_keys == full.group_keys,
@@ -178,7 +180,7 @@ proptest! {
                     && !matches!(p_expr.eval(&table, r), Ok(Value::Bool(false)))
             })
             .collect();
-        let incremental = cache.result_excluding(&excluded);
+        let incremental = cache.result(&ExclusionQuery::new().excluding_rows(&excluded));
 
         let rewritten = stmt.with_additional_filter(predicate.to_exclusion_expr());
         let full = execute(&table, &rewritten, ExecOptions { capture_lineage: false }).unwrap();

@@ -13,7 +13,7 @@
 //! equality is the right assertion, and any disagreement is an
 //! algorithmic bug in the shard/merge path, never floating-point noise.
 
-use dbwipes::engine::{parse_select, GroupedAggregateCache, ShardedAggregateCache};
+use dbwipes::engine::{parse_select, ExclusionQuery, GroupedAggregateCache, ShardedAggregateCache};
 use dbwipes::storage::{DataType, RowSet, Schema, ShardedTable, Value};
 use dbwipes::{Condition, ConjunctivePredicate, RowId, Table};
 use proptest::prelude::*;
@@ -111,7 +111,7 @@ fn assert_equivalent(
     prop_assert_eq!(full_a.schema.names(), full_b.schema.names());
 
     // Exclusion path: global rows split through the partition mapping.
-    let incremental = unsharded.result_excluding(excluded);
+    let incremental = unsharded.result(&ExclusionQuery::new().excluding_rows(excluded));
     let split = sharded.split_rows(excluded);
     let sets: Vec<RowSet> = split
         .iter()
@@ -182,7 +182,7 @@ proptest! {
             .collect();
 
         let keys: Vec<Vec<Value>> = (0..4).map(|g| vec![Value::Int(g)]).collect();
-        let a = unsharded.result_excluding_keys(&excluded, &keys);
+        let a = unsharded.result(&ExclusionQuery::new().excluding_rows(&excluded).for_keys(&keys));
         let b = cache.result_excluding_keys_global(&excluded, &keys);
         prop_assert!(
             a.rows == b.rows && a.group_keys == b.group_keys,
