@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! soak_client --addr HOST:PORT [--clients 64] [--commands 50]
-//!             [--appenders 0] [--append-rows 32]
-//!             [--stats-out PATH] [--expect-busy] [--shutdown]
+//!             [--appenders 0] [--append-rows 32] [--slow-loris 0]
+//!             [--stats-out PATH] [--expect-busy] [--expect-degraded]
+//!             [--shutdown]
 //! ```
 //!
 //! Every client holds one connection for its whole command script, so
@@ -26,12 +27,24 @@
 //! append_rows` (no batch lost, none double-applied), and the server's
 //! cache counters must show the appends were absorbed, not rebuilt.
 //!
+//! With `--slow-loris N` (the fault-tolerance mix), N misbehaving clients
+//! run concurrently with the fast fleet: each sends a *partial* request
+//! line and then trickles one byte at a time, never finishing the line —
+//! the attack shape the idle timeout cannot catch, because every byte
+//! resets the idle clock. Each must be closed with the structured
+//! `read_timeout:true` notice within the server's per-line read deadline,
+//! and the fast clients must stay at zero failures throughout — a pinned
+//! pool slot would surface as reader timeouts or lost replies.
+//!
 //! After the fleet drains, one control connection captures the server's
 //! `stats` reply (written to `--stats-out` for the job's artifact upload),
 //! optionally asserts that backpressure was actually observed
 //! (`--expect-busy`, used when `clients` exceeds the pool+queue capacity),
-//! and optionally sends the `shutdown` ctrl-line (`--shutdown`) so the
-//! harness can assert the server exits 0.
+//! optionally asserts the fault-injection soak actually degraded and then
+//! self-healed persistence (`--expect-degraded`: `health.degraded_entries
+//! ≥ 1` and final `health.degraded == false`), and optionally sends the
+//! `shutdown` ctrl-line (`--shutdown`) so the harness can assert the
+//! server exits 0.
 
 use dbwipes_server::{Json, LineClient};
 use std::process::ExitCode;
@@ -43,8 +56,10 @@ struct Options {
     commands: usize,
     appenders: usize,
     append_rows: usize,
+    slow_loris: usize,
     stats_out: Option<String>,
     expect_busy: bool,
+    expect_degraded: bool,
     shutdown: bool,
 }
 
@@ -55,8 +70,10 @@ fn parse_args() -> Result<Options, String> {
         commands: 50,
         appenders: 0,
         append_rows: 32,
+        slow_loris: 0,
         stats_out: None,
         expect_busy: false,
+        expect_degraded: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -80,14 +97,19 @@ fn parse_args() -> Result<Options, String> {
                 options.append_rows =
                     value("--append-rows")?.parse().map_err(|e| format!("--append-rows: {e}"))?
             }
+            "--slow-loris" => {
+                options.slow_loris =
+                    value("--slow-loris")?.parse().map_err(|e| format!("--slow-loris: {e}"))?
+            }
             "--stats-out" => options.stats_out = Some(value("--stats-out")?),
             "--expect-busy" => options.expect_busy = true,
+            "--expect-degraded" => options.expect_degraded = true,
             "--shutdown" => options.shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: soak_client --addr HOST:PORT [--clients N] [--commands N] \
-                     [--appenders N] [--append-rows N] \
-                     [--stats-out PATH] [--expect-busy] [--shutdown]"
+                     [--appenders N] [--append-rows N] [--slow-loris N] \
+                     [--stats-out PATH] [--expect-busy] [--expect-degraded] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -233,6 +255,54 @@ fn run_appender(
     Ok(busy_retries)
 }
 
+/// One slow-loris client's script: send a *partial* request line, then
+/// trickle one byte at a time — never the newline. Every byte resets the
+/// server's idle clock, so only the per-line read deadline can end this
+/// connection; success is the structured `read_timeout:true` notice. A
+/// `busy` admission bounce reconnects and retries like every other
+/// client.
+fn run_slow_loris(addr: &str) -> Result<u64, String> {
+    use std::io::{ErrorKind, Read, Write};
+    const MAX_ATTEMPTS: usize = 1_000;
+    let mut busy_retries = 0;
+    for _ in 0..MAX_ATTEMPTS {
+        let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream.set_read_timeout(Some(Duration::from_millis(50))).map_err(|e| e.to_string())?;
+        stream.write_all(br#"{"cmd":"ping""#).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        let mut closed = false;
+        while !closed && !buf.contains(&b'\n') {
+            if start.elapsed() > Duration::from_secs(120) {
+                return Err("slow-loris line was never closed with a notice".to_string());
+            }
+            // The trickle: one more byte of the never-ending line. Write
+            // errors just mean the server already closed on us.
+            let _ = stream.write_all(b" ");
+            match stream.read(&mut chunk) {
+                Ok(0) => closed = true,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => closed = true,
+            }
+        }
+        let text = String::from_utf8_lossy(&buf);
+        if text.contains(r#""busy":true"#) {
+            busy_retries += 1;
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        if !text.contains(r#""read_timeout":true"#) {
+            return Err(format!(
+                "slow-loris connection ended without a read_timeout notice: {text:?}"
+            ));
+        }
+        return Ok(busy_retries);
+    }
+    Err(format!("slow-loris never admitted after {MAX_ATTEMPTS} attempts"))
+}
+
 /// Opens the witness before any appender runs: a session holding the
 /// window query displayed, so every concurrent `stream_append` must
 /// refresh it in place. The connection is dropped (sessions outlive
@@ -295,8 +365,14 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "soak_client: {} clients x {} commands (+{} appenders x {} rows) against {}",
-        options.clients, options.commands, options.appenders, options.append_rows, options.addr
+        "soak_client: {} clients x {} commands (+{} appenders x {} rows, {} slow-loris) \
+         against {}",
+        options.clients,
+        options.commands,
+        options.appenders,
+        options.append_rows,
+        options.slow_loris,
+        options.addr
     );
 
     // The streaming phase's witness must be live *before* any appender:
@@ -329,9 +405,16 @@ fn main() -> ExitCode {
                 scope.spawn(move || run_appender(addr, commands, rows, seed))
             })
             .collect();
+        let slow: Vec<_> = (0..options.slow_loris)
+            .map(|_| {
+                let addr = options.addr.as_str();
+                scope.spawn(move || run_slow_loris(addr))
+            })
+            .collect();
         readers
             .into_iter()
             .chain(appenders)
+            .chain(slow)
             .map(|h| h.join().expect("client thread panicked"))
             .collect()
     });
@@ -348,7 +431,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    let fleet = options.clients + options.appenders;
+    let fleet = options.clients + options.appenders + options.slow_loris;
     let total_commands = options.clients * (options.commands + 2) // + open/close
         + options.appenders * options.commands;
     println!(
@@ -411,6 +494,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("soak_client: {absorbs} cache absorbs across the append phase");
+    }
+    if options.expect_degraded {
+        let health = stats.get("health");
+        let entries =
+            health.and_then(|h| h.get("degraded_entries")).and_then(Json::as_u64).unwrap_or(0);
+        let degraded_now = health.and_then(|h| h.get("degraded")) == Some(&Json::Bool(true));
+        if entries == 0 {
+            eprintln!(
+                "soak_client: --expect-degraded, but health.degraded_entries is 0 — \
+                 the fault plan never broke persistence"
+            );
+            return ExitCode::FAILURE;
+        }
+        if degraded_now {
+            eprintln!(
+                "soak_client: --expect-degraded, but the server is still degraded — \
+                 persistence never self-healed"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "soak_client: degraded-mode gate ok — {entries} degradation(s), healed by the end"
+        );
     }
     if options.expect_busy {
         let rejected =

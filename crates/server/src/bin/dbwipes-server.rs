@@ -5,7 +5,8 @@
 //! dbwipes-server [--listen 127.0.0.1:7433] [--dataset sensor|fec|both]
 //!                [--readings N] [--cache-capacity N] [--data-dir DIR]
 //!                [--workers N] [--queue-depth N] [--max-connections N]
-//!                [--idle-timeout-ms N] [--thread-per-conn]
+//!                [--idle-timeout-ms N] [--read-timeout-ms N]
+//!                [--thread-per-conn]
 //! ```
 //!
 //! In stdio mode the process reads one request per line and writes one
@@ -96,6 +97,12 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
                 options.pool.idle_timeout = Duration::from_millis(ms);
             }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                options.pool.read_timeout = Duration::from_millis(ms);
+            }
             "--data-dir" => options.data_dir = Some(value("--data-dir")?),
             "--thread-per-conn" => options.thread_per_conn = true,
             "--help" | "-h" => {
@@ -103,7 +110,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: dbwipes-server [--listen ADDR] [--dataset sensor|fec|both] \
                      [--readings N] [--cache-capacity N] [--data-dir DIR] [--workers N] \
                      [--queue-depth N] [--max-connections N] [--idle-timeout-ms N] \
-                     [--thread-per-conn]"
+                     [--read-timeout-ms N] [--thread-per-conn]"
                 );
                 std::process::exit(0);
             }
@@ -167,11 +174,12 @@ fn serve_tcp(manager: Arc<SessionManager>, addr: &str, options: &Options) -> std
         let config = options.pool.clone().normalized();
         eprintln!(
             "dbwipes-server pool: {} workers, queue depth {}, connection cap {}, \
-             idle timeout {}ms",
+             idle timeout {}ms, read timeout {}ms",
             config.workers,
             config.queue_depth,
             config.max_connections,
-            config.idle_timeout.as_millis()
+            config.idle_timeout.as_millis(),
+            config.read_timeout.as_millis()
         );
         let stats = serve_pooled(manager, listener, config)?;
         let snapshot = stats.snapshot();

@@ -1,20 +1,36 @@
 //! Durable storage behind the service: snapshot-on-register, flush-on-
-//! shutdown, restore-on-startup, and warm-cache rehydration.
+//! shutdown, restore-on-startup, warm-cache rehydration, and the fault
+//! policy that keeps the service answering when the disk does not.
 //!
-//! A [`StorageRuntime`] wraps the storage crate's [`FsBackend`] with the
-//! service-level policy and counters the `stats` command reports:
+//! A [`StorageRuntime`] wraps a pluggable [`StorageBackend`] (the
+//! filesystem [`FsBackend`] in production, a
+//! [`FaultInjectingBackend`]
+//! under chaos tests via `DBWIPES_FAULT_PLAN`) with the service-level
+//! policy and counters the `stats` command reports:
 //!
 //! * **Table snapshots are written eagerly** — `register` persists the
 //!   table before the reply is sent, so a kill at any later point still
 //!   recovers to the registered data. Saves are version-gated: flushing a
 //!   table whose exact (id, version) is already in the manifest is a
 //!   no-op, which makes the shutdown flush idempotent and cheap.
+//! * **Writes retry with capped exponential backoff** — a failed snapshot
+//!   write is retried up to `DBWIPES_STORAGE_RETRIES` times (default 3),
+//!   sleeping `DBWIPES_STORAGE_BACKOFF_MS` (default 10) doubled per
+//!   attempt and capped at 1 s, but only when
+//!   [`StorageError::is_transient`] says a retry could help: a full disk
+//!   or a corrupt snapshot fails fast.
+//! * **Exhausted retries degrade, they never kill** — the runtime flips
+//!   into *degraded* mode: queries, brushes and explains keep serving
+//!   bit-identically from memory, `stream_append` keeps absorbing
+//!   in-memory (flagging `durable:false` in its reply), and the `stats`
+//!   `health` block reports the degradation. The next snapshot write that
+//!   actually succeeds self-heals the runtime back to healthy.
 //! * **Warm state is written opportunistically** — at flush time the
 //!   [`CacheRegistry`]'s finished aggregate caches and the process's
 //!   donated condition bitmaps are serialized into per-table sidecars.
-//!   Sidecars are best-effort by design: they only accelerate recovery,
-//!   so a corrupt or missing sidecar degrades to a cold rebuild, never to
-//!   an error.
+//!   Sidecars are best-effort by design: they retry like snapshots but
+//!   never enter health accounting, because a lost sidecar degrades to a
+//!   cold rebuild, never to an error.
 //! * **Restore inverts both steps** — the manifest rebuilds the
 //!   [`Catalog`] with every table's persisted identity stamps, then the
 //!   sidecars reseed the registry ([`CacheRegistry::insert_prebuilt`])
@@ -29,26 +45,60 @@ use crate::registry::CacheRegistry;
 use dbwipes_engine::{decode_cache, encode_cache, GroupedAggregateCache};
 use dbwipes_storage::persist::{ByteReader, ByteWriter};
 use dbwipes_storage::{
-    export_warm_bitmaps, seed_warm_bitmaps, Catalog, FsBackend, StorageBackend, StorageError, Table,
+    export_warm_bitmaps, seed_warm_bitmaps, Catalog, FaultInjectingBackend, FaultPlan, FsBackend,
+    StorageBackend, StorageError, Table,
 };
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Sidecar kind holding a table's serialized aggregate caches.
 const AGGS_KIND: &str = "aggs";
 /// Sidecar kind holding a table's donated condition bitmaps.
 const BITS_KIND: &str = "bits";
 
-/// The service's handle on durable storage: a filesystem backend plus the
-/// counters surfaced by the `stats` command. See the module docs for the
-/// save/restore policy.
+/// Hard ceiling on a single backoff sleep, whatever the knobs say.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Transient-fault retries per write: `DBWIPES_STORAGE_RETRIES` (default
+/// 3), read per write so tests and operators can adjust a live process.
+fn storage_retries() -> u32 {
+    std::env::var("DBWIPES_STORAGE_RETRIES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .unwrap_or(3)
+        .min(16)
+}
+
+/// Base backoff in milliseconds: `DBWIPES_STORAGE_BACKOFF_MS` (default
+/// 10), doubled per retry and capped at [`MAX_BACKOFF`].
+fn storage_backoff_ms() -> u64 {
+    std::env::var("DBWIPES_STORAGE_BACKOFF_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(10)
+}
+
+/// The service's handle on durable storage: a pluggable backend plus the
+/// retry/degradation policy and the counters surfaced by the `stats`
+/// command. See the module docs for the save/restore/fault policy.
 #[derive(Debug)]
 pub struct StorageRuntime {
-    backend: FsBackend,
+    backend: Box<dyn StorageBackend>,
     snapshot_saves: AtomicU64,
     snapshot_loads: AtomicU64,
     rehydrated_caches: AtomicU64,
+    /// True while persistence is known broken; queries keep serving.
+    degraded: AtomicBool,
+    /// Failed snapshot writes since the last success (resets on heal).
+    consecutive_failures: AtomicU64,
+    /// Monotonic count of retry attempts (not first tries).
+    retries: AtomicU64,
+    /// Monotonic count of healthy→degraded transitions.
+    degraded_entries: AtomicU64,
+    /// The error that caused the most recent failure, until healed.
+    last_persist_error: Mutex<Option<String>>,
 }
 
 /// Point-in-time reading of the runtime's counters, as reported by the
@@ -66,15 +116,57 @@ pub struct StorageCounters {
     pub rehydrated_caches: u64,
 }
 
+/// Point-in-time reading of the runtime's fault state, as reported by the
+/// `stats` command's `health` block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageHealth {
+    /// True while persistence is broken; the service still answers every
+    /// query from memory and `stream_append` flags `durable:false`.
+    pub degraded: bool,
+    /// The failure that caused the current/most recent degradation;
+    /// cleared when a later write self-heals the runtime.
+    pub last_persist_error: Option<String>,
+    /// Monotonic count of retry attempts across all writes.
+    pub retries: u64,
+    /// Failed snapshot writes since the last successful one.
+    pub consecutive_failures: u64,
+    /// Monotonic count of healthy→degraded transitions (a self-healed
+    /// runtime keeps its history).
+    pub degraded_entries: u64,
+}
+
 impl StorageRuntime {
-    /// Opens (creating if needed) the data directory at `dir`.
+    /// Opens (creating if needed) the data directory at `dir`. When the
+    /// `DBWIPES_FAULT_PLAN` environment variable is a non-empty
+    /// [`FaultPlan`] spec, the filesystem backend is wrapped in a
+    /// [`FaultInjectingBackend`] — the chaos-test entry point.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
-        Ok(StorageRuntime {
-            backend: FsBackend::open(dir.as_ref())?,
+        let dir = dir.as_ref();
+        let fs = FsBackend::open(dir)?;
+        let backend: Box<dyn StorageBackend> = match std::env::var("DBWIPES_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => {
+                let plan = FaultPlan::parse(&spec)?;
+                Box::new(FaultInjectingBackend::with_torn_dir(Box::new(fs), plan, dir))
+            }
+            _ => Box::new(fs),
+        };
+        Ok(Self::with_backend(backend))
+    }
+
+    /// Builds a runtime over an arbitrary backend — the seam chaos tests
+    /// use to inject scripted faults without touching the environment.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        StorageRuntime {
+            backend,
             snapshot_saves: AtomicU64::new(0),
             snapshot_loads: AtomicU64::new(0),
             rehydrated_caches: AtomicU64::new(0),
-        })
+            degraded: AtomicBool::new(false),
+            consecutive_failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            last_persist_error: Mutex::new(None),
+        }
     }
 
     /// True when the manifest lists no tables — a fresh data directory
@@ -97,11 +189,62 @@ impl StorageRuntime {
         Ok(catalog)
     }
 
+    /// Runs one write, retrying transient failures with capped
+    /// exponential backoff. Permanent errors (ENOSPC, corruption,
+    /// logical) fail fast — sleeping cannot fix them.
+    fn write_with_retries<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let budget = storage_retries();
+        let base_ms = storage_backoff_ms();
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() && attempt < budget => {
+                    let backoff =
+                        Duration::from_millis(base_ms.saturating_mul(1u64 << attempt.min(20)))
+                            .min(MAX_BACKOFF);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// A snapshot write failed even after retries: record the error and
+    /// flip into degraded mode (counting the transition once per
+    /// healthy→degraded edge).
+    fn record_persist_failure(&self, error: &StorageError) {
+        self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_persist_error.lock().unwrap_or_else(|p| p.into_inner()) =
+            Some(error.to_string());
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot write actually reached the backend: self-heal.
+    fn record_persist_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Relaxed);
+        *self.last_persist_error.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
     /// Persists `table` unless its exact (id, version) is already durable.
     /// Re-registration under the same name gets a fresh table id, so any
     /// manifest entry holding the *name* under an older id is evicted —
     /// otherwise dead snapshots would accumulate and be restored as
     /// duplicate tables.
+    ///
+    /// Writes retry per the module policy; an exhausted write returns the
+    /// error *and* flips the runtime into degraded mode, while a write
+    /// that reaches the backend (`Ok(true)`) self-heals it. The
+    /// version-gated no-op (`Ok(false)`) proves nothing about the disk
+    /// and touches health state in neither direction.
     pub fn save_table(&self, table: &Table) -> Result<bool, StorageError> {
         let manifest = self.backend.list_manifest()?;
         let lower = table.name().to_ascii_lowercase();
@@ -115,15 +258,24 @@ impl StorageRuntime {
                 return Ok(false);
             }
         }
-        self.backend.save_table(table)?;
-        self.snapshot_saves.fetch_add(1, Ordering::Relaxed);
-        Ok(true)
+        match self.write_with_retries(|| self.backend.save_table(table)) {
+            Ok(_) => {
+                self.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+                self.record_persist_success();
+                Ok(true)
+            }
+            Err(e) => {
+                self.record_persist_failure(&e);
+                Err(e)
+            }
+        }
     }
 
     /// Serializes `table`'s warm state into its sidecars: the registry's
     /// finished aggregate caches built over exactly this table data, and
     /// the process's donated condition bitmaps. Empty state writes
-    /// nothing.
+    /// nothing. Sidecar writes retry like snapshots but stay out of
+    /// health accounting — they are best-effort accelerators.
     pub fn save_warm_state(
         &self,
         table: &Arc<Table>,
@@ -141,12 +293,16 @@ impl StorageRuntime {
                 w.put_u64(image.len() as u64);
                 w.put_bytes(&image);
             }
-            self.backend.save_sidecar(table.id(), table.version(), AGGS_KIND, w.bytes())?;
+            self.write_with_retries(|| {
+                self.backend.save_sidecar(table.id(), table.version(), AGGS_KIND, w.bytes())
+            })?;
         }
         let bitmaps = export_warm_bitmaps(table.id(), table.version());
         if !bitmaps.is_empty() {
             let encoded = dbwipes_storage::persist::encode_warm_bitmaps(&bitmaps);
-            self.backend.save_sidecar(table.id(), table.version(), BITS_KIND, &encoded)?;
+            self.write_with_retries(|| {
+                self.backend.save_sidecar(table.id(), table.version(), BITS_KIND, &encoded)
+            })?;
         }
         Ok(())
     }
@@ -193,8 +349,28 @@ impl StorageRuntime {
         }
     }
 
+    /// The fault state the `stats` command's `health` block reports.
+    pub fn health(&self) -> StorageHealth {
+        StorageHealth {
+            degraded: self.degraded.load(Ordering::Relaxed),
+            last_persist_error: self
+                .last_persist_error
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+            retries: self.retries.load(Ordering::Relaxed),
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True while persistence is broken (see [`StorageHealth`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// The underlying backend (tests inspect the manifest through it).
-    pub fn backend(&self) -> &FsBackend {
-        &self.backend
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
     }
 }

@@ -40,8 +40,17 @@ use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Recovers a mutex guard even when a previous holder panicked: the
+/// executor's locks guard plain bookkeeping (queue contents, join
+/// handles), which stays structurally valid across an unwind, so serving
+/// beats dying. The fault-tolerance sweep (PR 10) replaced every
+/// `expect("… lock poisoned")` in this module with this.
+fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// How often blocking reads and the acceptor wake up to poll the shutdown
 /// flag. Short enough that a ctrl-line drains promptly, long enough to
@@ -71,6 +80,12 @@ pub struct PoolConfig {
     pub max_connections: usize,
     /// A connection silent this long is sent a timeout notice and closed.
     pub idle_timeout: Duration,
+    /// A *started but unfinished* request line older than this is sent a
+    /// structured `read_timeout` notice and closed — the slow-loris
+    /// defense: a client trickling a line one byte at a time cannot pin a
+    /// pool slot past this deadline, no matter how regularly its bytes
+    /// arrive. Defaults to `DBWIPES_READ_TIMEOUT_MS` (10s unset).
+    pub read_timeout: Duration,
 }
 
 impl Default for PoolConfig {
@@ -80,24 +95,31 @@ impl Default for PoolConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(dbwipes_core::effective_parallelism);
+        let read_timeout_ms = std::env::var("DBWIPES_READ_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(10_000);
         PoolConfig {
             workers,
             queue_depth: 64,
             max_connections: 256,
             idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_millis(read_timeout_ms),
         }
     }
 }
 
 impl PoolConfig {
     /// Clamps every knob to its working minimum (≥1 worker, ≥1 queue slot,
-    /// cap ≥ workers so admitted work can actually be served, timeout ≥
+    /// cap ≥ workers so admitted work can actually be served, timeouts ≥
     /// one poll tick).
     pub fn normalized(mut self) -> Self {
         self.workers = self.workers.max(1);
         self.queue_depth = self.queue_depth.max(1);
         self.max_connections = self.max_connections.max(self.workers);
         self.idle_timeout = self.idle_timeout.max(POLL_TICK);
+        self.read_timeout = self.read_timeout.max(POLL_TICK);
         self
     }
 }
@@ -118,6 +140,7 @@ pub struct PoolStats {
     served_connections: AtomicU64,
     commands: AtomicU64,
     batches: AtomicU64,
+    workers_resurrected: AtomicU64,
 }
 
 /// A point-in-time copy of [`PoolStats`] (the `stats` reply's `pool`
@@ -144,6 +167,10 @@ pub struct PoolSnapshot {
     pub commands: u64,
     /// `batch` requests among them (counted by the dispatch layer).
     pub batches: u64,
+    /// Worker threads the supervisor respawned after finding them dead.
+    /// Stays 0 in healthy operation — the in-worker panic shield already
+    /// absorbs panicking connections without losing the thread.
+    pub workers_resurrected: u64,
 }
 
 impl PoolStats {
@@ -159,6 +186,7 @@ impl PoolStats {
             served_connections: AtomicU64::new(0),
             commands: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            workers_resurrected: AtomicU64::new(0),
         }
     }
 
@@ -175,6 +203,7 @@ impl PoolStats {
             served_connections: self.served_connections.load(Ordering::Relaxed),
             commands: self.commands.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            workers_resurrected: self.workers_resurrected.load(Ordering::Relaxed),
         }
     }
 
@@ -229,7 +258,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues without blocking. A full or closed queue returns the item
     /// to the caller — that is the backpressure edge.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed || inner.items.len() >= inner.capacity {
             return Err(item);
         }
@@ -242,7 +271,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available (returning it) or the queue is
     /// closed and drained (returning `None`).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -250,20 +279,20 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("queue lock poisoned");
+            inner = self.available.wait(inner).unwrap_or_else(|poison| poison.into_inner());
         }
     }
 
     /// Closes the queue: pushes start failing, and once the remaining
     /// items are drained every blocked `pop` returns `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock poisoned").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.available.notify_all();
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        lock_recover(&self.inner).items.len()
     }
 
     /// True when nothing is queued.
@@ -288,25 +317,42 @@ pub fn serve_pooled(
     let _ = manager.attach_pool_stats(Arc::clone(&stats));
     let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.queue_depth));
 
-    let workers: Vec<std::thread::JoinHandle<()>> = (0..config.workers)
-        .map(|i| {
-            let manager = Arc::clone(&manager);
-            let queue = Arc::clone(&queue);
-            let stats = Arc::clone(&stats);
-            let config = config.clone();
-            std::thread::Builder::new()
-                .name(format!("dbwipes-worker-{i}"))
-                .spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        stats.queued.store(queue.len() as u64, Ordering::Relaxed);
-                        serve_connection(&manager, stream, &config, &stats);
-                        stats.connection_closed();
-                        stats.served_connections.fetch_add(1, Ordering::Relaxed);
+    let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(
+        (0..config.workers).map(|i| spawn_worker(i, &manager, &queue, &stats, &config)).collect(),
+    ));
+
+    // Worker-loss watchdog: each worker already shields itself with a
+    // per-connection panic boundary, so losing a thread takes something
+    // beyond a panicking handler — but if it ever happens, the supervisor
+    // notices the dead slot within a few poll ticks, reaps it, and spawns
+    // a replacement so pool capacity never silently decays.
+    let supervisor = {
+        let manager = Arc::clone(&manager);
+        let queue = Arc::clone(&queue);
+        let stats = Arc::clone(&stats);
+        let config = config.clone();
+        let workers = Arc::clone(&workers);
+        std::thread::Builder::new()
+            .name("dbwipes-worker-supervisor".to_string())
+            .spawn(move || {
+                while !manager.shutdown_requested() {
+                    std::thread::sleep(4 * POLL_TICK);
+                    let mut slots = lock_recover(&workers);
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        // During drain, workers exit on purpose; the
+                        // re-check keeps the supervisor from resurrecting
+                        // them into a closed queue.
+                        if slot.is_finished() && !manager.shutdown_requested() {
+                            let replacement = spawn_worker(i, &manager, &queue, &stats, &config);
+                            let dead = std::mem::replace(slot, replacement);
+                            let _ = dead.join();
+                            stats.workers_resurrected.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                })
-                .expect("spawn worker thread")
-        })
-        .collect();
+                }
+            })
+            .expect("spawn supervisor thread")
+    };
 
     let accept_result =
         accept_loop(&manager, &listener, |stream| admit(stream, &queue, &config, &stats));
@@ -315,8 +361,11 @@ pub fn serve_pooled(
     // (serve_connection switches to drain mode via the shutdown flag),
     // then join them. Closing the queue wakes idle workers; queued
     // connections are still popped and served before `pop` returns None.
+    // `accept_loop` re-asserted the shutdown flag, so the supervisor is
+    // joinable and spawns no further replacements.
+    let _ = supervisor.join();
     queue.close();
-    for worker in workers {
+    for worker in std::mem::take(&mut *lock_recover(&workers)) {
         let _ = worker.join();
     }
     // All in-flight commands have finished, so the catalog and warm state
@@ -325,6 +374,40 @@ pub fn serve_pooled(
     // snapshot (tables are persisted eagerly at registration).
     manager.flush_storage();
     accept_result.map(|()| stats)
+}
+
+/// Spawns one pool worker: pops admitted connections and serves each to
+/// completion behind a panic boundary. The session dispatcher already
+/// catches handler panics, so anything that unwinds to here escaped the
+/// inner boundary — the shield turns it into one lost connection (counted
+/// via [`SessionManager`]'s panic counter) instead of a lost worker.
+fn spawn_worker(
+    i: usize,
+    manager: &Arc<SessionManager>,
+    queue: &Arc<BoundedQueue<TcpStream>>,
+    stats: &Arc<PoolStats>,
+    config: &PoolConfig,
+) -> std::thread::JoinHandle<()> {
+    let manager = Arc::clone(manager);
+    let queue = Arc::clone(queue);
+    let stats = Arc::clone(stats);
+    let config = config.clone();
+    std::thread::Builder::new()
+        .name(format!("dbwipes-worker-{i}"))
+        .spawn(move || {
+            while let Some(stream) = queue.pop() {
+                stats.queued.store(queue.len() as u64, Ordering::Relaxed);
+                let shielded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(&manager, stream, &config, &stats);
+                }));
+                if shielded.is_err() {
+                    manager.record_panic();
+                }
+                stats.connection_closed();
+                stats.served_connections.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .expect("spawn worker thread")
 }
 
 /// Runs a *blocking* accept loop until graceful shutdown, handing each
@@ -487,6 +570,12 @@ fn serve_connection(
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut last_activity = Instant::now();
+    // When the client has sent part of a line but not its newline: the
+    // instant the partial line started. `idle_timeout` cannot catch a
+    // slow-loris client (every trickled byte resets activity); this
+    // deadline runs from the line's first byte and only a completed line
+    // resets it.
+    let mut line_started: Option<Instant> = None;
     // Set once shutdown is observed: the moment after which the
     // connection closes even if the client keeps sending. The grace
     // window scoops up commands already in flight, but bounds the drain —
@@ -510,6 +599,32 @@ fn serve_connection(
             // TcpStream writes are unbuffered, so a successful writeln IS
             // the flush.
             if writeln!(writer, "{reply}").is_err() {
+                return;
+            }
+        }
+        if pending.is_empty() {
+            line_started = None;
+        } else if line_started.is_none() {
+            line_started = Some(Instant::now());
+        }
+        // Enforced on every iteration — not just on read timeouts —
+        // because a client trickling bytes keeps the read loop in its
+        // `Ok(n)` arm, where `WouldBlock` never fires.
+        if let Some(started) = line_started {
+            if started.elapsed() >= config.read_timeout {
+                let notice = Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::str(format!(
+                            "read timeout: request line incomplete after {}ms",
+                            config.read_timeout.as_millis()
+                        )),
+                    ),
+                    ("read_timeout", Json::Bool(true)),
+                ])
+                .to_string();
+                let _ = writeln!(writer, "{notice}");
                 return;
             }
         }
@@ -730,12 +845,14 @@ mod tests {
             queue_depth: 0,
             max_connections: 0,
             idle_timeout: Duration::ZERO,
+            read_timeout: Duration::ZERO,
         }
         .normalized();
         assert_eq!(config.workers, 1);
         assert_eq!(config.queue_depth, 1);
         assert_eq!(config.max_connections, 1);
         assert!(config.idle_timeout >= POLL_TICK);
+        assert!(config.read_timeout >= POLL_TICK);
 
         let wide = PoolConfig { workers: 8, max_connections: 2, ..config.clone() }.normalized();
         assert_eq!(wide.max_connections, 8, "cap must cover the pool");

@@ -67,7 +67,7 @@ pub mod registry;
 mod service;
 
 pub use client::LineClient;
-pub use durability::{StorageCounters, StorageRuntime};
+pub use durability::{StorageCounters, StorageHealth, StorageRuntime};
 pub use executor::{
     serve_pooled, serve_thread_per_connection, BoundedQueue, PoolConfig, PoolSnapshot, PoolStats,
 };
@@ -75,7 +75,7 @@ pub use json::Json;
 pub use manager::{DebugCacheReport, ServerSession, SessionId, SessionManager, StreamAppendReport};
 pub use protocol::{
     error_response, error_response_value, ok_response, ok_response_value, parse_request,
-    parse_request_value, Command, Request, MAX_BATCH_COMMANDS, MAX_STREAM_APPEND_ROWS,
-    PROTOCOL_VERSION, WIRE_COMMANDS,
+    parse_request_value, wire_error_response_value, Command, Request, WireError,
+    MAX_BATCH_COMMANDS, MAX_STREAM_APPEND_ROWS, PROTOCOL_VERSION, WIRE_COMMANDS,
 };
 pub use registry::{CacheRegistry, CacheStats, ExplainKey};

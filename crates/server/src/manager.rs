@@ -28,7 +28,28 @@ use dbwipes_storage::{Catalog, Table, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks recovering from poison. The catalog and session-map locks
+/// guard data that every writer leaves consistent at each step (handler
+/// panics are caught *outside* these critical sections), so a poisoned
+/// flag here only records that some thread died elsewhere while holding
+/// the guard — recovering serves every healthy session instead of
+/// cascading the panic across the whole service.
+fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Write-locking twin of [`read_recover`].
+fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Mutex twin of [`read_recover`], for service-internal mutexes whose
+/// critical sections never run user command code.
+fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// Identifies one open session within a [`SessionManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -253,6 +274,11 @@ pub struct StreamAppendReport {
     /// table keep what they were reading (see
     /// [`ServerSession::adopt_append`]).
     pub sessions_refreshed: usize,
+    /// True when the appended snapshot reached durable storage before the
+    /// reply. False without attached storage, and false in degraded mode
+    /// — the append is fully absorbed in memory either way, so a client
+    /// seeing `durable:false` knows exactly what a crash would lose.
+    pub durable: bool,
 }
 
 /// Hosts many concurrent [`ServerSession`]s over one shared catalog and
@@ -274,6 +300,16 @@ pub struct SessionManager {
     /// directory. Unset managers (embedded use, most tests) behave
     /// exactly as before: nothing is persisted.
     storage: OnceLock<Arc<StorageRuntime>>,
+    /// Sessions poisoned by a caught handler panic, with the reason. A
+    /// quarantined session answers every further command with a
+    /// structured `quarantined` error while its siblings keep serving;
+    /// closing it removes the entry.
+    quarantined: Mutex<HashMap<SessionId, String>>,
+    /// Monotonic count of handler panics the isolation layer caught.
+    panics_caught: AtomicU64,
+    /// Monotonic count of sessions ever quarantined (does not shrink when
+    /// a quarantined session is closed — it is a damage counter).
+    quarantined_total: AtomicU64,
 }
 
 impl SessionManager {
@@ -293,7 +329,41 @@ impl SessionManager {
             shutdown: AtomicBool::new(false),
             pool: OnceLock::new(),
             storage: OnceLock::new(),
+            quarantined: Mutex::new(HashMap::new()),
+            panics_caught: AtomicU64::new(0),
+            quarantined_total: AtomicU64::new(0),
         }
+    }
+
+    /// Marks `id` as quarantined with `reason`: every further command
+    /// addressed to it answers a structured `quarantined` error until the
+    /// session is closed. Idempotent per session for the damage counter —
+    /// re-quarantining updates the reason without double-counting.
+    pub fn quarantine_session(&self, id: SessionId, reason: impl Into<String>) {
+        let mut quarantined = lock_recover(&self.quarantined);
+        if quarantined.insert(id, reason.into()).is_none() {
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The quarantine reason of `id`, when it is quarantined.
+    pub fn quarantine_reason(&self, id: SessionId) -> Option<String> {
+        lock_recover(&self.quarantined).get(&id).cloned()
+    }
+
+    /// Monotonic count of sessions ever quarantined.
+    pub fn quarantined_sessions(&self) -> u64 {
+        self.quarantined_total.load(Ordering::Relaxed)
+    }
+
+    /// Counts one caught handler panic (called by the isolation layer).
+    pub(crate) fn record_panic(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic count of handler panics the isolation layer caught.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
     }
 
     /// The shared cache registry.
@@ -352,7 +422,7 @@ impl SessionManager {
     /// [`StorageRuntime::load_warm_state`].
     pub fn rehydrate_warm_state(&self) -> (usize, usize) {
         let Some(runtime) = self.storage.get() else { return (0, 0) };
-        let catalog = self.base.read().expect("catalog lock poisoned").clone();
+        let catalog = read_recover(&self.base).clone();
         let (mut caches, mut bitmaps) = (0, 0);
         for name in catalog.table_names() {
             if let Ok(table) = catalog.table_arc(&name) {
@@ -374,7 +444,7 @@ impl SessionManager {
     /// *more* state than skipping one failed table.
     pub fn flush_storage(&self) -> usize {
         let Some(runtime) = self.storage.get() else { return 0 };
-        let catalog = self.base.read().expect("catalog lock poisoned").clone();
+        let catalog = read_recover(&self.base).clone();
         let ready = self.registry.export_ready();
         let caches: Vec<_> = ready.into_iter().map(|(_, cache)| cache).collect();
         let mut saved = 0;
@@ -412,33 +482,35 @@ impl SessionManager {
     /// the catalog's read lock only — concurrent opens (and routing) never
     /// serialize on each other, only on a concurrent `register_table`.
     pub fn open_session(&self) -> SessionId {
-        let catalog = self.base.read().expect("catalog lock poisoned").clone();
+        let catalog = read_recover(&self.base).clone();
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let session = Arc::new(Mutex::new(ServerSession::new(catalog, Self::default_shards())));
-        self.sessions.write().expect("session map lock poisoned").insert(id, session);
+        write_recover(&self.sessions).insert(id, session);
         id
     }
 
-    /// Closes a session; returns false when the id was unknown.
+    /// Closes a session; returns false when the id was unknown. Closing
+    /// a quarantined session also clears its quarantine record, so the id
+    /// space stays clean for long-running servers.
     pub fn close_session(&self, id: SessionId) -> bool {
-        self.sessions.write().expect("session map lock poisoned").remove(&id).is_some()
+        lock_recover(&self.quarantined).remove(&id);
+        write_recover(&self.sessions).remove(&id).is_some()
     }
 
     /// The handle of an open session. Callers lock the returned session
     /// for as long as their command runs; other sessions stay available.
     pub fn session(&self, id: SessionId) -> Option<Arc<Mutex<ServerSession>>> {
-        self.sessions.read().expect("session map lock poisoned").get(&id).cloned()
+        read_recover(&self.sessions).get(&id).cloned()
     }
 
     /// Number of open sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.read().expect("session map lock poisoned").len()
+        read_recover(&self.sessions).len()
     }
 
     /// Ids of all open sessions, sorted.
     pub fn session_ids(&self) -> Vec<SessionId> {
-        let mut ids: Vec<SessionId> =
-            self.sessions.read().expect("session map lock poisoned").keys().copied().collect();
+        let mut ids: Vec<SessionId> = read_recover(&self.sessions).keys().copied().collect();
         ids.sort();
         ids
     }
@@ -450,12 +522,12 @@ impl SessionManager {
     /// sessions opened afterwards see the new table.
     pub fn register_table(&self, table: Table) {
         let name = table.name().to_string();
-        self.base.write().expect("catalog lock poisoned").register_or_replace(table);
+        write_recover(&self.base).register_or_replace(table);
         self.registry.invalidate_table(&name);
         // With storage attached, the registration is durable before the
         // reply goes out: a kill right after this call recovers the table.
         if let Some(runtime) = self.storage.get() {
-            let arc = self.base.read().expect("catalog lock poisoned").table_arc(&name).ok();
+            let arc = read_recover(&self.base).table_arc(&name).ok();
             if let Some(arc) = arc {
                 if let Err(e) = runtime.save_table(&arc) {
                     eprintln!("dbwipes-server: persisting table {name}: {e}");
@@ -466,7 +538,7 @@ impl SessionManager {
 
     /// Names of the tables in the base catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.base.read().expect("catalog lock poisoned").table_names()
+        read_recover(&self.base).table_names()
     }
 
     /// How many rows one [`Table::push_rows`] batch of a streamed append
@@ -507,7 +579,7 @@ impl SessionManager {
         let appended = rows.len();
         let mut batches = 0usize;
         let table = {
-            let mut base = self.base.write().expect("catalog lock poisoned");
+            let mut base = write_recover(&self.base);
             let current = base.table(name).map_err(CoreError::from)?;
             for row in &rows {
                 current.validate_row(row).map_err(CoreError::from)?;
@@ -530,19 +602,35 @@ impl SessionManager {
                 batches,
                 total_rows: table.num_rows(),
                 sessions_refreshed: 0,
+                // Nothing needed persisting; report the runtime's standing.
+                durable: self.storage.get().map(|runtime| !runtime.is_degraded()).unwrap_or(false),
             });
         }
-        // Durable before the reply goes out, like `register_table`.
+        // Durable before the reply goes out, like `register_table`. When
+        // the write fails past its retry budget the append still succeeds
+        // in memory — the runtime flips to degraded mode and the reply
+        // carries `durable:false` so the producer knows its rows survive
+        // a restart only once a later flush heals the backlog.
+        let mut durable = false;
         if let Some(runtime) = self.storage.get() {
-            if let Err(e) = runtime.save_table(&table) {
-                eprintln!("dbwipes-server: persisting appended table {name}: {e}");
+            match runtime.save_table(&table) {
+                Ok(_) => durable = true,
+                Err(e) => {
+                    eprintln!("dbwipes-server: persisting appended table {name}: {e}");
+                }
             }
         }
         let sessions: Vec<Arc<Mutex<ServerSession>>> =
-            self.sessions.read().expect("session map lock poisoned").values().cloned().collect();
+            read_recover(&self.sessions).values().cloned().collect();
         let mut sessions_refreshed = 0usize;
         for session in sessions {
-            let mut s = session.lock().expect("session lock poisoned");
+            // A session whose holder panicked mid-command leaves a
+            // poisoned mutex behind; it is quarantined, so skip it
+            // instead of taking the whole append down with it.
+            let mut s = match session.lock() {
+                Ok(guard) => guard,
+                Err(_) => continue,
+            };
             match s.adopt_append(&table, &self.registry) {
                 Ok(true) => sessions_refreshed += 1,
                 Ok(false) => {}
@@ -554,6 +642,7 @@ impl SessionManager {
             batches,
             total_rows: table.num_rows(),
             sessions_refreshed,
+            durable,
         })
     }
 }

@@ -10,6 +10,8 @@
 //! request  := { "cmd": <command>, "id"?: <any>, "session"?: <int>, ...arguments }
 //! response := { "ok": true,  "id"?: <echoed>, ...payload }
 //!           | { "ok": false, "id"?: <echoed>, "error": <string> }
+//!           | { "ok": false, "id"?: <echoed>,
+//!               "error": { "kind": <string>, "retryable": <bool>, "message": <string> } }
 //!
 //! command  := "ping" | "tables" | "stats" | "sessions"
 //!           | "open_session" | "close_session"
@@ -27,6 +29,7 @@
 //!           | "undo"            (session)
 //!           | "state"           (session)
 //!           | "stream_append"   (table, rows: [[<scalar>...]...])
+//!           | "crash"           (session)   [test-only; gated by DBWIPES_ENABLE_CRASH]
 //!
 //! brush    := { "x_min"?: <num>, "x_max"?: <num>, "y_min"?: <num>, "y_max"?: <num> }
 //!             (omitted edges are unbounded)
@@ -63,8 +66,11 @@ use dbwipes_storage::Value;
 /// meaning or shape of an existing field under the same version.
 ///
 /// History: 1 = the Figure-1 command set through durable storage;
-/// 2 = streaming ingestion (`stream_append`, `protocol_version` markers).
-pub const PROTOCOL_VERSION: u64 = 2;
+/// 2 = streaming ingestion (`stream_append`, `protocol_version` markers);
+/// 3 = fault tolerance (structured error objects with `kind`/`retryable`,
+/// the `stats` `health` block, `stream_append`'s `durable` marker, the
+/// gated `crash` test hook).
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +177,12 @@ pub enum Command {
         /// The rows, one array of scalar cells per row, in schema order.
         rows: Vec<Vec<Value>>,
     },
+    /// Deliberately panics inside the addressed session's handler — the
+    /// test hook behind the panic-isolation machinery. Disabled unless the
+    /// serving process runs with `DBWIPES_ENABLE_CRASH=1` (a plain error
+    /// otherwise); when enabled, the reply is the structured `internal`
+    /// error and the session is quarantined, with every worker surviving.
+    Crash(u64),
 }
 
 impl Command {
@@ -185,9 +197,11 @@ impl Command {
             | Command::Shutdown
             | Command::Batch(_)
             | Command::StreamAppend { .. } => None,
-            Command::CloseSession(s) | Command::Debug(s) | Command::Undo(s) | Command::State(s) => {
-                Some(*s)
-            }
+            Command::CloseSession(s)
+            | Command::Debug(s)
+            | Command::Undo(s)
+            | Command::State(s)
+            | Command::Crash(s) => Some(*s),
             Command::RunQuery { session, .. }
             | Command::Plot { session, .. }
             | Command::Zoom { session, .. }
@@ -245,6 +259,7 @@ pub const WIRE_COMMANDS: &[&str] = &[
     "undo",
     "state",
     "stream_append",
+    "crash",
 ];
 
 /// Parses one request line.
@@ -355,6 +370,7 @@ pub fn parse_request_value(value: &Json) -> Result<Request, String> {
         }
         "undo" => Command::Undo(session()?),
         "state" => Command::State(session()?),
+        "crash" => Command::Crash(session()?),
         "stream_append" => {
             let table = string_field("table")?;
             let Some(Json::Arr(items)) = value.get("rows") else {
@@ -419,6 +435,92 @@ fn parse_brush(value: &Json) -> Result<Brush, String> {
         y_min: edge("y_min", f64::NEG_INFINITY)?,
         y_max: edge("y_max", f64::INFINITY)?,
     })
+}
+
+/// A dispatch failure, carrying how it should render on the wire.
+///
+/// Ordinary request failures (bad SQL, unknown session, invalid state)
+/// render exactly as they always have — `"error": "<message>"` — so no
+/// existing client breaks. *Infrastructure* failures render the error as
+/// an object, `{"kind", "retryable", "message"}`, because the client's
+/// correct reaction depends on the kind:
+///
+/// * `kind:"internal"` — a handler panicked. The worker survived, the
+///   session was quarantined; `retryable:false` (the same request will
+///   panic again).
+/// * `kind:"quarantined"` — the addressed session was poisoned by an
+///   earlier panic and refuses further commands; siblings keep serving.
+///   `retryable:false`: open a fresh session instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A plain request failure; renders as the classic string `error`.
+    User(String),
+    /// An infrastructure failure; renders as the structured error object.
+    Structured {
+        /// Machine-readable failure class (`internal`, `quarantined`).
+        kind: &'static str,
+        /// Whether retrying the identical request could succeed.
+        retryable: bool,
+        /// Human-readable diagnostics.
+        message: String,
+    },
+}
+
+impl WireError {
+    /// A handler panic caught by the isolation layer.
+    pub fn internal(message: impl Into<String>) -> Self {
+        WireError::Structured { kind: "internal", retryable: false, message: message.into() }
+    }
+
+    /// A command addressed to a quarantined (panic-poisoned) session.
+    pub fn quarantined(message: impl Into<String>) -> Self {
+        WireError::Structured { kind: "quarantined", retryable: false, message: message.into() }
+    }
+}
+
+impl From<String> for WireError {
+    fn from(message: String) -> Self {
+        WireError::User(message)
+    }
+}
+
+impl From<&str> for WireError {
+    fn from(message: &str) -> Self {
+        WireError::User(message.to_string())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::User(message) => write!(f, "{message}"),
+            WireError::Structured { kind, message, .. } => write!(f, "{kind}: {message}"),
+        }
+    }
+}
+
+/// Builds the error response object for a [`WireError`]: the classic
+/// string form for user errors, the structured object for infrastructure
+/// errors.
+pub fn wire_error_response_value(id: Option<&Json>, error: &WireError) -> Json {
+    match error {
+        WireError::User(message) => error_response_value(id, message),
+        WireError::Structured { kind, retryable, message } => {
+            let error = Json::obj(vec![
+                ("kind", Json::str(*kind)),
+                ("retryable", Json::Bool(*retryable)),
+                ("message", Json::str(message.clone())),
+            ]);
+            let mut obj = Json::obj(vec![("error", error)]);
+            if let Json::Obj(map) = &mut obj {
+                map.insert("ok".to_string(), Json::Bool(false));
+                if let Some(id) = id {
+                    map.insert("id".to_string(), id.clone());
+                }
+            }
+            obj
+        }
+    }
 }
 
 /// Builds a success response object: `{"ok": true, ...fields}` plus the
@@ -517,6 +619,7 @@ mod tests {
             ),
             (r#"{"cmd":"undo","session":1}"#, Command::Undo(1)),
             (r#"{"cmd":"state","session":1}"#, Command::State(1)),
+            (r#"{"cmd":"crash","session":1}"#, Command::Crash(1)),
             (r#"{"cmd":"shutdown"}"#, Command::Shutdown),
             (
                 r#"{"cmd":"stream_append","table":"t","rows":[[1,2.5,"x",true,null]]}"#,
@@ -643,7 +746,7 @@ mod tests {
                 "ping" | "tables" | "stats" | "sessions" | "open_session" | "shutdown" => {
                     format!(r#"{{"cmd":"{cmd}"}}"#)
                 }
-                "close_session" | "debug" | "undo" | "state" => {
+                "close_session" | "debug" | "undo" | "state" | "crash" => {
                     format!(r#"{{"cmd":"{cmd}","session":1}}"#)
                 }
                 "batch" => r#"{"cmd":"batch","commands":[]}"#.to_string(),
@@ -710,9 +813,41 @@ mod tests {
             "`sessions_refreshed`",
             "MAX_STREAM_APPEND_ROWS",
             "DBWIPES_APPEND_BATCH",
+            "`health`",
+            "`degraded`",
+            "`durable`",
+            "`internal`",
+            "`quarantined`",
+            "`retryable`",
+            "`read_timeout`",
+            "`panics_caught`",
+            "`quarantined_sessions`",
+            "DBWIPES_ENABLE_CRASH",
         ] {
             assert!(doc.contains(needle), "docs/PROTOCOL.md must mention {needle}");
         }
+    }
+
+    #[test]
+    fn wire_errors_render_string_or_structured_form() {
+        // The classic string form stays bit-identical for user errors.
+        let user = WireError::from("bad sql");
+        assert_eq!(
+            wire_error_response_value(None, &user).to_string(),
+            r#"{"error":"bad sql","ok":false}"#
+        );
+        // Infrastructure errors carry kind + retryable for the client.
+        let internal = WireError::internal("handler panicked: boom");
+        let rendered = wire_error_response_value(Some(&Json::Num(5.0)), &internal).to_string();
+        assert_eq!(
+            rendered,
+            r#"{"error":{"kind":"internal","message":"handler panicked: boom","retryable":false},"id":5,"ok":false}"#
+        );
+        let quarantined = WireError::quarantined("session 3 is quarantined");
+        let rendered = wire_error_response_value(None, &quarantined).to_string();
+        assert!(rendered.contains(r#""kind":"quarantined""#), "{rendered}");
+        assert!(rendered.contains(r#""retryable":false"#), "{rendered}");
+        assert_eq!(internal.to_string(), "internal: handler panicked: boom");
     }
 
     #[test]

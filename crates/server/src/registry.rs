@@ -57,7 +57,17 @@ use dbwipes_core::{CoreError, Explanation, ExplanationRequest, ShardPartitioner}
 use dbwipes_engine::{CacheFingerprint, EngineError, GroupedAggregateCache};
 use dbwipes_storage::{RowId, ShardedTable, Table, TableEpoch};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Recovers the registry guard even when a previous holder panicked mid-
+/// operation. Every mutation under this lock is a single-step map insert,
+/// remove, or counter bump — there is no multi-step invariant a panic can
+/// leave half-applied (builds run *outside* the lock behind
+/// [`ReservationGuard`]), so recovering serves where poisoning would take
+/// down every cache-backed command with it.
+fn lock_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// Identifies one exact `debug!` request: the statement over the exact
 /// table data ([`CacheFingerprint`]) plus everything else an
@@ -278,7 +288,7 @@ impl CacheRegistry {
         &self,
         fingerprint: &CacheFingerprint,
     ) -> Option<Arc<GroupedAggregateCache<'static>>> {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         loop {
             inner.tick += 1;
             let tick = inner.tick;
@@ -290,7 +300,8 @@ impl CacheRegistry {
                     return Some(cache);
                 }
                 Some(Slot::Building) => {
-                    inner = self.build_done.wait(inner).expect("registry lock poisoned");
+                    inner =
+                        self.build_done.wait(inner).unwrap_or_else(|poison| poison.into_inner());
                 }
                 None => {
                     inner.misses += 1;
@@ -356,7 +367,7 @@ impl CacheRegistry {
         // no other lookup can race us to it).
         let mut absorb_source: Option<Arc<GroupedAggregateCache<'static>>> = None;
         {
-            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            let mut inner = lock_recover(&self.inner);
             loop {
                 inner.tick += 1;
                 let tick = inner.tick;
@@ -368,7 +379,10 @@ impl CacheRegistry {
                         return Ok((cache, true));
                     }
                     Some(Slot::Building) => {
-                        inner = self.build_done.wait(inner).expect("registry lock poisoned");
+                        inner = self
+                            .build_done
+                            .wait(inner)
+                            .unwrap_or_else(|poison| poison.into_inner());
                     }
                     None => {
                         if table.is_some() {
@@ -420,7 +434,7 @@ impl CacheRegistry {
         impl Drop for ReservationGuard<'_> {
             fn drop(&mut self) {
                 if let Some(fingerprint) = self.fingerprint.take() {
-                    let mut inner = self.registry.inner.lock().expect("registry lock poisoned");
+                    let mut inner = lock_recover(&self.registry.inner);
                     inner.entries.remove(&fingerprint);
                     drop(inner);
                     self.registry.build_done.notify_all();
@@ -442,7 +456,7 @@ impl CacheRegistry {
         guard.fingerprint = None; // build returned; phases below settle the slot.
 
         // Phase 3: publish (or withdraw the reservation on failure).
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         let outcome = match built {
             Err(e) => {
                 inner.entries.remove(&fingerprint);
@@ -490,7 +504,7 @@ impl CacheRegistry {
         fingerprint: CacheFingerprint,
         cache: Arc<GroupedAggregateCache<'static>>,
     ) -> bool {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         if inner.entries.contains_key(&fingerprint) {
             return false;
         }
@@ -518,7 +532,7 @@ impl CacheRegistry {
     /// the working set a durable snapshot should persist. In-flight builds
     /// are not included (they have nothing to persist yet).
     pub fn export_ready(&self) -> Vec<(CacheFingerprint, Arc<GroupedAggregateCache<'static>>)> {
-        let inner = self.inner.lock().expect("registry lock poisoned");
+        let inner = lock_recover(&self.inner);
         let mut ready: Vec<(u64, CacheFingerprint, Arc<GroupedAggregateCache<'static>>)> = inner
             .entries
             .iter()
@@ -536,7 +550,7 @@ impl CacheRegistry {
     /// Looks up a memoized explanation for exactly this request, counting
     /// an explanation-tier hit or miss.
     pub fn get_explanation(&self, key: &ExplainKey) -> Option<Arc<Explanation>> {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let found = inner.explanations.get_mut(key).map(|entry| {
@@ -556,7 +570,7 @@ impl CacheRegistry {
     /// bound. Racing stores of the same key are harmless (the requests
     /// were identical, so the answers are too; last write wins).
     pub fn store_explanation(&self, key: ExplainKey, explanation: Arc<Explanation>) {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.explanations.insert(key, ExplanationEntry { explanation, last_used: tick });
@@ -596,7 +610,7 @@ impl CacheRegistry {
         };
         let mut absorb_source: Option<Arc<ShardedTable>> = None;
         {
-            let mut inner = self.inner.lock().expect("registry lock poisoned");
+            let mut inner = lock_recover(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.partitions.get_mut(&key) {
@@ -632,7 +646,7 @@ impl CacheRegistry {
             }
             None => Arc::new(ShardedTable::hash(table, column, shards)?),
         };
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner
@@ -660,7 +674,7 @@ impl CacheRegistry {
     /// is unreachable for new data anyway, so it simply ages out).
     pub fn invalidate_table(&self, table_name: &str) -> usize {
         let key = table_name.to_ascii_lowercase();
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         let before = inner.entries.len() + inner.explanations.len() + inner.partitions.len();
         inner.entries.retain(|fp, slot| matches!(slot, Slot::Building) || fp.table_name != key);
         inner.explanations.retain(|k, _| k.fingerprint.table_name != key);
@@ -674,7 +688,7 @@ impl CacheRegistry {
     /// Drops every finished cache, memoized explanation and retained
     /// partition.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let mut inner = lock_recover(&self.inner);
         let before = inner.entries.len() + inner.explanations.len();
         inner.entries.retain(|_, slot| matches!(slot, Slot::Building));
         inner.explanations.clear();
@@ -685,7 +699,7 @@ impl CacheRegistry {
 
     /// Number of live (finished) entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry lock poisoned").ready_len()
+        lock_recover(&self.inner).ready_len()
     }
 
     /// True when no finished caches are retained.
@@ -695,7 +709,7 @@ impl CacheRegistry {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("registry lock poisoned");
+        let inner = lock_recover(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

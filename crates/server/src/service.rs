@@ -8,8 +8,8 @@
 use crate::executor::PoolStats;
 use crate::json::Json;
 use crate::manager::{ServerSession, SessionId, SessionManager};
-use crate::protocol::{error_response, error_response_value, ok_response_value, parse_request};
-use crate::protocol::{Command, Request, PROTOCOL_VERSION};
+use crate::protocol::{ok_response_value, parse_request, wire_error_response_value};
+use crate::protocol::{Command, Request, WireError, PROTOCOL_VERSION};
 use dbwipes_core::{ComponentTimings, CoreError, Explanation, MetricKind};
 use dbwipes_dashboard::{PointRef, ScatterSeries};
 use dbwipes_engine::QueryResult;
@@ -22,7 +22,7 @@ impl SessionManager {
     pub fn handle_line(&self, line: &str) -> String {
         let request = match parse_request(line) {
             Ok(request) => request,
-            Err(e) => return error_response(None, &e),
+            Err(e) => return wire_error_response_value(None, &WireError::from(e)).to_string(),
         };
         self.handle_request(request).to_string()
     }
@@ -35,11 +35,11 @@ impl SessionManager {
         let id = request.id.clone();
         match self.dispatch(request) {
             Ok(fields) => ok_response_value(id.as_ref(), fields),
-            Err(message) => error_response_value(id.as_ref(), &message),
+            Err(error) => wire_error_response_value(id.as_ref(), &error),
         }
     }
 
-    fn dispatch(&self, request: Request) -> Result<Vec<(&'static str, Json)>, String> {
+    fn dispatch(&self, request: Request) -> Result<Vec<(&'static str, Json)>, WireError> {
         match request.command {
             Command::Ping => Ok(vec![
                 ("pong", Json::Bool(true)),
@@ -111,6 +111,25 @@ impl SessionManager {
                         ("rehydrated_caches", Json::num(storage.rehydrated_caches as f64)),
                     ]),
                 ));
+                // Fault-tolerance vitals. Always present: a manager with no
+                // storage attached reports a permanently healthy block, so
+                // monitoring probes one shape everywhere.
+                let health = self.storage().map(|r| r.health()).unwrap_or_default();
+                fields.push((
+                    "health",
+                    Json::obj(vec![
+                        ("degraded", Json::Bool(health.degraded)),
+                        (
+                            "last_persist_error",
+                            health.last_persist_error.map(Json::Str).unwrap_or(Json::Null),
+                        ),
+                        ("retries", Json::num(health.retries as f64)),
+                        ("consecutive_failures", Json::num(health.consecutive_failures as f64)),
+                        ("degraded_entries", Json::num(health.degraded_entries as f64)),
+                        ("panics_caught", Json::num(self.panics_caught() as f64)),
+                        ("quarantined_sessions", Json::num(self.quarantined_sessions() as f64)),
+                    ]),
+                ));
                 // Executor counters, when a pooled TCP front-end serves
                 // this manager (stdio mode has no pool to report).
                 if let Some(pool) = self.pool_stats() {
@@ -126,7 +145,7 @@ impl SessionManager {
                 if self.close_session(SessionId(s)) {
                     Ok(vec![("closed", Json::num(s as f64))])
                 } else {
-                    Err(format!("no such session {s}"))
+                    Err(format!("no such session {s}").into())
                 }
             }
             Command::Shutdown => {
@@ -147,15 +166,72 @@ impl SessionManager {
                     ("batches", Json::num(report.batches as f64)),
                     ("total_rows", Json::num(report.total_rows as f64)),
                     ("sessions_refreshed", Json::num(report.sessions_refreshed as f64)),
+                    ("durable", Json::Bool(report.durable)),
                 ])
             }
             command => {
                 let s = command.session().expect("all remaining commands address a session");
-                let handle =
-                    self.session(SessionId(s)).ok_or_else(|| format!("no such session {s}"))?;
-                let mut session = handle.lock().expect("session lock poisoned");
+                let sid = SessionId(s);
+                self.check_quarantine(sid)?;
+                let handle = self
+                    .session(sid)
+                    .ok_or_else(|| WireError::from(format!("no such session {s}")))?;
+                // The guard lives *outside* the panic boundary: quarantine,
+                // not mutex poisoning, is how a broken session is fenced
+                // off, so siblings (and this very map entry) stay lockable.
+                let mut session = match handle.lock() {
+                    Ok(guard) => guard,
+                    Err(_) => return Err(self.quarantine_poisoned(sid)),
+                };
                 session.record_command();
-                self.session_command(&mut session, command)
+                self.isolated_session_command(sid, &mut session, command)
+            }
+        }
+    }
+
+    /// Rejects commands addressed to a quarantined session with a
+    /// structured `quarantined` error carrying the original reason.
+    fn check_quarantine(&self, sid: SessionId) -> Result<(), WireError> {
+        match self.quarantine_reason(sid) {
+            Some(reason) => Err(WireError::quarantined(format!(
+                "session {} is quarantined: {reason}; close it and open a new one",
+                sid.0
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Quarantines a session whose mutex was poisoned (its holder panicked
+    /// while unwinding elsewhere) and builds the reply for this command.
+    fn quarantine_poisoned(&self, sid: SessionId) -> WireError {
+        self.quarantine_session(sid, "session mutex poisoned");
+        WireError::quarantined(format!(
+            "session {} is quarantined: session mutex poisoned; close it and open a new one",
+            sid.0
+        ))
+    }
+
+    /// Runs one session command behind a panic boundary. A panicking
+    /// handler costs nothing but this one command: the panic is caught,
+    /// counted, the session quarantined (its state may be torn mid-write),
+    /// and the caller gets a structured `internal` error to forward. The
+    /// worker thread, its connection, and every sibling session survive.
+    fn isolated_session_command(
+        &self,
+        sid: SessionId,
+        session: &mut ServerSession,
+        command: Command,
+    ) -> Result<Vec<(&'static str, Json)>, WireError> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.session_command(session, command)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.record_panic();
+                let reason = panic_message(payload.as_ref());
+                self.quarantine_session(sid, &reason);
+                Err(WireError::internal(format!("handler panicked: {reason}")))
             }
         }
     }
@@ -179,26 +255,43 @@ impl SessionManager {
                 results.push(self.handle_request(request));
                 continue;
             };
-            let Some(handle) = self.session(SessionId(target)) else {
-                results.push(error_response_value(
+            let sid = SessionId(target);
+            if let Err(error) = self.check_quarantine(sid) {
+                results.push(wire_error_response_value(request.id.as_ref(), &error));
+                continue;
+            }
+            let Some(handle) = self.session(sid) else {
+                results.push(wire_error_response_value(
                     request.id.as_ref(),
-                    &format!("no such session {target}"),
+                    &WireError::from(format!("no such session {target}")),
                 ));
                 continue;
             };
-            let mut session = handle.lock().expect("session lock poisoned");
+            let mut session = match handle.lock() {
+                Ok(guard) => guard,
+                Err(_) => {
+                    let error = self.quarantine_poisoned(sid);
+                    results.push(wire_error_response_value(request.id.as_ref(), &error));
+                    continue;
+                }
+            };
             let mut run = Some(request);
             while let Some(request) = run.take() {
                 session.record_command();
-                let reply = match self.session_command(&mut session, request.command) {
+                let reply = match self.isolated_session_command(sid, &mut session, request.command)
+                {
                     Ok(fields) => ok_response_value(request.id.as_ref(), fields),
-                    Err(message) => error_response_value(request.id.as_ref(), &message),
+                    Err(error) => wire_error_response_value(request.id.as_ref(), &error),
                 };
                 results.push(reply);
                 // Pull the next command into the same lock acquisition
-                // while it keeps addressing this session.
-                if queue.peek().map(|next| session_command_target(&next.command))
-                    == Some(Some(target))
+                // while it keeps addressing this session — unless this
+                // command quarantined the session (a caught panic), in
+                // which case the run breaks and the remaining commands
+                // answer `quarantined` through the outer routing.
+                if self.quarantine_reason(sid).is_none()
+                    && queue.peek().map(|next| session_command_target(&next.command))
+                        == Some(Some(target))
                 {
                     run = queue.next();
                 }
@@ -211,8 +304,8 @@ impl SessionManager {
         &self,
         session: &mut ServerSession,
         command: Command,
-    ) -> Result<Vec<(&'static str, Json)>, String> {
-        let core = |e: CoreError| e.to_string();
+    ) -> Result<Vec<(&'static str, Json)>, WireError> {
+        let core = |e: CoreError| WireError::from(e.to_string());
         match command {
             Command::RunQuery { sql, .. } => {
                 let result = session.dashboard_mut().run_query(&sql).map_err(core)?;
@@ -315,6 +408,16 @@ impl SessionManager {
                 fields.push(applied_field(session));
                 Ok(fields)
             }
+            Command::Crash(_) => {
+                // Test-only hook for the panic-isolation machinery: gated
+                // at execution time so production servers treat it as a
+                // plain user error while chaos tests (which set
+                // `DBWIPES_ENABLE_CRASH=1`) get a real panic to catch.
+                if crash_enabled() {
+                    panic!("deliberate crash requested by the crash command");
+                }
+                Err("crash is disabled; set DBWIPES_ENABLE_CRASH=1 to enable this test hook".into())
+            }
             Command::Ping
             | Command::Tables
             | Command::Stats
@@ -325,6 +428,25 @@ impl SessionManager {
             | Command::Batch(_)
             | Command::StreamAppend { .. } => unreachable!("handled by dispatch"),
         }
+    }
+}
+
+/// Whether the `crash` test hook is armed (`DBWIPES_ENABLE_CRASH=1`).
+/// Read per call, like every other knob, so a test can arm and disarm it.
+fn crash_enabled() -> bool {
+    std::env::var("DBWIPES_ENABLE_CRASH").map(|v| v.trim() == "1").unwrap_or(false)
+}
+
+/// Best-effort rendering of a caught panic payload: `panic!` with a string
+/// literal or a formatted message covers practically every real panic; the
+/// fallback keeps the reply structured even for exotic payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -377,6 +499,7 @@ fn pool_json(stats: &PoolStats) -> Json {
         ("served_connections", Json::num(snapshot.served_connections as f64)),
         ("commands", Json::num(snapshot.commands as f64)),
         ("batches", Json::num(snapshot.batches as f64)),
+        ("workers_resurrected", Json::num(snapshot.workers_resurrected as f64)),
     ])
 }
 

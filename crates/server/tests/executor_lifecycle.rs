@@ -93,7 +93,13 @@ fn saturated_queue_answers_busy_and_recovers() {
     // turned away with a structured busy reply.
     let server = TestServer::start(
         120,
-        PoolConfig { workers: 1, queue_depth: 1, max_connections: 16, idle_timeout: long_idle() },
+        PoolConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_connections: 16,
+            idle_timeout: long_idle(),
+            read_timeout: long_idle(),
+        },
     );
 
     // A occupies the only worker (a served roundtrip proves it was popped
@@ -130,7 +136,13 @@ fn connection_cap_rejects_with_busy() {
     // second concurrent client bounces off the cap, not the queue.
     let server = TestServer::start(
         120,
-        PoolConfig { workers: 1, queue_depth: 8, max_connections: 1, idle_timeout: long_idle() },
+        PoolConfig {
+            workers: 1,
+            queue_depth: 8,
+            max_connections: 1,
+            idle_timeout: long_idle(),
+            read_timeout: long_idle(),
+        },
     );
     let mut a = server.connect();
     assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
@@ -157,7 +169,13 @@ fn silent_connections_are_closed_after_the_idle_timeout() {
     let idle = Duration::from_millis(200);
     let server = TestServer::start(
         120,
-        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: idle },
+        PoolConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_connections: 8,
+            idle_timeout: idle,
+            read_timeout: long_idle(),
+        },
     );
     let mut a = server.connect();
     assert_eq!(a.roundtrip(r#"{"cmd":"ping"}"#).get("pong"), Some(&Json::Bool(true)));
@@ -180,7 +198,13 @@ fn silent_connections_are_closed_after_the_idle_timeout() {
 fn graceful_shutdown_drains_an_in_flight_explain() {
     let server = TestServer::start(
         2_700,
-        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: long_idle() },
+        PoolConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_connections: 8,
+            idle_timeout: long_idle(),
+            read_timeout: long_idle(),
+        },
     );
 
     // Walk a session to the brink of `debug`.
@@ -238,7 +262,13 @@ fn graceful_shutdown_drains_an_in_flight_explain() {
 fn batch_executes_back_to_back_and_reports_in_stats() {
     let server = TestServer::start(
         120,
-        PoolConfig { workers: 2, queue_depth: 4, max_connections: 8, idle_timeout: long_idle() },
+        PoolConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_connections: 8,
+            idle_timeout: long_idle(),
+            read_timeout: long_idle(),
+        },
     );
     let mut a = server.connect();
     let session =

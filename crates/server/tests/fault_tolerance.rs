@@ -1,0 +1,433 @@
+//! Fault tolerance, end to end: scripted storage faults must never change
+//! an answer — only the `durable`/`health` reporting around it — degraded
+//! mode must self-heal on the first write that actually lands, and the
+//! `crash` test hook must cost zero workers while quarantining exactly
+//! the session that panicked.
+
+use dbwipes_data::{generate_sensor, SensorConfig};
+use dbwipes_server::{LineClient, SessionManager, StorageRuntime};
+use dbwipes_storage::{Catalog, FaultInjectingBackend, FaultPlan, FsBackend, Table};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_dbwipes-server");
+
+const WINDOW_SQL: &str = "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS std_temp \
+                          FROM readings GROUP BY window ORDER BY window";
+
+static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh per-test directory under the OS temp dir; removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("dbwipes-faults-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The demo sensor table. Cloning the one generated table into every
+/// catalog under test keeps identity stamps equal across managers, so
+/// replies can be compared byte for byte.
+fn sensor_table() -> Table {
+    generate_sensor(&SensorConfig {
+        num_readings: 2700,
+        failing_sensors: vec![15],
+        ..SensorConfig::small()
+    })
+    .table
+}
+
+fn catalog_of(table: Table) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.register(table).unwrap();
+    catalog
+}
+
+/// A plain filesystem runtime — built via `with_backend`, never
+/// `StorageRuntime::open`, so the `DBWIPES_FAULT_PLAN` environment knob
+/// can never leak into these tests.
+fn fs_runtime(dir: &std::path::Path) -> StorageRuntime {
+    StorageRuntime::with_backend(Box::new(FsBackend::open(dir).unwrap()))
+}
+
+/// A runtime whose writes follow the given fault plan.
+fn faulty_runtime(dir: &std::path::Path, plan: &str) -> StorageRuntime {
+    let fs = FsBackend::open(dir).unwrap();
+    let plan = FaultPlan::parse(plan).unwrap();
+    StorageRuntime::with_backend(Box::new(FaultInjectingBackend::new(Box::new(fs), plan)))
+}
+
+/// Sixteen schema-valid sensor rows, distinct enough to move aggregates.
+fn append_rows_json() -> String {
+    let rows: Vec<String> = (0..16)
+        .map(|r| {
+            let sensor = (r * 7) % 24;
+            let temp = 40.0 + (r % 32) as f64 / 2.0;
+            format!("[{sensor},0,0,0,{temp:.1},40.0,300.0,2.5]")
+        })
+        .collect();
+    rows.join(",")
+}
+
+/// The deterministic part of a debug reply — the answer itself: the
+/// ranked predicates and the base error. Cache flags and the wall-clock
+/// `timings` block legitimately differ across managers.
+fn answer_of(debug_reply: &str) -> (&str, &str) {
+    let base_error = {
+        let start = debug_reply.find(r#""base_error":"#).expect("reply carries base_error");
+        let rest = &debug_reply[start..];
+        &rest[..rest.find(',').expect("base_error is not the last field")]
+    };
+    let predicates = {
+        let start = debug_reply.find(r#""predicates":["#).expect("reply carries predicates");
+        let rest = &debug_reply[start..];
+        &rest[..rest.find(r#","timings""#).expect("timings follow the predicates")]
+    };
+    (base_error, predicates)
+}
+
+/// Blanks the per-session cache counters in a `state` reply: whether an
+/// answer came from a warm cache or a cold build is exactly what fault
+/// tolerance must NOT change about the data — but it legitimately changes
+/// hit/miss tallies.
+fn mask_cache_counters(reply: &str) -> String {
+    let mut masked = String::with_capacity(reply.len());
+    let mut rest = reply;
+    while let Some(pos) = rest.find(r#""cache_"#) {
+        let after_key = &rest[pos..];
+        let Some(colon) = after_key.find(':') else { break };
+        masked.push_str(&rest[..pos + colon + 1]);
+        masked.push('_');
+        rest = after_key[colon + 1..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    masked.push_str(rest);
+    masked
+}
+
+/// The brush→metric→debug script both managers replay, with the append
+/// landing mid-session so answers after it are served while one side is
+/// degraded. Returns every reply in order.
+fn scripted_session(manager: &SessionManager) -> Vec<String> {
+    let open = manager.handle_line(r#"{"cmd":"open_session"}"#);
+    assert!(open.contains(r#""ok":true"#), "{open}");
+    let session: u64 = open
+        .split(r#""session":"#)
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("open_session reply carries the id");
+    let mut replies = vec![open];
+    for line in [
+        format!(r#"{{"cmd":"run_query","session":{session},"sql":"{WINDOW_SQL}"}}"#),
+        format!(
+            r#"{{"cmd":"brush_outputs","session":{session},"x":"window","y":"std_temp","brush":{{"y_min":8}}}}"#
+        ),
+        format!(
+            r#"{{"cmd":"set_metric","session":{session},"kind":"too_high","column":"std_temp","value":4}}"#
+        ),
+        format!(r#"{{"cmd":"debug","session":{session}}}"#),
+        format!(r#"{{"cmd":"stream_append","table":"readings","rows":[{}]}}"#, append_rows_json()),
+        // Re-running the query resets the brush and metric, so the second
+        // explain is a full fresh question over the appended data.
+        format!(r#"{{"cmd":"run_query","session":{session},"sql":"{WINDOW_SQL}"}}"#),
+        format!(
+            r#"{{"cmd":"brush_outputs","session":{session},"x":"window","y":"std_temp","brush":{{"y_min":8}}}}"#
+        ),
+        format!(
+            r#"{{"cmd":"set_metric","session":{session},"kind":"too_high","column":"std_temp","value":4}}"#
+        ),
+        format!(r#"{{"cmd":"debug","session":{session}}}"#),
+        format!(r#"{{"cmd":"state","session":{session}}}"#),
+    ] {
+        replies.push(manager.handle_line(&line));
+    }
+    replies
+}
+
+#[test]
+fn all_writes_failing_serves_bit_identical_answers_from_memory() {
+    let (clean_dir, faulty_dir) = (TempDir::new(), TempDir::new());
+    let table = sensor_table();
+
+    let clean = SessionManager::new(catalog_of(table.clone()));
+    clean.attach_storage(Arc::new(fs_runtime(clean_dir.path())));
+    let faulty = SessionManager::new(catalog_of(table));
+    faulty.attach_storage(Arc::new(faulty_runtime(faulty_dir.path(), "every:1:io")));
+
+    let clean_replies = scripted_session(&clean);
+    let faulty_replies = scripted_session(&faulty);
+    assert_eq!(clean_replies.len(), faulty_replies.len());
+    for (i, (a, b)) in clean_replies.iter().zip(&faulty_replies).enumerate() {
+        assert!(a.contains(r#""ok":true"#), "clean reply {i}: {a}");
+        assert!(b.contains(r#""ok":true"#), "faulty reply {i}: {b}");
+        if a.contains(r#""predicates":["#) {
+            // Explains: compare the answer, not the wall-clock timings.
+            assert_eq!(answer_of(a), answer_of(b), "debug answer diverged at reply {i}");
+        } else if a.contains(r#""durable":"#) {
+            // The append: the one reply that may differ — and only in the
+            // durability flag, never in the data it reports.
+            assert!(a.contains(r#""durable":true"#), "clean append must persist: {a}");
+            assert!(b.contains(r#""durable":false"#), "faulty append cannot persist: {b}");
+            assert_eq!(a.replace(r#""durable":true"#, r#""durable":false"#), *b);
+        } else {
+            assert_eq!(mask_cache_counters(a), mask_cache_counters(b), "reply {i} diverged");
+        }
+    }
+
+    let clean_stats = clean.handle_line(r#"{"cmd":"stats"}"#);
+    assert!(clean_stats.contains(r#""degraded":false"#), "{clean_stats}");
+    let faulty_stats = faulty.handle_line(r#"{"cmd":"stats"}"#);
+    assert!(faulty_stats.contains(r#""degraded":true"#), "{faulty_stats}");
+    assert!(faulty_stats.contains(r#""degraded_entries":1"#), "{faulty_stats}");
+    assert!(
+        faulty_stats.contains(r#""last_persist_error":""#),
+        "the health block must carry the failure: {faulty_stats}"
+    );
+}
+
+#[test]
+fn degraded_mode_self_heals_on_the_first_successful_write() {
+    let dir = TempDir::new();
+    // Default retry budget is 3, so each save burns 4 write attempts.
+    // Attempts 1..=8 fail: the registration save (1-4) enters degraded
+    // mode, the first append (5-8) stays degraded, the second append
+    // (attempt 9) lands and self-heals.
+    let runtime = Arc::new(faulty_runtime(dir.path(), "range:1:8:io"));
+    let manager = SessionManager::new(Catalog::new());
+    manager.attach_storage(Arc::clone(&runtime));
+
+    manager.register_table(sensor_table());
+    let health = runtime.health();
+    assert!(health.degraded, "exhausted retries must enter degraded mode");
+    assert_eq!(health.degraded_entries, 1);
+    assert_eq!(health.consecutive_failures, 1);
+    assert_eq!(health.retries, 3);
+    assert!(health.last_persist_error.is_some());
+
+    let append =
+        format!(r#"{{"cmd":"stream_append","table":"readings","rows":[{}]}}"#, append_rows_json());
+    let first = manager.handle_line(&append);
+    assert!(first.contains(r#""ok":true"#), "{first}");
+    assert!(first.contains(r#""durable":false"#), "degraded append must say so: {first}");
+    let health = runtime.health();
+    assert!(health.degraded);
+    assert_eq!(health.degraded_entries, 1, "one healthy→degraded edge, not two");
+    assert_eq!(health.consecutive_failures, 2);
+
+    let second = manager.handle_line(&append);
+    assert!(second.contains(r#""ok":true"#), "{second}");
+    assert!(second.contains(r#""durable":true"#), "the landed write must self-heal: {second}");
+    let health = runtime.health();
+    assert!(!health.degraded, "a successful write must clear degraded mode");
+    assert_eq!(health.consecutive_failures, 0);
+    assert_eq!(health.degraded_entries, 1, "the healed edge is history, not erased");
+    assert_eq!(health.retries, 6, "three retries per exhausted save, none for the success");
+    assert!(health.last_persist_error.is_none());
+
+    // The healed snapshot is the full table: a fresh runtime over the
+    // same directory restores every row, including both appends.
+    let restored = fs_runtime(dir.path()).restore_catalog().unwrap();
+    let table = restored.table_arc("readings").unwrap();
+    assert_eq!(table.num_rows(), 2700 + 32);
+}
+
+/// Kills the child if the test unwinds before its graceful shutdown.
+struct KillOnDrop(Option<Child>);
+
+impl KillOnDrop {
+    fn into_inner(mut self) -> Child {
+        self.0.take().expect("child not yet taken")
+    }
+}
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_crash_armed_server() -> (Child, String) {
+    let mut child = Command::new(BIN)
+        .args(["--readings", "300", "--listen", "127.0.0.1:0"])
+        .env("DBWIPES_ENABLE_CRASH", "1")
+        // Each caught panic still prints its one-line report; keep the
+        // hundred of them short.
+        .env("RUST_BACKTRACE", "0")
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dbwipes-server");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        stderr.read_line(&mut line).expect("read server banner");
+        assert!(!line.is_empty(), "server exited before the listen banner");
+        if line.contains("listening on") {
+            break line
+                .trim()
+                .rsplit(' ')
+                .next()
+                .expect("banner ends with the address")
+                .to_string();
+        }
+    };
+    // Keep draining: a hundred panic reports would otherwise fill the
+    // pipe and block the server on a blind stderr write.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut stderr, &mut sink);
+    });
+    (child, addr)
+}
+
+#[test]
+fn one_hundred_crashes_cost_zero_workers_and_quarantine_each_session() {
+    let (child, addr) = spawn_crash_armed_server();
+    let guard = KillOnDrop(Some(child));
+    let mut client = LineClient::connect(&addr, Duration::from_secs(30)).expect("connect");
+    let mut roundtrip =
+        |line: String| -> String { client.roundtrip(&line).expect("reply").to_string() };
+
+    for i in 0..100 {
+        let open = roundtrip(r#"{"cmd":"open_session"}"#.to_string());
+        assert!(open.contains(r#""ok":true"#), "crash {i}: {open}");
+        let session: u64 = open
+            .split(r#""session":"#)
+            .nth(1)
+            .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|digits| digits.parse().ok())
+            .expect("open_session reply carries the id");
+
+        // The panic comes back as a structured, non-retryable internal
+        // error — on the same connection, so the worker survived.
+        let crash = roundtrip(format!(r#"{{"cmd":"crash","session":{session}}}"#));
+        assert!(crash.contains(r#""ok":false"#), "crash {i}: {crash}");
+        assert!(crash.contains(r#""kind":"internal""#), "crash {i}: {crash}");
+        assert!(crash.contains(r#""retryable":false"#), "crash {i}: {crash}");
+        assert!(crash.contains("handler panicked"), "crash {i}: {crash}");
+
+        // The poisoned session is fenced...
+        let state = roundtrip(format!(r#"{{"cmd":"state","session":{session}}}"#));
+        assert!(state.contains(r#""kind":"quarantined""#), "crash {i}: {state}");
+
+        // ...but still closable, and the rest of the server is untouched.
+        let closed = roundtrip(format!(r#"{{"cmd":"close_session","session":{session}}}"#));
+        assert!(closed.contains(r#""closed""#), "crash {i}: {closed}");
+    }
+
+    let pong = roundtrip(r#"{"cmd":"ping"}"#.to_string());
+    assert!(pong.contains("pong"), "{pong}");
+    let stats = roundtrip(r#"{"cmd":"stats"}"#.to_string());
+    assert!(stats.contains(r#""panics_caught":100"#), "{stats}");
+    assert!(stats.contains(r#""quarantined_sessions":100"#), "{stats}");
+    assert!(
+        stats.contains(r#""workers_resurrected":0"#),
+        "a caught panic must never cost a worker: {stats}"
+    );
+
+    let reply = roundtrip(r#"{"cmd":"shutdown"}"#.to_string());
+    assert!(reply.contains(r#""shutting_down":true"#), "{reply}");
+    let status = guard.into_inner().wait().expect("server exits after the ctrl-line");
+    assert!(status.success(), "graceful shutdown must exit 0, got {status:?}");
+}
+
+#[test]
+fn crash_hook_is_a_plain_user_error_when_disarmed() {
+    // In-process, `DBWIPES_ENABLE_CRASH` is unset: the hook must refuse
+    // with a classic string error — no panic, no quarantine.
+    let manager = SessionManager::new(catalog_of(sensor_table()));
+    let open = manager.handle_line(r#"{"cmd":"open_session"}"#);
+    assert!(open.contains(r#""ok":true"#), "{open}");
+    let reply = manager.handle_line(r#"{"cmd":"crash","session":1}"#);
+    assert!(reply.contains(r#""ok":false"#), "{reply}");
+    assert!(reply.contains("crash is disabled"), "{reply}");
+    assert!(!reply.contains(r#""kind":"internal""#), "disarmed crash is a user error: {reply}");
+    let state = manager.handle_line(r#"{"cmd":"state","session":1}"#);
+    assert!(state.contains(r#""ok":true"#), "disarmed crash must not quarantine: {state}");
+}
+
+#[test]
+fn append_onto_restored_table_explains_bit_identically_to_cold_rebuild() {
+    let dir = TempDir::new();
+    let table = sensor_table();
+
+    // ── Phase A: a durable manager answers an explain (warming the
+    // registry) and flushes — table snapshot plus warm sidecars.
+    {
+        let manager = SessionManager::new(catalog_of(table.clone()));
+        manager.attach_storage(Arc::new(fs_runtime(dir.path())));
+        manager.flush_storage();
+        let replies = scripted_session(&manager);
+        assert!(replies.iter().all(|r| r.contains(r#""ok":true"#)));
+        // The append persisted its snapshot inline, so this flush is
+        // version-gated to zero table writes — it exists to write the
+        // warm sidecars the explain built.
+        manager.flush_storage();
+    }
+
+    // ── Phase B: restore from disk, rehydrate warm state, then append
+    // MORE rows onto the restored table and explain.
+    let restored_replies = {
+        let runtime = Arc::new(fs_runtime(dir.path()));
+        let manager = SessionManager::new(runtime.restore_catalog().unwrap());
+        manager.attach_storage(Arc::clone(&runtime));
+        let (caches, _bitmaps) = manager.rehydrate_warm_state();
+        assert!(caches >= 1, "the warm sidecar must rehydrate");
+        scripted_session(&manager)
+    };
+
+    // ── Phase C: a cold manager over the original table, no storage at
+    // all, replaying the exact same phases A+B appends in memory.
+    let cold_replies = {
+        let manager = SessionManager::new(catalog_of(table));
+        let append = format!(
+            r#"{{"cmd":"stream_append","table":"readings","rows":[{}]}}"#,
+            append_rows_json()
+        );
+        let reply = manager.handle_line(&append); // phase A's append
+        assert!(reply.contains(r#""ok":true"#), "{reply}");
+        scripted_session(&manager)
+    };
+
+    // Every data-bearing reply must match bit for bit; the appends differ
+    // only in durability, the explains only in cache flags and timings.
+    assert_eq!(restored_replies.len(), cold_replies.len());
+    for (i, (restored, cold)) in restored_replies.iter().zip(&cold_replies).enumerate() {
+        if restored.contains(r#""predicates":["#) {
+            assert_eq!(
+                answer_of(restored),
+                answer_of(cold),
+                "explain answer diverged at reply {i}"
+            );
+        } else if restored.contains(r#""durable":"#) {
+            assert!(restored.contains(r#""durable":true"#), "{restored}");
+            assert!(cold.contains(r#""durable":false"#), "{cold}");
+            assert_eq!(restored.replace(r#""durable":true"#, r#""durable":false"#), *cold);
+        } else {
+            assert_eq!(
+                mask_cache_counters(restored),
+                mask_cache_counters(cold),
+                "reply {i} diverged"
+            );
+        }
+    }
+}

@@ -82,6 +82,25 @@ impl fmt::Display for StorageError {
     }
 }
 
+impl StorageError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// The persistence retry loop uses this to separate *transient* faults
+    /// (interrupted writes, flaky devices — generic [`StorageError::Io`])
+    /// from *permanent* ones that retrying cannot fix: a full disk
+    /// (ENOSPC stays full on the retry timescale), structural corruption,
+    /// and every logical error (schema, arity, unknown table, ...).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(msg) => {
+                let lower = msg.to_ascii_lowercase();
+                !(lower.contains("no space left") || lower.contains("enospc"))
+            }
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for StorageError {}
 
 #[cfg(test)]
@@ -116,5 +135,18 @@ mod tests {
         assert!(StorageError::DuplicateColumn("c".into()).to_string().contains("c"));
         assert!(StorageError::Io("disk full".into()).to_string().contains("disk full"));
         assert!(StorageError::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn transient_classification_separates_io_from_permanent_faults() {
+        assert!(StorageError::Io("writing /tmp/x: interrupted".into()).is_transient());
+        assert!(StorageError::Io("device flaked".into()).is_transient());
+        // A full disk stays full on the retry timescale.
+        assert!(!StorageError::Io("No space left on device (os error 28)".into()).is_transient());
+        assert!(!StorageError::Io("injected ENOSPC".into()).is_transient());
+        // Corruption and logical errors never heal by retrying.
+        assert!(!StorageError::Corrupt("checksum mismatch".into()).is_transient());
+        assert!(!StorageError::UnknownTable("t".into()).is_transient());
+        assert!(!StorageError::Eval("div by zero".into()).is_transient());
     }
 }

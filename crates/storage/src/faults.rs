@@ -1,0 +1,534 @@
+//! Deterministic storage fault injection for chaos tests.
+//!
+//! A [`FaultInjectingBackend`] wraps any [`StorageBackend`] and injects
+//! failures into the *write* path (`save_table` / `save_sidecar`)
+//! according to a scripted [`FaultPlan`]. Reads always pass through
+//! untouched — recovery code is exercised against real persisted bytes,
+//! while the write path sees exactly the failures the plan scripts.
+//!
+//! Every write attempt (process-wide per backend, 1-based) is matched
+//! against the plan's clauses in order; the first matching clause fires.
+//! Because the decision is a pure function of the attempt number, the
+//! per-target flaky history, and the plan's seed, a failing chaos run
+//! reproduces exactly from its plan string.
+//!
+//! ## Plan grammar
+//!
+//! A plan is `;`-separated clauses:
+//!
+//! ```text
+//! seed:<u64>                    # seeds the `random` trigger (default 0)
+//! every:<n>:<kind>              # attempts n, 2n, 3n, ...
+//! at:<n>:<kind>                 # exactly attempt n
+//! range:<a>:<b>:<kind>          # attempts a..=b
+//! random:<permille>:<kind>      # seeded pseudo-random per attempt
+//! ```
+//!
+//! with `<kind>` one of:
+//!
+//! * `io` — a transient [`StorageError::Io`] (retry succeeds if the
+//!   trigger stops matching),
+//! * `enospc` — an out-of-space error, classified *permanent* by
+//!   [`StorageError::is_transient`],
+//! * `torn@<k>` — the write "crashes" after `k` bytes: when the wrapped
+//!   backend is a filesystem directory, a literally truncated snapshot is
+//!   left on disk (bypassing the atomic rename, exactly what a power cut
+//!   mid-`write(2)` leaves behind), then the error is reported,
+//! * `slow@<ms>` — the write succeeds after an injected latency,
+//! * `flaky` — transient-then-succeed: the first attempt *per distinct
+//!   target* fails with a transient error, every later attempt on the
+//!   same target passes through — the canonical retry-loop exercise.
+//!
+//! Example: `seed:7;at:4:enospc;every:3:io` fails every third write with
+//! a transient fault, except attempt 4 which reports a full disk.
+
+use crate::error::StorageError;
+use crate::persist::{encode_table, Manifest, StorageBackend};
+use crate::table::Table;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a firing clause does to the write it intercepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with a transient I/O error.
+    Io,
+    /// Fail with a permanent out-of-space error.
+    Enospc,
+    /// Crash the write after this many payload bytes, leaving a torn
+    /// artifact behind when the inner backend exposes a directory.
+    Torn(usize),
+    /// Succeed, but only after sleeping this many milliseconds.
+    Slow(u64),
+    /// Fail the first attempt per distinct target, then succeed.
+    Flaky,
+}
+
+/// When a clause fires, in terms of the backend's 1-based global write
+/// attempt counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// Attempts n, 2n, 3n, ...
+    Every(u64),
+    /// Exactly attempt n.
+    At(u64),
+    /// Attempts a..=b inclusive.
+    Range(u64, u64),
+    /// Seeded pseudo-random with this permille probability.
+    Random(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Clause {
+    trigger: Trigger,
+    kind: FaultKind,
+}
+
+/// A parsed, deterministic fault schedule. See the module docs for the
+/// plan grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    clauses: Vec<Clause>,
+}
+
+/// SplitMix64: tiny, seedable, and plenty for scheduling faults.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn plan_err(spec: &str, why: &str) -> StorageError {
+    StorageError::Eval(format!("bad fault plan clause '{spec}': {why}"))
+}
+
+fn parse_num(spec: &str, part: &str) -> Result<u64, StorageError> {
+    part.parse::<u64>().map_err(|_| plan_err(spec, &format!("'{part}' is not a number")))
+}
+
+fn parse_kind(spec: &str, part: &str) -> Result<FaultKind, StorageError> {
+    match part {
+        "io" => Ok(FaultKind::Io),
+        "enospc" => Ok(FaultKind::Enospc),
+        "flaky" => Ok(FaultKind::Flaky),
+        other => {
+            if let Some(k) = other.strip_prefix("torn@") {
+                Ok(FaultKind::Torn(parse_num(spec, k)? as usize))
+            } else if let Some(ms) = other.strip_prefix("slow@") {
+                Ok(FaultKind::Slow(parse_num(spec, ms)?))
+            } else {
+                Err(plan_err(spec, &format!("unknown fault kind '{other}'")))
+            }
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a plan string (see the module docs for the grammar). The
+    /// empty string parses to a plan that never fires.
+    pub fn parse(plan: &str) -> Result<FaultPlan, StorageError> {
+        let mut parsed = FaultPlan::default();
+        for spec in plan.split(';') {
+            let spec = spec.trim();
+            if spec.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = spec.split(':').collect();
+            match parts.as_slice() {
+                ["seed", v] => parsed.seed = parse_num(spec, v)?,
+                ["every", n, kind] => {
+                    let n = parse_num(spec, n)?;
+                    if n == 0 {
+                        return Err(plan_err(spec, "every:0 would never fire"));
+                    }
+                    parsed
+                        .clauses
+                        .push(Clause { trigger: Trigger::Every(n), kind: parse_kind(spec, kind)? });
+                }
+                ["at", n, kind] => parsed.clauses.push(Clause {
+                    trigger: Trigger::At(parse_num(spec, n)?),
+                    kind: parse_kind(spec, kind)?,
+                }),
+                ["range", a, b, kind] => {
+                    let (a, b) = (parse_num(spec, a)?, parse_num(spec, b)?);
+                    if a > b {
+                        return Err(plan_err(spec, "range start exceeds end"));
+                    }
+                    parsed.clauses.push(Clause {
+                        trigger: Trigger::Range(a, b),
+                        kind: parse_kind(spec, kind)?,
+                    });
+                }
+                ["random", permille, kind] => {
+                    let p = parse_num(spec, permille)?;
+                    if p > 1000 {
+                        return Err(plan_err(spec, "permille exceeds 1000"));
+                    }
+                    parsed.clauses.push(Clause {
+                        trigger: Trigger::Random(p),
+                        kind: parse_kind(spec, kind)?,
+                    });
+                }
+                _ => return Err(plan_err(spec, "unrecognized clause shape")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The fault (if any) scheduled for 1-based write `attempt`. Pure:
+    /// the same plan and attempt always decide the same way.
+    fn fault_for(&self, attempt: u64) -> Option<FaultKind> {
+        self.clauses
+            .iter()
+            .find(|c| match c.trigger {
+                Trigger::Every(n) => attempt % n == 0,
+                Trigger::At(n) => attempt == n,
+                Trigger::Range(a, b) => (a..=b).contains(&attempt),
+                Trigger::Random(permille) => splitmix64(self.seed ^ attempt) % 1000 < permille,
+            })
+            .map(|c| c.kind)
+    }
+}
+
+/// A [`StorageBackend`] decorator that injects scripted faults into the
+/// write path. See the module docs.
+#[derive(Debug)]
+pub struct FaultInjectingBackend {
+    inner: Box<dyn StorageBackend>,
+    plan: FaultPlan,
+    /// When the inner backend is a filesystem directory, torn writes
+    /// leave a literally truncated artifact here.
+    torn_dir: Option<PathBuf>,
+    /// Global 1-based write attempt counter (tables + sidecars).
+    writes: AtomicU64,
+    /// Writes that were failed or delayed by the plan.
+    injected: AtomicU64,
+    /// Targets whose first (flaky) attempt has already been burned.
+    flaky_seen: Mutex<HashMap<String, u64>>,
+}
+
+impl FaultInjectingBackend {
+    /// Wraps an arbitrary backend. Torn faults report the error but
+    /// cannot leave a truncated artifact (use [`Self::with_torn_dir`] or
+    /// wrap an [`FsBackend`](crate::FsBackend) whose directory you pass).
+    pub fn new(inner: Box<dyn StorageBackend>, plan: FaultPlan) -> FaultInjectingBackend {
+        FaultInjectingBackend {
+            inner,
+            plan,
+            torn_dir: None,
+            writes: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            flaky_seen: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Like [`Self::new`], but torn table writes additionally leave a
+    /// truncated `t<id>.tbl` in `dir` — simulating a power cut during
+    /// `write(2)` that bypassed the atomic rename — so recovery code must
+    /// survive a checksum-failing snapshot, not just a missing one.
+    pub fn with_torn_dir(
+        inner: Box<dyn StorageBackend>,
+        plan: FaultPlan,
+        dir: impl Into<PathBuf>,
+    ) -> FaultInjectingBackend {
+        let mut backend = FaultInjectingBackend::new(inner, plan);
+        backend.torn_dir = Some(dir.into());
+        backend
+    }
+
+    /// Write attempts seen so far (injected or not).
+    pub fn writes_attempted(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Writes the plan failed or delayed.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decides the fate of one write attempt against `target`. Returns
+    /// `Ok(())` when the write should proceed (possibly after an injected
+    /// delay), or the scripted error.
+    fn intercept(&self, target: &str, payload: Option<&[u8]>) -> Result<(), StorageError> {
+        let attempt = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(kind) = self.plan.fault_for(attempt) else { return Ok(()) };
+        match kind {
+            FaultKind::Io => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(StorageError::Io(format!(
+                    "injected transient fault on write #{attempt} ({target})"
+                )))
+            }
+            FaultKind::Enospc => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(StorageError::Io(format!(
+                    "injected fault on write #{attempt} ({target}): \
+                     No space left on device (os error 28)"
+                )))
+            }
+            FaultKind::Torn(k) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                if let (Some(dir), Some(bytes)) = (&self.torn_dir, payload) {
+                    let torn = &bytes[..k.min(bytes.len())];
+                    let _ = std::fs::write(dir.join(target), torn);
+                }
+                Err(StorageError::Io(format!(
+                    "injected torn write on #{attempt} ({target}): crashed after {k} bytes"
+                )))
+            }
+            FaultKind::Slow(ms) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            FaultKind::Flaky => {
+                let mut seen = self.flaky_seen.lock().unwrap_or_else(|poison| poison.into_inner());
+                let tries = seen.entry(target.to_string()).or_insert(0);
+                *tries += 1;
+                if *tries == 1 {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    Err(StorageError::Io(format!(
+                        "injected flaky fault on write #{attempt} ({target}): \
+                         retry will succeed"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl StorageBackend for FaultInjectingBackend {
+    fn save_table(&self, table: &Table) -> Result<u64, StorageError> {
+        let target = format!("t{}.tbl", table.id());
+        // Encode lazily only when a torn artifact may be needed; the
+        // inner backend re-encodes on the success path.
+        let payload = if self.torn_dir.is_some() { Some(encode_table(table)) } else { None };
+        self.intercept(&target, payload.as_deref())?;
+        self.inner.save_table(table)
+    }
+
+    fn load_table(&self, table_id: u64) -> Result<Table, StorageError> {
+        self.inner.load_table(table_id)
+    }
+
+    fn list_manifest(&self) -> Result<Manifest, StorageError> {
+        self.inner.list_manifest()
+    }
+
+    fn evict(&self, table_id: u64) -> Result<(), StorageError> {
+        self.inner.evict(table_id)
+    }
+
+    fn save_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+        bytes: &[u8],
+    ) -> Result<u64, StorageError> {
+        self.intercept(&format!("s{table_id}-{version}-{kind}.bin"), Some(bytes))?;
+        self.inner.save_sidecar(table_id, version, kind, bytes)
+    }
+
+    fn load_sidecar(
+        &self,
+        table_id: u64,
+        version: u64,
+        kind: &str,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        self.inner.load_sidecar(table_id, version, kind)
+    }
+
+    fn bytes_on_disk(&self) -> Result<u64, StorageError> {
+        self.inner.bytes_on_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::FsBackend;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("dbwipes-faults-{}-{n}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_table() -> Table {
+        let mut t = Table::new(
+            "readings",
+            Schema::of(&[("sensorid", DataType::Int), ("temp", DataType::Float)]),
+        )
+        .unwrap();
+        for i in 0..32i64 {
+            t.push_row(vec![Value::Int(i % 4), Value::Float(20.0 + i as f64)]).unwrap();
+        }
+        t
+    }
+
+    fn faulty(dir: &Path, plan: &str) -> FaultInjectingBackend {
+        let inner = FsBackend::open(dir).unwrap();
+        FaultInjectingBackend::with_torn_dir(Box::new(inner), FaultPlan::parse(plan).unwrap(), dir)
+    }
+
+    #[test]
+    fn plan_parser_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed:7; every:3:io; at:4:enospc; range:10:12:torn@16; random:250:slow@5",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.clauses.len(), 4);
+        assert_eq!(plan.clauses[0], Clause { trigger: Trigger::Every(3), kind: FaultKind::Io });
+        assert_eq!(plan.clauses[1], Clause { trigger: Trigger::At(4), kind: FaultKind::Enospc });
+        assert_eq!(
+            plan.clauses[2],
+            Clause { trigger: Trigger::Range(10, 12), kind: FaultKind::Torn(16) }
+        );
+        assert_eq!(
+            plan.clauses[3],
+            Clause { trigger: Trigger::Random(250), kind: FaultKind::Slow(5) }
+        );
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse("  ;; ").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn plan_parser_rejects_malformed_clauses() {
+        for bad in
+            ["every:0:io", "every:x:io", "at:3:unknown", "range:9:3:io", "random:1001:io", "nope"]
+        {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn every_nth_write_fails_deterministically() {
+        let dir = TempDir::new();
+        let backend = faulty(dir.path(), "every:3:io");
+        let t = small_table();
+        let mut outcomes = Vec::new();
+        for _ in 0..9 {
+            outcomes.push(backend.save_table(&t).is_ok());
+        }
+        assert_eq!(outcomes, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(backend.writes_attempted(), 9);
+        assert_eq!(backend.faults_injected(), 3);
+        // The injected error is transient: a retry (attempt 10) succeeds.
+        assert!(backend.save_table(&t).is_ok());
+    }
+
+    #[test]
+    fn seeded_random_schedule_reproduces_exactly() {
+        let decide = |plan: &str| {
+            let plan = FaultPlan::parse(plan).unwrap();
+            (1..=64).map(|a| plan.fault_for(a).is_some()).collect::<Vec<bool>>()
+        };
+        let a = decide("seed:42;random:300:io");
+        assert_eq!(a, decide("seed:42;random:300:io"), "same seed, same schedule");
+        assert_ne!(a, decide("seed:43;random:300:io"), "different seed, different schedule");
+        let fired = a.iter().filter(|f| **f).count();
+        assert!((5..=35).contains(&fired), "~30% of 64 attempts, got {fired}");
+    }
+
+    #[test]
+    fn enospc_is_permanent_and_io_is_transient() {
+        let dir = TempDir::new();
+        let backend = faulty(dir.path(), "at:1:io;at:2:enospc");
+        let t = small_table();
+        let io = backend.save_table(&t).unwrap_err();
+        assert!(io.is_transient(), "plain io fault should be retryable: {io}");
+        let enospc = backend.save_table(&t).unwrap_err();
+        assert!(!enospc.is_transient(), "enospc must be permanent: {enospc}");
+        assert!(enospc.to_string().contains("No space left"));
+    }
+
+    #[test]
+    fn torn_write_leaves_truncated_snapshot_that_fails_decode() {
+        let dir = TempDir::new();
+        let t = small_table();
+        let backend = faulty(dir.path(), "at:2:torn@16");
+        backend.save_table(&t).unwrap();
+        let whole = fs::read(dir.path().join(format!("t{}.tbl", t.id()))).unwrap();
+        assert!(whole.len() > 16);
+
+        let mut t2 = t.clone();
+        t2.push_row(vec![Value::Int(9), Value::Float(9.0)]).unwrap();
+        let err = backend.save_table(&t2).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let torn = fs::read(dir.path().join(format!("t{}.tbl", t.id()))).unwrap();
+        assert_eq!(torn.len(), 16, "the torn artifact is literally truncated");
+        assert!(crate::persist::decode_table(&torn).is_err(), "torn bytes must not decode");
+        // The manifest still references the pre-crash state; a recovery
+        // that trusts checksums will reject the torn file instead of
+        // serving half a table.
+        assert!(backend.load_table(t.id()).is_err());
+    }
+
+    #[test]
+    fn flaky_fails_once_per_target_then_succeeds() {
+        let dir = TempDir::new();
+        let backend = faulty(dir.path(), "every:1:flaky");
+        let t = small_table();
+        assert!(backend.save_table(&t).is_err(), "first attempt on the table fails");
+        assert!(backend.save_table(&t).is_ok(), "retry on the same target succeeds");
+        assert!(backend.save_sidecar(t.id(), t.version(), "aggs", b"x").is_err());
+        assert!(backend.save_sidecar(t.id(), t.version(), "aggs", b"x").is_ok());
+    }
+
+    #[test]
+    fn slow_faults_delay_but_do_not_fail() {
+        let dir = TempDir::new();
+        let backend = faulty(dir.path(), "every:1:slow@5");
+        let t = small_table();
+        let start = std::time::Instant::now();
+        backend.save_table(&t).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(backend.faults_injected(), 1);
+    }
+
+    #[test]
+    fn reads_pass_through_even_when_every_write_fails() {
+        let dir = TempDir::new();
+        let t = small_table();
+        // Persist cleanly first, then wrap with an always-fail plan.
+        FsBackend::open(dir.path()).unwrap().save_table(&t).unwrap();
+        let backend = faulty(dir.path(), "every:1:io");
+        assert!(backend.save_table(&t).is_err());
+        let restored = backend.load_table(t.id()).unwrap();
+        assert_eq!(restored.num_rows(), t.num_rows());
+        assert_eq!(backend.list_manifest().unwrap().entries.len(), 1);
+        assert!(backend.bytes_on_disk().unwrap() > 0);
+    }
+}

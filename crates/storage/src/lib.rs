@@ -65,6 +65,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod expr;
+pub mod faults;
 pub mod persist;
 pub mod predicate;
 pub mod rowset;
@@ -77,6 +78,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
 pub use expr::{col, lit, BinaryOp, Expr, UnaryOp};
+pub use faults::{FaultInjectingBackend, FaultKind, FaultPlan};
 pub use persist::{FsBackend, Manifest, ManifestEntry, StorageBackend};
 pub use predicate::{
     bool_vectorization_stats, enable_warm_bitmap_store, export_warm_bitmaps, note_bool_fallback,

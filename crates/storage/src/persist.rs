@@ -756,9 +756,12 @@ impl Manifest {
 
 /// A durable home for tables and their warm derived state. The filesystem
 /// implementation is [`FsBackend`]; the trait exists so alternative
-/// backends (object stores, test doubles) can slot in behind the server
-/// without touching the recovery flow.
-pub trait StorageBackend: Send + Sync {
+/// backends (object stores, test doubles such as
+/// [`FaultInjectingBackend`](crate::faults::FaultInjectingBackend)) can
+/// slot in behind the server without touching the recovery flow. `Debug`
+/// is a supertrait so runtimes holding a `Box<dyn StorageBackend>` can
+/// stay debuggable.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// Persists a snapshot of `table` (data plus identity stamps) and
     /// updates the manifest, both via atomic rename. Returns the snapshot
     /// size in bytes.
@@ -926,7 +929,14 @@ impl StorageBackend for FsBackend {
         let bytes =
             fs::read(&path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
         let table = decode_table(&bytes)?;
-        if table.id() != entry.table_id || table.epoch() != entry.epoch {
+        // `save_table` writes the snapshot file *before* the manifest, so a
+        // crash between the two renames leaves a complete, checksummed
+        // snapshot stamped AHEAD of the manifest entry. That file is the
+        // durable truth — accept it. A snapshot BEHIND the manifest cannot
+        // arise from that ordering and still means corruption.
+        let ahead_of_manifest = table.epoch().structural >= entry.epoch.structural
+            && table.epoch().appended >= entry.epoch.appended;
+        if table.id() != entry.table_id || !ahead_of_manifest {
             return Err(StorageError::Corrupt(format!(
                 "snapshot {} is stamped ({}, {:?}) but the manifest expects ({}, {:?})",
                 entry.file,
@@ -1188,6 +1198,51 @@ mod tests {
         assert_ne!(manifest.entry(t.id()).unwrap().version(), v1);
         let restored = backend.load_table(t.id()).unwrap();
         assert!(restored.is_deleted(crate::table::RowId(0)));
+    }
+
+    #[test]
+    fn snapshot_ahead_of_manifest_loads_as_the_durable_truth() {
+        // Simulate a crash between `save_table`'s two renames: the snapshot
+        // file holds a complete newer epoch while the manifest still records
+        // the previous save. The newer file must load, not error.
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let mut t = every_type_table();
+        backend.save_table(&t).unwrap();
+        let stale_epoch = backend.list_manifest().unwrap().entry(t.id()).unwrap().epoch;
+        t.push_rows(vec![vec![
+            Value::Bool(false),
+            Value::Int(42),
+            Value::Float(2.5),
+            Value::str("attic"),
+            Value::Timestamp(7),
+        ]])
+        .unwrap();
+        // Write only the snapshot file — the half of `save_table` that
+        // completes first — leaving the manifest behind.
+        backend.atomic_write(&FsBackend::table_file(t.id()), &encode_table(&t)).unwrap();
+        assert_ne!(t.epoch(), stale_epoch);
+        let restored = backend.load_table(t.id()).unwrap();
+        assert_tables_identical(&t, &restored);
+        assert_eq!(backend.list_manifest().unwrap().entry(t.id()).unwrap().epoch, stale_epoch);
+    }
+
+    #[test]
+    fn snapshot_behind_the_manifest_is_still_rejected() {
+        // The reverse skew cannot arise from `save_table`'s write ordering,
+        // so an older-than-manifest snapshot still means corruption.
+        let dir = TempDir::new();
+        let backend = FsBackend::open(dir.path()).unwrap();
+        let mut t = every_type_table();
+        let old_bytes = {
+            backend.save_table(&t).unwrap();
+            encode_table(&t)
+        };
+        t.delete_row(crate::table::RowId(0)).unwrap();
+        backend.save_table(&t).unwrap();
+        backend.atomic_write(&FsBackend::table_file(t.id()), &old_bytes).unwrap();
+        let err = backend.load_table(t.id()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err}");
     }
 
     #[test]
